@@ -1,0 +1,229 @@
+// Command ppanns-dbtool operates the PP-ANNS pipeline from the command
+// line, one role per subcommand:
+//
+//	ppanns-dbtool gen     -out data.fvecs -dataset sift -n 10000 [-queries q.fvecs -nq 100]
+//	ppanns-dbtool encrypt -in data.fvecs -db db.ppanns -key user.key [-beta 2.5]
+//	ppanns-dbtool serve   -db db.ppanns -addr :7070
+//	ppanns-dbtool query   -key user.key -queries q.fvecs -addr host:7070 [-k 10] [-ratio 16]
+//
+// gen writes synthetic corpora in the standard fvecs format (or use real
+// Sift1M/Gist/Glove/Deep files); encrypt plays the data owner; serve hosts
+// the encrypted database; query plays the user.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ppanns"
+	"ppanns/internal/bench"
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+	"ppanns/internal/transport"
+	"ppanns/internal/vec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "encrypt":
+		err = runEncrypt(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppanns-dbtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|serve|query> [flags]")
+	os.Exit(2)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "data.fvecs", "output fvecs file")
+	queriesOut := fs.String("queries", "", "optional query fvecs file")
+	name := fs.String("dataset", "sift", "sift | gist | glove | deep")
+	n := fs.Int("n", 10000, "database size")
+	nq := fs.Int("nq", 100, "query count (with -queries)")
+	seed := fs.Uint64("seed", 42, "generation seed")
+	fs.Parse(args)
+
+	d, err := dataset.ByName(*name, *n, *nq, *seed)
+	if err != nil {
+		return err
+	}
+	if err := writeFvecs(*out, d.Train); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %d-dim vectors to %s\n", len(d.Train), d.Dim, *out)
+	if *queriesOut != "" {
+		if err := writeFvecs(*queriesOut, d.Queries); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d queries to %s\n", len(d.Queries), *queriesOut)
+	}
+	return nil
+}
+
+func runEncrypt(args []string) error {
+	fs := flag.NewFlagSet("encrypt", flag.ExitOnError)
+	in := fs.String("in", "", "input fvecs database (required)")
+	dbOut := fs.String("db", "db.ppanns", "encrypted database output")
+	keyOut := fs.String("key", "user.key", "user key output")
+	beta := fs.Float64("beta", -1, "DCPE β (default: calibrate for filter recall ≈ 0.5)")
+	m := fs.Int("m", 16, "HNSW M")
+	efc := fs.Int("efc", 200, "HNSW efConstruction")
+	seed := fs.Uint64("seed", 0, "key seed (0 = crypto random)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("encrypt: -in is required")
+	}
+
+	ds, err := vec.LoadFvecsFile(*in, 0)
+	if err != nil {
+		return err
+	}
+	vectors := ds.Slices()
+	fmt.Printf("loaded %d %d-dim vectors from %s\n", len(vectors), ds.Dim(), *in)
+
+	b := *beta
+	if b < 0 {
+		// Calibrate like the paper: filter-phase ceiling ≈ 0.5.
+		d := &dataset.Data{Name: "input", Dim: ds.Dim(), Train: vectors, Queries: vectors[:min(50, len(vectors))]}
+		b, err = bench.CalibrateBeta(d, 10, 0.5, 42)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("calibrated β = %.4g\n", b)
+	}
+
+	owner, err := ppanns.NewDataOwner(ppanns.Params{
+		Dim: ds.Dim(), Beta: b, M: *m, EfConstruction: *efc, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	edb, err := owner.EncryptDatabase(vectors)
+	if err != nil {
+		return err
+	}
+	dbF, err := os.Create(*dbOut)
+	if err != nil {
+		return err
+	}
+	defer dbF.Close()
+	if err := edb.Save(dbF); err != nil {
+		return err
+	}
+	keyF, err := os.Create(*keyOut)
+	if err != nil {
+		return err
+	}
+	defer keyF.Close()
+	if err := ppanns.SaveUserKey(keyF, owner.UserKey()); err != nil {
+		return err
+	}
+	fmt.Printf("encrypted database → %s, user key → %s\n", *dbOut, *keyOut)
+	return nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dbIn := fs.String("db", "db.ppanns", "encrypted database file")
+	addr := fs.String("addr", ":7070", "listen address")
+	fs.Parse(args)
+
+	f, err := os.Open(*dbIn)
+	if err != nil {
+		return err
+	}
+	edb, err := ppanns.LoadEncryptedDatabase(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	server, err := ppanns.NewServer(edb)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d encrypted vectors on %s\n", server.Len(), l.Addr())
+	return transport.Serve(l, server)
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	keyIn := fs.String("key", "user.key", "user key file")
+	queriesIn := fs.String("queries", "", "query fvecs file (required)")
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	k := fs.Int("k", 10, "neighbors per query")
+	ratio := fs.Int("ratio", 16, "Ratio_k (k' = ratio·k)")
+	limit := fs.Int("limit", 10, "max queries to run (0 = all)")
+	fs.Parse(args)
+	if *queriesIn == "" {
+		return fmt.Errorf("query: -queries is required")
+	}
+
+	f, err := os.Open(*keyIn)
+	if err != nil {
+		return err
+	}
+	key, err := ppanns.LoadUserKey(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	user, err := ppanns.NewUser(key)
+	if err != nil {
+		return err
+	}
+	qs, err := vec.LoadFvecsFile(*queriesIn, *limit)
+	if err != nil {
+		return err
+	}
+	client, err := transport.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	for i := 0; i < qs.Len(); i++ {
+		tok, err := user.Query(qs.At(i))
+		if err != nil {
+			return err
+		}
+		ids, err := client.Search(tok, *k, core.SearchOptions{RatioK: *ratio})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query %d: %v\n", i, ids)
+	}
+	return nil
+}
+
+func writeFvecs(path string, vectors [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return vec.WriteFvecs(f, vec.DatasetFromSlices(vectors))
+}

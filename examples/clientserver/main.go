@@ -1,0 +1,170 @@
+// Clientserver deploys the paper's Figure-1 system model over real TCP:
+// the data owner encrypts and ships the database; the cloud server hosts
+// it; the user sends encrypted query tokens over the network and gets ids
+// back. Run modes:
+//
+//	go run ./examples/clientserver                 # demo: all roles, localhost
+//	go run ./examples/clientserver -mode server -addr :7070
+//	go run ./examples/clientserver -mode client -addr host:7070 -keyfile user.key
+//
+// In server mode the owner also writes the authorized user key to -keyfile
+// (hand it to clients over a secure channel).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"ppanns"
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+	"ppanns/internal/transport"
+)
+
+var (
+	mode    = flag.String("mode", "demo", "demo | server | client")
+	addr    = flag.String("addr", "127.0.0.1:7070", "listen/dial address")
+	keyfile = flag.String("keyfile", "user.key", "user key file (written by server, read by client)")
+	n       = flag.Int("n", 4000, "database size (server/demo)")
+)
+
+func main() {
+	flag.Parse()
+	switch *mode {
+	case "demo":
+		demo()
+	case "server":
+		runServer(*addr, *keyfile)
+	case "client":
+		runClient(*addr, *keyfile)
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+}
+
+// buildWorld plays the data owner: encrypt the corpus, return the pieces.
+func buildWorld() (*dataset.Data, *ppanns.DataOwner, *ppanns.Server) {
+	data := dataset.DeepLike(*n, 20, 9)
+	owner, err := ppanns.NewDataOwner(ppanns.Params{Dim: data.Dim, Beta: 0.3, M: 16, EfConstruction: 200, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(data.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := ppanns.NewServer(edb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data, owner, server
+}
+
+func runServer(addr, keyfile string) {
+	data, owner, server := buildWorld()
+	f, err := os.Create(keyfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ppanns.SaveUserKey(f, owner.UserKey()); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	log.Printf("encrypted %d×%d-d vectors; user key written to %s", len(data.Train), data.Dim, keyfile)
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cloud server listening on %s", l.Addr())
+	if err := transport.Serve(l, server); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runClient(addr, keyfile string) {
+	f, err := os.Open(keyfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := ppanns.LoadUserKey(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := ppanns.NewUser(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := transport.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Query with a fresh vector from the same distribution.
+	probe := dataset.DeepLike(1, 1, 77)
+	tok, err := user.Query(probe.Queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := client.Search(tok, 10, core.SearchOptions{RatioK: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("neighbors from remote server: %v\n", ids)
+}
+
+// demo runs owner, server and user in one process over a loopback socket.
+func demo() {
+	data, owner, server := buildWorld()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go transport.Serve(l, server)
+	fmt.Printf("cloud server on %s hosting %d encrypted vectors\n", l.Addr(), len(data.Train))
+
+	user, err := ppanns.NewUser(owner.UserKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := transport.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	gt := data.GroundTruth(10)
+	var recall float64
+	for i, q := range data.Queries {
+		tok, err := user.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids, err := client.Search(tok, 10, core.SearchOptions{RatioK: 16, EfSearch: 160})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recall += dataset.Recall(ids, gt[i])
+	}
+	fmt.Printf("Recall@10 over TCP: %.3f (%d queries)\n", recall/float64(len(data.Queries)), len(data.Queries))
+
+	// Owner-side update shipped over the same channel.
+	payload, err := owner.EncryptVector(data.Train[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := client.Insert(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nvec, err := client.Len()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted duplicate of vector 0 as id %d; server now holds %d vectors\n", id, nvec)
+}

@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ppanns/internal/lsh"
+	"ppanns/internal/pir"
+	"ppanns/internal/rng"
+)
+
+// PRIANN is the PRI-ANN baseline [27]: each LSH table's buckets are laid
+// out as fixed-capacity PIR blocks on two non-colluding servers. A query
+// hashes locally, privately fetches its bucket from every table in a single
+// round, then refines the decoded candidates client-side. Query privacy is
+// strong and the protocol is single-round, but every bucket fetch costs
+// both servers a linear scan, and fixed-capacity buckets cap the achievable
+// recall.
+type PRIANN struct {
+	dim       int
+	bucketCap int
+	tables    []priTable
+	index     *lsh.Index
+}
+
+type priTable struct {
+	serverA, serverB *pir.Server
+	blockOf          map[uint64]int // bucket key → PIR block index
+	client           *pir.Client
+}
+
+// PRIANNConfig parameterizes construction.
+type PRIANNConfig struct {
+	LSH lsh.Config
+	// BucketCap is the fixed number of (id, vector) entries per PIR block;
+	// overfull buckets are truncated (recall knob). Defaults to 32.
+	BucketCap int
+	Seed      uint64
+}
+
+// NewPRIANN hashes the database into per-table buckets and loads each
+// table into a PIR server pair.
+func NewPRIANN(data [][]float64, cfg PRIANNConfig) (*PRIANN, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("priann: empty database")
+	}
+	cfg.LSH.Dim = len(data[0])
+	index, err := lsh.New(cfg.LSH)
+	if err != nil {
+		return nil, err
+	}
+	for id, v := range data {
+		index.Insert(id, v)
+	}
+	bucketCap := cfg.BucketCap
+	if bucketCap <= 0 {
+		bucketCap = 32
+	}
+	dim := len(data[0])
+	entryBytes := 4 + 8*dim
+
+	p := &PRIANN{dim: dim, bucketCap: bucketCap}
+	p.index = index
+	for t := 0; t < index.Tables(); t++ {
+		buckets := index.Buckets(t)
+		blocks := make([][]byte, 0, len(buckets)+1)
+		blockOf := make(map[uint64]int, len(buckets))
+		// Block 0 is a reserved empty block for absent buckets, so a query
+		// whose bucket does not exist still issues an indistinguishable
+		// fetch.
+		blocks = append(blocks, make([]byte, bucketCap*entryBytes))
+		for key, ids := range buckets {
+			block := make([]byte, bucketCap*entryBytes)
+			for i := 0; i < bucketCap; i++ {
+				off := i * entryBytes
+				if i < len(ids) {
+					id := ids[i]
+					binary.LittleEndian.PutUint32(block[off:], uint32(id)+1) // +1: 0 means empty
+					copy(block[off+4:], encodeVector(data[id]))
+				}
+			}
+			blockOf[key] = len(blocks)
+			blocks = append(blocks, block)
+		}
+		a, err := pir.NewServer(blocks)
+		if err != nil {
+			return nil, err
+		}
+		b, err := pir.NewServer(blocks)
+		if err != nil {
+			return nil, err
+		}
+		client, err := pir.NewClient(rng.NewSeeded(cfg.Seed^0x9f1^uint64(t)*0x9e3779b9), len(blocks))
+		if err != nil {
+			return nil, err
+		}
+		p.tables = append(p.tables, priTable{serverA: a, serverB: b, blockOf: blockOf, client: client})
+	}
+	return p, nil
+}
+
+// Name implements System.
+func (p *PRIANN) Name() string { return "PRI-ANN" }
+
+// Search implements System: one PIR bucket fetch per table (single round),
+// then client-side exact refine.
+func (p *PRIANN) Search(q []float64, k int) ([]int, Costs, error) {
+	if len(q) != p.dim {
+		return nil, Costs{}, fmt.Errorf("priann: query dim %d, want %d", len(q), p.dim)
+	}
+	var c Costs
+	c.Rounds = 1
+	entryBytes := 4 + 8*p.dim
+
+	// User: hash the query locally (LSH parameters are public metadata in
+	// PRI-ANN; the servers never see which bucket is fetched).
+	start := time.Now()
+	keys := p.index.BucketOf(q)
+	c.UserTime += time.Since(start)
+
+	decoded := make(map[int][]float64)
+	var cands []int
+	for t := range p.tables {
+		tb := &p.tables[t]
+		blockIdx, ok := tb.blockOf[keys[t]]
+		if !ok {
+			blockIdx = 0 // reserved empty block: fetch anyway for privacy
+		}
+
+		startU := time.Now()
+		selA, selB, err := tb.client.Query(blockIdx)
+		if err != nil {
+			return nil, c, err
+		}
+		c.UserTime += time.Since(startU)
+		c.UploadBytes += int64(len(selA) + len(selB))
+
+		startS := time.Now()
+		ansA, err := tb.serverA.Answer(selA)
+		if err != nil {
+			return nil, c, err
+		}
+		ansB, err := tb.serverB.Answer(selB)
+		if err != nil {
+			return nil, c, err
+		}
+		c.ServerTime += time.Since(startS)
+		c.DownloadBytes += int64(len(ansA) + len(ansB))
+
+		startU = time.Now()
+		block, err := pir.Combine(ansA, ansB)
+		if err != nil {
+			return nil, c, err
+		}
+		for i := 0; i < p.bucketCap; i++ {
+			off := i * entryBytes
+			raw := binary.LittleEndian.Uint32(block[off:])
+			if raw == 0 {
+				continue
+			}
+			id := int(raw) - 1
+			if _, ok := decoded[id]; !ok {
+				decoded[id] = decodeVector(block[off+4:off+entryBytes], p.dim)
+				cands = append(cands, id)
+			}
+		}
+		c.UserTime += time.Since(startU)
+	}
+	c.Candidates = len(cands)
+
+	start = time.Now()
+	ids := topKByDistance(decoded, cands, q, k)
+	c.UserTime += time.Since(start)
+	return ids, c, nil
+}

@@ -1,0 +1,127 @@
+package baselines
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"time"
+
+	"ppanns/internal/lsh"
+	"ppanns/internal/rng"
+)
+
+// RSSANN is the RS-SANN baseline [25]: database vectors are AES-CTR
+// encrypted on the server next to an LSH index. The server's role is bucket
+// lookup and ciphertext shipping; the user decrypts every candidate and
+// computes exact distances locally — the heavy user-side involvement the
+// paper's P3 property argues against.
+type RSSANN struct {
+	dim    int
+	index  *lsh.Index
+	cts    [][]byte // iv ‖ AES-CTR(vector bytes), one per database vector
+	aesKey []byte
+
+	// Probes is the multi-probe budget per query (recall knob).
+	Probes int
+	// MaxCandidates caps the number of ciphertexts shipped (0 = all).
+	MaxCandidates int
+}
+
+// RSSANNConfig parameterizes construction.
+type RSSANNConfig struct {
+	LSH           lsh.Config
+	Probes        int
+	MaxCandidates int
+	Seed          uint64
+}
+
+// NewRSSANN encrypts the database and builds the LSH index (the data
+// owner's setup step).
+func NewRSSANN(data [][]float64, cfg RSSANNConfig) (*RSSANN, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("rssann: empty database")
+	}
+	cfg.LSH.Dim = len(data[0])
+	index, err := lsh.New(cfg.LSH)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.NewSeeded(cfg.Seed ^ 0x55a)
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(r.Uint64())
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	s := &RSSANN{
+		dim:           len(data[0]),
+		index:         index,
+		cts:           make([][]byte, len(data)),
+		aesKey:        key,
+		Probes:        cfg.Probes,
+		MaxCandidates: cfg.MaxCandidates,
+	}
+	for id, v := range data {
+		index.Insert(id, v)
+		iv := make([]byte, aes.BlockSize)
+		for i := range iv {
+			iv[i] = byte(r.Uint64())
+		}
+		plain := encodeVector(v)
+		ct := make([]byte, len(iv)+len(plain))
+		copy(ct, iv)
+		cipher.NewCTR(block, iv).XORKeyStream(ct[len(iv):], plain)
+		s.cts[id] = ct
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *RSSANN) Name() string { return "RS-SANN" }
+
+// Search implements System: server-side filter via LSH, user-side decrypt
+// and exact refine.
+func (s *RSSANN) Search(q []float64, k int) ([]int, Costs, error) {
+	if len(q) != s.dim {
+		return nil, Costs{}, fmt.Errorf("rssann: query dim %d, want %d", len(q), s.dim)
+	}
+	var c Costs
+	c.Rounds = 1
+
+	// User hashes the query (the LSH keys are user-side secret material in
+	// RS-SANN; hashing is cheap).
+	start := time.Now()
+	// Upload: the per-table bucket keys.
+	c.UploadBytes = int64(8 * s.index.Tables())
+	c.UserTime += time.Since(start)
+
+	// Server: bucket lookups, gather encrypted candidates.
+	start = time.Now()
+	cands := s.index.Candidates(q, s.Probes, s.MaxCandidates)
+	var payload [][]byte
+	for _, id := range cands {
+		payload = append(payload, s.cts[id])
+		c.DownloadBytes += int64(len(s.cts[id]))
+	}
+	c.ServerTime += time.Since(start)
+	c.Candidates = len(cands)
+
+	// User: decrypt every candidate, compute exact distances, select top-k.
+	start = time.Now()
+	block, err := aes.NewCipher(s.aesKey)
+	if err != nil {
+		return nil, c, err
+	}
+	decrypted := make(map[int][]float64, len(cands))
+	for i, ct := range payload {
+		iv := ct[:aes.BlockSize]
+		plain := make([]byte, len(ct)-aes.BlockSize)
+		cipher.NewCTR(block, iv).XORKeyStream(plain, ct[aes.BlockSize:])
+		decrypted[cands[i]] = decodeVector(plain, s.dim)
+	}
+	ids := topKByDistance(decrypted, cands, q, k)
+	c.UserTime += time.Since(start)
+	return ids, c, nil
+}

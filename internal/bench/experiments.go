@@ -1,0 +1,519 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ppanns/internal/ame"
+	"ppanns/internal/baselines"
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+	"ppanns/internal/dce"
+	"ppanns/internal/dcpe"
+	"ppanns/internal/hnsw"
+	"ppanns/internal/lsh"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// allNames is the paper's four-dataset default.
+var allNames = []string{"sift", "gist", "glove", "deep"}
+
+// Table1 prints the dataset statistics table (Table I), extended with the
+// value ranges the synthetic generators target and the admissible β range.
+func Table1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ds, err := cfg.datasets(allNames...)
+	if err != nil {
+		return err
+	}
+	cfg.printf("# Table I — dataset statistics (synthetic stand-ins; see DESIGN.md §3)\n")
+	cfg.printf("%-12s %6s %9s %9s %10s %10s %12s\n",
+		"dataset", "dim", "#vectors", "#queries", "max|x|", "mean‖x‖", "β∈[√M,2M√d]")
+	for _, d := range ds {
+		st := d.Describe()
+		cfg.printf("%-12s %6d %9d %9d %10.2f %10.2f [%.2f, %.0f]\n",
+			st.Name, st.Dim, st.N, st.Queries, st.MaxAbs, st.MeanNorm, st.BetaLo, st.BetaHi)
+	}
+	return nil
+}
+
+// Fig4 reproduces Figure 4: filter-phase-only recall/QPS curves for four β
+// values per dataset (β = 0, calibrated/2, calibrated, 2·calibrated).
+func Fig4(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ds, err := cfg.datasets(allNames...)
+	if err != nil {
+		return err
+	}
+	cfg.printf("# Figure 4 — effect of β on filter-phase search (k'=k=%d)\n", cfg.K)
+	for _, d := range ds {
+		cal, err := CalibrateBeta(d, cfg.K, 0.5, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		cfg.printf("\n## %s (n=%d, calibrated β=%.3g)\n", d.Name, len(d.Train), cal)
+		for _, beta := range []float64{0, cal / 2, cal, 2 * cal} {
+			dep, err := newDeployment(d, core.Params{
+				Dim: d.Dim, Beta: beta, M: 16, EfConstruction: 200, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			pts, err := dep.sweep(cfg.K, core.SearchOptions{KPrime: cfg.K, Refine: core.RefineNone}, defaultEfs(cfg.K))
+			if err != nil {
+				return err
+			}
+			fmtPoints(cfg.Out, fmt.Sprintf("beta=%-8.3g", beta), pts)
+		}
+	}
+	cfg.printf("\n(expected shape: recall ceiling decreases as β grows; β=0 approaches 1.0)\n")
+	return nil
+}
+
+// Fig5 reproduces Figure 5: full filter-and-refine curves across
+// Ratio_k ∈ {1, 2, 4, …, 128}.
+func Fig5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ds, err := cfg.datasets(allNames...)
+	if err != nil {
+		return err
+	}
+	cfg.printf("# Figure 5 — effect of Ratio_k (k'=Ratio_k·k, k=%d)\n", cfg.K)
+	for _, d := range ds {
+		beta, err := CalibrateBeta(d, cfg.K, 0.5, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		dep, err := newDeployment(d, core.Params{
+			Dim: d.Dim, Beta: beta, M: 16, EfConstruction: 200, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.printf("\n## %s (n=%d, β=%.3g)\n", d.Name, len(d.Train), beta)
+		for _, ratio := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+			pts, err := dep.sweep(cfg.K, core.SearchOptions{RatioK: ratio}, defaultEfs(cfg.K*min(ratio, 16)))
+			if err != nil {
+				return err
+			}
+			fmtPoints(cfg.Out, fmt.Sprintf("Ratio_k=%-4d", ratio), pts)
+		}
+	}
+	cfg.printf("\n(expected shape: larger Ratio_k raises the recall ceiling, lowers QPS)\n")
+	return nil
+}
+
+// Fig6 reproduces Figure 6: latency vs recall for HNSW-DCE (ours),
+// HNSW-AME, and HNSW(filter-only) sharing one index.
+func Fig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	defaults := []string{"sift", "glove", "deep"}
+	if cfg.Full {
+		defaults = allNames // gist-like AME trapdoors are ~0.5 GB each
+	}
+	ds, err := cfg.datasets(defaults...)
+	if err != nil {
+		return err
+	}
+	cfg.printf("# Figure 6 — HNSW-DCE vs HNSW-AME vs HNSW(filter), latency per query\n")
+	for _, d := range ds {
+		beta, err := CalibrateBeta(d, cfg.K, 0.5, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		dep, err := newDeployment(d, core.Params{
+			Dim: d.Dim, Beta: beta, M: 16, EfConstruction: 200, Seed: cfg.Seed, WithAME: true,
+		})
+		if err != nil {
+			return err
+		}
+		// Few AME queries: each trapdoor is 16 (2d+6)² matrices.
+		ameTokens := dep.tokens
+		if len(ameTokens) > 10 {
+			ameTokens = ameTokens[:10]
+		}
+		cfg.printf("\n## %s (n=%d, β=%.3g, k=%d)\n", d.Name, len(d.Train), beta, cfg.K)
+		efs := []int{cfg.K, cfg.K * 2, cfg.K * 4, cfg.K * 8, cfg.K * 16}
+		for _, mode := range []core.RefineMode{core.RefineNone, core.RefineDCE, core.RefineAME} {
+			toks := dep.tokens
+			if mode == core.RefineAME {
+				toks = ameTokens
+			}
+			cfg.printf("%-14s", "HNSW-"+mode.String())
+			for _, ef := range efs {
+				p, err := measureTokens(dep, toks, cfg.K, core.SearchOptions{RatioK: 16, EfSearch: ef, Refine: mode})
+				if err != nil {
+					return err
+				}
+				cfg.printf(" | ef=%-4d r=%.3f lat=%-10v", ef, p.Recall, p.Latency.Round(time.Microsecond))
+			}
+			cfg.printf("\n")
+		}
+	}
+	cfg.printf("\n(expected shape: DCE ≥100× faster than AME at equal recall; DCE close to filter-only)\n")
+	return nil
+}
+
+// measureTokens is deployment.measure over an explicit token subset.
+func measureTokens(dep *deployment, tokens []*core.QueryToken, k int, opt core.SearchOptions) (point, error) {
+	gt := dep.data.GroundTruth(k)
+	got := make([][]int, len(tokens))
+	start := time.Now()
+	for i, tok := range tokens {
+		ids, err := dep.server.Search(tok, k, opt)
+		if err != nil {
+			return point{}, err
+		}
+		got[i] = ids
+	}
+	elapsed := time.Since(start)
+	return point{
+		Ef:      opt.EfSearch,
+		Recall:  dataset.MeanRecall(got, gt[:len(tokens)]),
+		QPS:     float64(len(tokens)) / elapsed.Seconds(),
+		Latency: elapsed / time.Duration(len(tokens)),
+	}, nil
+}
+
+// lshDefaults returns per-dataset LSH parameters that track each corpus's
+// distance scale (quantization width ≈ the nearest-neighbor distance).
+func lshDefaults(d *dataset.Data, seed uint64) lsh.Config {
+	// Estimate the NN distance from a small sample.
+	sample := len(d.Train)
+	if sample > 400 {
+		sample = 400
+	}
+	var nn float64
+	for i := 0; i < 40 && i < len(d.Queries); i++ {
+		ids := dataset.ExactKNN(d.Train[:sample], d.Queries[i], 1)
+		nn += vec.Dist(d.Train[ids[0]], d.Queries[i])
+	}
+	nn /= 40
+	return lsh.Config{Dim: d.Dim, Tables: 10, Hashes: 6, W: 2 * nn, Seed: seed}
+}
+
+// Fig7 reproduces Figure 7: QPS of ours vs RS-SANN, PACM-ANN and PRI-ANN,
+// with each system tuned toward the recall targets 0.85/0.90/0.95.
+func Fig7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	defaults := []string{"sift", "glove", "deep"}
+	if cfg.Full {
+		defaults = allNames
+	}
+	ds, err := cfg.datasets(defaults...)
+	if err != nil {
+		return err
+	}
+	cfg.printf("# Figure 7 — QPS vs baselines (k=%d); PIR-based baselines use %d queries\n", cfg.K, baselineQueries(cfg))
+	for _, d := range ds {
+		beta, err := CalibrateBeta(d, cfg.K, 0.5, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		cfg.printf("\n## %s (n=%d)\n", d.Name, len(d.Train))
+		systems, err := buildAllSystems(d, beta, cfg)
+		if err != nil {
+			return err
+		}
+		cfg.printf("%-10s %12s %12s %14s %14s %10s\n",
+			"system", "recall@10", "QPS", "server(ms/q)", "user(ms/q)", "comm(KB/q)")
+		for _, entry := range systems {
+			nq := len(d.Queries)
+			if entry.slow {
+				nq = baselineQueries(cfg)
+			}
+			rec, costs, err := runSystem(entry.sys, d, cfg.K, nq)
+			if err != nil {
+				return err
+			}
+			total := costs.ServerTime + costs.UserTime
+			qps := float64(nq) / total.Seconds()
+			cfg.printf("%-10s %12.3f %12.1f %14.3f %14.3f %10.1f\n",
+				entry.sys.Name(), rec, qps,
+				msPer(costs.ServerTime, nq), msPer(costs.UserTime, nq),
+				float64(costs.UploadBytes+costs.DownloadBytes)/float64(nq)/1024)
+		}
+	}
+	cfg.printf("\n(expected shape: PP-ANNS orders of magnitude faster; paper reports up to 1000×)\n")
+	return nil
+}
+
+type systemEntry struct {
+	sys  baselines.System
+	slow bool // PIR-based: measure on fewer queries
+}
+
+// buildAllSystems constructs the four systems over one corpus with
+// comparable tuning.
+func buildAllSystems(d *dataset.Data, beta float64, cfg Config) ([]systemEntry, error) {
+	ours, err := baselines.NewOursFromData(d.Train, core.Params{
+		Dim: d.Dim, Beta: beta, M: 16, EfConstruction: 200, Seed: cfg.Seed,
+	}, core.SearchOptions{RatioK: 16, EfSearch: 16 * cfg.K})
+	if err != nil {
+		return nil, err
+	}
+	lshCfg := lshDefaults(d, cfg.Seed)
+	rs, err := baselines.NewRSSANN(d.Train, baselines.RSSANNConfig{
+		LSH: lshCfg, Probes: 8, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pacm, err := baselines.NewPACMANN(d.Train, baselines.PACMANNConfig{
+		Graph: hnsw.Config{M: 16, EfConstruction: 200},
+		Beam:  8, MaxRounds: 10, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pri, err := baselines.NewPRIANN(d.Train, baselines.PRIANNConfig{
+		LSH: lshCfg, BucketCap: 64, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []systemEntry{
+		{ours, false}, {rs, false}, {pri, true}, {pacm, true},
+	}, nil
+}
+
+func baselineQueries(cfg Config) int {
+	if cfg.Full {
+		return cfg.Queries
+	}
+	nq := cfg.Queries
+	if nq > 10 {
+		nq = 10
+	}
+	return nq
+}
+
+func runSystem(sys baselines.System, d *dataset.Data, k, nq int) (float64, baselines.Costs, error) {
+	gt := d.GroundTruth(k)
+	var total baselines.Costs
+	got := make([][]int, nq)
+	for i := 0; i < nq; i++ {
+		ids, c, err := sys.Search(d.Queries[i], k)
+		if err != nil {
+			return 0, total, err
+		}
+		got[i] = ids
+		total.Add(c)
+	}
+	return dataset.MeanRecall(got, gt[:nq]), total, nil
+}
+
+func msPer(t time.Duration, n int) float64 {
+	return t.Seconds() * 1000 / float64(n)
+}
+
+// Fig8 reproduces Figure 8: per-vector encryption cost of DCPE, DCE and
+// AME across the datasets' dimensionalities.
+func Fig8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dims := []int{96, 100, 128}
+	if cfg.Full {
+		dims = append(dims, 960)
+	}
+	cfg.printf("# Figure 8 — per-vector encryption cost (µs/vector; AME keygen dominates setup)\n")
+	cfg.printf("%-8s %14s %14s %14s\n", "dim", "DCPE(µs)", "DCE(µs)", "AME(µs)")
+	r := rng.NewSeeded(cfg.Seed)
+	for _, dim := range dims {
+		vectors := make([][]float64, 64)
+		for i := range vectors {
+			vectors[i] = rng.Gaussian(r, nil, dim)
+		}
+		sapKey, err := dcpe.KeyGen(rng.Derive(r, 1), dim, 1024, 1)
+		if err != nil {
+			return err
+		}
+		dceKey, err := dce.KeyGen(rng.Derive(r, 2), dim)
+		if err != nil {
+			return err
+		}
+		ameKey, err := ame.KeyGen(rng.Derive(r, 3), dim)
+		if err != nil {
+			return err
+		}
+		timeIt := func(enc func([]float64)) float64 {
+			start := time.Now()
+			for _, v := range vectors {
+				enc(v)
+			}
+			return time.Since(start).Seconds() * 1e6 / float64(len(vectors))
+		}
+		sap := timeIt(func(v []float64) { sapKey.Encrypt(v) })
+		dceT := timeIt(func(v []float64) { dceKey.Encrypt(v) })
+		ameT := timeIt(func(v []float64) { ameKey.Encrypt(v) })
+		cfg.printf("%-8d %14.1f %14.1f %14.1f\n", dim, sap, dceT, ameT)
+	}
+	cfg.printf("\n(expected shape: DCPE < DCE ≪ AME)\n")
+	return nil
+}
+
+// Fig9 reproduces Figure 9: the per-side cost split of every system tuned
+// toward Recall@10 = 0.9.
+func Fig9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	defaults := []string{"sift", "deep"}
+	if cfg.Full {
+		defaults = allNames
+	}
+	ds, err := cfg.datasets(defaults...)
+	if err != nil {
+		return err
+	}
+	cfg.printf("# Figure 9 — cost split at target Recall@%d ≈ 0.9\n", cfg.K)
+	for _, d := range ds {
+		beta, err := CalibrateBeta(d, cfg.K, 0.5, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		cfg.printf("\n## %s (n=%d)\n", d.Name, len(d.Train))
+		systems, err := buildAllSystems(d, beta, cfg)
+		if err != nil {
+			return err
+		}
+		cfg.printf("%-10s %10s %14s %14s %12s %12s %8s\n",
+			"system", "recall", "server(ms/q)", "user(ms/q)", "up(KB/q)", "down(KB/q)", "rounds")
+		for _, entry := range systems {
+			nq := len(d.Queries)
+			if entry.slow {
+				nq = baselineQueries(cfg)
+			}
+			rec, costs, err := runSystem(entry.sys, d, cfg.K, nq)
+			if err != nil {
+				return err
+			}
+			cfg.printf("%-10s %10.3f %14.3f %14.3f %12.2f %12.2f %8.1f\n",
+				entry.sys.Name(), rec,
+				msPer(costs.ServerTime, nq), msPer(costs.UserTime, nq),
+				float64(costs.UploadBytes)/float64(nq)/1024,
+				float64(costs.DownloadBytes)/float64(nq)/1024,
+				float64(costs.Rounds)/float64(nq))
+		}
+	}
+	cfg.printf("\n(expected shape: ours server-dominated with tiny user cost and KB-scale traffic;\n")
+	cfg.printf(" RS-SANN heavy user+download; PIR baselines heavy server+rounds)\n")
+	return nil
+}
+
+// Fig10 reproduces Figure 10: latency scaling across ×1..×4 database sizes
+// at a fixed recall operating point.
+func Fig10(cfg Config) error {
+	cfg = cfg.withDefaults()
+	names := cfg.Datasets
+	if len(names) == 0 {
+		names = []string{"sift", "deep"}
+	}
+	cfg.printf("# Figure 10 — scalability: latency at ef=%d as n grows (paper: 25M–100M; here %d–%d)\n",
+		16*cfg.K, cfg.N, 4*cfg.N)
+	for _, name := range names {
+		cfg.printf("\n## %s\n", name)
+		cfg.printf("%-10s %12s %12s %12s %14s\n", "n", "recall@10", "QPS", "lat(ms)", "lat/lat(x1)")
+		var base float64
+		for mult := 1; mult <= 4; mult++ {
+			n := cfg.N * mult
+			d, err := dataset.ByName(name, n, cfg.Queries, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			beta, err := CalibrateBeta(d, cfg.K, 0.5, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			dep, err := newDeployment(d, core.Params{
+				Dim: d.Dim, Beta: beta, M: 16, EfConstruction: 200, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			p, err := dep.measure(cfg.K, core.SearchOptions{RatioK: 16, EfSearch: 16 * cfg.K})
+			if err != nil {
+				return err
+			}
+			lat := p.Latency.Seconds() * 1000
+			if mult == 1 {
+				base = lat
+			}
+			cfg.printf("%-10d %12.3f %12.1f %12.3f %14.2f\n", n, p.Recall, p.QPS, lat, lat/base)
+		}
+	}
+	cfg.printf("\n(expected shape: latency grows sublinearly — 4× data ≪ 4× latency)\n")
+	return nil
+}
+
+// Overhead reproduces the Section VII-B closing comparison: the cost of the
+// full PP-ANNS scheme relative to plaintext HNSW at matched recall ≈ 0.9
+// (paper: 5×, 7×, 3×, 4× on the four datasets).
+func Overhead(cfg Config) error {
+	cfg = cfg.withDefaults()
+	ds, err := cfg.datasets(allNames...)
+	if err != nil {
+		return err
+	}
+	cfg.printf("# Overhead vs plaintext HNSW at Recall@%d ≈ 0.9\n", cfg.K)
+	cfg.printf("%-12s %12s %12s %12s %12s %10s\n",
+		"dataset", "plain r", "plain ms/q", "ours r", "ours ms/q", "overhead")
+	for _, d := range ds {
+		beta, err := CalibrateBeta(d, cfg.K, 0.5, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		// Plaintext HNSW at the recall target.
+		g, err := hnsw.New(hnsw.Config{Dim: d.Dim, M: 16, EfConstruction: 200, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		for _, v := range d.Train {
+			g.Add(v)
+		}
+		gt := d.GroundTruth(cfg.K)
+		plainAt := func(ef int) (float64, time.Duration) {
+			got := make([][]int, len(d.Queries))
+			start := time.Now()
+			for i, q := range d.Queries {
+				res := g.Search(q, cfg.K, ef)
+				ids := make([]int, len(res))
+				for j, it := range res {
+					ids[j] = it.ID
+				}
+				got[i] = ids
+			}
+			el := time.Since(start) / time.Duration(len(d.Queries))
+			return dataset.MeanRecall(got, gt), el
+		}
+		var plainRec float64
+		var plainLat time.Duration
+		for _, ef := range []int{20, 40, 80, 160, 320} {
+			plainRec, plainLat = plainAt(ef)
+			if plainRec >= 0.9 {
+				break
+			}
+		}
+
+		dep, err := newDeployment(d, core.Params{
+			Dim: d.Dim, Beta: beta, M: 16, EfConstruction: 200, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		var ours point
+		for _, ef := range []int{4 * cfg.K, 8 * cfg.K, 16 * cfg.K, 32 * cfg.K, 64 * cfg.K} {
+			ours, err = dep.measure(cfg.K, core.SearchOptions{RatioK: 16, EfSearch: ef})
+			if err != nil {
+				return err
+			}
+			if ours.Recall >= 0.9 {
+				break
+			}
+		}
+		cfg.printf("%-12s %12.3f %12.3f %12.3f %12.3f %9.1fx\n",
+			d.Name, plainRec, plainLat.Seconds()*1000,
+			ours.Recall, ours.Latency.Seconds()*1000,
+			ours.Latency.Seconds()/plainLat.Seconds())
+	}
+	cfg.printf("\n(paper reports 5x/7x/3x/4x on Sift1M/Gist/Glove/Deep1M)\n")
+	return nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SearchBatch answers many queries concurrently across at most parallelism
+// workers (0 = GOMAXPROCS) and returns per-query results in input order.
+// The paper measures single-threaded search for comparability; a deployed
+// cloud server answers its query stream in parallel, which the scheme
+// supports because search is read-only over the encrypted state.
+func (s *Server) SearchBatch(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(toks) {
+		parallelism = len(toks)
+	}
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	results := make([][]int, len(toks))
+	errs := make([]error, len(toks))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(toks) {
+					return
+				}
+				results[i], errs[i] = s.Search(toks[i], k, opt)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

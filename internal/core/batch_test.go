@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	data := clustered(61, 1000, 10, 8)
+	w := newWorld(t, Params{Dim: 10, Beta: 0.5, Seed: 61}, data)
+	queries := makeQueries(62, data, 24, 0.3)
+	toks := make([]*QueryToken, len(queries))
+	for i, q := range queries {
+		tok, err := w.user.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks[i] = tok
+	}
+	opt := SearchOptions{RatioK: 8, EfSearch: 80}
+	batch, err := w.server.SearchBatch(toks, 5, opt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(toks) {
+		t.Fatalf("batch returned %d results", len(batch))
+	}
+	for i, tok := range toks {
+		seq, err := w.server.Search(tok, 5, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(batch[i]) {
+			t.Fatalf("query %d: batch %v vs sequential %v", i, batch[i], seq)
+		}
+		for j := range seq {
+			if batch[i][j] != seq[j] {
+				t.Fatalf("query %d rank %d: batch %d vs sequential %d", i, j, batch[i][j], seq[j])
+			}
+		}
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	data := clustered(63, 100, 6, 2)
+	w := newWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 63}, data)
+	res, err := w.server.SearchBatch(nil, 5, SearchOptions{}, 0)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}
+
+func TestSearchBatchPropagatesErrors(t *testing.T) {
+	data := clustered(64, 100, 6, 2)
+	w := newWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 64}, data)
+	tok, err := w.user.QueryFilterOnly(data[0]) // lacks the DCE trapdoor
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.server.SearchBatch([]*QueryToken{tok}, 5, SearchOptions{}, 2); err == nil {
+		t.Fatal("expected error to propagate from the batch")
+	}
+}
+
+func TestCorruptedDatabaseDetected(t *testing.T) {
+	data := clustered(65, 300, 8, 3)
+	w := newWorld(t, Params{Dim: 8, Beta: 0.3, Seed: 65}, data)
+	var buf bytes.Buffer
+	w.server.mu.RLock()
+	err := w.server.edb.Save(&buf)
+	w.server.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one byte inside the first ciphertext record (past magic+header).
+	corrupt := append([]byte(nil), raw...)
+	corrupt[64] ^= 0xFF
+	if _, err := LoadEncryptedDatabase(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bit flip in ciphertext payload not detected")
+	}
+	// Unmodified stream still loads.
+	if _, err := LoadEncryptedDatabase(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine stream failed to load: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package core implements the paper's PP-ANNS scheme (Section V): the
+// three-party protocol of Figure 1 with the privacy-preserving index of
+// Figure 3 and the filter-and-refine search of Algorithm 2.
+//
+// Roles:
+//
+//   - DataOwner generates the secret keys, encrypts the database under both
+//     DCPE/SAP (approximate, indexed by HNSW) and DCE (exact comparisons),
+//     and ships only ciphertexts to the server. For updates it encrypts
+//     individual vectors (Section V-D).
+//   - User holds the authorized key material (Figure 1 step 0) and turns a
+//     plaintext query into a QueryToken = (C_SAP(q), T_q) — the only thing
+//     that ever leaves the user.
+//   - Server stores {C_SAP, HNSW over C_SAP, C_DCE} and answers queries:
+//     the filter phase runs k′-ANNS on the SAP graph, the refine phase
+//     selects the best k among the k′ candidates with a max-heap driven
+//     purely by DCE distance comparisons.
+//
+// The server type is constructed exclusively from ciphertexts; no API
+// exposes plaintext vectors, distances, or keys to it.
+package core
+
+import (
+	"fmt"
+
+	"ppanns/internal/ame"
+	"ppanns/internal/dce"
+	"ppanns/internal/dcpe"
+	"ppanns/internal/hnsw"
+	"ppanns/internal/rng"
+)
+
+// Params configures the scheme. Zero values select the documented defaults.
+type Params struct {
+	// Dim is the vector dimension (required).
+	Dim int
+
+	// S is DCPE's scaling factor; the paper uses 1024 (the default).
+	S float64
+	// Beta is DCPE's perturbation bound β. 0 means no noise (no index
+	// privacy); the paper tunes it per dataset so the filter-only recall
+	// ceiling is ≈0.5. See dcpe.BetaRange for the recommended range.
+	Beta float64
+
+	// M and EfConstruction are the HNSW build parameters; the paper uses
+	// 40 and 600. Defaults: 16 and 200 (laptop-scale).
+	M              int
+	EfConstruction int
+
+	// WithAME additionally encrypts the database under AME so the server
+	// can run the HNSW-AME baseline refine (Figure 6). Costly: Θ(d²)
+	// space per vector.
+	WithAME bool
+
+	// Seed makes key generation and index construction deterministic when
+	// non-zero (tests and experiments); 0 draws from crypto/rand.
+	Seed uint64
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Dim <= 0 {
+		return p, fmt.Errorf("core: non-positive dimension %d", p.Dim)
+	}
+	if p.S == 0 {
+		p.S = 1024
+	}
+	if p.S < 0 {
+		return p, fmt.Errorf("core: negative DCPE scaling factor %g", p.S)
+	}
+	if p.Beta < 0 {
+		return p, fmt.Errorf("core: negative beta %g", p.Beta)
+	}
+	if p.M <= 0 {
+		p.M = 16
+	}
+	if p.EfConstruction <= 0 {
+		p.EfConstruction = 200
+	}
+	return p, nil
+}
+
+func (p Params) rand() *rng.Rand {
+	if p.Seed == 0 {
+		return rng.NewCrypto()
+	}
+	return rng.NewSeeded(p.Seed)
+}
+
+// UserKey is the authorized key material handed from the data owner to the
+// user (Figure 1 step 0): everything needed to encrypt queries, nothing
+// more.
+type UserKey struct {
+	DCE *dce.Key
+	SAP *dcpe.Key
+	AME *ame.Key // nil unless Params.WithAME
+}
+
+// QueryToken is the encrypted query the user sends to the server:
+// the SAP ciphertext (filter phase) and the DCE trapdoor (refine phase).
+type QueryToken struct {
+	SAP      []float64
+	Trapdoor *dce.Trapdoor
+	// AME is the AME trapdoor, present only when the deployment runs the
+	// HNSW-AME baseline refine.
+	AME *ame.Trapdoor
+}
+
+// EncryptedDatabase is the server-side state: the HNSW graph over SAP
+// ciphertexts (which owns the C_SAP vectors) plus the DCE ciphertexts, and
+// optionally the AME ciphertexts for the baseline.
+//
+// External ids (what users see, and what index the DCE/AME arrays) are the
+// data owner's vector positions; the graph assigns its own ids during
+// parallel construction, so the database keeps the two-way mapping.
+type EncryptedDatabase struct {
+	Dim   int
+	Graph *hnsw.Graph
+	DCE   []*dce.Ciphertext
+	AME   []*ame.Ciphertext // nil unless built WithAME
+
+	pos2gid []int32
+	gid2pos []int32
+}
+
+// Len returns the number of vectors in the encrypted database, including
+// tombstoned ones.
+func (e *EncryptedDatabase) Len() int { return len(e.DCE) }
+
+// gidOf maps an external id to its graph id.
+func (e *EncryptedDatabase) gidOf(pos int) int { return int(e.pos2gid[pos]) }
+
+// posOf maps a graph id back to the external id.
+func (e *EncryptedDatabase) posOf(gid int) int { return int(e.gid2pos[gid]) }
+
+// InsertPayload carries the ciphertexts of one new vector from the data
+// owner to the server (Section V-D insertion).
+type InsertPayload struct {
+	SAP []float64
+	DCE *dce.Ciphertext
+	AME *ame.Ciphertext
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ppanns/internal/ame"
+	"ppanns/internal/dce"
+	"ppanns/internal/dcpe"
+	"ppanns/internal/hnsw"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// DataOwner generates keys and encrypts the database. It is the only party
+// that ever sees plaintext database vectors.
+type DataOwner struct {
+	params Params
+	keys   *UserKey
+}
+
+// NewDataOwner validates parameters; keys are generated on the first
+// encryption call because DCE's input scale depends on the data range.
+func NewDataOwner(params Params) (*DataOwner, error) {
+	p, err := params.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &DataOwner{params: p}, nil
+}
+
+// Params returns the validated parameters.
+func (o *DataOwner) Params() Params { return o.params }
+
+// UserKey returns the key material to authorize a user (Figure 1 step 0).
+// It is nil until EncryptDatabase has run.
+func (o *DataOwner) UserKey() *UserKey { return o.keys }
+
+// generateKeys creates the DCE/SAP (and optionally AME) keys, with DCE and
+// AME input scales set from the observed coordinate range.
+func (o *DataOwner) generateKeys(maxAbs float64) error {
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = 1 / maxAbs
+	}
+	r := o.params.rand()
+	dceKey, err := dce.KeyGenScaled(rng.Derive(r, 1), o.params.Dim, scale)
+	if err != nil {
+		return fmt.Errorf("core: DCE keygen: %w", err)
+	}
+	sapKey, err := dcpe.KeyGen(rng.Derive(r, 2), o.params.Dim, o.params.S, o.params.Beta)
+	if err != nil {
+		return fmt.Errorf("core: SAP keygen: %w", err)
+	}
+	keys := &UserKey{DCE: dceKey, SAP: sapKey}
+	if o.params.WithAME {
+		ameKey, err := ame.KeyGenScaled(rng.Derive(r, 3), o.params.Dim, scale)
+		if err != nil {
+			return fmt.Errorf("core: AME keygen: %w", err)
+		}
+		keys.AME = ameKey
+	}
+	o.keys = keys
+	return nil
+}
+
+// EncryptDatabase encrypts every vector under SAP and DCE (and AME when
+// configured), builds the HNSW graph over the SAP ciphertexts, and returns
+// the complete server-side state. Encryption parallelizes across
+// GOMAXPROCS workers; graph construction parallelizes across inserts.
+//
+// The paper's B1/B2 steps of Figure 3.
+func (o *DataOwner) EncryptDatabase(vectors [][]float64) (*EncryptedDatabase, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+	for i, v := range vectors {
+		if len(v) != o.params.Dim {
+			return nil, fmt.Errorf("core: vector %d has dim %d, want %d", i, len(v), o.params.Dim)
+		}
+	}
+	if o.keys == nil {
+		if err := o.generateKeys(vec.MaxAbs(vectors)); err != nil {
+			return nil, err
+		}
+	}
+
+	n := len(vectors)
+	sap := make([][]float64, n)
+	dceCts := make([]*dce.Ciphertext, n)
+	var ameCts []*ame.Ciphertext
+	if o.params.WithAME {
+		ameCts = make([]*ame.Ciphertext, n)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				sap[i] = o.keys.SAP.Encrypt(vectors[i])
+				dceCts[i] = o.keys.DCE.Encrypt(vectors[i])
+				if ameCts != nil {
+					ameCts[i] = o.keys.AME.Encrypt(vectors[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	graph, err := hnsw.New(hnsw.Config{
+		Dim:            o.params.Dim,
+		M:              o.params.M,
+		EfConstruction: o.params.EfConstruction,
+		Seed:           o.params.Seed ^ 0x9d5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Parallel graph construction: hnsw.Add assigns ids in arrival order,
+	// which under concurrency differs from vector positions. External ids
+	// must stay equal to positions (they address the DCE ciphertext
+	// array and are what the user sees), so the encrypted database keeps a
+	// graph-id ↔ position mapping.
+	pos2gid := make([]int32, n)
+	gid2pos := make([]int32, n)
+	var mu sync.Mutex
+	wg = sync.WaitGroup{}
+	next := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				gid := graph.Add(sap[i])
+				pos2gid[i] = int32(gid)
+				gid2pos[gid] = int32(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	return &EncryptedDatabase{
+		Dim:     o.params.Dim,
+		Graph:   graph,
+		DCE:     dceCts,
+		AME:     ameCts,
+		pos2gid: pos2gid,
+		gid2pos: gid2pos,
+	}, nil
+}
+
+// EncryptVector produces the ciphertext payload for inserting one new
+// vector (Section V-D). Keys must exist (EncryptDatabase must have run).
+func (o *DataOwner) EncryptVector(v []float64) (*InsertPayload, error) {
+	if o.keys == nil {
+		return nil, fmt.Errorf("core: EncryptVector before EncryptDatabase")
+	}
+	if len(v) != o.params.Dim {
+		return nil, fmt.Errorf("core: vector has dim %d, want %d", len(v), o.params.Dim)
+	}
+	p := &InsertPayload{
+		SAP: o.keys.SAP.Encrypt(v),
+		DCE: o.keys.DCE.Encrypt(v),
+	}
+	if o.keys.AME != nil {
+		p.AME = o.keys.AME.Encrypt(v)
+	}
+	return p, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"ppanns/internal/dce"
+	"ppanns/internal/dcpe"
+	"ppanns/internal/hnsw"
+)
+
+// UserKey serialization rides on gob: the DCE and SAP keys implement
+// encoding.BinaryMarshaler. AME keys are a benchmark-only artifact and are
+// not shipped (a deployment running the HNSW-AME baseline regenerates them
+// in place).
+
+type userKeyWire struct {
+	DCE []byte
+	SAP []byte
+}
+
+// SaveUserKey writes the user's key material (Figure 1 step 0) to w.
+func SaveUserKey(w io.Writer, k *UserKey) error {
+	if k == nil || k.DCE == nil || k.SAP == nil {
+		return fmt.Errorf("core: incomplete user key")
+	}
+	dceBytes, err := k.DCE.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	sapBytes, err := k.SAP.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(userKeyWire{DCE: dceBytes, SAP: sapBytes})
+}
+
+// LoadUserKey reads key material written by SaveUserKey.
+func LoadUserKey(r io.Reader) (*UserKey, error) {
+	var wire userKeyWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding user key: %w", err)
+	}
+	k := &UserKey{DCE: new(dce.Key), SAP: new(dcpe.Key)}
+	if err := k.DCE.UnmarshalBinary(wire.DCE); err != nil {
+		return nil, err
+	}
+	if err := k.SAP.UnmarshalBinary(wire.SAP); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+const edbMagic = "PPANNSD2"
+
+// Save writes the encrypted database (graph, DCE ciphertexts, id mapping)
+// in a binary format. Every ciphertext record carries a CRC32 so storage
+// corruption is detected at load time instead of silently flipping
+// comparison results. AME ciphertexts, when present, are not persisted.
+func (e *EncryptedDatabase) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(edbMagic); err != nil {
+		return err
+	}
+	n := len(e.DCE)
+	ctDim := 0
+	for _, ct := range e.DCE {
+		if ct != nil {
+			ctDim = len(ct.P1)
+			break
+		}
+	}
+	for _, v := range []int64{int64(e.Dim), int64(n), int64(ctDim)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	record := make([]byte, 4*ctDim*8)
+	for i, ct := range e.DCE {
+		present := byte(1)
+		if ct == nil {
+			present = 0
+		}
+		if err := bw.WriteByte(present); err != nil {
+			return err
+		}
+		if ct == nil {
+			continue
+		}
+		off := 0
+		for _, comp := range [][]float64{ct.P1, ct.P2, ct.P3, ct.P4} {
+			if len(comp) != ctDim {
+				return fmt.Errorf("core: ciphertext %d has component length %d, want %d", i, len(comp), ctDim)
+			}
+			for _, f := range comp {
+				binary.LittleEndian.PutUint64(record[off:], math.Float64bits(f))
+				off += 8
+			}
+		}
+		if _, err := bw.Write(record); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(record)); err != nil {
+			return err
+		}
+	}
+	for _, g := range e.pos2gid {
+		if err := binary.Write(bw, binary.LittleEndian, g); err != nil {
+			return err
+		}
+	}
+	for _, p := range e.gid2pos {
+		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return e.Graph.Save(w)
+}
+
+// LoadEncryptedDatabase reads a database written by Save.
+func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(edbMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != edbMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	var head [3]int64
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, err
+		}
+	}
+	dim, n, ctDim := int(head[0]), int(head[1]), int(head[2])
+	if dim <= 0 || n <= 0 || ctDim <= 0 {
+		return nil, fmt.Errorf("core: implausible header dim=%d n=%d ctDim=%d", dim, n, ctDim)
+	}
+	e := &EncryptedDatabase{Dim: dim, DCE: make([]*dce.Ciphertext, n)}
+	record := make([]byte, 4*ctDim*8)
+	for i := 0; i < n; i++ {
+		present, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading ciphertext %d: %w", i, err)
+		}
+		if present == 0 {
+			continue
+		}
+		if _, err := io.ReadFull(br, record); err != nil {
+			return nil, fmt.Errorf("core: reading ciphertext %d: %w", i, err)
+		}
+		var stored uint32
+		if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+			return nil, fmt.Errorf("core: reading ciphertext %d checksum: %w", i, err)
+		}
+		if got := crc32.ChecksumIEEE(record); got != stored {
+			return nil, fmt.Errorf("core: ciphertext %d corrupted (crc %08x, want %08x)", i, got, stored)
+		}
+		ct := &dce.Ciphertext{
+			P1: make([]float64, ctDim), P2: make([]float64, ctDim),
+			P3: make([]float64, ctDim), P4: make([]float64, ctDim),
+		}
+		off := 0
+		for _, comp := range [][]float64{ct.P1, ct.P2, ct.P3, ct.P4} {
+			for j := range comp {
+				comp[j] = math.Float64frombits(binary.LittleEndian.Uint64(record[off:]))
+				off += 8
+			}
+		}
+		e.DCE[i] = ct
+	}
+	e.pos2gid = make([]int32, n)
+	e.gid2pos = make([]int32, n)
+	for i := range e.pos2gid {
+		if err := binary.Read(br, binary.LittleEndian, &e.pos2gid[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range e.gid2pos {
+		if err := binary.Read(br, binary.LittleEndian, &e.gid2pos[i]); err != nil {
+			return nil, err
+		}
+	}
+	g, err := hnsw.Load(br, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading graph: %w", err)
+	}
+	e.Graph = g
+	return e, nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUserKeyRoundTrip(t *testing.T) {
+	data := clustered(31, 300, 10, 4)
+	w := newWorld(t, Params{Dim: 10, Beta: 0.8, Seed: 31}, data)
+
+	var buf bytes.Buffer
+	if err := SaveUserKey(&buf, w.owner.UserKey()); err != nil {
+		t.Fatal(err)
+	}
+	key2, err := LoadUserKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user2, err := NewUser(key2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries built with the deserialized key must work against the
+	// original server with full fidelity.
+	queries := makeQueries(32, data, 15, 0.3)
+	for _, q := range queries {
+		tok, err := user2.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.server.Search(tok, 5, SearchOptions{RatioK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(data, q, 5, nil)
+		if recallOf(got, want) < 0.8 {
+			t.Fatalf("recall with deserialized key too low: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestUserKeyValidation(t *testing.T) {
+	if err := SaveUserKey(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("expected error for nil key")
+	}
+	if _, err := LoadUserKey(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestEncryptedDatabaseRoundTrip(t *testing.T) {
+	data := clustered(33, 400, 8, 4)
+	w := newWorld(t, Params{Dim: 8, Beta: 0.5, Seed: 33}, data)
+	// Tombstone one id so presence bytes are exercised.
+	if err := w.server.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w.server.mu.RLock()
+	err := w.server.edb.Save(&buf)
+	w.server.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edb2, err := LoadEncryptedDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server2, err := NewServer(edb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server2.Len() != 400 {
+		t.Fatalf("loaded Len = %d", server2.Len())
+	}
+	if !server2.Deleted(7) {
+		t.Fatal("tombstone lost")
+	}
+	queries := makeQueries(34, data, 15, 0.3)
+	for _, q := range queries {
+		tok, err := w.user.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := w.server.Search(tok, 5, SearchOptions{RatioK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := server2.Search(tok, 5, SearchOptions{RatioK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rank %d differs after round trip: %d vs %d", i, a[i], b[i])
+			}
+		}
+	}
+	// Loaded database must accept inserts.
+	payload, err := w.owner.EncryptVector(data[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server2.Insert(payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadEncryptedDatabaseGarbage(t *testing.T) {
+	if _, err := LoadEncryptedDatabase(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("expected error for garbage")
+	}
+	if _, err := LoadEncryptedDatabase(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}

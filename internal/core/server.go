@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ppanns/internal/ame"
+	"ppanns/internal/dce"
+	"ppanns/internal/resultheap"
+)
+
+// RefineMode selects how the server's refine phase compares candidates.
+type RefineMode int
+
+const (
+	// RefineDCE is the paper's scheme: exact comparisons via DCE, O(d)
+	// per comparison.
+	RefineDCE RefineMode = iota
+	// RefineAME is the HNSW-AME baseline: exact comparisons via AME,
+	// O(d²) per comparison.
+	RefineAME
+	// RefineNone skips refinement and returns the filter phase's top-k —
+	// the HNSW(filter) ablation of Figure 6.
+	RefineNone
+)
+
+// String names the refine mode for reports.
+func (m RefineMode) String() string {
+	switch m {
+	case RefineDCE:
+		return "dce"
+	case RefineAME:
+		return "ame"
+	case RefineNone:
+		return "filter-only"
+	default:
+		return fmt.Sprintf("refine(%d)", int(m))
+	}
+}
+
+// SearchOptions tunes one search call.
+type SearchOptions struct {
+	// KPrime is k′, the filter phase's candidate count. Defaults to
+	// RatioK·k; if RatioK is also zero, to 8·k.
+	KPrime int
+	// RatioK sets k′ = RatioK·k (Figure 5's knob).
+	RatioK int
+	// EfSearch is the HNSW beam width; defaults to max(KPrime, 50).
+	EfSearch int
+	// Refine selects the comparison scheme (default RefineDCE).
+	Refine RefineMode
+}
+
+func (s SearchOptions) kPrime(k int) int {
+	if s.KPrime > 0 {
+		return s.KPrime
+	}
+	if s.RatioK > 0 {
+		return s.RatioK * k
+	}
+	return 8 * k
+}
+
+func (s SearchOptions) ef(kPrime int) int {
+	if s.EfSearch > 0 {
+		return s.EfSearch
+	}
+	if kPrime > 50 {
+		return kPrime
+	}
+	return 50
+}
+
+// SearchStats reports the cost split of one search, matching the
+// quantities the paper's Figures 6 and 9 plot.
+type SearchStats struct {
+	FilterTime  time.Duration // k′-ANNS on the SAP graph
+	RefineTime  time.Duration // heap selection via secure comparisons
+	Candidates  int           // |R′| actually returned by the filter
+	Comparisons int           // secure distance comparisons performed
+}
+
+// Server hosts the encrypted database and answers queries (Figure 1 steps
+// 2–3). It never holds keys or plaintexts.
+type Server struct {
+	mu  sync.RWMutex
+	edb *EncryptedDatabase
+}
+
+// NewServer wraps an encrypted database received from the data owner.
+func NewServer(edb *EncryptedDatabase) (*Server, error) {
+	if edb == nil || edb.Graph == nil || len(edb.DCE) == 0 {
+		return nil, fmt.Errorf("core: incomplete encrypted database")
+	}
+	return &Server{edb: edb}, nil
+}
+
+// Len returns the number of stored vectors (including tombstones).
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.edb.Len()
+}
+
+// Search answers a k-ANNS query (Algorithm 2) and returns external ids
+// ordered closest-first.
+func (s *Server) Search(tok *QueryToken, k int, opt SearchOptions) ([]int, error) {
+	ids, _, err := s.SearchWithStats(tok, k, opt)
+	return ids, err
+}
+
+// SearchWithStats is Search plus cost accounting.
+func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]int, SearchStats, error) {
+	var st SearchStats
+	if tok == nil || tok.SAP == nil {
+		return nil, st, fmt.Errorf("core: query token missing SAP ciphertext")
+	}
+	if k <= 0 {
+		return nil, st, fmt.Errorf("core: non-positive k %d", k)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	edb := s.edb
+
+	kPrime := opt.kPrime(k)
+	if kPrime < k {
+		kPrime = k
+	}
+
+	// Filter phase (Algorithm 2 line 1): k′-ANNS over SAP ciphertexts.
+	start := time.Now()
+	items := edb.Graph.Search(tok.SAP, kPrime, opt.ef(kPrime))
+	st.FilterTime = time.Since(start)
+	st.Candidates = len(items)
+	if len(items) == 0 {
+		return nil, st, nil
+	}
+
+	cands := make([]int, len(items))
+	for i, it := range items {
+		cands[i] = edb.posOf(it.ID)
+	}
+
+	// Refine phase (Algorithm 2 lines 2–9).
+	start = time.Now()
+	var result []int
+	switch opt.Refine {
+	case RefineNone:
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		result = cands
+	case RefineDCE:
+		if tok.Trapdoor == nil {
+			return nil, st, fmt.Errorf("core: token lacks DCE trapdoor for refine")
+		}
+		farther := func(a, b int) bool {
+			return dce.DistanceComp(edb.DCE[a], edb.DCE[b], tok.Trapdoor) > 0
+		}
+		result, st.Comparisons = refineWithHeap(cands, k, farther)
+	case RefineAME:
+		if edb.AME == nil {
+			return nil, st, fmt.Errorf("core: database was built without AME ciphertexts")
+		}
+		if tok.AME == nil {
+			return nil, st, fmt.Errorf("core: token lacks AME trapdoor for refine")
+		}
+		farther := func(a, b int) bool {
+			return ame.Compare(edb.AME[a], edb.AME[b], tok.AME) > 0
+		}
+		result, st.Comparisons = refineWithHeap(cands, k, farther)
+	default:
+		return nil, st, fmt.Errorf("core: unknown refine mode %d", opt.Refine)
+	}
+	st.RefineTime = time.Since(start)
+	return result, st, nil
+}
+
+// refineWithHeap implements Algorithm 2's max-heap selection: offer every
+// candidate, keep the closest k, then drain closest-first. Only the opaque
+// comparator touches ciphertexts.
+func refineWithHeap(cands []int, k int, farther resultheap.Farther) ([]int, int) {
+	h := resultheap.NewCompareHeap(k, farther)
+	for _, id := range cands {
+		h.Offer(id)
+	}
+	return h.SortedAscending(), h.Comparisons()
+}
+
+// Insert adds one encrypted vector (Section V-D) and returns its external
+// id. Deletion tombstones are not reused; ids grow monotonically.
+func (s *Server) Insert(p *InsertPayload) (int, error) {
+	if p == nil || p.SAP == nil || p.DCE == nil {
+		return 0, fmt.Errorf("core: incomplete insert payload")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	edb := s.edb
+	if edb.AME != nil && p.AME == nil {
+		return 0, fmt.Errorf("core: database carries AME ciphertexts; payload lacks one")
+	}
+	pos := len(edb.DCE)
+	gid := edb.Graph.Add(p.SAP)
+	edb.DCE = append(edb.DCE, p.DCE)
+	if edb.AME != nil {
+		edb.AME = append(edb.AME, p.AME)
+	}
+	edb.pos2gid = append(edb.pos2gid, int32(gid))
+	// gids are assigned densely by the graph, so gid == len(gid2pos) here.
+	if gid != len(edb.gid2pos) {
+		return 0, fmt.Errorf("core: graph id %d out of step with mapping size %d", gid, len(edb.gid2pos))
+	}
+	edb.gid2pos = append(edb.gid2pos, int32(pos))
+	return pos, nil
+}
+
+// Delete removes the vector with the given external id (Section V-D): the
+// graph repairs its in-neighbors and the ciphertexts are dropped. Server-
+// only — no data-owner participation, as the paper notes.
+func (s *Server) Delete(pos int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	edb := s.edb
+	if pos < 0 || pos >= len(edb.DCE) {
+		return fmt.Errorf("core: delete of unknown id %d", pos)
+	}
+	if edb.DCE[pos] == nil {
+		return fmt.Errorf("core: id %d already deleted", pos)
+	}
+	if err := edb.Graph.Delete(edb.gidOf(pos)); err != nil {
+		return fmt.Errorf("core: graph delete: %w", err)
+	}
+	edb.DCE[pos] = nil
+	if edb.AME != nil {
+		edb.AME[pos] = nil
+	}
+	return nil
+}
+
+// Deleted reports whether an external id is tombstoned.
+func (s *Server) Deleted(pos int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return pos < 0 || pos >= len(s.edb.DCE) || s.edb.DCE[pos] == nil
+}

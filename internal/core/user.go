@@ -1,0 +1,51 @@
+package core
+
+import "fmt"
+
+// User is the query party: it holds the authorized key material and
+// encrypts queries. Per property P3, this is the user's entire computational
+// role — O(d²) work per query, no participation in the search itself.
+type User struct {
+	key *UserKey
+}
+
+// NewUser creates a user from the owner-authorized key.
+func NewUser(key *UserKey) (*User, error) {
+	if key == nil || key.DCE == nil || key.SAP == nil {
+		return nil, fmt.Errorf("core: incomplete user key")
+	}
+	if key.DCE.Dim() != key.SAP.Dim() {
+		return nil, fmt.Errorf("core: key dimension mismatch %d vs %d", key.DCE.Dim(), key.SAP.Dim())
+	}
+	return &User{key: key}, nil
+}
+
+// Dim returns the query dimension.
+func (u *User) Dim() int { return u.key.DCE.Dim() }
+
+// Query encrypts a plaintext query into the token sent to the server:
+// C_SAP(q) for the filter phase and T_q for the refine phase (plus the AME
+// trapdoor when the deployment benchmarks the HNSW-AME baseline).
+func (u *User) Query(q []float64) (*QueryToken, error) {
+	if len(q) != u.Dim() {
+		return nil, fmt.Errorf("core: query has dim %d, want %d", len(q), u.Dim())
+	}
+	tok := &QueryToken{
+		SAP:      u.key.SAP.Encrypt(q),
+		Trapdoor: u.key.DCE.TrapGen(q),
+	}
+	if u.key.AME != nil {
+		tok.AME = u.key.AME.TrapGen(q)
+	}
+	return tok, nil
+}
+
+// QueryFilterOnly encrypts a query with just the SAP ciphertext — used by
+// the filter-only ablation and by parameter-tuning sweeps that never reach
+// the refine phase.
+func (u *User) QueryFilterOnly(q []float64) (*QueryToken, error) {
+	if len(q) != u.Dim() {
+		return nil, fmt.Errorf("core: query has dim %d, want %d", len(q), u.Dim())
+	}
+	return &QueryToken{SAP: u.key.SAP.Encrypt(q)}, nil
+}

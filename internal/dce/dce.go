@@ -1,0 +1,324 @@
+// Package dce implements Distance Comparison Encryption, the primary
+// contribution of the paper (Section IV). DCE answers, over ciphertexts
+// only, whether dist(o, q) < dist(p, q) — securely, exactly and in O(d) per
+// comparison — without ever revealing a distance value.
+//
+// The scheme has four operations mirroring the paper:
+//
+//	KeyGen(1^ζ, d)            → Key
+//	Enc(p, SK)                → Ciphertext  (database vectors)
+//	TrapGen(q, SK)            → Trapdoor    (query vectors)
+//	DistanceComp(Co, Cp, Tq)  → sign of dist(o,q) − dist(p,q)
+//
+// Encryption proceeds in two phases. Vector randomization (steps 1–4 of
+// Section IV-A) maps p ∈ R^d to p̄ ∈ R^(d+8) such that p̄ᵀq̄ = ‖p‖² − 2pᵀq:
+// a ± pairing transform, a shared random permutation π₁, a split into two
+// halves padded with cancelling randomness, multiplication by secret
+// invertible matrices M₁/M₂ and a second permutation π₂. Vector
+// transformation (Equations 8–15) then hides p̄ behind the split halves of a
+// secret matrix M₃ ∈ R^(2d+16)×(2d+16) and four key vectors kv₁..kv₄ with
+// kv₁◦kv₃ = kv₂◦kv₄, yielding four ciphertext vectors per database point and
+// one trapdoor vector per query.
+//
+// Correctness (Theorem 3): DistanceComp returns
+// 2·r_o·r_p·r_q·(dist(o,q) − dist(p,q)) with all three r's positive, so the
+// sign answers the comparison exactly (up to float64 rounding of genuinely
+// tied distances).
+package dce
+
+import (
+	"fmt"
+	"sync"
+
+	"ppanns/internal/matrix"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// Randomizer value ranges. Per-vector randomness is drawn uniformly from
+// ±[randLo, randHi) (scales: positive only), keeping every secret factor
+// bounded away from zero so comparisons stay numerically well conditioned.
+const (
+	randLo = 0.5
+	randHi = 2.0
+)
+
+// Key is the DCE secret key SK = {M₁, M₂, M₃, π₁, π₂, r₁..r₄, kv₁..kv₄}.
+// It lives with the data owner (and, for trapdoor generation, the user);
+// the server never sees it.
+type Key struct {
+	dim    int     // caller-facing dimension d
+	padDim int     // d rounded up to the next even number
+	half   int     // padDim/2
+	scale  float64 // uniform input scaling (see KeyGenScaled)
+
+	m1, m2         *matrix.Dense // (padDim/2+4)², used for database vectors
+	m1Inv, m2Inv   *matrix.Dense // inverses, used for query vectors
+	pi1            *rng.Permutation
+	pi2            *rng.Permutation
+	r1, r2, r3, r4 float64
+
+	mup, mdown         *matrix.Dense // halves of M₃: (padDim+8)×(2·padDim+16)
+	m3Inv              *matrix.Dense
+	kv1, kv2, kv3, kv4 []float64
+	kv24               []float64 // kv₂◦kv₄, precomputed for TrapGen
+
+	mu  sync.Mutex
+	rnd *rng.Rand
+}
+
+// KeyGen generates a DCE key for d-dimensional vectors using randomness
+// from r (pass rng.NewCrypto() outside tests). It mirrors the paper's
+// KeyGen(1^ζ, d); the security parameter is realized by the entropy of r.
+func KeyGen(r *rng.Rand, dim int) (*Key, error) {
+	return KeyGenScaled(r, dim, 1)
+}
+
+// KeyGenScaled is KeyGen with an explicit uniform input scale. Every vector
+// is multiplied by scale before encryption; distance comparisons are
+// invariant under uniform scaling, so correctness is unaffected, but keeping
+// coordinates at O(1) magnitude preserves float64 headroom through the two
+// cancellation steps of DistanceComp. Data owners should pass
+// scale = 1/max|p_i| for raw-range data (the core scheme does).
+func KeyGenScaled(r *rng.Rand, dim int, scale float64) (*Key, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("dce: non-positive dimension %d", dim)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("dce: non-positive input scale %g", scale)
+	}
+	pad := dim
+	if pad%2 == 1 {
+		pad++
+	}
+	k := &Key{dim: dim, padDim: pad, half: pad / 2, scale: scale, rnd: rng.Derive(r, 0xd0e)}
+
+	sub := pad/2 + 4
+	k.m1, k.m1Inv = matrix.RandomInvertible(r, sub)
+	k.m2, k.m2Inv = matrix.RandomInvertible(r, sub)
+	k.pi1 = rng.NewPermutation(r, pad)
+	k.pi2 = rng.NewPermutation(r, pad+8)
+
+	k.r1 = rng.UniformNonZero(r, randLo, randHi)
+	k.r2 = rng.UniformNonZero(r, randLo, randHi)
+	k.r3 = rng.UniformNonZero(r, randLo, randHi)
+	k.r4 = rng.UniformNonZero(r, randLo, randHi)
+
+	big := 2*pad + 16
+	m3, m3Inv := matrix.RandomInvertible(r, big)
+	k.mup = m3.SubMatrix(0, pad+8, 0, big)
+	k.mdown = m3.SubMatrix(pad+8, big, 0, big)
+	k.m3Inv = m3Inv
+
+	k.kv1 = make([]float64, big)
+	k.kv2 = make([]float64, big)
+	k.kv3 = make([]float64, big)
+	k.kv4 = make([]float64, big)
+	for i := 0; i < big; i++ {
+		k.kv1[i] = rng.UniformNonZero(r, randLo, randHi)
+		k.kv2[i] = rng.UniformNonZero(r, randLo, randHi)
+		k.kv3[i] = rng.UniformNonZero(r, randLo, randHi)
+		// kv₁◦kv₃ = kv₂◦kv₄ (the constraint Equation 12 relies on).
+		k.kv4[i] = k.kv1[i] * k.kv3[i] / k.kv2[i]
+	}
+	k.kv24 = vec.Mul(nil, k.kv2, k.kv4)
+	return k, nil
+}
+
+// Dim returns the plaintext dimension d the key was generated for.
+func (k *Key) Dim() int { return k.dim }
+
+// Scale returns the uniform input scale applied before encryption.
+func (k *Key) Scale() float64 { return k.scale }
+
+// CiphertextDim returns the length of each of the four ciphertext component
+// vectors (2d+16 after padding), so total ciphertext size is 4× this.
+func (k *Key) CiphertextDim() int { return 2*k.padDim + 16 }
+
+// Ciphertext is C_DCE(p) = (p̄′₁, p̄′₂, p̄′₃, p̄′₄), four vectors of length
+// 2d+16 (Equation 13). Components are exported for serialization; treat
+// them as opaque.
+type Ciphertext struct {
+	P1, P2, P3, P4 []float64
+}
+
+// Trapdoor is T_q = q̄′ ∈ R^(2d+16) (Equation 15).
+type Trapdoor struct {
+	Q []float64
+}
+
+// randScalars draws n per-encryption random scalars under the key's lock.
+// signed selects ±[lo,hi) vs positive-only.
+func (k *Key) randScalars(n int, signed bool) []float64 {
+	out := make([]float64, n)
+	k.mu.Lock()
+	for i := range out {
+		if signed {
+			out[i] = rng.UniformNonZero(k.rnd, randLo, randHi)
+		} else {
+			out[i] = rng.Uniform(k.rnd, randLo, randHi)
+		}
+	}
+	k.mu.Unlock()
+	return out
+}
+
+// pairTransform computes the paper's step 1: p̌ from p (database side,
+// sign=+1) or q̌ from q (query side, sign=−1), folding in the key's input
+// scale and padding odd dimensions with a trailing zero.
+func (k *Key) pairTransform(p []float64, sign float64) []float64 {
+	out := make([]float64, k.padDim)
+	get := func(i int) float64 {
+		if i < len(p) {
+			return k.scale * p[i]
+		}
+		return 0
+	}
+	for i := 0; i < k.padDim; i += 2 {
+		a, b := get(i), get(i+1)
+		out[i] = sign * (a + b)
+		out[i+1] = sign * (a - b)
+	}
+	return out
+}
+
+// randomizeDB runs the four vector-randomization steps for a database
+// vector, returning p̄ ∈ R^(padDim+8).
+func (k *Key) randomizeDB(p []float64) []float64 {
+	check := k.pairTransform(p, +1) // step 1: p̌
+	hat := k.pi1.Apply(nil, check)  // step 2: p̂ = π₁(p̌)
+	rs := k.randScalars(5, true)    // α₁, α₂, r′₁, r′₂, r′₃
+	alpha1, alpha2 := rs[0], rs[1]
+	rp1, rp2, rp3 := rs[2], rs[3], rs[4]
+	normSq := k.scale * k.scale * vec.SqNorm(p)
+	gamma := (normSq - rp1*k.r1 - rp2*k.r2 - rp3*k.r3) / k.r4
+
+	// Step 3: split with cancelling randomness (Equation 2).
+	sub := k.half + 4
+	p1 := make([]float64, sub)
+	p2 := make([]float64, sub)
+	copy(p1, hat[:k.half])
+	p1[k.half] = alpha1
+	p1[k.half+1] = -alpha1
+	p1[k.half+2] = rp1
+	p1[k.half+3] = rp2
+	copy(p2, hat[k.half:])
+	p2[k.half] = alpha2
+	p2[k.half+1] = alpha2
+	p2[k.half+2] = rp3
+	p2[k.half+3] = gamma
+
+	// Step 4: matrix encryption + second permutation (Equation 4).
+	enc := make([]float64, k.padDim+8)
+	k.m1.VecMul(enc[:sub], p1)
+	k.m2.VecMul(enc[sub:], p2)
+	return k.pi2.Apply(nil, enc)
+}
+
+// randomizeQuery runs the four vector-randomization steps for a query
+// vector, returning q̄ ∈ R^(padDim+8).
+func (k *Key) randomizeQuery(q []float64) []float64 {
+	check := k.pairTransform(q, -1) // step 1: q̌ (note the global minus)
+	hat := k.pi1.Apply(nil, check)  // step 2
+	rs := k.randScalars(2, true)    // β₁, β₂
+	beta1, beta2 := rs[0], rs[1]
+
+	// Step 3 (Equation 3): the query side carries the shared key scalars
+	// r₁..r₄ that pair with the database side's r′ and γ entries.
+	sub := k.half + 4
+	q1 := make([]float64, sub)
+	q2 := make([]float64, sub)
+	copy(q1, hat[:k.half])
+	q1[k.half] = beta1
+	q1[k.half+1] = beta1
+	q1[k.half+2] = k.r1
+	q1[k.half+3] = k.r2
+	copy(q2, hat[k.half:])
+	q2[k.half] = beta2
+	q2[k.half+1] = -beta2
+	q2[k.half+2] = k.r3
+	q2[k.half+3] = k.r4
+
+	// Step 4: inverse-matrix encryption + the same second permutation.
+	enc := make([]float64, k.padDim+8)
+	k.m1Inv.MulVec(enc[:sub], q1)
+	k.m2Inv.MulVec(enc[sub:], q2)
+	return k.pi2.Apply(nil, enc)
+}
+
+// Encrypt is the paper's Enc(p, SK): it encrypts one database vector into
+// its four-component ciphertext.
+func (k *Key) Encrypt(p []float64) *Ciphertext {
+	if len(p) != k.dim {
+		panic(fmt.Sprintf("dce: encrypting %d-dim vector with %d-dim key", len(p), k.dim))
+	}
+	bar := k.randomizeDB(p)
+	big := k.CiphertextDim()
+
+	// Matrix encryption step i (Equation 10): project onto both halves
+	// of M₃ and form the ±1 shifted copies.
+	up := k.mup.VecMul(nil, bar)     // p̄ᵀ·M_up
+	down := k.mdown.VecMul(nil, bar) // p̄ᵀ·M_down
+
+	rp := k.randScalars(1, false)[0] // r_p ∈ R⁺
+
+	ct := &Ciphertext{
+		P1: make([]float64, big),
+		P2: make([]float64, big),
+		P3: make([]float64, big),
+		P4: make([]float64, big),
+	}
+	// Randomness step ii (Equation 13): shift, divide by the key vectors,
+	// scale by r_p.
+	for i := 0; i < big; i++ {
+		ct.P1[i] = rp * (up[i] + 1) / k.kv1[i]
+		ct.P2[i] = rp * (up[i] - 1) / k.kv2[i]
+		ct.P3[i] = rp * (down[i] + 1) / k.kv3[i]
+		ct.P4[i] = rp * (down[i] - 1) / k.kv4[i]
+	}
+	return ct
+}
+
+// TrapGen is the paper's TrapGen(q, SK): it produces the trapdoor for a
+// query vector.
+func (k *Key) TrapGen(q []float64) *Trapdoor {
+	if len(q) != k.dim {
+		panic(fmt.Sprintf("dce: trapdoor for %d-dim vector with %d-dim key", len(q), k.dim))
+	}
+	bar := k.randomizeQuery(q)
+	big := k.CiphertextDim()
+
+	// Equation 15: q̄′ = r_q · (M₃⁻¹ [q̄; −q̄]) ◦ (kv₂◦kv₄).
+	stack := make([]float64, big)
+	copy(stack[:len(bar)], bar)
+	for i, v := range bar {
+		stack[len(bar)+i] = -v
+	}
+	w := k.m3Inv.MulVec(nil, stack)
+	rq := k.randScalars(1, false)[0]
+	out := make([]float64, big)
+	for i := range out {
+		out[i] = rq * w[i] * k.kv24[i]
+	}
+	return &Trapdoor{Q: out}
+}
+
+// DistanceComp evaluates Z_{o,p,q} = (ō′₁◦p̄′₃ − ō′₂◦p̄′₄)ᵀ·q̄′
+// = 2·r_o·r_p·r_q·(dist(o,q) − dist(p,q)). Its sign answers the comparison:
+// negative means dist(o,q) < dist(p,q).
+func DistanceComp(co, cp *Ciphertext, tq *Trapdoor) float64 {
+	q := tq.Q
+	var z float64
+	o1, o2 := co.P1, co.P2
+	p3, p4 := cp.P3, cp.P4
+	for i, qv := range q {
+		z += (o1[i]*p3[i] - o2[i]*p4[i]) * qv
+	}
+	return z
+}
+
+// Closer reports whether dist(o, q) < dist(p, q), i.e. whether candidate o
+// beats candidate p for query q.
+func Closer(co, cp *Ciphertext, tq *Trapdoor) bool {
+	return DistanceComp(co, cp, tq) < 0
+}

@@ -1,0 +1,160 @@
+package dce
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// TestScaleInvariance: keys with different input scales must order any
+// candidate set identically — the property that lets the owner normalize
+// raw-range data freely.
+func TestScaleInvariance(t *testing.T) {
+	r := rng.NewSeeded(101)
+	dim := 20
+	k1, err := KeyGenScaled(rng.Derive(r, 1), dim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := KeyGenScaled(rng.Derive(r, 2), dim, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		o := rng.GaussianVec(r, dim, 50)
+		p := rng.GaussianVec(r, dim, 50)
+		q := rng.GaussianVec(r, dim, 50)
+		do, dp := vec.SqDist(o, q), vec.SqDist(p, q)
+		if math.Abs(do-dp) <= 1e-9*(do+dp+1) {
+			continue
+		}
+		a := Closer(k1.Encrypt(o), k1.Encrypt(p), k1.TrapGen(q))
+		b := Closer(k2.Encrypt(o), k2.Encrypt(p), k2.TrapGen(q))
+		if a != b {
+			t.Fatalf("scale changed a comparison outcome (trial %d)", trial)
+		}
+	}
+}
+
+// TestTranslationConsistency: shifting all vectors by a constant offset
+// shifts both distances equally, so comparisons must be unchanged.
+func TestTranslationConsistency(t *testing.T) {
+	r := rng.NewSeeded(102)
+	dim := 16
+	k, err := KeyGen(r, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := rng.Gaussian(r, nil, dim)
+	f := func(seed uint64) bool {
+		rr := rng.NewSeeded(seed)
+		o := rng.Gaussian(rr, nil, dim)
+		p := rng.Gaussian(rr, nil, dim)
+		q := rng.Gaussian(rr, nil, dim)
+		do, dp := vec.SqDist(o, q), vec.SqDist(p, q)
+		if math.Abs(do-dp) <= 1e-9*(do+dp+1) {
+			return true
+		}
+		plain := Closer(k.Encrypt(o), k.Encrypt(p), k.TrapGen(q))
+		shifted := Closer(
+			k.Encrypt(vec.Add(nil, o, offset)),
+			k.Encrypt(vec.Add(nil, p, offset)),
+			k.TrapGen(vec.Add(nil, q, offset)))
+		return plain == shifted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCiphertextStatistics: ciphertext components must not correlate with
+// the plaintext coordinate signs — a cheap smoke test of the
+// randomization phases.
+func TestCiphertextStatistics(t *testing.T) {
+	r := rng.NewSeeded(103)
+	dim := 16
+	k, err := KeyGen(r, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two very different plaintexts; their ciphertext component means
+	// should both be near zero relative to their spread.
+	for _, p := range [][]float64{vec.Ones(dim), vec.Scale(nil, -1, vec.Ones(dim))} {
+		ct := k.Encrypt(p)
+		var sum, sumSq float64
+		for _, v := range ct.P1 {
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(ct.P1))
+		mean := sum / n
+		sd := math.Sqrt(sumSq/n - mean*mean)
+		if sd == 0 || math.Abs(mean) > sd {
+			t.Fatalf("ciphertext component mean %g comparable to spread %g", mean, sd)
+		}
+	}
+}
+
+func TestKeySerializeRoundTrip(t *testing.T) {
+	r := rng.NewSeeded(104)
+	dim := 12
+	k, err := KeyGenScaled(r, dim, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := k.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k2 Key
+	if err := k2.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if k2.Dim() != dim || k2.Scale() != 0.5 {
+		t.Fatalf("round trip lost header: dim=%d scale=%g", k2.Dim(), k2.Scale())
+	}
+	// Cross-compatibility: ciphertexts from k compare correctly against
+	// trapdoors from k2 and vice versa.
+	for trial := 0; trial < 30; trial++ {
+		o := rng.Gaussian(r, nil, dim)
+		p := rng.Gaussian(r, nil, dim)
+		q := rng.Gaussian(r, nil, dim)
+		do, dp := vec.SqDist(o, q), vec.SqDist(p, q)
+		if math.Abs(do-dp) <= 1e-9*(do+dp+1) {
+			continue
+		}
+		if Closer(k.Encrypt(o), k2.Encrypt(p), k2.TrapGen(q)) != (do < dp) {
+			t.Fatal("cross-key comparison wrong after round trip")
+		}
+	}
+}
+
+func TestKeyDeserializeRejectsGarbage(t *testing.T) {
+	var k Key
+	if err := k.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Fatal("expected error for garbage key blob")
+	}
+	// A structurally valid gob with an implausible header must fail too.
+	blob, err := gobEncodeWire(t, 0, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.UnmarshalBinary(blob); err == nil {
+		t.Fatal("expected error for dim=0 header")
+	}
+}
+
+func gobEncodeWire(t *testing.T, dim, pad int, scale float64) ([]byte, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := keyWire{Dim: dim, PadDim: pad, Scale: scale}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

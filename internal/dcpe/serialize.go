@@ -1,0 +1,38 @@
+package dcpe
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ppanns/internal/rng"
+)
+
+type keyWire struct {
+	S, Beta float64
+	Dim     int
+}
+
+// MarshalBinary encodes the SAP secret key.
+func (k *Key) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(keyWire{S: k.s, Beta: k.beta, Dim: k.dim}); err != nil {
+		return nil, fmt.Errorf("dcpe: encoding key: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a key produced by MarshalBinary. The
+// perturbation stream is re-seeded from crypto/rand.
+func (k *Key) UnmarshalBinary(data []byte) error {
+	var w keyWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("dcpe: decoding key: %w", err)
+	}
+	if w.Dim <= 0 || w.S <= 0 || w.Beta < 0 {
+		return fmt.Errorf("dcpe: implausible key dim=%d s=%g beta=%g", w.Dim, w.S, w.Beta)
+	}
+	k.s, k.beta, k.dim = w.S, w.Beta, w.Dim
+	k.rnd = rng.NewCrypto()
+	return nil
+}

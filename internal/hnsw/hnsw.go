@@ -1,0 +1,620 @@
+// Package hnsw implements the Hierarchical Navigable Small World proximity
+// graph (Malkov & Yashunin), the state-of-the-art k-ANNS index the paper
+// builds its privacy-preserving index on (Section V-A).
+//
+// The implementation is complete rather than minimal: randomized level
+// assignment, beam search with efConstruction during build, the diversity
+// heuristic for neighbor selection, bidirectional linking with pruning,
+// concurrent inserts (per-node locking), filtered search, deletion with
+// in-neighbor repair (the maintenance procedure of Section V-D), and binary
+// serialization.
+//
+// The graph is metric-agnostic: it stores opaque float64 vectors and ranks
+// by a caller-supplied distance. The PP-ANNS scheme instantiates it over
+// DCPE/SAP ciphertexts; the plaintext baseline instantiates it over raw
+// vectors.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ppanns/internal/resultheap"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// DistanceFunc ranks vectors; smaller is closer. The default is squared
+// Euclidean distance.
+type DistanceFunc func(a, b []float64) float64
+
+// Config holds HNSW build parameters. The paper's evaluation uses M = 40
+// and EfConstruction = 600.
+type Config struct {
+	// Dim is the vector dimension (required).
+	Dim int
+	// M is the maximum number of bidirectional links per node on layers
+	// above 0. Defaults to 16.
+	M int
+	// MMax0 is the link cap on layer 0. Defaults to 2·M.
+	MMax0 int
+	// EfConstruction is the beam width used while inserting. Defaults to 200.
+	EfConstruction int
+	// Seed drives level assignment and is independent of data.
+	Seed uint64
+	// Distance is the metric; defaults to vec.SqDist.
+	Distance DistanceFunc
+	// KeepPruned tops up a node's neighbor list with the closest pruned
+	// candidates when the diversity heuristic selects fewer than M.
+	// Defaults to true (set SkipKeepPruned to disable).
+	SkipKeepPruned bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Dim <= 0 {
+		return c, fmt.Errorf("hnsw: non-positive dimension %d", c.Dim)
+	}
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.MMax0 <= 0 {
+		c.MMax0 = 2 * c.M
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.Distance == nil {
+		c.Distance = vec.SqDist
+	}
+	return c, nil
+}
+
+type node struct {
+	mu        sync.Mutex
+	neighbors [][]int32 // one adjacency list per layer 0..level
+	level     int
+	deleted   bool
+}
+
+// Graph is a thread-safe HNSW index. Inserts may run concurrently with each
+// other and with searches; deletes are exclusive.
+type Graph struct {
+	cfg Config
+	mL  float64
+
+	// mu guards data/nodes growth, entry and maxLevel. Searches hold the
+	// read lock for their whole duration so vector rows stay stable.
+	mu       sync.RWMutex
+	data     *vec.Dataset
+	nodes    []*node
+	entry    int
+	maxLevel int
+	size     int // live (non-deleted) node count
+
+	lvlMu  sync.Mutex
+	lvlRnd *rng.Rand
+
+	ctxPool sync.Pool
+}
+
+// New creates an empty graph.
+func New(cfg Config) (*Graph, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{
+		cfg:    cfg,
+		mL:     1 / math.Log(float64(cfg.M)),
+		data:   vec.NewDataset(cfg.Dim, 1024),
+		entry:  -1,
+		lvlRnd: rng.NewSeeded(cfg.Seed ^ 0x9e37),
+	}, nil
+}
+
+// Len returns the number of live (non-deleted) vectors.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.size
+}
+
+// Dim returns the vector dimension.
+func (g *Graph) Dim() int { return g.cfg.Dim }
+
+// Vector returns the stored vector for id (also valid for deleted ids,
+// whose rows remain as tombstones).
+func (g *Graph) Vector(id int) []float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.data.At(id)
+}
+
+// randomLevel draws floor(−ln(U)·mL), the paper's level distribution.
+func (g *Graph) randomLevel() int {
+	g.lvlMu.Lock()
+	u := g.lvlRnd.Float64()
+	g.lvlMu.Unlock()
+	for u == 0 {
+		u = 1e-18
+	}
+	return int(-math.Log(u) * g.mL)
+}
+
+// searchCtx holds per-search scratch state, pooled across searches.
+type searchCtx struct {
+	visited []uint32
+	epoch   uint32
+}
+
+func (g *Graph) getCtx(n int) *searchCtx {
+	c, _ := g.ctxPool.Get().(*searchCtx)
+	if c == nil {
+		c = &searchCtx{}
+	}
+	if len(c.visited) < n {
+		c.visited = make([]uint32, n+n/2+16)
+		c.epoch = 0
+	}
+	c.next()
+	return c
+}
+
+// next advances the visited epoch, clearing the table on uint32 wrap so a
+// stale tag can never alias the fresh epoch.
+func (c *searchCtx) next() {
+	c.epoch++
+	if c.epoch == 0 {
+		for i := range c.visited {
+			c.visited[i] = 0
+		}
+		c.epoch = 1
+	}
+}
+
+func (c *searchCtx) seen(id int) bool {
+	if c.visited[id] == c.epoch {
+		return true
+	}
+	c.visited[id] = c.epoch
+	return false
+}
+
+// copyNeighbors snapshots a node's adjacency list at a layer under its lock.
+func (g *Graph) copyNeighbors(buf []int32, id, layer int) []int32 {
+	nd := g.nodes[id]
+	nd.mu.Lock()
+	if layer >= len(nd.neighbors) {
+		nd.mu.Unlock()
+		return buf[:0]
+	}
+	buf = append(buf[:0], nd.neighbors[layer]...)
+	nd.mu.Unlock()
+	return buf
+}
+
+// greedyDescend walks one layer greedily towards q, returning the closest
+// node found and its distance. Caller must hold at least the read lock.
+func (g *Graph) greedyDescend(q []float64, ep int, epDist float64, layer int) (int, float64) {
+	dist := g.cfg.Distance
+	var buf []int32
+	for {
+		improved := false
+		buf = g.copyNeighbors(buf, ep, layer)
+		for _, nb := range buf {
+			d := dist(q, g.data.At(int(nb)))
+			if d < epDist {
+				epDist, ep = d, int(nb)
+				improved = true
+			}
+		}
+		if !improved {
+			return ep, epDist
+		}
+	}
+}
+
+// searchLayer is the beam search of the HNSW paper (Algorithm 2): starting
+// from ep, it maintains a candidate min-heap and a bounded result max-heap
+// of width ef. allow filters result membership (traversal still passes
+// through filtered nodes so the graph stays navigable around tombstones).
+// Caller must hold at least the read lock.
+func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64, ef, layer int, allow func(int) bool) *resultheap.MaxDistHeap {
+	dist := g.cfg.Distance
+	cand := resultheap.NewMinDistHeap(ef + 1)
+	res := resultheap.NewMaxDistHeap(ef + 1)
+	ctx.seen(ep)
+	cand.Push(ep, epDist)
+	if allow == nil || allow(ep) {
+		res.Push(ep, epDist)
+	}
+	var buf []int32
+	for cand.Len() > 0 {
+		c := cand.Pop()
+		if res.Len() >= ef && c.Dist > res.Top().Dist {
+			break
+		}
+		buf = g.copyNeighbors(buf, c.ID, layer)
+		for _, nb := range buf {
+			id := int(nb)
+			if ctx.seen(id) {
+				continue
+			}
+			d := dist(q, g.data.At(id))
+			if res.Len() < ef || d < res.Top().Dist {
+				cand.Push(id, d)
+				if allow == nil || allow(id) {
+					res.Push(id, d)
+					if res.Len() > ef {
+						res.Pop()
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// selectNeighbors applies the diversity heuristic (HNSW Algorithm 4) to a
+// candidate set sorted ascending by distance to the base vector, returning
+// at most m ids. A candidate is kept when it is closer to the base than to
+// any already-kept neighbor; when fewer than m survive and KeepPruned is
+// active, the closest pruned candidates fill the remaining slots.
+func (g *Graph) selectNeighbors(base []float64, cands []resultheap.Item, m int) []int32 {
+	selected := make([]int32, 0, m)
+	var pruned []resultheap.Item
+	dist := g.cfg.Distance
+	for _, c := range cands {
+		if len(selected) >= m {
+			break
+		}
+		good := true
+		cv := g.data.At(c.ID)
+		for _, s := range selected {
+			if dist(cv, g.data.At(int(s))) < c.Dist {
+				good = false
+				break
+			}
+		}
+		if good {
+			selected = append(selected, int32(c.ID))
+		} else if !g.cfg.SkipKeepPruned {
+			pruned = append(pruned, c)
+		}
+	}
+	for _, c := range pruned {
+		if len(selected) >= m {
+			break
+		}
+		selected = append(selected, int32(c.ID))
+	}
+	return selected
+}
+
+// Add inserts a vector and returns its id. Safe for concurrent use.
+func (g *Graph) Add(v []float64) int {
+	if len(v) != g.cfg.Dim {
+		panic(fmt.Sprintf("hnsw: adding %d-dim vector to %d-dim graph", len(v), g.cfg.Dim))
+	}
+	level := g.randomLevel()
+
+	// Phase 1: materialize the node (exclusive).
+	g.mu.Lock()
+	id := g.data.Append(v)
+	nd := &node{level: level, neighbors: make([][]int32, level+1)}
+	g.nodes = append(g.nodes, nd)
+	g.size++
+	first := g.entry < 0
+	if first {
+		g.entry = id
+		g.maxLevel = level
+	}
+	entry, maxLevel := g.entry, g.maxLevel
+	g.mu.Unlock()
+	if first {
+		return id
+	}
+
+	// Phase 2: link (shared lock; concurrent with other linkers/searches).
+	g.mu.RLock()
+	g.link(id, v, level, entry, maxLevel)
+	g.mu.RUnlock()
+
+	// Phase 3: possibly promote the entry point.
+	if level > maxLevel {
+		g.mu.Lock()
+		if level > g.maxLevel {
+			g.maxLevel = level
+			g.entry = id
+		}
+		g.mu.Unlock()
+	}
+	return id
+}
+
+// link connects a freshly added node into the graph. Caller holds RLock.
+func (g *Graph) link(id int, v []float64, level, entry, maxLevel int) {
+	ctx := g.getCtx(len(g.nodes))
+	defer g.ctxPool.Put(ctx)
+
+	ep := entry
+	epDist := g.cfg.Distance(v, g.data.At(ep))
+	for l := maxLevel; l > level; l-- {
+		ep, epDist = g.greedyDescend(v, ep, epDist, l)
+	}
+	top := level
+	if maxLevel < level {
+		top = maxLevel
+	}
+	nd := g.nodes[id]
+	for l := top; l >= 0; l-- {
+		ctx.next() // fresh visited set per layer
+		res := g.searchLayer(ctx, v, ep, epDist, g.cfg.EfConstruction, l, nil)
+		cands := res.SortedAscending()
+		// Drop self-references (possible on re-link during repair).
+		filtered := cands[:0]
+		for _, c := range cands {
+			if c.ID != id {
+				filtered = append(filtered, c)
+			}
+		}
+		m := g.cfg.M
+		sel := g.selectNeighbors(v, filtered, m)
+
+		nd.mu.Lock()
+		nd.neighbors[l] = append(nd.neighbors[l][:0], sel...)
+		nd.mu.Unlock()
+
+		maxLinks := g.cfg.M
+		if l == 0 {
+			maxLinks = g.cfg.MMax0
+		}
+		for _, nb := range sel {
+			g.addBacklink(int(nb), id, l, maxLinks)
+		}
+		if len(filtered) > 0 {
+			ep, epDist = filtered[0].ID, filtered[0].Dist
+		}
+	}
+}
+
+// addBacklink adds id to nb's layer-l adjacency, re-pruning with the
+// diversity heuristic when the list overflows.
+func (g *Graph) addBacklink(nb, id, l, maxLinks int) {
+	nd := g.nodes[nb]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if l >= len(nd.neighbors) {
+		return // nb was created with a lower level than observed; skip
+	}
+	for _, existing := range nd.neighbors[l] {
+		if int(existing) == id {
+			return
+		}
+	}
+	if len(nd.neighbors[l]) < maxLinks {
+		nd.neighbors[l] = append(nd.neighbors[l], int32(id))
+		return
+	}
+	// Overflow: rank current links plus the newcomer by distance to nb and
+	// re-select with the heuristic.
+	base := g.data.At(nb)
+	items := make([]resultheap.Item, 0, len(nd.neighbors[l])+1)
+	items = append(items, resultheap.Item{ID: id, Dist: g.cfg.Distance(base, g.data.At(id))})
+	for _, existing := range nd.neighbors[l] {
+		items = append(items, resultheap.Item{ID: int(existing), Dist: g.cfg.Distance(base, g.data.At(int(existing)))})
+	}
+	sortItems(items)
+	nd.neighbors[l] = append(nd.neighbors[l][:0], g.selectNeighbors(base, items, maxLinks)...)
+}
+
+// sortItems sorts by distance ascending (insertion sort: lists are short).
+func sortItems(items []resultheap.Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].Dist < items[j-1].Dist; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+// Search returns the ids of the (approximately) k closest live vectors to
+// q, closest first, exploring with beam width ef (ef is raised to k when
+// smaller). It is the HNSW search of the paper's filter phase.
+func (g *Graph) Search(q []float64, k, ef int) []resultheap.Item {
+	return g.SearchFiltered(q, k, ef, nil)
+}
+
+// SearchFiltered is Search restricted to ids accepted by allow (nil accepts
+// all). Deleted nodes are always excluded.
+func (g *Graph) SearchFiltered(q []float64, k, ef int, allow func(int) bool) []resultheap.Item {
+	if len(q) != g.cfg.Dim {
+		panic(fmt.Sprintf("hnsw: searching %d-dim query in %d-dim graph", len(q), g.cfg.Dim))
+	}
+	if ef < k {
+		ef = k
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.entry < 0 || g.size == 0 {
+		return nil
+	}
+	ctx := g.getCtx(len(g.nodes))
+	defer g.ctxPool.Put(ctx)
+
+	effAllow := func(id int) bool {
+		if g.nodes[id].deleted {
+			return false
+		}
+		return allow == nil || allow(id)
+	}
+
+	ep := g.entry
+	epDist := g.cfg.Distance(q, g.data.At(ep))
+	for l := g.maxLevel; l > 0; l-- {
+		ep, epDist = g.greedyDescend(q, ep, epDist, l)
+	}
+	ctx.next()
+	res := g.searchLayer(ctx, q, ep, epDist, ef, 0, effAllow)
+	items := res.SortedAscending()
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// Delete removes id from the graph following Section V-D: the node is
+// tombstoned, its out-edges dropped, and every in-neighbor is repaired by
+// re-running neighbor selection over a fresh search so the graph stays
+// navigable. Returns an error for unknown or already-deleted ids.
+func (g *Graph) Delete(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 || id >= len(g.nodes) {
+		return fmt.Errorf("hnsw: delete of unknown id %d", id)
+	}
+	nd := g.nodes[id]
+	if nd.deleted {
+		return fmt.Errorf("hnsw: id %d already deleted", id)
+	}
+	nd.deleted = true
+	g.size--
+
+	// Collect in-neighbors per layer and cut their edges to id.
+	type affected struct{ node, layer int }
+	var repairs []affected
+	for nid, other := range g.nodes {
+		if nid == id || other.deleted {
+			continue
+		}
+		for l, lst := range other.neighbors {
+			for i, nb := range lst {
+				if int(nb) == id {
+					other.neighbors[l] = append(lst[:i], lst[i+1:]...)
+					repairs = append(repairs, affected{node: nid, layer: l})
+					break
+				}
+			}
+		}
+	}
+	nd.neighbors = make([][]int32, nd.level+1) // drop out-edges
+
+	if g.size == 0 {
+		g.entry = -1
+		g.maxLevel = 0
+		return nil
+	}
+	// Re-seat the entry point if it was the deleted node.
+	if g.entry == id {
+		best, bestLevel := -1, -1
+		for nid, other := range g.nodes {
+			if !other.deleted && other.level > bestLevel {
+				best, bestLevel = nid, other.level
+			}
+		}
+		g.entry = best
+		g.maxLevel = bestLevel
+	}
+
+	// Repair each in-neighbor: search around it (excluding itself) and
+	// re-select a full neighbor list at the affected layer.
+	ctx := g.getCtx(len(g.nodes))
+	defer g.ctxPool.Put(ctx)
+	for _, rep := range repairs {
+		v := g.data.At(rep.node)
+		maxLinks := g.cfg.M
+		if rep.layer == 0 {
+			maxLinks = g.cfg.MMax0
+		}
+		ctx.next()
+		allow := func(cid int) bool { return cid != rep.node && !g.nodes[cid].deleted }
+		ep, epDist := g.entry, g.cfg.Distance(v, g.data.At(g.entry))
+		for l := g.maxLevel; l > rep.layer; l-- {
+			ep, epDist = g.greedyDescend(v, ep, epDist, l)
+		}
+		res := g.searchLayer(ctx, v, ep, epDist, g.cfg.EfConstruction, rep.layer, allow)
+		cands := res.SortedAscending()
+		filtered := cands[:0]
+		for _, c := range cands {
+			if c.ID != rep.node && !g.nodes[c.ID].deleted {
+				filtered = append(filtered, c)
+			}
+		}
+		sel := g.selectNeighbors(v, filtered, maxLinks)
+		repNode := g.nodes[rep.node]
+		repNode.mu.Lock()
+		if rep.layer < len(repNode.neighbors) {
+			repNode.neighbors[rep.layer] = append(repNode.neighbors[rep.layer][:0], sel...)
+		}
+		repNode.mu.Unlock()
+	}
+	return nil
+}
+
+// Neighbors returns a copy of id's adjacency list at the given layer
+// (empty when the node's level is below the layer). Baselines that lay the
+// graph out as PIR blocks read it through this accessor.
+func (g *Graph) Neighbors(id, layer int) []int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nd := g.nodes[id]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if layer >= len(nd.neighbors) {
+		return nil
+	}
+	out := make([]int, len(nd.neighbors[layer]))
+	for i, nb := range nd.neighbors[layer] {
+		out[i] = int(nb)
+	}
+	return out
+}
+
+// EntryPoint returns the graph's current entry node id (-1 when empty).
+func (g *Graph) EntryPoint() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.entry
+}
+
+// Deleted reports whether id is tombstoned.
+func (g *Graph) Deleted(id int) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return id < 0 || id >= len(g.nodes) || g.nodes[id].deleted
+}
+
+// Stats summarizes graph shape for diagnostics and tests.
+type Stats struct {
+	Nodes     int // live nodes
+	Deleted   int
+	MaxLevel  int
+	Edges     int     // directed edges across all layers
+	AvgDegree float64 // layer-0 out-degree among live nodes
+}
+
+// Stats computes current graph statistics.
+func (g *Graph) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st := Stats{Nodes: g.size, MaxLevel: g.maxLevel}
+	var deg0 int
+	for _, nd := range g.nodes {
+		if nd.deleted {
+			st.Deleted++
+			continue
+		}
+		nd.mu.Lock()
+		for l, lst := range nd.neighbors {
+			st.Edges += len(lst)
+			if l == 0 {
+				deg0 += len(lst)
+			}
+		}
+		nd.mu.Unlock()
+	}
+	if st.Nodes > 0 {
+		st.AvgDegree = float64(deg0) / float64(st.Nodes)
+	}
+	return st
+}

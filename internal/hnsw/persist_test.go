@@ -1,0 +1,97 @@
+package hnsw
+
+import (
+	"bytes"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	data := clusteredData(21, 800, 12, 6)
+	g := buildGraph(t, data, Config{Dim: 12, M: 10, EfConstruction: 120, Seed: 21})
+	if err := g.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() || g2.Dim() != g.Dim() {
+		t.Fatalf("loaded shape %d/%d, want %d/%d", g2.Len(), g2.Dim(), g.Len(), g.Dim())
+	}
+	if !g2.Deleted(5) {
+		t.Fatal("tombstone lost in round trip")
+	}
+	// Same queries must produce identical result sets.
+	r := rng.NewSeeded(3)
+	for i := 0; i < 20; i++ {
+		q := vec.Add(nil, data[r.IntN(len(data))], rng.GaussianVec(r, 12, 0.3))
+		a := g.Search(q, 10, 60)
+		b := g2.Search(q, 10, 60)
+		if len(a) != len(b) {
+			t.Fatalf("result count differs: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j].ID != b[j].ID {
+				t.Fatalf("query %d rank %d: id %d vs %d", i, j, a[j].ID, b[j].ID)
+			}
+		}
+	}
+	// The loaded graph must accept new inserts.
+	id := g2.Add(data[0])
+	if id != len(data) {
+		t.Fatalf("insert after load returned id %d, want %d", id, len(data))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an index")), nil); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	var empty bytes.Buffer
+	if _, err := Load(&empty, nil); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	g := buildGraph(t, clusteredData(22, 100, 6, 3), Config{Dim: 6, Seed: 22})
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{10, len(raw) / 2, len(raw) - 3} {
+		if _, err := Load(bytes.NewReader(raw[:cut]), nil); err == nil {
+			t.Fatalf("expected error for stream truncated at %d", cut)
+		}
+	}
+}
+
+func TestSaveLoadEmptyGraph(t *testing.T) {
+	g, err := New(Config{Dim: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != 0 {
+		t.Fatalf("loaded empty graph has Len %d", g2.Len())
+	}
+	if res := g2.Search(make([]float64, 4), 1, 10); len(res) != 0 {
+		t.Fatal("empty loaded graph returned results")
+	}
+}

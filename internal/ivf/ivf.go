@@ -1,0 +1,166 @@
+// Package ivf implements an IVF-Flat inverted-file index: a k-means coarse
+// quantizer routes each vector to one of nlist inverted lists, and a query
+// exhaustively scans its nprobe closest lists. Inverted files are the
+// second index family the paper names (Sections I/VIII); this package backs
+// the index-ablation experiment that compares filter-phase backends over
+// SAP ciphertexts.
+package ivf
+
+import (
+	"fmt"
+	"sync"
+
+	"ppanns/internal/kmeans"
+	"ppanns/internal/resultheap"
+	"ppanns/internal/vec"
+)
+
+// Config parameterizes index construction.
+type Config struct {
+	// Lists is nlist, the number of inverted lists (default √n capped to
+	// [16, 4096]).
+	Lists int
+	// TrainIters bounds the k-means iterations (default 20).
+	TrainIters int
+	// Seed drives quantizer training.
+	Seed uint64
+}
+
+// Index is a thread-safe IVF-Flat index.
+type Index struct {
+	dim       int
+	centroids [][]float64
+
+	mu      sync.RWMutex
+	lists   [][]int32 // list → member ids
+	data    *vec.Dataset
+	deleted []bool
+	live    int
+}
+
+// Build trains the quantizer on the vectors and populates the lists.
+func Build(vectors [][]float64, cfg Config) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("ivf: empty data")
+	}
+	nlist := cfg.Lists
+	if nlist <= 0 {
+		nlist = isqrt(len(vectors))
+		if nlist < 16 {
+			nlist = 16
+		}
+		if nlist > 4096 {
+			nlist = 4096
+		}
+	}
+	if nlist > len(vectors) {
+		nlist = len(vectors)
+	}
+	iters := cfg.TrainIters
+	if iters <= 0 {
+		iters = 20
+	}
+	res, err := kmeans.Fit(vectors, kmeans.Config{K: nlist, MaxIters: iters, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		dim:       len(vectors[0]),
+		centroids: res.Centroids,
+		lists:     make([][]int32, nlist),
+		data:      vec.NewDataset(len(vectors[0]), len(vectors)),
+		deleted:   make([]bool, 0, len(vectors)),
+	}
+	for i, v := range vectors {
+		ix.data.Append(v)
+		ix.deleted = append(ix.deleted, false)
+		c := res.Assign[i]
+		ix.lists[c] = append(ix.lists[c], int32(i))
+	}
+	ix.live = len(vectors)
+	return ix, nil
+}
+
+func isqrt(n int) int {
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}
+
+// Len returns the number of live vectors.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.live
+}
+
+// Dim returns the vector dimension.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Lists returns nlist.
+func (ix *Index) Lists() int { return len(ix.lists) }
+
+// Add inserts a vector and returns its id.
+func (ix *Index) Add(v []float64) int {
+	if len(v) != ix.dim {
+		panic(fmt.Sprintf("ivf: adding %d-dim vector to %d-dim index", len(v), ix.dim))
+	}
+	c := kmeans.Nearest(ix.centroids, v)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := ix.data.Append(v)
+	ix.deleted = append(ix.deleted, false)
+	ix.lists[c] = append(ix.lists[c], int32(id))
+	ix.live++
+	return id
+}
+
+// Delete tombstones an id.
+func (ix *Index) Delete(id int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id < 0 || id >= len(ix.deleted) {
+		return fmt.Errorf("ivf: delete of unknown id %d", id)
+	}
+	if ix.deleted[id] {
+		return fmt.Errorf("ivf: id %d already deleted", id)
+	}
+	ix.deleted[id] = true
+	ix.live--
+	return nil
+}
+
+// Search scans the nprobe closest lists and returns the k nearest live
+// ids, closest first.
+func (ix *Index) Search(q []float64, k, nprobe int) []resultheap.Item {
+	if len(q) != ix.dim {
+		panic(fmt.Sprintf("ivf: querying %d-dim vector in %d-dim index", len(q), ix.dim))
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ix.lists) {
+		nprobe = len(ix.lists)
+	}
+	probes := kmeans.NearestN(ix.centroids, q, nprobe)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	res := resultheap.NewMaxDistHeap(k + 1)
+	for _, c := range probes {
+		for _, id := range ix.lists[c] {
+			if ix.deleted[id] {
+				continue
+			}
+			d := vec.SqDist(q, ix.data.At(int(id)))
+			if res.Len() < k {
+				res.Push(int(id), d)
+			} else if d < res.Top().Dist {
+				res.Pop()
+				res.Push(int(id), d)
+			}
+		}
+	}
+	return res.SortedAscending()
+}

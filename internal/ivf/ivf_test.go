@@ -1,0 +1,122 @@
+package ivf
+
+import (
+	"testing"
+
+	"ppanns/internal/dataset"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+func buildIndex(t *testing.T, n int) (*Index, *dataset.Data) {
+	t.Helper()
+	d := dataset.DeepLike(n, 20, 31)
+	ix, err := Build(d.Train, Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, d
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+}
+
+func TestRecallImprovesWithNProbe(t *testing.T) {
+	ix, d := buildIndex(t, 3000)
+	gt := d.GroundTruth(10)
+	measure := func(nprobe int) float64 {
+		var recall float64
+		for qi, q := range d.Queries {
+			items := ix.Search(q, 10, nprobe)
+			ids := make([]int, len(items))
+			for i, it := range items {
+				ids[i] = it.ID
+			}
+			recall += dataset.Recall(ids, gt[qi])
+		}
+		return recall / float64(len(d.Queries))
+	}
+	r1 := measure(1)
+	r8 := measure(8)
+	rAll := measure(ix.Lists())
+	if r8 < r1 {
+		t.Fatalf("recall fell with more probes: %.3f vs %.3f", r1, r8)
+	}
+	if rAll < 0.999 {
+		t.Fatalf("probing all lists must be exact, got %.3f", rAll)
+	}
+	if r8 < 0.6 {
+		t.Fatalf("nprobe=8 recall = %.3f, want ≥ 0.6", r8)
+	}
+}
+
+func TestResultsSorted(t *testing.T) {
+	ix, d := buildIndex(t, 800)
+	items := ix.Search(d.Queries[0], 10, 8)
+	for i := 1; i < len(items); i++ {
+		if items[i].Dist < items[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestAddAndDelete(t *testing.T) {
+	ix, d := buildIndex(t, 500)
+	r := rng.NewSeeded(7)
+	novel := vec.Normalize(rng.GaussianVec(r, d.Dim, 1))
+	id := ix.Add(novel)
+	if id != 500 {
+		t.Fatalf("Add id = %d", id)
+	}
+	items := ix.Search(novel, 1, ix.Lists())
+	if len(items) != 1 || items[0].ID != id {
+		t.Fatalf("inserted vector not found: %+v", items)
+	}
+	if err := ix.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	items = ix.Search(novel, 1, ix.Lists())
+	if len(items) == 1 && items[0].ID == id {
+		t.Fatal("deleted id still returned")
+	}
+	if err := ix.Delete(id); err == nil {
+		t.Fatal("expected error for double delete")
+	}
+	if err := ix.Delete(9999); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	if ix.Len() != 500 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	ix, _ := buildIndex(t, 200)
+	for name, fn := range map[string]func(){
+		"Add":    func() { ix.Add(make([]float64, 3)) },
+		"Search": func() { ix.Search(make([]float64, 3), 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestListsCoverAllVectors(t *testing.T) {
+	ix, _ := buildIndex(t, 700)
+	total := 0
+	for _, lst := range ix.lists {
+		total += len(lst)
+	}
+	if total != 700 {
+		t.Fatalf("lists hold %d entries, want 700", total)
+	}
+}

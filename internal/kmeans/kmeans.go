@@ -1,0 +1,184 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding and
+// parallel assignment — the coarse quantizer behind the IVF index
+// (inverted files are one of the k-ANNS index families the paper surveys
+// in Sections I and VIII).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// Config parameterizes a clustering run.
+type Config struct {
+	// K is the number of centroids (required).
+	K int
+	// MaxIters bounds Lloyd iterations (default 25).
+	MaxIters int
+	// Tol stops early when the mean centroid movement falls below it
+	// (default 1e-4 of the data scale).
+	Tol float64
+	// Seed drives k-means++ seeding.
+	Seed uint64
+}
+
+// Result is a fitted clustering.
+type Result struct {
+	Centroids [][]float64
+	// Assign maps each input row to its centroid index.
+	Assign []int
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// Fit clusters data into cfg.K groups.
+func Fit(data [][]float64, cfg Config) (*Result, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("kmeans: empty data")
+	}
+	if cfg.K <= 0 || cfg.K > len(data) {
+		return nil, fmt.Errorf("kmeans: k=%d outside [1,%d]", cfg.K, len(data))
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 25
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-4
+	}
+	dim := len(data[0])
+	r := rng.NewSeeded(cfg.Seed ^ 0x43a9)
+
+	centroids := seedPlusPlus(r, data, cfg.K)
+	assign := make([]int, len(data))
+	counts := make([]int, cfg.K)
+	workers := runtime.GOMAXPROCS(0)
+
+	var iters int
+	for iters = 0; iters < cfg.MaxIters; iters++ {
+		// Assignment step (parallel).
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(data); i += workers {
+					assign[i] = nearest(centroids, data[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Update step.
+		next := make([][]float64, cfg.K)
+		for c := range next {
+			next[c] = make([]float64, dim)
+			counts[c] = 0
+		}
+		for i, c := range assign {
+			vec.Add(next[c], next[c], data[i])
+			counts[c]++
+		}
+		var moved float64
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on a random point.
+				copy(next[c], data[r.IntN(len(data))])
+			} else {
+				vec.Scale(next[c], 1/float64(counts[c]), next[c])
+			}
+			moved += vec.Dist(next[c], centroids[c])
+		}
+		centroids = next
+		if moved/float64(cfg.K) < cfg.Tol {
+			iters++
+			break
+		}
+	}
+	return &Result{Centroids: centroids, Assign: assign, Iters: iters}, nil
+}
+
+// nearest returns the index of the centroid closest to v.
+func nearest(centroids [][]float64, v []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := vec.SqDist(cent, v); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Nearest exposes centroid lookup for search-time probing.
+func Nearest(centroids [][]float64, v []float64) int { return nearest(centroids, v) }
+
+// NearestN returns the indexes of the n closest centroids, closest first.
+func NearestN(centroids [][]float64, v []float64, n int) []int {
+	type pair struct {
+		c int
+		d float64
+	}
+	best := make([]pair, 0, n+1)
+	for c, cent := range centroids {
+		d := vec.SqDist(cent, v)
+		if len(best) == n && d >= best[len(best)-1].d {
+			continue
+		}
+		pos := 0
+		for pos < len(best) && best[pos].d <= d {
+			pos++
+		}
+		best = append(best, pair{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = pair{c: c, d: d}
+		if len(best) > n {
+			best = best[:n]
+		}
+	}
+	out := make([]int, len(best))
+	for i, p := range best {
+		out[i] = p.c
+	}
+	return out
+}
+
+// seedPlusPlus implements k-means++ (D² sampling).
+func seedPlusPlus(r *rng.Rand, data [][]float64, k int) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, vec.Clone(data[r.IntN(len(data))]))
+	d2 := make([]float64, len(data))
+	for i, v := range data {
+		d2[i] = vec.SqDist(v, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = r.IntN(len(data))
+		} else {
+			target := r.Float64() * total
+			for i, d := range d2 {
+				target -= d
+				if target <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		c := vec.Clone(data[pick])
+		centroids = append(centroids, c)
+		for i, v := range data {
+			if d := vec.SqDist(v, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}

@@ -1,0 +1,137 @@
+package kmeans
+
+import (
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// separated generates k well-separated clusters of m points each.
+func separated(seed uint64, k, m, dim int) ([][]float64, []int) {
+	r := rng.NewSeeded(seed)
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = rng.GaussianVec(r, dim, 20)
+	}
+	var data [][]float64
+	var labels []int
+	for c := 0; c < k; c++ {
+		for j := 0; j < m; j++ {
+			data = append(data, vec.Add(nil, centers[c], rng.GaussianVec(r, dim, 0.5)))
+			labels = append(labels, c)
+		}
+	}
+	return data, labels
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Fit(nil, Config{K: 2}); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	data, _ := separated(1, 2, 5, 4)
+	if _, err := Fit(data, Config{K: 0}); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := Fit(data, Config{K: 100}); err == nil {
+		t.Fatal("expected error for k > n")
+	}
+}
+
+func TestRecoverSeparatedClusters(t *testing.T) {
+	const k = 6
+	data, labels := separated(2, k, 60, 8)
+	res, err := Fit(data, Config{K: k, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != k {
+		t.Fatalf("%d centroids", len(res.Centroids))
+	}
+	// Points with the same true label must share an assignment almost
+	// always (purity check).
+	byLabel := map[int]map[int]int{}
+	for i, a := range res.Assign {
+		if byLabel[labels[i]] == nil {
+			byLabel[labels[i]] = map[int]int{}
+		}
+		byLabel[labels[i]][a]++
+	}
+	pure := 0
+	for _, counts := range byLabel {
+		max, total := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		if float64(max) >= 0.95*float64(total) {
+			pure++
+		}
+	}
+	if pure < k-1 {
+		t.Fatalf("only %d/%d clusters recovered purely", pure, k)
+	}
+}
+
+func TestAssignmentsAreNearest(t *testing.T) {
+	data, _ := separated(3, 4, 40, 6)
+	res, err := Fit(data, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Assign {
+		if got := Nearest(res.Centroids, data[i]); got != a {
+			// Lloyd's last update can shift a centroid slightly; allow
+			// distance ties only.
+			da := vec.SqDist(data[i], res.Centroids[a])
+			dg := vec.SqDist(data[i], res.Centroids[got])
+			if dg < da*(1-1e-9) && da-dg > 1e-9 {
+				t.Fatalf("point %d assigned %d but nearest is %d (%g vs %g)", i, a, got, da, dg)
+			}
+		}
+	}
+}
+
+func TestNearestN(t *testing.T) {
+	cents := [][]float64{{0, 0}, {10, 0}, {1, 0}, {5, 0}}
+	got := NearestN(cents, []float64{0.4, 0}, 3)
+	want := []int{0, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NearestN = %v, want %v", got, want)
+		}
+	}
+	if n := len(NearestN(cents, []float64{0, 0}, 10)); n != 4 {
+		t.Fatalf("NearestN overflow len = %d", n)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	data, _ := separated(4, 3, 30, 5)
+	a, err := Fit(data, Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(data, Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		if !vec.ApproxEqual(a.Centroids[i], b.Centroids[i], 0) {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	data, _ := separated(5, 2, 3, 4)
+	res, err := Fit(data, Config{K: len(data), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != len(data) {
+		t.Fatalf("%d centroids for k=n", len(res.Centroids))
+	}
+}

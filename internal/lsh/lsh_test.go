@@ -1,0 +1,231 @@
+package lsh
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+func clustered(seed uint64, n, dim, clusters int) [][]float64 {
+	r := rng.NewSeeded(seed)
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		centers[i] = rng.GaussianVec(r, dim, 8)
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = vec.Add(nil, centers[r.IntN(clusters)], rng.GaussianVec(r, dim, 1))
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0}); err == nil {
+		t.Fatal("expected error for dim 0")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	ix, err := New(Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tables() != 8 {
+		t.Fatalf("default tables = %d", ix.Tables())
+	}
+}
+
+func TestSelfRetrieval(t *testing.T) {
+	// An indexed vector must appear in its own candidate set.
+	data := clustered(1, 500, 16, 5)
+	ix, err := New(Config{Dim: 16, Tables: 8, Hashes: 8, W: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		ix.Insert(i, v)
+	}
+	for i := 0; i < 100; i++ {
+		cands := ix.Candidates(data[i], 0, 0)
+		found := false
+		for _, c := range cands {
+			if c == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("vector %d missing from its own bucket", i)
+		}
+	}
+}
+
+func TestNearNeighborsRetrieved(t *testing.T) {
+	// Most true near neighbors should land in the candidate union — the
+	// property the RS-SANN/PRI-ANN filter depends on.
+	const n, dim, k = 3000, 16, 10
+	data := clustered(2, n, dim, 15)
+	ix, err := New(Config{Dim: dim, Tables: 10, Hashes: 6, W: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		ix.Insert(i, v)
+	}
+	r := rng.NewSeeded(3)
+	var recall float64
+	const queries = 40
+	for qi := 0; qi < queries; qi++ {
+		q := vec.Add(nil, data[r.IntN(n)], rng.GaussianVec(r, dim, 0.3))
+		cands := ix.Candidates(q, 4, 0)
+		// Exact k-NN among all points.
+		type pair struct {
+			id int
+			d  float64
+		}
+		all := make([]pair, n)
+		for i, v := range data {
+			all[i] = pair{i, vec.SqDist(v, q)}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		want := map[int]bool{}
+		for _, p := range all[:k] {
+			want[p.id] = true
+		}
+		hit := 0
+		for _, c := range cands {
+			if want[c] {
+				hit++
+			}
+		}
+		recall += float64(hit) / k
+	}
+	recall /= queries
+	if recall < 0.7 {
+		t.Fatalf("candidate recall = %.3f, want ≥ 0.7", recall)
+	}
+}
+
+func TestMultiProbeExpandsCandidates(t *testing.T) {
+	data := clustered(4, 2000, 12, 10)
+	ix, err := New(Config{Dim: 12, Tables: 4, Hashes: 10, W: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		ix.Insert(i, v)
+	}
+	r := rng.NewSeeded(5)
+	growCount := 0
+	for qi := 0; qi < 20; qi++ {
+		q := vec.Add(nil, data[r.IntN(len(data))], rng.GaussianVec(r, 12, 0.5))
+		exact := len(ix.Candidates(q, 0, 0))
+		probed := len(ix.Candidates(q, 6, 0))
+		if probed < exact {
+			t.Fatalf("multi-probe shrank candidates: %d vs %d", probed, exact)
+		}
+		if probed > exact {
+			growCount++
+		}
+	}
+	if growCount == 0 {
+		t.Fatal("multi-probe never expanded any candidate set")
+	}
+}
+
+func TestMaxCandidatesTruncates(t *testing.T) {
+	data := clustered(6, 1000, 8, 1) // one cluster: huge buckets
+	ix, err := New(Config{Dim: 8, Tables: 4, Hashes: 2, W: 50, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		ix.Insert(i, v)
+	}
+	cands := ix.Candidates(data[0], 0, 37)
+	if len(cands) > 37 {
+		t.Fatalf("maxCandidates ignored: %d", len(cands))
+	}
+}
+
+func TestCandidatesDeduplicated(t *testing.T) {
+	data := clustered(7, 300, 8, 2)
+	ix, err := New(Config{Dim: 8, Tables: 12, Hashes: 4, W: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		ix.Insert(i, v)
+	}
+	cands := ix.Candidates(data[0], 2, 0)
+	seen := map[int]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %d", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestBucketOfStable(t *testing.T) {
+	ix, err := New(Config{Dim: 6, Tables: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rng.Gaussian(rng.NewSeeded(9), nil, 6)
+	a := ix.BucketOf(q)
+	b := ix.BucketOf(q)
+	if len(a) != 3 {
+		t.Fatalf("BucketOf returned %d keys", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("BucketOf not deterministic")
+		}
+	}
+}
+
+func TestConcurrentInsert(t *testing.T) {
+	data := clustered(10, 1000, 8, 4)
+	ix, err := New(Config{Dim: 8, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(data); i += 8 {
+				ix.Insert(i, data[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != len(data) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(data))
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	ix, err := New(Config{Dim: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"Insert":     func() { ix.Insert(0, make([]float64, 3)) },
+		"Candidates": func() { ix.Candidates(make([]float64, 5), 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"ppanns/internal/rng"
+)
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U, stored compactly with L's unit diagonal implied.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  int
+}
+
+// pivotTol is the smallest pivot magnitude (relative to the matrix scale)
+// accepted before a factorization is declared numerically singular.
+const pivotTol = 1e-10
+
+// Factorize computes the LU factorization of the square matrix a.
+// It returns ErrSingular when a pivot falls below tolerance.
+func Factorize(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: LU of non-square %dx%d: %w", a.rows, a.cols, ErrSingular)
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+
+	// Matrix scale for the relative pivot test.
+	var scale float64
+	for _, v := range lu.data {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	if scale == 0 {
+		return nil, fmt.Errorf("matrix: zero matrix: %w", ErrSingular)
+	}
+
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max < pivotTol*scale {
+			return nil, fmt.Errorf("matrix: pivot %g below tolerance at step %d: %w", max, k, ErrSingular)
+		}
+		pivot[k] = p
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			sign = -sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) * inv
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve solves A·x = b in place of a fresh slice and returns x.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: LU solve with %d-vector against %dx%d", len(b), n, n))
+	}
+	x := append([]float64(nil), b...)
+	// Apply the row permutation.
+	for k, p := range f.pivot {
+		if p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (unit lower triangular).
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x
+}
+
+// Inverse returns A⁻¹ from the factorization.
+func (f *LU) Inverse() *Dense {
+	n := f.lu.rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := f.Solve(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv
+}
+
+// Inverse returns m⁻¹, or ErrSingular when m is not invertible to working
+// precision.
+func (m *Dense) Inverse() (*Dense, error) {
+	f, err := Factorize(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse(), nil
+}
+
+// Solve solves m·x = b.
+func (m *Dense) Solve(b []float64) ([]float64, error) {
+	f, err := Factorize(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// RandomInvertible samples an n×n matrix with independent N(0,1) entries and
+// retries until the LU factorization accepts it. Gaussian matrices are
+// invertible with probability 1 and almost always well conditioned, so the
+// loop virtually never iterates more than once.
+func RandomInvertible(r *rng.Rand, n int) (*Dense, *Dense) {
+	for attempt := 0; ; attempt++ {
+		m := NewDense(n, n)
+		for i := range m.data {
+			m.data[i] = r.NormFloat64()
+		}
+		f, err := Factorize(m)
+		if err == nil {
+			return m, f.Inverse()
+		}
+		if attempt > 32 {
+			panic("matrix: could not sample an invertible matrix after 32 attempts")
+		}
+	}
+}

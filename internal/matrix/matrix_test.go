@@ -1,0 +1,164 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+func TestMulVecAndVecMul(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}}) // 3x2
+	got := m.MulVec(nil, []float64{1, 1})
+	if !vec.ApproxEqual(got, []float64{3, 7, 11}, 0) {
+		t.Fatalf("MulVec = %v", got)
+	}
+	got = m.VecMul(nil, []float64{1, 1, 1})
+	if !vec.ApproxEqual(got, []float64{9, 12}, 0) {
+		t.Fatalf("VecMul = %v", got)
+	}
+}
+
+func TestVecMulMatchesTransposeMulVec(t *testing.T) {
+	r := rng.NewSeeded(1)
+	for trial := 0; trial < 30; trial++ {
+		m := NewDense(7, 5)
+		for i := range m.Raw() {
+			m.Raw()[i] = r.NormFloat64()
+		}
+		x := rng.Gaussian(r, nil, 7)
+		a := m.VecMul(nil, x)
+		b := m.Transpose().MulVec(nil, x)
+		if !vec.ApproxEqual(a, b, 1e-12) {
+			t.Fatalf("xᵀA != Aᵀx: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !vec.ApproxEqual(c.Raw(), want.Raw(), 0) {
+		t.Fatalf("Mul = %v", c.Raw())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	r := rng.NewSeeded(2)
+	m := NewDense(4, 4)
+	for i := range m.Raw() {
+		m.Raw()[i] = r.NormFloat64()
+	}
+	if !vec.ApproxEqual(Mul(id, m).Raw(), m.Raw(), 0) {
+		t.Fatal("I·M != M")
+	}
+	if !vec.ApproxEqual(Mul(m, id).Raw(), m.Raw(), 0) {
+		t.Fatal("M·I != M")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rng.NewSeeded(3)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + trial%13
+		m, inv := RandomInvertible(r, n)
+		prod := Mul(m, inv)
+		id := Identity(n)
+		if !vec.ApproxEqual(prod.Raw(), id.Raw(), 1e-8) {
+			t.Fatalf("n=%d: M·M⁻¹ deviates from I", n)
+		}
+	}
+}
+
+func TestSolve(t *testing.T) {
+	r := rng.NewSeeded(4)
+	for trial := 0; trial < 20; trial++ {
+		n := 8
+		m, _ := RandomInvertible(r, n)
+		want := rng.Gaussian(r, nil, n)
+		b := m.MulVec(nil, want)
+		got, err := m.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vec.ApproxEqual(got, want, 1e-8) {
+			t.Fatalf("solve mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {2, 4}}) // rank 1
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+	z := NewDense(3, 3)
+	if _, err := z.Inverse(); err == nil {
+		t.Fatal("expected ErrSingular for zero matrix")
+	}
+}
+
+func TestFactorizeNonSquare(t *testing.T) {
+	if _, err := Factorize(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square factorization")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %+v", tr.Raw())
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.SubMatrix(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !vec.ApproxEqual(s.Raw(), want.Raw(), 0) {
+		t.Fatalf("SubMatrix = %v", s.Raw())
+	}
+}
+
+func TestFromRaw(t *testing.T) {
+	m, err := FromRaw(2, 2, []float64{1, 2, 3, 4})
+	if err != nil || m.At(1, 0) != 3 {
+		t.Fatalf("FromRaw: %v", err)
+	}
+	if _, err := FromRaw(2, 3, []float64{1}); err == nil {
+		t.Fatal("expected error for bad raw length")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestBilinearInvariance(t *testing.T) {
+	// The invariance every matrix-encryption scheme in the paper relies on:
+	// (xᵀM)·(M⁻¹y) = xᵀy.
+	r := rng.NewSeeded(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 12
+		m, inv := RandomInvertible(r, n)
+		x := rng.Gaussian(r, nil, n)
+		y := rng.Gaussian(r, nil, n)
+		encX := m.VecMul(nil, x)
+		encY := inv.MulVec(nil, y)
+		got := vec.Dot(encX, encY)
+		want := vec.Dot(x, y)
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("invariance broken: %v vs %v", got, want)
+		}
+	}
+}

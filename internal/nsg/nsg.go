@@ -1,0 +1,479 @@
+// Package nsg implements a navigating spreading-out graph in the style of
+// Fu et al. (the paper's reference [9]) — the alternative proximity graph
+// Section V-A says can replace HNSW under the privacy-preserving index.
+//
+// Construction follows the NSG recipe: an approximate kNN graph seeds the
+// candidate pools, edges are selected with the MRNG occlusion rule from a
+// navigating node (the medoid), and a spanning traversal guarantees every
+// vertex stays reachable. Search is a beam walk from the navigating node.
+// The graph is static (NSG is a batch-built index); deletions tombstone
+// vertices and searches skip them.
+package nsg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ppanns/internal/hnsw"
+	"ppanns/internal/resultheap"
+	"ppanns/internal/vec"
+)
+
+// Config parameterizes construction.
+type Config struct {
+	// R is the maximum out-degree (default 24).
+	R int
+	// L is the candidate pool size per node during construction
+	// (default 64).
+	L int
+	// KNN is the neighbor count of the seeding kNN graph (default 32).
+	KNN int
+	// Seed drives the auxiliary kNN construction.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.R <= 0 {
+		c.R = 32
+	}
+	if c.L <= 0 {
+		c.L = 128
+	}
+	if c.KNN <= 0 {
+		c.KNN = 48
+	}
+	return c
+}
+
+// Graph is a built NSG index.
+type Graph struct {
+	cfg  Config
+	dim  int
+	data *vec.Dataset
+	adj  [][]int32
+	nav  int // navigating node (medoid)
+
+	mu      sync.RWMutex
+	deleted []bool
+	live    int
+
+	ctxPool sync.Pool
+}
+
+// Build constructs the graph over the given vectors.
+func Build(vectors [][]float64, cfg Config) (*Graph, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("nsg: empty data")
+	}
+	cfg = cfg.withDefaults()
+	n := len(vectors)
+	dim := len(vectors[0])
+
+	// Step 1: approximate kNN pools via an auxiliary HNSW.
+	aux, err := hnsw.New(hnsw.Config{Dim: dim, M: 16, EfConstruction: 2 * cfg.L, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vectors {
+		aux.Add(v)
+	}
+
+	g := &Graph{
+		cfg:     cfg,
+		dim:     dim,
+		data:    vec.NewDataset(dim, n),
+		adj:     make([][]int32, n),
+		deleted: make([]bool, n),
+		live:    n,
+	}
+	for _, v := range vectors {
+		g.data.Append(v)
+	}
+	g.nav = medoid(vectors)
+
+	// Step 2: per-node candidate pools + MRNG pruning (parallel).
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				pool := aux.Search(vectors[i], cfg.L, 2*cfg.L)
+				cands := pool[:0]
+				for _, it := range pool {
+					if it.ID != i {
+						cands = append(cands, it)
+					}
+				}
+				g.adj[i] = g.occlusionPrune(vectors[i], cands, cfg.R)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Step 3: NSG refinement — rebuild every node's pool from the set of
+	// nodes *visited* while searching the current graph from the
+	// navigating node (this is what plants the long-range edges the MRNG
+	// rule then thins), merged with the kNN pool, and re-prune. A second
+	// pass runs over the improved graph, whose longer edges widen the
+	// visited pools further.
+	g.refineFromNavigator(vectors, aux)
+	g.insertReverseEdges()
+	g.refineFromNavigator(vectors, aux)
+
+	// Step 4: reverse-edge insertion — for every selected edge (u, v) try
+	// to add (v, u), re-pruning v's list with the occlusion rule when it
+	// overflows. This is what makes the spread-out graph navigable in both
+	// directions.
+	g.insertReverseEdges()
+
+	// Step 5: connectivity — span unreachable vertices from the
+	// navigating node by attaching them to their nearest reached vertex.
+	g.ensureReachable()
+	return g, nil
+}
+
+// refineFromNavigator replaces each node's adjacency with an occlusion-
+// pruned selection over {nodes visited during a beam search nav→v} ∪
+// {the kNN pool}, following the NSG construction.
+func (g *Graph) refineFromNavigator(vectors [][]float64, aux *hnsw.Graph) {
+	n := len(vectors)
+	frozen := make([][]int32, n)
+	for i, lst := range g.adj {
+		frozen[i] = append([]int32(nil), lst...)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			visited := make([]bool, n)
+			for i := w; i < n; i += workers {
+				pool := g.collectVisited(frozen, vectors[i], visited)
+				// Merge the kNN pool (closest candidates) back in.
+				for _, it := range aux.Search(vectors[i], g.cfg.KNN, g.cfg.L) {
+					if !visited[it.ID] {
+						visited[it.ID] = true
+						pool = append(pool, it)
+					}
+				}
+				for _, it := range pool {
+					visited[it.ID] = false
+				}
+				filtered := pool[:0]
+				for _, it := range pool {
+					if it.ID != i {
+						filtered = append(filtered, it)
+					}
+				}
+				sortItems(filtered)
+				g.adj[i] = g.occlusionPrune(vectors[i], filtered, g.cfg.R)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// collectVisited beam-searches the frozen graph from the navigating node
+// towards q and returns every node whose distance was evaluated. The
+// visited scratch must be all-false on entry and is reset via the returned
+// pool by the caller.
+func (g *Graph) collectVisited(frozen [][]int32, q []float64, visited []bool) []resultheap.Item {
+	var pool []resultheap.Item
+	cand := resultheap.NewMinDistHeap(g.cfg.L + 1)
+	res := resultheap.NewMaxDistHeap(g.cfg.L + 1)
+	mark := func(id int, d float64) {
+		visited[id] = true
+		pool = append(pool, resultheap.Item{ID: id, Dist: d})
+	}
+	d0 := vec.SqDist(q, g.data.At(g.nav))
+	mark(g.nav, d0)
+	cand.Push(g.nav, d0)
+	res.Push(g.nav, d0)
+	for cand.Len() > 0 {
+		c := cand.Pop()
+		if res.Len() >= g.cfg.L && c.Dist > res.Top().Dist {
+			break
+		}
+		for _, nb := range frozen[c.ID] {
+			id := int(nb)
+			if visited[id] {
+				continue
+			}
+			d := vec.SqDist(q, g.data.At(id))
+			mark(id, d)
+			if res.Len() < g.cfg.L || d < res.Top().Dist {
+				cand.Push(id, d)
+				res.Push(id, d)
+				if res.Len() > g.cfg.L {
+					res.Pop()
+				}
+			}
+		}
+	}
+	return pool
+}
+
+// insertReverseEdges adds v→u for every u→v, occlusion-pruning overflowing
+// lists back down to R.
+func (g *Graph) insertReverseEdges() {
+	n := len(g.adj)
+	incoming := make([][]int32, n)
+	for u, lst := range g.adj {
+		for _, v := range lst {
+			incoming[v] = append(incoming[v], int32(u))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if len(incoming[v]) == 0 {
+			continue
+		}
+		present := make(map[int32]bool, len(g.adj[v]))
+		for _, nb := range g.adj[v] {
+			present[nb] = true
+		}
+		changed := false
+		for _, u := range incoming[v] {
+			if int(u) != v && !present[u] {
+				g.adj[v] = append(g.adj[v], u)
+				present[u] = true
+				changed = true
+			}
+		}
+		if !changed || len(g.adj[v]) <= g.cfg.R {
+			continue
+		}
+		// Re-prune with the occlusion rule over the merged list.
+		base := g.data.At(v)
+		items := make([]resultheap.Item, 0, len(g.adj[v]))
+		for _, nb := range g.adj[v] {
+			items = append(items, resultheap.Item{ID: int(nb), Dist: vec.SqDist(base, g.data.At(int(nb)))})
+		}
+		sortItems(items)
+		g.adj[v] = g.occlusionPrune(base, items, g.cfg.R)
+	}
+}
+
+// sortItems sorts ascending by distance (insertion sort; lists are short).
+func sortItems(items []resultheap.Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].Dist < items[j-1].Dist; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+// medoid returns the index of the vector closest to the mean.
+func medoid(vectors [][]float64) int {
+	dim := len(vectors[0])
+	mean := make([]float64, dim)
+	for _, v := range vectors {
+		vec.Add(mean, mean, v)
+	}
+	vec.Scale(mean, 1/float64(len(vectors)), mean)
+	best, bestD := 0, vec.SqDist(vectors[0], mean)
+	for i := 1; i < len(vectors); i++ {
+		if d := vec.SqDist(vectors[i], mean); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// occlusionPrune applies the MRNG edge rule: candidate c (ascending by
+// distance) is kept iff no already-kept edge r satisfies
+// dist(c, r) < dist(c, base).
+func (g *Graph) occlusionPrune(base []float64, cands []resultheap.Item, r int) []int32 {
+	out := make([]int32, 0, r)
+	for _, c := range cands {
+		if len(out) >= r {
+			break
+		}
+		cv := g.data.At(c.ID)
+		keep := true
+		for _, sel := range out {
+			if vec.SqDist(cv, g.data.At(int(sel))) < c.Dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, int32(c.ID))
+		}
+	}
+	return out
+}
+
+// ensureReachable BFSes from the navigating node, then attaches each
+// unreached vertex to its nearest reached neighbor (bidirectionally).
+func (g *Graph) ensureReachable() {
+	n := len(g.adj)
+	reached := make([]bool, n)
+	queue := []int{g.nav}
+	reached[g.nav] = true
+	var order []int
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		for _, nb := range g.adj[cur] {
+			if !reached[nb] {
+				reached[nb] = true
+				queue = append(queue, int(nb))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if reached[i] {
+			continue
+		}
+		// Attach to the closest vertex in BFS order (sampled for speed on
+		// large graphs).
+		v := g.data.At(i)
+		best, bestD := g.nav, vec.SqDist(v, g.data.At(g.nav))
+		step := len(order)/512 + 1
+		for j := 0; j < len(order); j += step {
+			if d := vec.SqDist(v, g.data.At(order[j])); d < bestD {
+				best, bestD = order[j], d
+			}
+		}
+		g.adj[best] = append(g.adj[best], int32(i))
+		g.adj[i] = append(g.adj[i], int32(best))
+		reached[i] = true
+		order = append(order, i)
+	}
+}
+
+// Len returns the number of live vectors.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.live
+}
+
+// Dim returns the vector dimension.
+func (g *Graph) Dim() int { return g.dim }
+
+// NavigatingNode returns the entry vertex id.
+func (g *Graph) NavigatingNode() int { return g.nav }
+
+// Delete tombstones an id; searches route through it but never return it.
+func (g *Graph) Delete(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 || id >= len(g.deleted) {
+		return fmt.Errorf("nsg: delete of unknown id %d", id)
+	}
+	if g.deleted[id] {
+		return fmt.Errorf("nsg: id %d already deleted", id)
+	}
+	g.deleted[id] = true
+	g.live--
+	return nil
+}
+
+type searchCtx struct {
+	visited []uint32
+	epoch   uint32
+}
+
+// Search returns the (approximately) k closest live ids, closest first,
+// using beam width ef.
+func (g *Graph) Search(q []float64, k, ef int) []resultheap.Item {
+	if len(q) != g.dim {
+		panic(fmt.Sprintf("nsg: querying %d-dim vector in %d-dim graph", len(q), g.dim))
+	}
+	if ef < k {
+		ef = k
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.live == 0 {
+		return nil
+	}
+
+	ctx, _ := g.ctxPool.Get().(*searchCtx)
+	if ctx == nil || len(ctx.visited) < len(g.adj) {
+		ctx = &searchCtx{visited: make([]uint32, len(g.adj))}
+	}
+	ctx.epoch++
+	if ctx.epoch == 0 {
+		for i := range ctx.visited {
+			ctx.visited[i] = 0
+		}
+		ctx.epoch = 1
+	}
+	defer g.ctxPool.Put(ctx)
+	seen := func(id int) bool {
+		if ctx.visited[id] == ctx.epoch {
+			return true
+		}
+		ctx.visited[id] = ctx.epoch
+		return false
+	}
+
+	cand := resultheap.NewMinDistHeap(ef + 1)
+	res := resultheap.NewMaxDistHeap(ef + 1)
+	d0 := vec.SqDist(q, g.data.At(g.nav))
+	seen(g.nav)
+	cand.Push(g.nav, d0)
+	if !g.deleted[g.nav] {
+		res.Push(g.nav, d0)
+	}
+	for cand.Len() > 0 {
+		c := cand.Pop()
+		if res.Len() >= ef && c.Dist > res.Top().Dist {
+			break
+		}
+		for _, nb := range g.adj[c.ID] {
+			id := int(nb)
+			if seen(id) {
+				continue
+			}
+			d := vec.SqDist(q, g.data.At(id))
+			if res.Len() < ef || d < res.Top().Dist {
+				cand.Push(id, d)
+				if !g.deleted[id] {
+					res.Push(id, d)
+					if res.Len() > ef {
+						res.Pop()
+					}
+				}
+			}
+		}
+	}
+	items := res.SortedAscending()
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// Stats describes the graph shape.
+type Stats struct {
+	Nodes     int
+	Deleted   int
+	Edges     int
+	AvgDegree float64
+}
+
+// Stats computes degree statistics.
+func (g *Graph) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st := Stats{Nodes: g.live}
+	for i, lst := range g.adj {
+		if g.deleted[i] {
+			st.Deleted++
+			continue
+		}
+		st.Edges += len(lst)
+	}
+	if st.Nodes > 0 {
+		st.AvgDegree = float64(st.Edges) / float64(st.Nodes)
+	}
+	return st
+}

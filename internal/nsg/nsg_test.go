@@ -1,0 +1,139 @@
+package nsg
+
+import (
+	"testing"
+
+	"ppanns/internal/dataset"
+)
+
+func buildGraph(t *testing.T, n int) (*Graph, *dataset.Data) {
+	t.Helper()
+	d := dataset.DeepLike(n, 20, 41)
+	g, err := Build(d.Train, Config{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, d
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	g, d := buildGraph(t, 3000)
+	gt := d.GroundTruth(10)
+	var recall float64
+	for qi, q := range d.Queries {
+		items := g.Search(q, 10, 100)
+		ids := make([]int, len(items))
+		for i, it := range items {
+			ids[i] = it.ID
+		}
+		recall += dataset.Recall(ids, gt[qi])
+	}
+	recall /= float64(len(d.Queries))
+	if recall < 0.9 {
+		t.Fatalf("NSG recall = %.3f, want ≥ 0.9", recall)
+	}
+}
+
+func TestEveryVertexReachable(t *testing.T) {
+	g, _ := buildGraph(t, 1200)
+	reached := make([]bool, len(g.adj))
+	queue := []int{g.NavigatingNode()}
+	reached[g.nav] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[cur] {
+			if !reached[nb] {
+				reached[nb] = true
+				count++
+				queue = append(queue, int(nb))
+			}
+		}
+	}
+	if count != len(g.adj) {
+		t.Fatalf("only %d/%d vertices reachable from the navigating node", count, len(g.adj))
+	}
+}
+
+func TestDegreeBounded(t *testing.T) {
+	g, _ := buildGraph(t, 1000)
+	st := g.Stats()
+	if st.AvgDegree <= 1 {
+		t.Fatalf("implausible average degree %f", st.AvgDegree)
+	}
+	// Connectivity repair may push a few vertices slightly over R; the
+	// bulk must respect the bound.
+	over := 0
+	for _, lst := range g.adj {
+		if len(lst) > g.cfg.R+4 {
+			over++
+		}
+	}
+	if over > len(g.adj)/50 {
+		t.Fatalf("%d vertices far exceed the degree bound R=%d", over, g.cfg.R)
+	}
+}
+
+func TestSelfQuery(t *testing.T) {
+	g, d := buildGraph(t, 800)
+	hits := 0
+	for i := 0; i < 100; i++ {
+		items := g.Search(d.Train[i], 1, 50)
+		if len(items) == 1 && items[0].ID == i {
+			hits++
+		}
+	}
+	if hits < 95 {
+		t.Fatalf("self-query hit rate %d/100", hits)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	g, d := buildGraph(t, 600)
+	items := g.Search(d.Queries[0], 5, 50)
+	victim := items[0].ID
+	if err := g.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range g.Search(d.Queries[0], 5, 50) {
+		if it.ID == victim {
+			t.Fatal("deleted id still returned")
+		}
+	}
+	if err := g.Delete(victim); err == nil {
+		t.Fatal("expected error for double delete")
+	}
+	if err := g.Delete(-1); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	if g.Len() != 599 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestResultsSorted(t *testing.T) {
+	g, d := buildGraph(t, 500)
+	items := g.Search(d.Queries[1], 10, 60)
+	for i := 1; i < len(items); i++ {
+		if items[i].Dist < items[i-1].Dist {
+			t.Fatal("results not sorted ascending")
+		}
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	g, _ := buildGraph(t, 200)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Search(make([]float64, 3), 1, 10)
+}

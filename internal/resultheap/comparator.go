@@ -1,0 +1,116 @@
+package resultheap
+
+// Farther is an opaque pairwise comparator: Farther(a, b) reports whether
+// candidate a is strictly farther from the (implicit) query than candidate b.
+// In the PP-ANNS refine phase it is backed by DCE's DistanceComp, so each
+// call is a secure distance comparison the server cannot learn values from.
+type Farther func(a, b int) bool
+
+// CompareHeap is a bounded max-heap over candidate ids ordered only by a
+// Farther comparator. It implements the max heap H of the paper's
+// Algorithm 2: the top element is the current worst (farthest) of the best k
+// candidates seen so far.
+//
+// The heap counts comparator invocations so experiments can report the
+// number of secure distance comparisons a search performed.
+type CompareHeap struct {
+	farther Farther
+	ids     []int
+	bound   int
+	calls   int
+}
+
+// NewCompareHeap returns an empty heap holding at most bound ids.
+func NewCompareHeap(bound int, farther Farther) *CompareHeap {
+	if bound <= 0 {
+		panic("resultheap: CompareHeap bound must be positive")
+	}
+	return &CompareHeap{farther: farther, ids: make([]int, 0, bound), bound: bound}
+}
+
+// Len returns the number of ids held.
+func (h *CompareHeap) Len() int { return len(h.ids) }
+
+// Comparisons returns how many times the comparator has been invoked.
+func (h *CompareHeap) Comparisons() int { return h.calls }
+
+// Top returns the farthest id currently held.
+func (h *CompareHeap) Top() int { return h.ids[0] }
+
+func (h *CompareHeap) fartherCounted(a, b int) bool {
+	h.calls++
+	return h.farther(a, b)
+}
+
+// Offer considers candidate id for membership. While the heap is below its
+// bound the id is inserted unconditionally (Algorithm 2 lines 4–6).
+// Otherwise id replaces the current top iff the top is farther than id
+// (lines 7–9). It returns true when the id was admitted.
+func (h *CompareHeap) Offer(id int) bool {
+	if len(h.ids) < h.bound {
+		h.ids = append(h.ids, id)
+		h.siftUp(len(h.ids) - 1)
+		return true
+	}
+	if !h.fartherCounted(h.ids[0], id) {
+		return false
+	}
+	h.ids[0] = id
+	h.siftDown(0)
+	return true
+}
+
+// Pop removes and returns the farthest id.
+func (h *CompareHeap) Pop() int {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.ids = h.ids[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// IDs returns the held ids in heap order (not sorted).
+func (h *CompareHeap) IDs() []int { return h.ids }
+
+// SortedAscending drains the heap, returning ids ordered from closest to
+// farthest. Each extraction costs O(log k) comparator calls.
+func (h *CompareHeap) SortedAscending() []int {
+	out := make([]int, len(h.ids))
+	for i := len(h.ids) - 1; i >= 0; i-- {
+		out[i] = h.Pop()
+	}
+	return out
+}
+
+func (h *CompareHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.fartherCounted(h.ids[i], h.ids[parent]) {
+			return
+		}
+		h.ids[parent], h.ids[i] = h.ids[i], h.ids[parent]
+		i = parent
+	}
+}
+
+func (h *CompareHeap) siftDown(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.fartherCounted(h.ids[l], h.ids[big]) {
+			big = l
+		}
+		if r < n && h.fartherCounted(h.ids[r], h.ids[big]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.ids[i], h.ids[big] = h.ids[big], h.ids[i]
+		i = big
+	}
+}

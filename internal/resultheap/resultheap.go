@@ -1,0 +1,150 @@
+// Package resultheap provides the priority queues used by the search
+// algorithms:
+//
+//   - MinDistHeap / MaxDistHeap: distance-keyed heaps for HNSW's candidate
+//     queue and bounded result set;
+//   - CompareHeap: a bounded max-heap ordered only by an opaque pairwise
+//     comparator. The refine phase of the paper's Algorithm 2 needs this
+//     because DCE reveals the *sign* of a distance comparison, never a
+//     distance value, so the heap cannot store keys.
+package resultheap
+
+// Item is an (id, dist) pair held by the distance-keyed heaps.
+type Item struct {
+	ID   int
+	Dist float64
+}
+
+// MinDistHeap is a binary min-heap keyed by distance (closest on top).
+type MinDistHeap struct{ items []Item }
+
+// NewMinDistHeap returns an empty min-heap with the given capacity hint.
+func NewMinDistHeap(capHint int) *MinDistHeap {
+	return &MinDistHeap{items: make([]Item, 0, capHint)}
+}
+
+// Len returns the number of items.
+func (h *MinDistHeap) Len() int { return len(h.items) }
+
+// Push inserts an (id, dist) pair.
+func (h *MinDistHeap) Push(id int, dist float64) {
+	h.items = append(h.items, Item{ID: id, Dist: dist})
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist <= h.items[i].Dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Top returns the closest item without removing it.
+func (h *MinDistHeap) Top() Item { return h.items[0] }
+
+// Pop removes and returns the closest item.
+func (h *MinDistHeap) Pop() Item {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *MinDistHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].Dist < h.items[small].Dist {
+			small = l
+		}
+		if r < n && h.items[r].Dist < h.items[small].Dist {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}
+
+// Reset empties the heap while keeping its storage.
+func (h *MinDistHeap) Reset() { h.items = h.items[:0] }
+
+// MaxDistHeap is a binary max-heap keyed by distance (farthest on top),
+// used as the bounded result set during graph search.
+type MaxDistHeap struct{ items []Item }
+
+// NewMaxDistHeap returns an empty max-heap with the given capacity hint.
+func NewMaxDistHeap(capHint int) *MaxDistHeap {
+	return &MaxDistHeap{items: make([]Item, 0, capHint)}
+}
+
+// Len returns the number of items.
+func (h *MaxDistHeap) Len() int { return len(h.items) }
+
+// Push inserts an (id, dist) pair.
+func (h *MaxDistHeap) Push(id int, dist float64) {
+	h.items = append(h.items, Item{ID: id, Dist: dist})
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist >= h.items[i].Dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Top returns the farthest item without removing it.
+func (h *MaxDistHeap) Top() Item { return h.items[0] }
+
+// Pop removes and returns the farthest item.
+func (h *MaxDistHeap) Pop() Item {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *MaxDistHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.items[l].Dist > h.items[big].Dist {
+			big = l
+		}
+		if r < n && h.items[r].Dist > h.items[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}
+
+// Items returns the backing slice (heap order, not sorted).
+func (h *MaxDistHeap) Items() []Item { return h.items }
+
+// SortedAscending drains the heap and returns its items ordered from
+// closest to farthest.
+func (h *MaxDistHeap) SortedAscending() []Item {
+	out := make([]Item, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = h.Pop()
+	}
+	return out
+}
+
+// Reset empties the heap while keeping its storage.
+func (h *MaxDistHeap) Reset() { h.items = h.items[:0] }

@@ -1,0 +1,227 @@
+package resultheap
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ppanns/internal/rng"
+)
+
+func TestMinDistHeapOrdering(t *testing.T) {
+	h := NewMinDistHeap(8)
+	dists := []float64{5, 1, 4, 2, 3}
+	for i, d := range dists {
+		h.Push(i, d)
+	}
+	var got []float64
+	for h.Len() > 0 {
+		got = append(got, h.Pop().Dist)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("min-heap drained out of order: %v", got)
+	}
+}
+
+func TestMaxDistHeapOrdering(t *testing.T) {
+	h := NewMaxDistHeap(8)
+	dists := []float64{5, 1, 4, 2, 3}
+	for i, d := range dists {
+		h.Push(i, d)
+	}
+	var got []float64
+	for h.Len() > 0 {
+		got = append(got, h.Pop().Dist)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatalf("max-heap drained out of order: %v", got)
+		}
+	}
+}
+
+func TestMaxDistHeapSortedAscending(t *testing.T) {
+	h := NewMaxDistHeap(8)
+	for i, d := range []float64{9, 7, 8, 1, 3} {
+		h.Push(i, d)
+	}
+	got := h.SortedAscending()
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatalf("SortedAscending out of order: %v", got)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("SortedAscending did not drain the heap")
+	}
+}
+
+func TestHeapPropertyRandom(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		r := rng.NewSeeded(seed)
+		n := int(count%100) + 1
+		min := NewMinDistHeap(n)
+		max := NewMaxDistHeap(n)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+			min.Push(i, vals[i])
+			max.Push(i, vals[i])
+		}
+		sort.Float64s(vals)
+		for i := 0; i < n; i++ {
+			if min.Pop().Dist != vals[i] {
+				return false
+			}
+			if max.Pop().Dist != vals[n-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetKeepsStorage(t *testing.T) {
+	h := NewMinDistHeap(4)
+	h.Push(1, 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset left items behind")
+	}
+	h.Push(2, 2)
+	if h.Top().ID != 2 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+// distComparator builds a Farther comparator from a plain distance table,
+// standing in for DCE in tests.
+func distComparator(dists []float64) Farther {
+	return func(a, b int) bool { return dists[a] > dists[b] }
+}
+
+func TestCompareHeapKeepsClosestK(t *testing.T) {
+	r := rng.NewSeeded(7)
+	const n, k = 200, 10
+	dists := make([]float64, n)
+	for i := range dists {
+		dists[i] = r.Float64()
+	}
+	h := NewCompareHeap(k, distComparator(dists))
+	for i := 0; i < n; i++ {
+		h.Offer(i)
+	}
+	got := h.SortedAscending()
+	if len(got) != k {
+		t.Fatalf("kept %d ids, want %d", len(got), k)
+	}
+	// Compare against a true top-k.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+	for i := 0; i < k; i++ {
+		if got[i] != idx[i] {
+			t.Fatalf("rank %d: got id %d (dist %v), want %d (dist %v)",
+				i, got[i], dists[got[i]], idx[i], dists[idx[i]])
+		}
+	}
+}
+
+func TestCompareHeapUnderfilled(t *testing.T) {
+	dists := []float64{3, 1, 2}
+	h := NewCompareHeap(10, distComparator(dists))
+	for i := range dists {
+		if !h.Offer(i) {
+			t.Fatalf("offer %d rejected while under bound", i)
+		}
+	}
+	got := h.SortedAscending()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedAscending = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCompareHeapRejectsFarther(t *testing.T) {
+	dists := []float64{1, 2, 9}
+	h := NewCompareHeap(2, distComparator(dists))
+	h.Offer(0)
+	h.Offer(1)
+	if h.Offer(2) {
+		t.Fatal("heap admitted a candidate farther than its top")
+	}
+	if h.Top() != 1 {
+		t.Fatalf("top = %d, want 1", h.Top())
+	}
+}
+
+func TestCompareHeapCountsComparisons(t *testing.T) {
+	dists := []float64{4, 3, 2, 1}
+	h := NewCompareHeap(2, distComparator(dists))
+	for i := range dists {
+		h.Offer(i)
+	}
+	if h.Comparisons() == 0 {
+		t.Fatal("comparator calls not counted")
+	}
+	// The bound on refine cost from the paper: O(k' log k) comparisons.
+	maxCalls := len(dists) * int(2*math.Log2(2)+4)
+	if h.Comparisons() > maxCalls {
+		t.Fatalf("excessive comparisons: %d > %d", h.Comparisons(), maxCalls)
+	}
+}
+
+func TestCompareHeapBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive bound")
+		}
+	}()
+	NewCompareHeap(0, nil)
+}
+
+func TestCompareHeapPropertyRandom(t *testing.T) {
+	f := func(seed uint64, count uint8, bound uint8) bool {
+		r := rng.NewSeeded(seed)
+		n := int(count)%150 + 1
+		k := int(bound)%20 + 1
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = r.Float64()
+		}
+		h := NewCompareHeap(k, distComparator(dists))
+		for i := 0; i < n; i++ {
+			h.Offer(i)
+		}
+		got := h.SortedAscending()
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return dists[idx[a]] < dists[idx[b]] })
+		want := idx
+		if n > k {
+			want = idx[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

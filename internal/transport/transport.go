@@ -1,0 +1,240 @@
+// Package transport deploys the PP-ANNS roles across machines: a gob-over-
+// TCP protocol carrying query tokens to the cloud server and result ids
+// back — the deployment shape of the paper's Figure 1, where the only
+// user↔server traffic is one encrypted token up and k ids down.
+//
+// The protocol is deliberately minimal (length-free gob stream per
+// connection, one in-flight request per connection); it exists so the
+// three-role example runs as real processes, not to be a general RPC
+// framework. AME trapdoors (benchmark-only) are not carried.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ppanns/internal/core"
+	"ppanns/internal/dce"
+)
+
+// wireToken is the on-the-wire query token: the SAP ciphertext and the DCE
+// trapdoor vector. AME trapdoors (benchmark-only, megabytes of matrices)
+// are intentionally not representable.
+type wireToken struct {
+	SAP []float64
+	Q   []float64
+}
+
+func toWireToken(tok *core.QueryToken) (*wireToken, error) {
+	if tok == nil {
+		return nil, nil
+	}
+	if tok.AME != nil {
+		return nil, fmt.Errorf("transport: AME trapdoors are not carried over the wire")
+	}
+	wt := &wireToken{SAP: tok.SAP}
+	if tok.Trapdoor != nil {
+		wt.Q = tok.Trapdoor.Q
+	}
+	return wt, nil
+}
+
+func (wt *wireToken) token() *core.QueryToken {
+	if wt == nil {
+		return nil
+	}
+	tok := &core.QueryToken{SAP: wt.SAP}
+	if wt.Q != nil {
+		tok.Trapdoor = &dce.Trapdoor{Q: wt.Q}
+	}
+	return tok
+}
+
+// wireInsert is the on-the-wire insert payload.
+type wireInsert struct {
+	SAP            []float64
+	P1, P2, P3, P4 []float64
+}
+
+func toWireInsert(p *core.InsertPayload) (*wireInsert, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if p.AME != nil {
+		return nil, fmt.Errorf("transport: AME ciphertexts are not carried over the wire")
+	}
+	wi := &wireInsert{SAP: p.SAP}
+	if p.DCE != nil {
+		wi.P1, wi.P2, wi.P3, wi.P4 = p.DCE.P1, p.DCE.P2, p.DCE.P3, p.DCE.P4
+	}
+	return wi, nil
+}
+
+func (wi *wireInsert) payload() *core.InsertPayload {
+	if wi == nil {
+		return nil
+	}
+	p := &core.InsertPayload{SAP: wi.SAP}
+	if wi.P1 != nil {
+		p.DCE = &dce.Ciphertext{P1: wi.P1, P2: wi.P2, P3: wi.P3, P4: wi.P4}
+	}
+	return p
+}
+
+// request is the wire envelope for client→server calls.
+type request struct {
+	Op      string // "search", "insert", "delete", "len"
+	Token   *wireToken
+	K       int
+	Opt     core.SearchOptions
+	Payload *wireInsert
+	ID      int
+}
+
+// response is the wire envelope for server→client replies.
+type response struct {
+	IDs []int
+	ID  int
+	N   int
+	Err string
+}
+
+// Serve accepts connections on l and answers requests against srv until
+// the listener closes. Each connection is served on its own goroutine.
+func Serve(l net.Listener, srv *core.Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+func serveConn(conn net.Conn, srv *core.Server) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // client hung up (io.EOF) or sent garbage
+		}
+		var resp response
+		switch req.Op {
+		case "search":
+			ids, err := srv.Search(req.Token.token(), req.K, req.Opt)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.IDs = ids
+			}
+		case "insert":
+			id, err := srv.Insert(req.Payload.payload())
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.ID = id
+			}
+		case "delete":
+			if err := srv.Delete(req.ID); err != nil {
+				resp.Err = err.Error()
+			}
+		case "len":
+			resp.N = srv.Len()
+		default:
+			resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a connection to a remote PP-ANNS server. Safe for concurrent
+// use (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server started with Serve.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return response{}, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return response{}, fmt.Errorf("transport: server closed the connection")
+		}
+		return response{}, fmt.Errorf("transport: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return response{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Search sends an encrypted query token and returns result ids.
+func (c *Client) Search(tok *core.QueryToken, k int, opt core.SearchOptions) ([]int, error) {
+	wt, err := toWireToken(tok)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(request{Op: "search", Token: wt, K: k, Opt: opt})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Insert ships one encrypted vector and returns its id.
+func (c *Client) Insert(p *core.InsertPayload) (int, error) {
+	wi, err := toWireInsert(p)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(request{Op: "insert", Payload: wi})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Delete removes an id on the server.
+func (c *Client) Delete(id int) error {
+	_, err := c.roundTrip(request{Op: "delete", ID: id})
+	return err
+}
+
+// Len returns the server-side vector count.
+func (c *Client) Len() (int, error) {
+	resp, err := c.roundTrip(request{Op: "len"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}

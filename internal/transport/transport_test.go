@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+)
+
+// startWorld spins up a server on a loopback listener and returns the
+// pieces a client needs.
+func startWorld(t *testing.T) (*core.DataOwner, *core.User, *dataset.Data, string) {
+	t.Helper()
+	d := dataset.DeepLike(600, 10, 5)
+	owner, err := core.NewDataOwner(core.Params{Dim: d.Dim, Beta: 0.05, M: 12, EfConstruction: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(d.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewUser(owner.UserKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, srv)
+	return owner, user, d, l.Addr().String()
+}
+
+func TestSearchOverTCP(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	gt := d.GroundTruth(5)
+	var recall float64
+	for i, q := range d.Queries {
+		tok, err := user.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := client.Search(tok, 5, core.SearchOptions{RatioK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recall += dataset.Recall(ids, gt[i])
+	}
+	recall /= float64(len(d.Queries))
+	if recall < 0.8 {
+		t.Fatalf("recall over TCP = %.3f", recall)
+	}
+}
+
+func TestInsertDeleteLenOverTCP(t *testing.T) {
+	owner, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	n, err := client.Len()
+	if err != nil || n != 600 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	payload, err := owner.EncryptVector(d.Train[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.Insert(payload)
+	if err != nil || id != 600 {
+		t.Fatalf("Insert = %d, %v", id, err)
+	}
+	if err := client.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete(id); err == nil {
+		t.Fatal("expected error for double delete")
+	}
+	// Search still works after churn.
+	tok, err := user.Query(d.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Search(tok, 5, core.SearchOptions{RatioK: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	tok, err := user.Query(d.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Search(tok, 0, core.SearchOptions{}); err == nil {
+		t.Fatal("expected error for k=0 to propagate")
+	}
+	if _, err := client.Search(nil, 5, core.SearchOptions{}); err == nil {
+		t.Fatal("expected error for nil token")
+	}
+	if _, err := client.Insert(nil); err == nil {
+		t.Fatal("expected error for nil payload")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 5; i++ {
+				tok, err := user.Query(d.Queries[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := client.Search(tok, 3, core.SearchOptions{RatioK: 4}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil || !strings.Contains(err.Error(), "dial") {
+		t.Fatalf("expected dial error, got %v", err)
+	}
+}

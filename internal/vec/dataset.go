@@ -1,0 +1,92 @@
+package vec
+
+import "fmt"
+
+// Dataset stores n vectors of fixed dimension dim in a single flat backing
+// array. Row i is the half-open slice data[i*dim : (i+1)*dim].
+type Dataset struct {
+	dim  int
+	data []float64
+}
+
+// NewDataset returns an empty dataset of the given dimension with capacity
+// for capHint vectors.
+func NewDataset(dim, capHint int) *Dataset {
+	if dim <= 0 {
+		panic(fmt.Sprintf("vec: non-positive dataset dimension %d", dim))
+	}
+	return &Dataset{dim: dim, data: make([]float64, 0, dim*capHint)}
+}
+
+// DatasetFromSlices builds a dataset by copying the given vectors, which must
+// all share the same dimension.
+func DatasetFromSlices(vectors [][]float64) *Dataset {
+	if len(vectors) == 0 {
+		panic("vec: DatasetFromSlices needs at least one vector")
+	}
+	ds := NewDataset(len(vectors[0]), len(vectors))
+	for _, v := range vectors {
+		ds.Append(v)
+	}
+	return ds
+}
+
+// Dim returns the vector dimension.
+func (d *Dataset) Dim() int { return d.dim }
+
+// Len returns the number of vectors stored.
+func (d *Dataset) Len() int { return len(d.data) / d.dim }
+
+// At returns vector i as a slice view into the backing array. The caller
+// must not grow it; writes alter the dataset.
+func (d *Dataset) At(i int) []float64 {
+	return d.data[i*d.dim : (i+1)*d.dim : (i+1)*d.dim]
+}
+
+// Append copies v into the dataset and returns its index.
+func (d *Dataset) Append(v []float64) int {
+	if len(v) != d.dim {
+		panic(fmt.Sprintf("vec: appending %d-dim vector to %d-dim dataset", len(v), d.dim))
+	}
+	d.data = append(d.data, v...)
+	return d.Len() - 1
+}
+
+// AppendZero appends an all-zero vector and returns both its index and a
+// writable view of the new row, avoiding a copy when the caller fills it in
+// place.
+func (d *Dataset) AppendZero() (int, []float64) {
+	n := d.Len()
+	d.data = append(d.data, make([]float64, d.dim)...)
+	return n, d.At(n)
+}
+
+// Slices returns all rows as slice views (no copying).
+func (d *Dataset) Slices() [][]float64 {
+	out := make([][]float64, d.Len())
+	for i := range out {
+		out[i] = d.At(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	return &Dataset{dim: d.dim, data: append([]float64(nil), d.data...)}
+}
+
+// Raw exposes the flat backing array (length Len()*Dim()), used by the
+// serialization code.
+func (d *Dataset) Raw() []float64 { return d.data }
+
+// DatasetFromRaw wraps an existing flat array (taking ownership) as a
+// dataset. len(raw) must be a multiple of dim.
+func DatasetFromRaw(dim int, raw []float64) (*Dataset, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vec: non-positive dimension %d", dim)
+	}
+	if len(raw)%dim != 0 {
+		return nil, fmt.Errorf("vec: raw length %d is not a multiple of dim %d", len(raw), dim)
+	}
+	return &Dataset{dim: dim, data: raw}, nil
+}

@@ -1,0 +1,151 @@
+package vec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatasetBasics(t *testing.T) {
+	ds := NewDataset(3, 4)
+	if ds.Dim() != 3 || ds.Len() != 0 {
+		t.Fatalf("fresh dataset dim=%d len=%d", ds.Dim(), ds.Len())
+	}
+	i := ds.Append([]float64{1, 2, 3})
+	j := ds.Append([]float64{4, 5, 6})
+	if i != 0 || j != 1 || ds.Len() != 2 {
+		t.Fatalf("append indices %d %d len %d", i, j, ds.Len())
+	}
+	if !ApproxEqual(ds.At(1), []float64{4, 5, 6}, 0) {
+		t.Fatalf("At(1) = %v", ds.At(1))
+	}
+}
+
+func TestDatasetAppendZero(t *testing.T) {
+	ds := NewDataset(2, 1)
+	idx, row := ds.AppendZero()
+	row[0], row[1] = 9, 8
+	if idx != 0 || !ApproxEqual(ds.At(0), []float64{9, 8}, 0) {
+		t.Fatalf("AppendZero row not writable in place: %v", ds.At(0))
+	}
+}
+
+func TestDatasetDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDataset(3, 1).Append([]float64{1})
+}
+
+func TestDatasetFromSlicesAndClone(t *testing.T) {
+	ds := DatasetFromSlices([][]float64{{1, 2}, {3, 4}})
+	c := ds.Clone()
+	c.At(0)[0] = 99
+	if ds.At(0)[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	views := ds.Slices()
+	if len(views) != 2 || views[1][1] != 4 {
+		t.Fatalf("Slices = %v", views)
+	}
+}
+
+func TestDatasetFromRaw(t *testing.T) {
+	ds, err := DatasetFromRaw(2, []float64{1, 2, 3, 4})
+	if err != nil || ds.Len() != 2 {
+		t.Fatalf("DatasetFromRaw: %v, len %d", err, ds.Len())
+	}
+	if _, err := DatasetFromRaw(3, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("expected error for mismatched raw length")
+	}
+	if _, err := DatasetFromRaw(0, nil); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+}
+
+func TestFvecsRoundTrip(t *testing.T) {
+	ds := DatasetFromSlices([][]float64{{1.5, -2.25, 3}, {0, 7.5, -1}})
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Dim() != 3 {
+		t.Fatalf("round trip shape %dx%d", got.Len(), got.Dim())
+	}
+	for i := 0; i < 2; i++ {
+		if !ApproxEqual(got.At(i), ds.At(i), 1e-6) {
+			t.Fatalf("row %d = %v, want %v", i, got.At(i), ds.At(i))
+		}
+	}
+}
+
+func TestFvecsMaxVectors(t *testing.T) {
+	ds := DatasetFromSlices([][]float64{{1}, {2}, {3}})
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("maxVectors ignored: len %d", got.Len())
+	}
+}
+
+func TestFvecsTruncated(t *testing.T) {
+	ds := DatasetFromSlices([][]float64{{1, 2, 3}})
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFvecs(bytes.NewReader(raw), 0); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestFvecsEmpty(t *testing.T) {
+	if _, err := ReadFvecs(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}
+
+func TestIvecsRoundTripManual(t *testing.T) {
+	// 2 vectors of dim 2: [7,8] and [9,10].
+	raw := []byte{
+		2, 0, 0, 0, 7, 0, 0, 0, 8, 0, 0, 0,
+		2, 0, 0, 0, 9, 0, 0, 0, 10, 0, 0, 0,
+	}
+	got, err := ReadIvecs(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0] != 7 || got[1][1] != 10 {
+		t.Fatalf("ReadIvecs = %v", got)
+	}
+}
+
+func TestBvecs(t *testing.T) {
+	raw := []byte{3, 0, 0, 0, 1, 2, 255}
+	got, err := ReadBvecs(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !ApproxEqual(got.At(0), []float64{1, 2, 255}, 0) {
+		t.Fatalf("ReadBvecs = %v", got.At(0))
+	}
+}
+
+func TestBadDimHeader(t *testing.T) {
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF} // dim = -1
+	if _, err := ReadFvecs(bytes.NewReader(raw), 0); err == nil {
+		t.Fatal("expected error for negative dimension")
+	}
+}

@@ -1,0 +1,179 @@
+// Package vec provides the dense float64 vector math and dataset container
+// used by every scheme and index in the library, plus readers and writers for
+// the standard ANN-benchmark file formats (fvecs/ivecs/bvecs).
+//
+// Vectors are plain []float64 slices; the Dataset type stores n vectors of a
+// fixed dimension in one flat backing array for cache locality, which is the
+// layout proximity-graph search is sensitive to.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dot of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b, the
+// distance the paper's dist(p,q) denotes.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: sqdist of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// SqNorm returns the squared Euclidean norm of a.
+func SqNorm(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 { return math.Sqrt(SqNorm(a)) }
+
+// Clone returns a fresh copy of a.
+func Clone(a []float64) []float64 {
+	c := make([]float64, len(a))
+	copy(c, a)
+	return c
+}
+
+// Add stores a+b into dst and returns dst; dst may alias a or b and may be
+// nil, in which case a new slice is allocated.
+func Add(dst, a, b []float64) []float64 {
+	dst = ensure(dst, len(a))
+	for i, av := range a {
+		dst[i] = av + b[i]
+	}
+	return dst
+}
+
+// Sub stores a-b into dst and returns dst, with the same aliasing rules as
+// Add.
+func Sub(dst, a, b []float64) []float64 {
+	dst = ensure(dst, len(a))
+	for i, av := range a {
+		dst[i] = av - b[i]
+	}
+	return dst
+}
+
+// Mul stores the element-wise (Hadamard) product a◦b into dst and returns
+// dst. This is the ◦ operator of the paper's Section IV-A.
+func Mul(dst, a, b []float64) []float64 {
+	dst = ensure(dst, len(a))
+	for i, av := range a {
+		dst[i] = av * b[i]
+	}
+	return dst
+}
+
+// Div stores the element-wise quotient a/b into dst and returns dst.
+func Div(dst, a, b []float64) []float64 {
+	dst = ensure(dst, len(a))
+	for i, av := range a {
+		dst[i] = av / b[i]
+	}
+	return dst
+}
+
+// Scale stores s·a into dst and returns dst.
+func Scale(dst []float64, s float64, a []float64) []float64 {
+	dst = ensure(dst, len(a))
+	for i, av := range a {
+		dst[i] = s * av
+	}
+	return dst
+}
+
+// AXPY stores a + s·x into dst and returns dst.
+func AXPY(dst []float64, s float64, x, a []float64) []float64 {
+	dst = ensure(dst, len(a))
+	for i, av := range a {
+		dst[i] = av + s*x[i]
+	}
+	return dst
+}
+
+// Normalize scales a in place to unit Euclidean norm and returns it.
+// A zero vector is returned unchanged.
+func Normalize(a []float64) []float64 {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+	return a
+}
+
+// ApproxEqual reports whether a and b agree element-wise within tol.
+func ApproxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, av := range a {
+		if math.Abs(av-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns an n-dimensional vector of all ones — the paper's 1_d.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// MaxAbs returns the maximum absolute coordinate across all vectors, the
+// quantity M = max_p max_i |p_i| that bounds DCPE's β range.
+func MaxAbs(vectors [][]float64) float64 {
+	var m float64
+	for _, v := range vectors {
+		for _, x := range v {
+			if a := math.Abs(x); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+func ensure(dst []float64, n int) []float64 {
+	if dst == nil {
+		return make([]float64, n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("vec: destination length %d, want %d", len(dst), n))
+	}
+	return dst
+}

@@ -1,0 +1,142 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppanns/internal/rng"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestSqDistMatchesExpansion(t *testing.T) {
+	r := rng.NewSeeded(1)
+	// dist(p,q) = ||p||² − 2pᵀq + ||q||², the identity DCE relies on.
+	f := func(seed uint64) bool {
+		rr := rng.NewSeeded(seed)
+		p := rng.Gaussian(rr, nil, 24)
+		q := rng.Gaussian(rr, nil, 24)
+		lhs := SqDist(p, q)
+		rhs := SqNorm(p) - 2*Dot(p, q) + SqNorm(q)
+		return math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestDistAndNorm(t *testing.T) {
+	a := []float64{3, 4}
+	if got := Norm(a); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := Dist(a, []float64{0, 0}); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Add(nil, a, b); !ApproxEqual(got, []float64{5, 7, 9}, 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(nil, a, b); !ApproxEqual(got, []float64{-3, -3, -3}, 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(nil, a, b); !ApproxEqual(got, []float64{4, 10, 18}, 0) {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Div(nil, b, a); !ApproxEqual(got, []float64{4, 2.5, 2}, 0) {
+		t.Fatalf("Div = %v", got)
+	}
+	if got := Scale(nil, 2, a); !ApproxEqual(got, []float64{2, 4, 6}, 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := AXPY(nil, 2, a, b); !ApproxEqual(got, []float64{6, 9, 12}, 0) {
+		t.Fatalf("AXPY = %v", got)
+	}
+}
+
+func TestHadamardIdentity6(t *testing.T) {
+	// Equation 6 of the paper: 2a+2b = (a+1)◦(b+1) − (a−1)◦(b−1).
+	r := rng.NewSeeded(2)
+	for trial := 0; trial < 100; trial++ {
+		n := 17
+		a := rng.Gaussian(r, nil, n)
+		b := rng.Gaussian(r, nil, n)
+		ones := Ones(n)
+		lhs := Add(nil, Scale(nil, 2, a), Scale(nil, 2, b))
+		rhs := Sub(nil,
+			Mul(nil, Add(nil, a, ones), Add(nil, b, ones)),
+			Mul(nil, Sub(nil, a, ones), Sub(nil, b, ones)))
+		if !ApproxEqual(lhs, rhs, 1e-12) {
+			t.Fatalf("identity (6) violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestHadamardIdentity7(t *testing.T) {
+	// Equation 7 of the paper: (a◦b)/(c◦d) = (a/c)◦(b/d).
+	r := rng.NewSeeded(3)
+	for trial := 0; trial < 100; trial++ {
+		n := 9
+		a := rng.Gaussian(r, nil, n)
+		b := rng.Gaussian(r, nil, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		for i := range c {
+			c[i] = rng.UniformNonZero(r, 0.5, 2)
+			d[i] = rng.UniformNonZero(r, 0.5, 2)
+		}
+		lhs := Div(nil, Mul(nil, a, b), Mul(nil, c, d))
+		rhs := Mul(nil, Div(nil, a, c), Div(nil, b, d))
+		if !ApproxEqual(lhs, rhs, 1e-12) {
+			t.Fatalf("identity (7) violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 0, 4}
+	Normalize(v)
+	if math.Abs(Norm(v)-1) > 1e-15 {
+		t.Fatalf("normalized norm = %v", Norm(v))
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector changed by Normalize")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	vs := [][]float64{{1, -7, 2}, {3, 4, -5}}
+	if got := MaxAbs(vs); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestAliasedDst(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	got := Add(a, a, b) // dst aliases a
+	if &got[0] != &a[0] || !ApproxEqual(a, []float64{5, 7, 9}, 0) {
+		t.Fatalf("aliased Add = %v", a)
+	}
+}

@@ -1,0 +1,97 @@
+// Package ppanns is a privacy-preserving approximate k-nearest-neighbor
+// search library: a from-scratch Go implementation of "Privacy-Preserving
+// Approximate Nearest Neighbor Search on High-Dimensional Data" (ICDE 2025).
+//
+// The scheme lets a data owner outsource an encrypted vector database to an
+// honest-but-curious cloud server that answers k-ANNS queries without ever
+// seeing plaintext vectors, plaintext queries, or distance values:
+//
+//   - Distance Comparison Encryption (DCE) answers "is o closer to q than
+//     p?" exactly over ciphertexts in O(d) per comparison, leaking only the
+//     comparison bit.
+//   - A privacy-preserving index combines DCPE (scale-and-perturb
+//     encryption with tunable noise β) with an HNSW proximity graph built
+//     over the DCPE ciphertexts, so the graph's edges reveal only
+//     approximate neighbor relations.
+//   - Queries follow a filter-and-refine strategy: HNSW retrieves k′ > k
+//     candidates by approximate distance, then a max-heap driven purely by
+//     DCE comparisons selects the exact best k.
+//
+// # Roles
+//
+// Three parties, as in the paper's system model:
+//
+//	owner, _ := ppanns.NewDataOwner(ppanns.Params{Dim: 128, Beta: 2.5})
+//	edb, _   := owner.EncryptDatabase(vectors)       // ship to the cloud
+//	server, _ := ppanns.NewServer(edb)
+//	user, _  := ppanns.NewUser(owner.UserKey())      // authorized key
+//
+//	tok, _ := user.Query(q)
+//	ids, _ := server.Search(tok, 10, ppanns.SearchOptions{RatioK: 8})
+//
+// The Server type is constructed from ciphertexts only; no API path exposes
+// plaintexts or keys to it. See DESIGN.md for the threat model and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package ppanns
+
+import (
+	"ppanns/internal/core"
+)
+
+// Params configures a deployment. See core.Params for field documentation;
+// the zero value of every optional field selects a sensible default
+// (S=1024, M=16, EfConstruction=200).
+type Params = core.Params
+
+// SearchOptions tunes a single query: k′ (directly or via RatioK), the
+// HNSW beam width, and the refine mode.
+type SearchOptions = core.SearchOptions
+
+// SearchStats reports a query's cost split between the filter and refine
+// phases, the candidate count, and the number of secure comparisons.
+type SearchStats = core.SearchStats
+
+// RefineMode selects the refine-phase comparison scheme.
+type RefineMode = core.RefineMode
+
+// Refine modes: the paper's DCE scheme, the HNSW-AME baseline, or no
+// refinement (filter-only ablation).
+const (
+	RefineDCE  = core.RefineDCE
+	RefineAME  = core.RefineAME
+	RefineNone = core.RefineNone
+)
+
+// DataOwner generates keys and encrypts databases; the only party that
+// sees plaintext database vectors.
+type DataOwner = core.DataOwner
+
+// User encrypts queries with owner-authorized key material.
+type User = core.User
+
+// Server hosts the encrypted database and answers queries; it never holds
+// keys or plaintexts.
+type Server = core.Server
+
+// UserKey is the key material the data owner hands an authorized user.
+type UserKey = core.UserKey
+
+// QueryToken is an encrypted query: the DCPE ciphertext for the filter
+// phase plus the DCE trapdoor for the refine phase.
+type QueryToken = core.QueryToken
+
+// EncryptedDatabase is the server-side state: DCPE ciphertexts indexed by
+// an HNSW graph, plus DCE ciphertexts for exact refinement.
+type EncryptedDatabase = core.EncryptedDatabase
+
+// InsertPayload carries one new encrypted vector from owner to server.
+type InsertPayload = core.InsertPayload
+
+// NewDataOwner validates parameters and creates a data owner.
+func NewDataOwner(p Params) (*DataOwner, error) { return core.NewDataOwner(p) }
+
+// NewUser creates a query party from owner-authorized key material.
+func NewUser(k *UserKey) (*User, error) { return core.NewUser(k) }
+
+// NewServer wraps an encrypted database received from a data owner.
+func NewServer(edb *EncryptedDatabase) (*Server, error) { return core.NewServer(edb) }
