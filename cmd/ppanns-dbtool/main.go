@@ -2,13 +2,17 @@
 // line, one role per subcommand:
 //
 //	ppanns-dbtool gen     -out data.fvecs -dataset sift -n 10000 [-queries q.fvecs -nq 100]
-//	ppanns-dbtool encrypt -in data.fvecs -db db.ppanns -key user.key [-beta 2.5]
+//	ppanns-dbtool encrypt -in data.fvecs -db db.ppanns -key user.key [-beta 2.5] [-index hnsw]
 //	ppanns-dbtool serve   -db db.ppanns -addr :7070
 //	ppanns-dbtool query   -key user.key -queries q.fvecs -addr host:7070 [-k 10] [-ratio 16]
 //
 // gen writes synthetic corpora in the standard fvecs format (or use real
 // Sift1M/Gist/Glove/Deep files); encrypt plays the data owner; serve hosts
 // the encrypted database; query plays the user.
+//
+// encrypt's -index flag selects the filter-index backend (hnsw, nsg, ivf,
+// or lsh); the choice is stored in the database file, and serve/query
+// report it.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 
 	"ppanns"
 	"ppanns/internal/bench"
@@ -86,6 +91,7 @@ func runEncrypt(args []string) error {
 	dbOut := fs.String("db", "db.ppanns", "encrypted database output")
 	keyOut := fs.String("key", "user.key", "user key output")
 	beta := fs.Float64("beta", -1, "DCPE β (default: calibrate for filter recall ≈ 0.5)")
+	backend := fs.String("index", "hnsw", fmt.Sprintf("filter-index backend (%s)", strings.Join(ppanns.Backends(), " | ")))
 	m := fs.Int("m", 16, "HNSW M")
 	efc := fs.Int("efc", 200, "HNSW efConstruction")
 	seed := fs.Uint64("seed", 0, "key seed (0 = crypto random)")
@@ -113,7 +119,7 @@ func runEncrypt(args []string) error {
 	}
 
 	owner, err := ppanns.NewDataOwner(ppanns.Params{
-		Dim: ds.Dim(), Beta: b, M: *m, EfConstruction: *efc, Seed: *seed,
+		Dim: ds.Dim(), Beta: b, Index: *backend, M: *m, EfConstruction: *efc, Seed: *seed,
 	})
 	if err != nil {
 		return err
@@ -138,7 +144,7 @@ func runEncrypt(args []string) error {
 	if err := ppanns.SaveUserKey(keyF, owner.UserKey()); err != nil {
 		return err
 	}
-	fmt.Printf("encrypted database → %s, user key → %s\n", *dbOut, *keyOut)
+	fmt.Printf("encrypted database (%s index) → %s, user key → %s\n", *backend, *dbOut, *keyOut)
 	return nil
 }
 
@@ -165,7 +171,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %d encrypted vectors on %s\n", server.Len(), l.Addr())
+	fmt.Printf("serving %d encrypted vectors (%s index) on %s\n", server.Len(), server.Backend(), l.Addr())
 	return transport.Serve(l, server)
 }
 
@@ -204,6 +210,10 @@ func runQuery(args []string) error {
 		return err
 	}
 	defer client.Close()
+	if info, err := client.Info(); err == nil {
+		fmt.Printf("server: %d vectors, %s index (insert=%v delete=%v)\n",
+			info.N, info.Backend, info.DynamicInsert, info.DynamicDelete)
+	}
 
 	for i := 0; i < qs.Len(); i++ {
 		tok, err := user.Query(qs.At(i))

@@ -1,0 +1,3 @@
+module ppanns
+
+go 1.24

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ppanns/internal/dataset"
+	"ppanns/internal/index"
 )
 
 func TestDefaultEfs(t *testing.T) {
@@ -95,9 +96,12 @@ func TestIndexesTiny(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"flat-scan", "hnsw", "nsg", "ivf-flat"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("indexes output missing %q:\n%s", want, out)
+	// The ablation reports the flat-scan floor plus every registered
+	// backend under its registry name.
+	want := append([]string{"flat-scan"}, index.Names()...)
+	for _, label := range want {
+		if !strings.Contains(out, label) {
+			t.Fatalf("indexes output missing %q:\n%s", label, out)
 		}
 	}
 }

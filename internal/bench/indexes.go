@@ -5,9 +5,7 @@ import (
 
 	"ppanns/internal/dataset"
 	"ppanns/internal/dcpe"
-	"ppanns/internal/hnsw"
-	"ppanns/internal/ivf"
-	"ppanns/internal/nsg"
+	"ppanns/internal/index"
 	"ppanns/internal/resultheap"
 	"ppanns/internal/rng"
 	"ppanns/internal/vec"
@@ -17,7 +15,8 @@ import (
 // privacy-preserving index can swap HNSW for other proximity graphs (NSG),
 // and the paper's survey names inverted files and linear scan as the
 // alternatives proximity graphs beat. This experiment runs the *filter
-// phase* over SAP ciphertexts with each backend and compares recall/QPS,
+// phase* over SAP ciphertexts with every backend registered in
+// internal/index (plus a flat-scan floor) and compares recall/QPS,
 // justifying the paper's choice of HNSW empirically.
 func Indexes(cfg Config) error {
 	cfg = cfg.withDefaults()
@@ -96,41 +95,18 @@ func Indexes(cfg Config) error {
 			return err
 		}
 
-		if err := run("hnsw", func() (func([]float64) []resultheap.Item, error) {
-			g, err := hnsw.New(hnsw.Config{Dim: d.Dim, M: 16, EfConstruction: 200, Seed: cfg.Seed})
-			if err != nil {
-				return nil, err
+		// Every registered backend through the same SecureIndex interface.
+		for _, name := range index.Names() {
+			name := name
+			if err := run(name, func() (func([]float64) []resultheap.Item, error) {
+				ix, err := index.Build(name, encTrain, index.Options{Dim: d.Dim, Seed: cfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				return func(q []float64) []resultheap.Item { return ix.Search(q, cfg.K, 8*cfg.K) }, nil
+			}); err != nil {
+				return err
 			}
-			for _, v := range encTrain {
-				g.Add(v)
-			}
-			return func(q []float64) []resultheap.Item { return g.Search(q, cfg.K, 8*cfg.K) }, nil
-		}); err != nil {
-			return err
-		}
-
-		if err := run("nsg", func() (func([]float64) []resultheap.Item, error) {
-			g, err := nsg.Build(encTrain, nsg.Config{Seed: cfg.Seed})
-			if err != nil {
-				return nil, err
-			}
-			return func(q []float64) []resultheap.Item { return g.Search(q, cfg.K, 8*cfg.K) }, nil
-		}); err != nil {
-			return err
-		}
-
-		if err := run("ivf-flat", func() (func([]float64) []resultheap.Item, error) {
-			ix, err := ivf.Build(encTrain, ivf.Config{Seed: cfg.Seed})
-			if err != nil {
-				return nil, err
-			}
-			nprobe := ix.Lists() / 16
-			if nprobe < 4 {
-				nprobe = 4
-			}
-			return func(q []float64) []resultheap.Item { return ix.Search(q, cfg.K, nprobe) }, nil
-		}); err != nil {
-			return err
 		}
 	}
 	cfg.printf("\n(expected shape: graphs dominate IVF which dominates flat scan at matched recall,\n")

@@ -5,16 +5,21 @@
 // Roles:
 //
 //   - DataOwner generates the secret keys, encrypts the database under both
-//     DCPE/SAP (approximate, indexed by HNSW) and DCE (exact comparisons),
-//     and ships only ciphertexts to the server. For updates it encrypts
-//     individual vectors (Section V-D).
+//     DCPE/SAP (approximate, indexed by a pluggable proximity structure)
+//     and DCE (exact comparisons), and ships only ciphertexts to the
+//     server. For updates it encrypts individual vectors (Section V-D).
 //   - User holds the authorized key material (Figure 1 step 0) and turns a
 //     plaintext query into a QueryToken = (C_SAP(q), T_q) — the only thing
 //     that ever leaves the user.
-//   - Server stores {C_SAP, HNSW over C_SAP, C_DCE} and answers queries:
-//     the filter phase runs k′-ANNS on the SAP graph, the refine phase
+//   - Server stores {C_SAP, index over C_SAP, C_DCE} and answers queries:
+//     the filter phase runs k′-ANNS on the SAP index, the refine phase
 //     selects the best k among the k′ candidates with a max-heap driven
 //     purely by DCE distance comparisons.
+//
+// The filter index is selected by name through internal/index — HNSW (the
+// paper's choice, and the default), NSG, IVF-Flat, or E2LSH — per the
+// observation in Section V-A that the privacy-preserving index can swap
+// HNSW for other proximity structures.
 //
 // The server type is constructed exclusively from ciphertexts; no API
 // exposes plaintext vectors, distances, or keys to it.
@@ -26,7 +31,7 @@ import (
 	"ppanns/internal/ame"
 	"ppanns/internal/dce"
 	"ppanns/internal/dcpe"
-	"ppanns/internal/hnsw"
+	"ppanns/internal/index"
 	"ppanns/internal/rng"
 )
 
@@ -41,6 +46,16 @@ type Params struct {
 	// privacy); the paper tunes it per dataset so the filter-only recall
 	// ceiling is ≈0.5. See dcpe.BetaRange for the recommended range.
 	Beta float64
+
+	// Index selects the filter-phase backend by registry name: "hnsw"
+	// (default), "nsg", "ivf", or "lsh". See internal/index for the
+	// trade-offs each makes.
+	Index string
+	// IndexOptions carries backend-specific build and search options.
+	// Dim and Seed are filled in from this struct; the legacy M and
+	// EfConstruction fields below take effect when their IndexOptions
+	// counterparts are zero.
+	IndexOptions index.Options
 
 	// M and EfConstruction are the HNSW build parameters; the paper uses
 	// 40 and 600. Defaults: 16 and 200 (laptop-scale).
@@ -70,6 +85,12 @@ func (p Params) withDefaults() (Params, error) {
 	if p.Beta < 0 {
 		return p, fmt.Errorf("core: negative beta %g", p.Beta)
 	}
+	if p.Index == "" {
+		p.Index = index.Default
+	}
+	if _, err := index.Lookup(p.Index); err != nil {
+		return p, fmt.Errorf("core: %w", err)
+	}
 	if p.M <= 0 {
 		p.M = 16
 	}
@@ -77,6 +98,24 @@ func (p Params) withDefaults() (Params, error) {
 		p.EfConstruction = 200
 	}
 	return p, nil
+}
+
+// indexOptions assembles the effective backend options: the explicit
+// IndexOptions, with Dim/Seed supplied from the scheme parameters and the
+// legacy HNSW knobs filling any zero values.
+func (p Params) indexOptions() index.Options {
+	opts := p.IndexOptions
+	opts.Dim = p.Dim
+	if opts.Seed == 0 {
+		opts.Seed = p.Seed ^ 0x9d5
+	}
+	if opts.M == 0 {
+		opts.M = p.M
+	}
+	if opts.EfConstruction == 0 {
+		opts.EfConstruction = p.EfConstruction
+	}
+	return opts
 }
 
 func (p Params) rand() *rng.Rand {
@@ -105,32 +144,35 @@ type QueryToken struct {
 	AME *ame.Trapdoor
 }
 
-// EncryptedDatabase is the server-side state: the HNSW graph over SAP
+// EncryptedDatabase is the server-side state: the filter index over SAP
 // ciphertexts (which owns the C_SAP vectors) plus the DCE ciphertexts, and
 // optionally the AME ciphertexts for the baseline.
 //
 // External ids (what users see, and what index the DCE/AME arrays) are the
-// data owner's vector positions; the graph assigns its own ids during
-// parallel construction, so the database keeps the two-way mapping.
+// data owner's vector positions; every index backend returns positions
+// from Search, keeping any internal id remapping to itself.
 type EncryptedDatabase struct {
-	Dim   int
-	Graph *hnsw.Graph
-	DCE   []*dce.Ciphertext
-	AME   []*ame.Ciphertext // nil unless built WithAME
-
-	pos2gid []int32
-	gid2pos []int32
+	Dim     int
+	Backend string
+	Index   index.SecureIndex
+	DCE     []*dce.Ciphertext
+	AME     []*ame.Ciphertext // nil unless built WithAME
 }
 
 // Len returns the number of vectors in the encrypted database, including
 // tombstoned ones.
 func (e *EncryptedDatabase) Len() int { return len(e.DCE) }
 
-// gidOf maps an external id to its graph id.
-func (e *EncryptedDatabase) gidOf(pos int) int { return int(e.pos2gid[pos]) }
-
-// posOf maps a graph id back to the external id.
-func (e *EncryptedDatabase) posOf(gid int) int { return int(e.gid2pos[gid]) }
+// ctDim returns the DCE ciphertext component length (0 when every entry is
+// tombstoned).
+func (e *EncryptedDatabase) ctDim() int {
+	for _, ct := range e.DCE {
+		if ct != nil {
+			return len(ct.P1)
+		}
+	}
+	return 0
+}
 
 // InsertPayload carries the ciphertexts of one new vector from the data
 // owner to the server (Section V-D insertion).

@@ -8,7 +8,7 @@ import (
 	"ppanns/internal/ame"
 	"ppanns/internal/dce"
 	"ppanns/internal/dcpe"
-	"ppanns/internal/hnsw"
+	"ppanns/internal/index"
 	"ppanns/internal/rng"
 	"ppanns/internal/vec"
 )
@@ -66,9 +66,9 @@ func (o *DataOwner) generateKeys(maxAbs float64) error {
 }
 
 // EncryptDatabase encrypts every vector under SAP and DCE (and AME when
-// configured), builds the HNSW graph over the SAP ciphertexts, and returns
-// the complete server-side state. Encryption parallelizes across
-// GOMAXPROCS workers; graph construction parallelizes across inserts.
+// configured), builds the selected filter index over the SAP ciphertexts,
+// and returns the complete server-side state. Encryption parallelizes
+// across GOMAXPROCS workers; index construction parallelizes per backend.
 //
 // The paper's B1/B2 steps of Figure 3.
 func (o *DataOwner) EncryptDatabase(vectors [][]float64) (*EncryptedDatabase, error) {
@@ -111,52 +111,17 @@ func (o *DataOwner) EncryptDatabase(vectors [][]float64) (*EncryptedDatabase, er
 	}
 	wg.Wait()
 
-	graph, err := hnsw.New(hnsw.Config{
-		Dim:            o.params.Dim,
-		M:              o.params.M,
-		EfConstruction: o.params.EfConstruction,
-		Seed:           o.params.Seed ^ 0x9d5,
-	})
+	idx, err := index.Build(o.params.Index, sap, o.params.indexOptions())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: building %s index: %w", o.params.Index, err)
 	}
-	// Parallel graph construction: hnsw.Add assigns ids in arrival order,
-	// which under concurrency differs from vector positions. External ids
-	// must stay equal to positions (they address the DCE ciphertext
-	// array and are what the user sees), so the encrypted database keeps a
-	// graph-id ↔ position mapping.
-	pos2gid := make([]int32, n)
-	gid2pos := make([]int32, n)
-	var mu sync.Mutex
-	wg = sync.WaitGroup{}
-	next := 0
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				gid := graph.Add(sap[i])
-				pos2gid[i] = int32(gid)
-				gid2pos[gid] = int32(i)
-			}
-		}()
-	}
-	wg.Wait()
 
 	return &EncryptedDatabase{
 		Dim:     o.params.Dim,
-		Graph:   graph,
+		Backend: o.params.Index,
+		Index:   idx,
 		DCE:     dceCts,
 		AME:     ameCts,
-		pos2gid: pos2gid,
-		gid2pos: gid2pos,
 	}, nil
 }
 

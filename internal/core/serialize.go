@@ -11,7 +11,7 @@ import (
 
 	"ppanns/internal/dce"
 	"ppanns/internal/dcpe"
-	"ppanns/internal/hnsw"
+	"ppanns/internal/index"
 )
 
 // UserKey serialization rides on gob: the DCE and SAP keys implement
@@ -56,25 +56,38 @@ func LoadUserKey(r io.Reader) (*UserKey, error) {
 	return k, nil
 }
 
-const edbMagic = "PPANNSD2"
+// Format history: PPANNSD2 stored a bare HNSW graph plus the id mapping;
+// PPANNSD3 prefixes a backend tag so saved databases round-trip any
+// registered index backend, whose payload is self-describing.
+const (
+	edbMagic       = "PPANNSD3"
+	edbMagicLegacy = "PPANNSD2"
+)
 
-// Save writes the encrypted database (graph, DCE ciphertexts, id mapping)
-// in a binary format. Every ciphertext record carries a CRC32 so storage
-// corruption is detected at load time instead of silently flipping
+// Save writes the encrypted database (backend tag, DCE ciphertexts, index
+// payload) in a binary format. Every ciphertext record carries a CRC32 so
+// storage corruption is detected at load time instead of silently flipping
 // comparison results. AME ciphertexts, when present, are not persisted.
 func (e *EncryptedDatabase) Save(w io.Writer) error {
+	backend := e.Backend
+	if backend == "" {
+		backend = index.Default
+	}
+	if len(backend) > 255 {
+		return fmt.Errorf("core: backend name %q too long", backend)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(edbMagic); err != nil {
 		return err
 	}
-	n := len(e.DCE)
-	ctDim := 0
-	for _, ct := range e.DCE {
-		if ct != nil {
-			ctDim = len(ct.P1)
-			break
-		}
+	if err := bw.WriteByte(byte(len(backend))); err != nil {
+		return err
 	}
+	if _, err := bw.WriteString(backend); err != nil {
+		return err
+	}
+	n := len(e.DCE)
+	ctDim := e.ctDim()
 	for _, v := range []int64{int64(e.Dim), int64(n), int64(ctDim)} {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
@@ -109,20 +122,10 @@ func (e *EncryptedDatabase) Save(w io.Writer) error {
 			return err
 		}
 	}
-	for _, g := range e.pos2gid {
-		if err := binary.Write(bw, binary.LittleEndian, g); err != nil {
-			return err
-		}
-	}
-	for _, p := range e.gid2pos {
-		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
-			return err
-		}
-	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return e.Graph.Save(w)
+	return e.Index.Save(w)
 }
 
 // LoadEncryptedDatabase reads a database written by Save.
@@ -132,8 +135,23 @@ func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
+	if string(magic) == edbMagicLegacy {
+		return nil, fmt.Errorf("core: legacy %s database; re-encrypt with this version to add the backend tag", edbMagicLegacy)
+	}
 	if string(magic) != edbMagic {
 		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading backend tag: %w", err)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, fmt.Errorf("core: reading backend tag: %w", err)
+	}
+	backend := string(nameBytes)
+	if _, err := index.Lookup(backend); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	var head [3]int64
 	for i := range head {
@@ -145,7 +163,7 @@ func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 	if dim <= 0 || n <= 0 || ctDim <= 0 {
 		return nil, fmt.Errorf("core: implausible header dim=%d n=%d ctDim=%d", dim, n, ctDim)
 	}
-	e := &EncryptedDatabase{Dim: dim, DCE: make([]*dce.Ciphertext, n)}
+	e := &EncryptedDatabase{Dim: dim, Backend: backend, DCE: make([]*dce.Ciphertext, n)}
 	record := make([]byte, 4*ctDim*8)
 	for i := 0; i < n; i++ {
 		present, err := br.ReadByte()
@@ -178,22 +196,25 @@ func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 		}
 		e.DCE[i] = ct
 	}
-	e.pos2gid = make([]int32, n)
-	e.gid2pos = make([]int32, n)
-	for i := range e.pos2gid {
-		if err := binary.Read(br, binary.LittleEndian, &e.pos2gid[i]); err != nil {
-			return nil, err
-		}
-	}
-	for i := range e.gid2pos {
-		if err := binary.Read(br, binary.LittleEndian, &e.gid2pos[i]); err != nil {
-			return nil, err
-		}
-	}
-	g, err := hnsw.Load(br, nil)
+	idx, err := index.Load(backend, br)
 	if err != nil {
-		return nil, fmt.Errorf("core: loading graph: %w", err)
+		return nil, fmt.Errorf("core: loading %s index: %w", backend, err)
 	}
-	e.Graph = g
+	// Cross-check the index against the ciphertext section so corruption
+	// that survives both payloads' own checks still fails at load time
+	// instead of as an out-of-range id during a query.
+	if idx.Dim() != dim {
+		return nil, fmt.Errorf("core: index dimension %d does not match database dimension %d", idx.Dim(), dim)
+	}
+	live := 0
+	for _, ct := range e.DCE {
+		if ct != nil {
+			live++
+		}
+	}
+	if idx.Len() != live {
+		return nil, fmt.Errorf("core: index holds %d live vectors, ciphertext store %d", idx.Len(), live)
+	}
+	e.Index = idx
 	return e, nil
 }

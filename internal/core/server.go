@@ -7,6 +7,7 @@ import (
 
 	"ppanns/internal/ame"
 	"ppanns/internal/dce"
+	"ppanns/internal/index"
 	"ppanns/internal/resultheap"
 )
 
@@ -90,7 +91,7 @@ type Server struct {
 
 // NewServer wraps an encrypted database received from the data owner.
 func NewServer(edb *EncryptedDatabase) (*Server, error) {
-	if edb == nil || edb.Graph == nil || len(edb.DCE) == 0 {
+	if edb == nil || edb.Index == nil || len(edb.DCE) == 0 {
 		return nil, fmt.Errorf("core: incomplete encrypted database")
 	}
 	return &Server{edb: edb}, nil
@@ -101,6 +102,28 @@ func (s *Server) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.edb.Len()
+}
+
+// Dim returns the vector dimension of the hosted database.
+func (s *Server) Dim() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.edb.Dim
+}
+
+// Backend returns the registry name of the filter-index backend.
+func (s *Server) Backend() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.edb.Backend
+}
+
+// Caps reports the filter index's update capabilities, so clients can
+// learn whether Insert/Delete are available before attempting them.
+func (s *Server) Caps() index.Caps {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.edb.Index.Caps()
 }
 
 // Search answers a k-ANNS query (Algorithm 2) and returns external ids
@@ -122,6 +145,11 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	edb := s.edb
+	// Dimension checks up front: the index and comparison backends panic
+	// on mismatched vectors, which must not be reachable from the wire.
+	if len(tok.SAP) != edb.Dim {
+		return nil, st, fmt.Errorf("core: query token has dim %d, want %d", len(tok.SAP), edb.Dim)
+	}
 
 	kPrime := opt.kPrime(k)
 	if kPrime < k {
@@ -129,8 +157,9 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 	}
 
 	// Filter phase (Algorithm 2 line 1): k′-ANNS over SAP ciphertexts.
+	// Backends return external ids directly.
 	start := time.Now()
-	items := edb.Graph.Search(tok.SAP, kPrime, opt.ef(kPrime))
+	items := edb.Index.Search(tok.SAP, kPrime, opt.ef(kPrime))
 	st.FilterTime = time.Since(start)
 	st.Candidates = len(items)
 	if len(items) == 0 {
@@ -139,7 +168,7 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 
 	cands := make([]int, len(items))
 	for i, it := range items {
-		cands[i] = edb.posOf(it.ID)
+		cands[i] = it.ID
 	}
 
 	// Refine phase (Algorithm 2 lines 2–9).
@@ -154,6 +183,9 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 	case RefineDCE:
 		if tok.Trapdoor == nil {
 			return nil, st, fmt.Errorf("core: token lacks DCE trapdoor for refine")
+		}
+		if ctDim := len(edb.DCE[cands[0]].P1); len(tok.Trapdoor.Q) != ctDim {
+			return nil, st, fmt.Errorf("core: trapdoor has dim %d, ciphertexts %d", len(tok.Trapdoor.Q), ctDim)
 		}
 		farther := func(a, b int) bool {
 			return dce.DistanceComp(edb.DCE[a], edb.DCE[b], tok.Trapdoor) > 0
@@ -189,7 +221,14 @@ func refineWithHeap(cands []int, k int, farther resultheap.Farther) ([]int, int)
 }
 
 // Insert adds one encrypted vector (Section V-D) and returns its external
-// id. Deletion tombstones are not reused; ids grow monotonically.
+// id. Deletion tombstones are not reused; ids grow monotonically. The
+// backend must support dynamic inserts (see Caps).
+//
+// All validation — payload completeness, dimensions, AME consistency,
+// backend capability, and the index insert itself — happens before any
+// ciphertext state is appended, so a failed insert leaves the database
+// untouched (a backend violating the sequential-id contract has its stray
+// entry rolled back out).
 func (s *Server) Insert(p *InsertPayload) (int, error) {
 	if p == nil || p.SAP == nil || p.DCE == nil {
 		return 0, fmt.Errorf("core: incomplete insert payload")
@@ -197,27 +236,42 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	edb := s.edb
+	if len(p.SAP) != edb.Dim {
+		return 0, fmt.Errorf("core: insert payload has dim %d, want %d", len(p.SAP), edb.Dim)
+	}
+	if ctDim := edb.ctDim(); ctDim > 0 &&
+		(len(p.DCE.P1) != ctDim || len(p.DCE.P2) != ctDim || len(p.DCE.P3) != ctDim || len(p.DCE.P4) != ctDim) {
+		return 0, fmt.Errorf("core: insert DCE ciphertext components do not match stored dimension %d", ctDim)
+	}
 	if edb.AME != nil && p.AME == nil {
 		return 0, fmt.Errorf("core: database carries AME ciphertexts; payload lacks one")
 	}
-	pos := len(edb.DCE)
-	gid := edb.Graph.Add(p.SAP)
+	if !edb.Index.Caps().DynamicInsert {
+		return 0, fmt.Errorf("core: %s backend does not support inserts (%w)", edb.Backend, index.ErrNotSupported)
+	}
+	pos, err := edb.Index.Add(p.SAP)
+	if err != nil {
+		return 0, fmt.Errorf("core: index insert: %w", err)
+	}
+	// Ids are assigned sequentially by every backend, so the new id must
+	// land exactly at the end of the ciphertext arrays. On a contract
+	// violation, roll the stray entry back out (best effort) so the index
+	// and ciphertext store stay in lockstep.
+	if pos != len(edb.DCE) {
+		_ = edb.Index.Delete(pos)
+		return 0, fmt.Errorf("core: index id %d out of step with database size %d", pos, len(edb.DCE))
+	}
 	edb.DCE = append(edb.DCE, p.DCE)
 	if edb.AME != nil {
 		edb.AME = append(edb.AME, p.AME)
 	}
-	edb.pos2gid = append(edb.pos2gid, int32(gid))
-	// gids are assigned densely by the graph, so gid == len(gid2pos) here.
-	if gid != len(edb.gid2pos) {
-		return 0, fmt.Errorf("core: graph id %d out of step with mapping size %d", gid, len(edb.gid2pos))
-	}
-	edb.gid2pos = append(edb.gid2pos, int32(pos))
 	return pos, nil
 }
 
 // Delete removes the vector with the given external id (Section V-D): the
-// graph repairs its in-neighbors and the ciphertexts are dropped. Server-
-// only — no data-owner participation, as the paper notes.
+// index tombstones it (graphs additionally repair in-neighbors) and the
+// ciphertexts are dropped. Server-only — no data-owner participation, as
+// the paper notes. The backend must support dynamic deletes (see Caps).
 func (s *Server) Delete(pos int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -228,8 +282,11 @@ func (s *Server) Delete(pos int) error {
 	if edb.DCE[pos] == nil {
 		return fmt.Errorf("core: id %d already deleted", pos)
 	}
-	if err := edb.Graph.Delete(edb.gidOf(pos)); err != nil {
-		return fmt.Errorf("core: graph delete: %w", err)
+	if !edb.Index.Caps().DynamicDelete {
+		return fmt.Errorf("core: %s backend does not support deletes (%w)", edb.Backend, index.ErrNotSupported)
+	}
+	if err := edb.Index.Delete(pos); err != nil {
+		return fmt.Errorf("core: index delete: %w", err)
 	}
 	edb.DCE[pos] = nil
 	if edb.AME != nil {

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
 	"ppanns/internal/vec"
 )
@@ -38,10 +37,8 @@ func (g *Graph) Save(w io.Writer) error {
 			return fmt.Errorf("hnsw: writing header: %w", err)
 		}
 	}
-	for _, f := range g.data.Raw() {
-		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(f)); err != nil {
-			return fmt.Errorf("hnsw: writing vectors: %w", err)
-		}
+	if err := binary.Write(bw, binary.LittleEndian, g.data.Raw()); err != nil {
+		return fmt.Errorf("hnsw: writing vectors: %w", err)
 	}
 	for _, nd := range g.nodes {
 		if err := binary.Write(bw, binary.LittleEndian, int32(nd.level)); err != nil {
@@ -102,12 +99,8 @@ func Load(r io.Reader, dist DistanceFunc) (*Graph, error) {
 	g.entry, g.maxLevel, g.size = entry, maxLevel, size
 
 	raw := make([]float64, n*cfg.Dim)
-	for i := range raw {
-		var bits uint64
-		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-			return nil, fmt.Errorf("hnsw: reading vectors: %w", err)
-		}
-		raw[i] = math.Float64frombits(bits)
+	if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+		return nil, fmt.Errorf("hnsw: reading vectors: %w", err)
 	}
 	ds, err := vec.DatasetFromRaw(cfg.Dim, raw)
 	if err != nil {

@@ -1,0 +1,244 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// The conformance suite runs every registered backend through the same
+// contract: build, search-recall sanity, byte-exact save/load round-trip,
+// and capability-gated insert/delete behavior. A new backend only has to
+// register itself to be covered.
+
+func clustered(seed uint64, n, dim, clusters int) [][]float64 {
+	r := rng.NewSeeded(seed)
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		centers[i] = rng.GaussianVec(r, dim, 6)
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = vec.Add(nil, centers[r.IntN(clusters)], rng.GaussianVec(r, dim, 1))
+	}
+	return out
+}
+
+func makeQueries(seed uint64, data [][]float64, n int, noise float64) [][]float64 {
+	r := rng.NewSeeded(seed)
+	dim := len(data[0])
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = vec.Add(nil, data[r.IntN(len(data))], rng.GaussianVec(r, dim, noise))
+	}
+	return out
+}
+
+func bruteForce(data [][]float64, q []float64, k int, skip func(int) bool) []int {
+	type pair struct {
+		id int
+		d  float64
+	}
+	var all []pair
+	for i, v := range data {
+		if skip != nil && skip(i) {
+			continue
+		}
+		all = append(all, pair{i, vec.SqDist(v, q)})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	if len(all) > k {
+		all = all[:k]
+	}
+	ids := make([]int, len(all))
+	for i, p := range all {
+		ids[i] = p.id
+	}
+	return ids
+}
+
+func recallOf(got, want []int) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := map[int]bool{}
+	for _, id := range want {
+		set[id] = true
+	}
+	hit := 0
+	for _, id := range got {
+		if set[id] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func searchIDs(ix SecureIndex, q []float64, k, ef int) []int {
+	items := ix.Search(q, k, ef)
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	return ids
+}
+
+// minRecall is the per-backend floor for recall@10 with generous search
+// effort. Graphs are near-exact at this scale; IVF loses a little at list
+// boundaries; LSH trades the most recall for its sub-linear probe count
+// (the paper's survey shape — and why the refine phase exists).
+var minRecall = map[string]float64{
+	"hnsw": 0.90,
+	"nsg":  0.90,
+	"ivf":  0.75,
+	"lsh":  0.40,
+}
+
+func TestConformance(t *testing.T) {
+	const n, dim, k, ef = 1500, 12, 10, 150
+	data := clustered(7, n, dim, 10)
+	queries := makeQueries(8, data, 30, 0.3)
+
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ix, err := Build(name, data, Options{Dim: dim, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ix.Len(); got != n {
+				t.Fatalf("Len = %d, want %d", got, n)
+			}
+			if got := ix.Dim(); got != dim {
+				t.Fatalf("Dim = %d, want %d", got, dim)
+			}
+			caps := ix.Caps()
+			if caps.Name != name {
+				t.Fatalf("Caps().Name = %q, want %q", caps.Name, name)
+			}
+
+			// Recall sanity against brute force.
+			var recall float64
+			for _, q := range queries {
+				recall += recallOf(searchIDs(ix, q, k, ef), bruteForce(data, q, k, nil))
+			}
+			recall /= float64(len(queries))
+			floor, ok := minRecall[name]
+			if !ok {
+				floor = 0.4 // unknown future backend: basic sanity only
+			}
+			if recall < floor {
+				t.Fatalf("recall@%d = %.3f, want ≥ %.2f", k, recall, floor)
+			}
+
+			// Save/load round-trip must reproduce results exactly.
+			var buf bytes.Buffer
+			if err := ix.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			ix2, err := Load(name, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix2.Len() != ix.Len() || ix2.Dim() != ix.Dim() || ix2.Caps() != caps {
+				t.Fatalf("round-trip changed shape: %d/%d/%+v vs %d/%d/%+v",
+					ix2.Len(), ix2.Dim(), ix2.Caps(), ix.Len(), ix.Dim(), caps)
+			}
+			for qi, q := range queries {
+				a, b := searchIDs(ix, q, k, ef), searchIDs(ix2, q, k, ef)
+				if len(a) != len(b) {
+					t.Fatalf("query %d: result counts differ after round-trip: %d vs %d", qi, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("query %d rank %d differs after round-trip: %d vs %d", qi, i, a[i], b[i])
+					}
+				}
+			}
+
+			// Capability-gated insert.
+			novel := vec.Scale(nil, 40, vec.Ones(dim)) // far from every cluster
+			if caps.DynamicInsert {
+				id, err := ix.Add(novel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id != n {
+					t.Fatalf("Add id = %d, want %d", id, n)
+				}
+				got := searchIDs(ix, novel, 1, ef)
+				if len(got) != 1 || got[0] != id {
+					t.Fatalf("inserted vector not found: got %v", got)
+				}
+				if ix.Len() != n+1 {
+					t.Fatalf("Len after insert = %d, want %d", ix.Len(), n+1)
+				}
+			} else {
+				if _, err := ix.Add(novel); !errors.Is(err, ErrNotSupported) {
+					t.Fatalf("Add on non-dynamic backend: err = %v, want ErrNotSupported", err)
+				}
+				if ix.Len() != n {
+					t.Fatalf("failed Add changed Len to %d", ix.Len())
+				}
+			}
+
+			// Capability-gated delete.
+			if caps.DynamicDelete {
+				q := data[5]
+				top := searchIDs(ix, q, 1, ef)
+				if len(top) != 1 {
+					t.Fatal("no result before delete")
+				}
+				lenBefore := ix.Len()
+				if err := ix.Delete(top[0]); err != nil {
+					t.Fatal(err)
+				}
+				if err := ix.Delete(top[0]); err == nil {
+					t.Fatal("double delete did not error")
+				}
+				if ix.Len() != lenBefore-1 {
+					t.Fatalf("Len after delete = %d, want %d", ix.Len(), lenBefore-1)
+				}
+				for _, id := range searchIDs(ix, q, k, ef) {
+					if id == top[0] {
+						t.Fatal("deleted id still returned")
+					}
+				}
+			} else {
+				if err := ix.Delete(0); !errors.Is(err, ErrNotSupported) {
+					t.Fatalf("Delete on non-dynamic backend: err = %v, want ErrNotSupported", err)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("expected ≥ 4 registered backends, have %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	if _, err := Lookup("no-such-backend"); err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+	b, err := Lookup("")
+	if err != nil || b.Name != Default {
+		t.Fatalf("empty name resolved to %q, %v; want default %q", b.Name, err, Default)
+	}
+	if _, err := Build("no-such-backend", nil, Options{Dim: 4}); err == nil {
+		t.Fatal("expected Build error for unknown backend")
+	}
+	if _, err := Build("hnsw", nil, Options{}); err == nil {
+		t.Fatal("expected Build error for missing dimension")
+	}
+	if _, err := Load("no-such-backend", bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected Load error for unknown backend")
+	}
+}

@@ -1,0 +1,188 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"ppanns/internal/hnsw"
+	"ppanns/internal/resultheap"
+)
+
+func init() {
+	Register(Backend{Name: "hnsw", Build: buildHNSW, Load: loadHNSW})
+}
+
+// hnswIndex adapts hnsw.Graph to SecureIndex. The graph assigns its own
+// ids in arrival order, which under the parallel build differs from vector
+// positions; the adapter keeps the two-way mapping so external ids stay
+// equal to positions (they index the ciphertext arrays and are what users
+// see).
+type hnswIndex struct {
+	g *hnsw.Graph
+
+	mu      sync.RWMutex
+	pos2gid []int32
+	gid2pos []int32
+}
+
+func buildHNSW(vectors [][]float64, opts Options) (SecureIndex, error) {
+	g, err := hnsw.New(hnsw.Config{
+		Dim:            opts.Dim,
+		M:              opts.M,
+		EfConstruction: opts.EfConstruction,
+		Seed:           opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := len(vectors)
+	ix := &hnswIndex{
+		g:       g,
+		pos2gid: make([]int32, n),
+		gid2pos: make([]int32, n),
+	}
+	// Parallel construction: workers pull positions off a shared counter
+	// and record the graph id each insert received.
+	workers := runtime.GOMAXPROCS(0)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				gid := g.Add(vectors[i])
+				ix.pos2gid[i] = int32(gid)
+				ix.gid2pos[gid] = int32(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ix, nil
+}
+
+func (ix *hnswIndex) Add(v []float64) (int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	gid := ix.g.Add(v)
+	// Sequential adds receive dense graph ids, so gid matches the mapping
+	// size; a mismatch means the graph was mutated behind the adapter.
+	if gid != len(ix.gid2pos) {
+		return 0, fmt.Errorf("index: hnsw id %d out of step with mapping size %d", gid, len(ix.gid2pos))
+	}
+	pos := len(ix.pos2gid)
+	ix.pos2gid = append(ix.pos2gid, int32(gid))
+	ix.gid2pos = append(ix.gid2pos, int32(pos))
+	return pos, nil
+}
+
+func (ix *hnswIndex) Search(q []float64, k, ef int) []resultheap.Item {
+	items := ix.g.Search(q, k, ef)
+	ix.mu.RLock()
+	for i := range items {
+		items[i].ID = int(ix.gid2pos[items[i].ID])
+	}
+	ix.mu.RUnlock()
+	return items
+}
+
+func (ix *hnswIndex) Delete(pos int) error {
+	ix.mu.RLock()
+	if pos < 0 || pos >= len(ix.pos2gid) {
+		ix.mu.RUnlock()
+		return fmt.Errorf("index: hnsw delete of unknown id %d", pos)
+	}
+	gid := int(ix.pos2gid[pos])
+	ix.mu.RUnlock()
+	return ix.g.Delete(gid)
+}
+
+func (ix *hnswIndex) Len() int { return ix.g.Len() }
+func (ix *hnswIndex) Dim() int { return ix.g.Dim() }
+
+func (ix *hnswIndex) Caps() Caps {
+	return Caps{Name: "hnsw", DynamicInsert: true, DynamicDelete: true}
+}
+
+const hnswPayloadMagic = "IDXHNSW1"
+
+// Save writes the position→graph-id mapping followed by the graph itself.
+// gid2pos is not persisted: it is the inverse permutation of pos2gid and
+// deriving it at load time makes a mismatched pair unrepresentable.
+func (ix *hnswIndex) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(hnswPayloadMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(ix.pos2gid))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.pos2gid); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return ix.g.Save(w)
+}
+
+func loadHNSW(r io.Reader) (SecureIndex, error) {
+	magic := make([]byte, len(hnswPayloadMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("index: reading hnsw payload magic: %w", err)
+	}
+	if string(magic) != hnswPayloadMagic {
+		return nil, fmt.Errorf("index: bad hnsw payload magic %q", magic)
+	}
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("index: implausible hnsw mapping size %d", n)
+	}
+	ix := &hnswIndex{pos2gid: make([]int32, n)}
+	if err := binary.Read(r, binary.LittleEndian, ix.pos2gid); err != nil {
+		return nil, err
+	}
+	g, err := hnsw.Load(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the inverse mapping, rejecting out-of-range and duplicate
+	// graph ids so a corrupted mapping fails here instead of silently
+	// returning wrong external ids from Search.
+	ix.gid2pos = make([]int32, n)
+	for i := range ix.gid2pos {
+		ix.gid2pos[i] = -1
+	}
+	for pos, gid := range ix.pos2gid {
+		if gid < 0 || int64(gid) >= n {
+			return nil, fmt.Errorf("index: hnsw mapping references out-of-range graph id %d", gid)
+		}
+		if ix.gid2pos[gid] != -1 {
+			return nil, fmt.Errorf("index: hnsw mapping assigns graph id %d twice", gid)
+		}
+		ix.gid2pos[gid] = int32(pos)
+	}
+	st := g.Stats()
+	if st.Nodes+st.Deleted != int(n) {
+		return nil, fmt.Errorf("index: hnsw graph has %d nodes, mapping %d", st.Nodes+st.Deleted, n)
+	}
+	ix.g = g
+	return ix, nil
+}

@@ -1,0 +1,115 @@
+// Package index defines the pluggable secure filter-index abstraction of
+// the PP-ANNS scheme. Section V-A of the paper notes the privacy-preserving
+// index is not married to HNSW: any proximity structure built over the
+// DCPE/SAP ciphertexts can serve the filter phase, trading recall, build
+// cost, and update support differently. This package turns that observation
+// into an interface plus a name-keyed registry so `core` (and everything
+// above it — serialization, transport, CLI, benchmarks) selects a backend
+// by name instead of hard-wiring a concrete graph type.
+//
+// Four backends register themselves in this package:
+//
+//	hnsw — hierarchical proximity graph; fully dynamic (default)
+//	nsg  — navigating spreading-out graph; batch-built, delete-only
+//	ivf  — IVF-Flat inverted file; dynamic
+//	lsh  — E2LSH multi-probe hashing; dynamic
+//
+// External ids are vector positions: every backend assigns ids 0..n-1 in
+// build order and sequentially from Len() on Add, so callers can index
+// parallel ciphertext arrays directly with the ids a Search returns.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ppanns/internal/resultheap"
+)
+
+// ErrNotSupported is wrapped by backends rejecting an operation their
+// structure cannot perform (e.g. inserting into a batch-built NSG).
+var ErrNotSupported = errors.New("index: operation not supported by backend")
+
+// Caps reports what a backend can do beyond build-and-search, so callers
+// can gate updates instead of discovering failures at mutation time.
+type Caps struct {
+	// Name is the registry name of the backend.
+	Name string
+	// DynamicInsert reports whether Add works after the initial build.
+	DynamicInsert bool
+	// DynamicDelete reports whether Delete (tombstoning) works.
+	DynamicDelete bool
+}
+
+// SecureIndex is the filter-phase index over SAP ciphertexts. Ids are
+// vector positions (0..n-1 in build order, then sequential per Add).
+// Implementations are safe for concurrent Search; mutations are serialized
+// by the caller (core.Server holds a write lock across Add/Delete).
+type SecureIndex interface {
+	// Add inserts a vector and returns its id, which is always the value
+	// Len-including-tombstones had before the call. Backends without
+	// dynamic insert return an error wrapping ErrNotSupported.
+	Add(v []float64) (int, error)
+	// Search returns up to k live ids approximately closest to q,
+	// closest first. ef is an advisory search-effort knob (beam width for
+	// graphs; probe budget for partition- and hash-based backends).
+	Search(q []float64, k, ef int) []resultheap.Item
+	// Delete tombstones an id. Backends without dynamic delete return an
+	// error wrapping ErrNotSupported.
+	Delete(id int) error
+	// Len returns the number of live (non-deleted) vectors.
+	Len() int
+	// Dim returns the vector dimension.
+	Dim() int
+	// Caps reports the backend's update capabilities.
+	Caps() Caps
+	// Save writes the index (including search-time options) so the
+	// registered loader round-trips it byte-exactly into an equivalent
+	// index.
+	Save(w io.Writer) error
+}
+
+// Options carries per-backend build and search parameters. Zero values
+// select each backend's documented defaults; fields for other backends are
+// ignored, so one Options value can configure any backend choice.
+type Options struct {
+	// Dim is the vector dimension (required).
+	Dim int
+	// Seed makes construction deterministic when non-zero.
+	Seed uint64
+
+	// M and EfConstruction are the HNSW build parameters (defaults 16
+	// and 200; the paper's evaluation uses 40 and 600).
+	M              int
+	EfConstruction int
+
+	// Lists is IVF's nlist (default √n clamped to [16, 4096]);
+	// TrainIters bounds quantizer training (default 20); NProbe fixes
+	// the probed-list count per query (default derived from ef).
+	Lists      int
+	TrainIters int
+	NProbe     int
+
+	// R, L and KNN are NSG's max out-degree, construction pool size and
+	// seeding-kNN width (defaults 32, 128, 48).
+	R   int
+	L   int
+	KNN int
+
+	// Tables, Hashes and W are E2LSH's L, K and quantization width
+	// (defaults 12, 8, and a width calibrated from the data scale);
+	// Probes fixes the multi-probe budget per table (default: derived
+	// from the search's ef, clamped to [Hashes, 2·Hashes]).
+	Tables int
+	Hashes int
+	W      float64
+	Probes int
+}
+
+func (o Options) validate() error {
+	if o.Dim <= 0 {
+		return fmt.Errorf("index: non-positive dimension %d", o.Dim)
+	}
+	return nil
+}

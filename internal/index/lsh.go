@@ -1,0 +1,281 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"ppanns/internal/lsh"
+	"ppanns/internal/resultheap"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+func init() {
+	Register(Backend{Name: "lsh", Build: buildLSH, Load: loadLSH})
+}
+
+// Adapter defaults: fewer, shorter hashes than the package's baseline
+// defaults, because the filter phase wants recall (the DCE refine restores
+// precision) and multi-probe makes short hashes cheap to widen.
+const (
+	lshDefaultTables = 12
+	lshDefaultHashes = 8
+)
+
+// lshIndex adapts lsh.Index to SecureIndex. The hash tables only store
+// ids, so the adapter keeps the vectors itself to rank the candidate union
+// by distance — the same filter-then-rank shape the RS-SANN and PRI-ANN
+// baselines use, here serving the generic filter phase.
+type lshIndex struct {
+	cfg lsh.Config
+	// probes fixes the multi-probe budget per table; 0 derives it from
+	// the search's ef budget.
+	probes int
+
+	mu      sync.RWMutex
+	ix      *lsh.Index
+	data    *vec.Dataset
+	deleted []bool
+	live    int
+}
+
+// calibrateW estimates a quantization width from the data scale: W is set
+// to half the mean pairwise distance over a deterministic sample, which
+// puts near neighbors well inside one quantization cell while keeping far
+// points apart. E2LSH's fixed default (4) assumes unit-scale data and
+// collapses on SAP ciphertexts, whose coordinates are scaled by S≈1024.
+func calibrateW(vectors [][]float64, seed uint64) float64 {
+	if len(vectors) < 2 {
+		return 4
+	}
+	r := rng.NewSeeded(seed ^ 0x3a7)
+	const pairs = 512
+	var sum float64
+	var cnt int
+	for i := 0; i < pairs; i++ {
+		a := r.IntN(len(vectors))
+		b := r.IntN(len(vectors))
+		if a == b {
+			continue
+		}
+		sum += vec.Dist(vectors[a], vectors[b])
+		cnt++
+	}
+	if cnt == 0 || sum == 0 {
+		return 4
+	}
+	return sum / float64(cnt) / 2
+}
+
+func buildLSH(vectors [][]float64, opts Options) (SecureIndex, error) {
+	cfg := lsh.Config{
+		Dim:    opts.Dim,
+		Tables: opts.Tables,
+		Hashes: opts.Hashes,
+		W:      opts.W,
+		Seed:   opts.Seed,
+	}
+	if cfg.Tables <= 0 {
+		cfg.Tables = lshDefaultTables
+	}
+	if cfg.Hashes <= 0 {
+		cfg.Hashes = lshDefaultHashes
+	}
+	if cfg.W <= 0 {
+		cfg.W = calibrateW(vectors, opts.Seed)
+	}
+	ix, err := lsh.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := &lshIndex{
+		cfg:     cfg,
+		probes:  opts.Probes,
+		ix:      ix,
+		data:    vec.NewDataset(opts.Dim, len(vectors)),
+		deleted: make([]bool, 0, len(vectors)),
+	}
+	for _, v := range vectors {
+		id := a.data.Append(v)
+		a.deleted = append(a.deleted, false)
+		ix.Insert(id, v)
+	}
+	a.live = len(vectors)
+	return a, nil
+}
+
+func (a *lshIndex) Add(v []float64) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := a.data.Append(v)
+	a.deleted = append(a.deleted, false)
+	a.live++
+	a.ix.Insert(id, v)
+	return id, nil
+}
+
+// probesFor maps the advisory ef budget onto a per-table probe count: one
+// extra bucket per 8 beam slots, clamped to [Hashes, 2·Hashes] (the probe
+// generator emits at most 2·Hashes single-coordinate perturbations).
+func (a *lshIndex) probesFor(ef int) int {
+	if a.probes > 0 {
+		return a.probes
+	}
+	p := ef / 8
+	if p < a.cfg.Hashes {
+		p = a.cfg.Hashes
+	}
+	if p > 2*a.cfg.Hashes {
+		p = 2 * a.cfg.Hashes
+	}
+	return p
+}
+
+func (a *lshIndex) Search(q []float64, k, ef int) []resultheap.Item {
+	cands := a.ix.Candidates(q, a.probesFor(ef), 0)
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	res := resultheap.NewMaxDistHeap(k + 1)
+	for _, id := range cands {
+		if a.deleted[id] {
+			continue
+		}
+		d := vec.SqDist(q, a.data.At(id))
+		if res.Len() < k {
+			res.Push(id, d)
+		} else if d < res.Top().Dist {
+			res.Pop()
+			res.Push(id, d)
+		}
+	}
+	return res.SortedAscending()
+}
+
+func (a *lshIndex) Delete(id int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id < 0 || id >= len(a.deleted) {
+		return fmt.Errorf("index: lsh delete of unknown id %d", id)
+	}
+	if a.deleted[id] {
+		return fmt.Errorf("index: lsh id %d already deleted", id)
+	}
+	a.deleted[id] = true
+	a.live--
+	return nil
+}
+
+func (a *lshIndex) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.live
+}
+
+func (a *lshIndex) Dim() int { return a.cfg.Dim }
+
+func (a *lshIndex) Caps() Caps {
+	return Caps{Name: "lsh", DynamicInsert: true, DynamicDelete: true}
+}
+
+const lshPayloadMagic = "IDXLSH01"
+
+// Save persists the configuration, vectors and tombstones. The hash tables
+// themselves are not written: reconstruction from the same seed reproduces
+// identical projections, so Load rebuilds an equivalent index by
+// re-inserting the live vectors.
+func (a *lshIndex) Save(w io.Writer) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(lshPayloadMagic); err != nil {
+		return err
+	}
+	n := len(a.deleted)
+	head := []int64{
+		int64(a.cfg.Dim), int64(a.cfg.Tables), int64(a.cfg.Hashes),
+		int64(a.cfg.Seed), int64(a.probes), int64(n), int64(a.live),
+	}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(a.cfg.W)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, a.data.Raw()); err != nil {
+		return err
+	}
+	for _, d := range a.deleted {
+		b := byte(0)
+		if d {
+			b = 1
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func loadLSH(r io.Reader) (SecureIndex, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(lshPayloadMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: reading lsh payload magic: %w", err)
+	}
+	if string(magic) != lshPayloadMagic {
+		return nil, fmt.Errorf("index: bad lsh payload magic %q", magic)
+	}
+	head := make([]int64, 7)
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, err
+		}
+	}
+	var wBits uint64
+	if err := binary.Read(br, binary.LittleEndian, &wBits); err != nil {
+		return nil, err
+	}
+	cfg := lsh.Config{
+		Dim:    int(head[0]),
+		Tables: int(head[1]),
+		Hashes: int(head[2]),
+		Seed:   uint64(head[3]),
+		W:      math.Float64frombits(wBits),
+	}
+	probes, n, live := int(head[4]), int(head[5]), int(head[6])
+	if cfg.Dim <= 0 || n < 0 || live < 0 || live > n {
+		return nil, fmt.Errorf("index: implausible lsh header dim=%d n=%d live=%d", cfg.Dim, n, live)
+	}
+	raw := make([]float64, n*cfg.Dim)
+	if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+		return nil, fmt.Errorf("index: reading lsh vectors: %w", err)
+	}
+	ds, err := vec.DatasetFromRaw(cfg.Dim, raw)
+	if err != nil {
+		return nil, err
+	}
+	deleted := make([]bool, n)
+	for i := range deleted {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("index: reading lsh tombstones: %w", err)
+		}
+		deleted[i] = b != 0
+	}
+	ix, err := lsh.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if !deleted[i] {
+			ix.Insert(i, ds.At(i))
+		}
+	}
+	return &lshIndex{cfg: cfg, probes: probes, ix: ix, data: ds, deleted: deleted, live: live}, nil
+}

@@ -1,0 +1,76 @@
+package index
+
+import (
+	"fmt"
+	"io"
+
+	"ppanns/internal/nsg"
+	"ppanns/internal/resultheap"
+)
+
+func init() {
+	Register(Backend{Name: "nsg", Build: buildNSG, Load: loadNSG})
+}
+
+// nsgIndex adapts nsg.Graph to SecureIndex. NSG is a batch-built index:
+// ids equal build positions, deletions tombstone, and Add is rejected —
+// the capability report lets callers gate on that instead of failing late.
+type nsgIndex struct {
+	g *nsg.Graph
+}
+
+func buildNSG(vectors [][]float64, opts Options) (SecureIndex, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("index: nsg requires a non-empty initial vector set")
+	}
+	g, err := nsg.Build(vectors, nsg.Config{
+		R:    opts.R,
+		L:    opts.L,
+		KNN:  opts.KNN,
+		Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &nsgIndex{g: g}, nil
+}
+
+func (a *nsgIndex) Add(v []float64) (int, error) {
+	return 0, fmt.Errorf("%w: nsg is batch-built and cannot insert", ErrNotSupported)
+}
+
+func (a *nsgIndex) Search(q []float64, k, ef int) []resultheap.Item {
+	return a.g.Search(q, k, ef)
+}
+
+func (a *nsgIndex) Delete(id int) error { return a.g.Delete(id) }
+func (a *nsgIndex) Len() int            { return a.g.Len() }
+func (a *nsgIndex) Dim() int            { return a.g.Dim() }
+
+func (a *nsgIndex) Caps() Caps {
+	return Caps{Name: "nsg", DynamicInsert: false, DynamicDelete: true}
+}
+
+const nsgPayloadMagic = "IDXNSG01"
+
+func (a *nsgIndex) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, nsgPayloadMagic); err != nil {
+		return err
+	}
+	return a.g.Save(w)
+}
+
+func loadNSG(r io.Reader) (SecureIndex, error) {
+	magic := make([]byte, len(nsgPayloadMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("index: reading nsg payload magic: %w", err)
+	}
+	if string(magic) != nsgPayloadMagic {
+		return nil, fmt.Errorf("index: bad nsg payload magic %q", magic)
+	}
+	g, err := nsg.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &nsgIndex{g: g}, nil
+}

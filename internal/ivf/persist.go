@@ -1,0 +1,133 @@
+package ivf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ppanns/internal/vec"
+)
+
+// Binary index format: magic, dim/nlist/n/live header, centroid matrix,
+// flat vector store, tombstone bytes, then one length-prefixed member list
+// per inverted list. All integers are little-endian.
+
+const persistMagic = "IVFGO001"
+
+// Save writes the index in the binary format. It takes the read lock so
+// the snapshot is consistent.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return fmt.Errorf("ivf: writing magic: %w", err)
+	}
+	n := len(ix.deleted)
+	head := []int64{int64(ix.dim), int64(len(ix.centroids)), int64(n), int64(ix.live)}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("ivf: writing header: %w", err)
+		}
+	}
+	for _, c := range ix.centroids {
+		if err := binary.Write(bw, binary.LittleEndian, c); err != nil {
+			return fmt.Errorf("ivf: writing centroids: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.data.Raw()); err != nil {
+		return fmt.Errorf("ivf: writing vectors: %w", err)
+	}
+	for _, d := range ix.deleted {
+		b := byte(0)
+		if d {
+			b = 1
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	for _, lst := range ix.lists {
+		if err := binary.Write(bw, binary.LittleEndian, int32(len(lst))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, lst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ivf: reading magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("ivf: bad magic %q", magic)
+	}
+	head := make([]int64, 4)
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("ivf: reading header: %w", err)
+		}
+	}
+	dim, nlist, n, live := int(head[0]), int(head[1]), int(head[2]), int(head[3])
+	if dim <= 0 || nlist <= 0 || n < 0 || live < 0 || live > n {
+		return nil, fmt.Errorf("ivf: implausible header dim=%d nlist=%d n=%d live=%d", dim, nlist, n, live)
+	}
+	ix := &Index{
+		dim:       dim,
+		centroids: make([][]float64, nlist),
+		lists:     make([][]int32, nlist),
+		deleted:   make([]bool, n),
+		live:      live,
+	}
+	for i := range ix.centroids {
+		c := make([]float64, dim)
+		if err := binary.Read(br, binary.LittleEndian, c); err != nil {
+			return nil, fmt.Errorf("ivf: reading centroids: %w", err)
+		}
+		ix.centroids[i] = c
+	}
+	raw := make([]float64, n*dim)
+	if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+		return nil, fmt.Errorf("ivf: reading vectors: %w", err)
+	}
+	ds, err := vec.DatasetFromRaw(dim, raw)
+	if err != nil {
+		return nil, err
+	}
+	ix.data = ds
+	for i := range ix.deleted {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("ivf: reading tombstones: %w", err)
+		}
+		ix.deleted[i] = b != 0
+	}
+	for i := range ix.lists {
+		var cnt int32
+		if err := binary.Read(br, binary.LittleEndian, &cnt); err != nil {
+			return nil, fmt.Errorf("ivf: reading list %d: %w", i, err)
+		}
+		if cnt < 0 || int(cnt) > n {
+			return nil, fmt.Errorf("ivf: list %d has %d members", i, cnt)
+		}
+		lst := make([]int32, cnt)
+		if err := binary.Read(br, binary.LittleEndian, lst); err != nil {
+			return nil, err
+		}
+		for _, id := range lst {
+			if id < 0 || int(id) >= n {
+				return nil, fmt.Errorf("ivf: list %d references out-of-range id %d", i, id)
+			}
+		}
+		ix.lists[i] = lst
+	}
+	return ix, nil
+}

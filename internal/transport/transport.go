@@ -85,9 +85,21 @@ func (wi *wireInsert) payload() *core.InsertPayload {
 	return p
 }
 
+// Info describes the server a client is connected to: which filter-index
+// backend it runs and what update operations that backend supports, so
+// clients can gate Insert/Delete calls instead of discovering failures
+// remotely.
+type Info struct {
+	Backend       string
+	DynamicInsert bool
+	DynamicDelete bool
+	N             int
+	Dim           int
+}
+
 // request is the wire envelope for client→server calls.
 type request struct {
-	Op      string // "search", "insert", "delete", "len"
+	Op      string // "search", "insert", "delete", "len", "info"
 	Token   *wireToken
 	K       int
 	Opt     core.SearchOptions
@@ -97,10 +109,11 @@ type request struct {
 
 // response is the wire envelope for server→client replies.
 type response struct {
-	IDs []int
-	ID  int
-	N   int
-	Err string
+	IDs  []int
+	ID   int
+	N    int
+	Info *Info
+	Err  string
 }
 
 // Serve accepts connections on l and answers requests against srv until
@@ -149,6 +162,15 @@ func serveConn(conn net.Conn, srv *core.Server) {
 			}
 		case "len":
 			resp.N = srv.Len()
+		case "info":
+			caps := srv.Caps()
+			resp.Info = &Info{
+				Backend:       srv.Backend(),
+				DynamicInsert: caps.DynamicInsert,
+				DynamicDelete: caps.DynamicDelete,
+				N:             srv.Len(),
+				Dim:           srv.Dim(),
+			}
 		default:
 			resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)
 		}
@@ -237,4 +259,16 @@ func (c *Client) Len() (int, error) {
 		return 0, err
 	}
 	return resp.N, nil
+}
+
+// Info returns the server's backend name, capabilities and size.
+func (c *Client) Info() (Info, error) {
+	resp, err := c.roundTrip(request{Op: "info"})
+	if err != nil {
+		return Info{}, err
+	}
+	if resp.Info == nil {
+		return Info{}, fmt.Errorf("transport: server sent no info")
+	}
+	return *resp.Info, nil
 }

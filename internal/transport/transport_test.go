@@ -159,6 +159,29 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+func TestInfoOverTCP(t *testing.T) {
+	_, _, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	info, err := client.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Backend != "hnsw" {
+		t.Fatalf("Backend = %q, want hnsw", info.Backend)
+	}
+	if !info.DynamicInsert || !info.DynamicDelete {
+		t.Fatalf("hnsw caps wrong: %+v", info)
+	}
+	if info.N != 600 || info.Dim != d.Dim {
+		t.Fatalf("N/Dim = %d/%d, want 600/%d", info.N, info.Dim, d.Dim)
+	}
+}
+
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil || !strings.Contains(err.Error(), "dial") {
 		t.Fatalf("expected dial error, got %v", err)

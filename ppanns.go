@@ -10,12 +10,14 @@
 //     p?" exactly over ciphertexts in O(d) per comparison, leaking only the
 //     comparison bit.
 //   - A privacy-preserving index combines DCPE (scale-and-perturb
-//     encryption with tunable noise β) with an HNSW proximity graph built
-//     over the DCPE ciphertexts, so the graph's edges reveal only
-//     approximate neighbor relations.
-//   - Queries follow a filter-and-refine strategy: HNSW retrieves k′ > k
-//     candidates by approximate distance, then a max-heap driven purely by
-//     DCE comparisons selects the exact best k.
+//     encryption with tunable noise β) with a proximity index built over
+//     the DCPE ciphertexts, so the index structure reveals only
+//     approximate neighbor relations. HNSW (the paper's choice) is the
+//     default; NSG, IVF-Flat and E2LSH backends are selectable via
+//     Params.Index (see Backends).
+//   - Queries follow a filter-and-refine strategy: the index retrieves
+//     k′ > k candidates by approximate distance, then a max-heap driven
+//     purely by DCE comparisons selects the exact best k.
 //
 // # Roles
 //
@@ -30,18 +32,32 @@
 //	ids, _ := server.Search(tok, 10, ppanns.SearchOptions{RatioK: 8})
 //
 // The Server type is constructed from ciphertexts only; no API path exposes
-// plaintexts or keys to it. See DESIGN.md for the threat model and
-// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+// plaintexts or keys to it. See README.md for a quickstart and the
+// backend-selection table; cmd/ppanns-bench reproduces the paper's
+// evaluation.
 package ppanns
 
 import (
 	"ppanns/internal/core"
+	"ppanns/internal/index"
 )
 
 // Params configures a deployment. See core.Params for field documentation;
 // the zero value of every optional field selects a sensible default
-// (S=1024, M=16, EfConstruction=200).
+// (S=1024, Index="hnsw", M=16, EfConstruction=200).
 type Params = core.Params
+
+// IndexOptions carries backend-specific build and search options for
+// Params.IndexOptions. Fields for backends other than the selected one are
+// ignored.
+type IndexOptions = index.Options
+
+// IndexCaps reports a backend's update capabilities (dynamic insert /
+// delete support), as returned by Server.Caps.
+type IndexCaps = index.Caps
+
+// Backends lists the registered filter-index backends, sorted by name.
+func Backends() []string { return index.Names() }
 
 // SearchOptions tunes a single query: k′ (directly or via RatioK), the
 // HNSW beam width, and the refine mode.
