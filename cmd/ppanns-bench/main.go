@@ -32,6 +32,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "experiment seed")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (sift,gist,glove,deep)")
 		full     = flag.Bool("full", false, "lift laptop-scale caps (gist-size AME pieces)")
+		jsonOut  = flag.String("json", "", "path for the machine-readable profile of -exp perf (e.g. BENCH_search.json)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 	}
 
 	cfg := bench.Config{
-		N: *n, Queries: *queries, K: *k, Seed: *seed, Full: *full, Out: os.Stdout,
+		N: *n, Queries: *queries, K: *k, Seed: *seed, Full: *full, Out: os.Stdout, JSONOut: *jsonOut,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")

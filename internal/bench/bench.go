@@ -38,6 +38,9 @@ type Config struct {
 	Full bool
 	// Out receives the report (default os.Stdout via the CLI).
 	Out io.Writer
+	// JSONOut, when non-empty, is the path experiments with a
+	// machine-readable profile (currently "perf") write it to.
+	JSONOut string
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +85,7 @@ func Registry() []Experiment {
 		{"attack", "Sec. III: KPA attacks on ASPE variants (control: DCE)", Attack},
 		{"maintain", "Sec. V-D: index maintenance under churn", Maintain},
 		{"indexes", "Sec. V-A ablation: HNSW vs NSG vs IVF vs flat scan as filter backend", Indexes},
+		{"perf", "Search hot-path profile: qps, latency, cost split, allocs (BENCH_search.json)", SearchPerf},
 	}
 }
 

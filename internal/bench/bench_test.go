@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ func tinyCfg(buf *bytes.Buffer) Config {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 12 {
+	if len(reg) != 13 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	for _, e := range reg {
@@ -147,5 +149,34 @@ func TestDeploymentMeasure(t *testing.T) {
 	}
 	if p.Recall < 0.7 || p.QPS <= 0 || p.Latency <= 0 {
 		t.Fatalf("implausible measurement: %+v", p)
+	}
+}
+
+func TestSearchPerfTiny(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.JSONOut = t.TempDir() + "/BENCH_search.json"
+	if err := SearchPerf(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"qps", "allocs/op", "profile written"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("perf output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(cfg.JSONOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep SearchPerfReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("profile is not valid JSON: %v", err)
+	}
+	if rep.Single.QPS <= 0 || rep.Config.N != 600 {
+		t.Fatalf("implausible profile: %+v", rep)
+	}
+	if rep.Single.AllocsPerOp != 0 {
+		t.Fatalf("steady-state search allocates %.1f objects/op, want 0", rep.Single.AllocsPerOp)
 	}
 }

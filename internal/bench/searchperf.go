@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+)
+
+// SearchPerfReport is the machine-readable search-performance profile the
+// "perf" experiment emits (BENCH_search.json). It is the repo's standing
+// baseline: later PRs regenerate it and diff qps/latency/allocs against
+// the committed numbers before touching the hot path.
+type SearchPerfReport struct {
+	// Generated is the RFC3339 timestamp of the run.
+	Generated string `json:"generated"`
+	// Config echoes the run's scale so baselines compare like-for-like.
+	Config struct {
+		Dataset string `json:"dataset"`
+		N       int    `json:"n"`
+		Dim     int    `json:"dim"`
+		Queries int    `json:"queries"`
+		K       int    `json:"k"`
+		RatioK  int    `json:"ratio_k"`
+		Ef      int    `json:"ef_search"`
+		Backend string `json:"backend"`
+		Seed    uint64 `json:"seed"`
+	} `json:"config"`
+	// Single profiles the sequential (one-query-at-a-time) hot path.
+	Single struct {
+		QPS         float64 `json:"qps"`
+		P50Micros   float64 `json:"p50_us"`
+		P99Micros   float64 `json:"p99_us"`
+		FilterMicro float64 `json:"filter_us"` // mean per query
+		RefineMicro float64 `json:"refine_us"` // mean per query
+		Comparisons float64 `json:"comparisons_per_query"`
+		Recall      float64 `json:"recall"`
+		AllocsPerOp float64 `json:"allocs_per_op"` // steady-state SearchInto
+	} `json:"single"`
+	// Batch profiles SearchBatch across all cores.
+	Batch struct {
+		QPS         float64 `json:"qps"`
+		Parallelism int     `json:"parallelism"`
+	} `json:"batch"`
+}
+
+// SearchPerf ("perf") profiles the zero-allocation search hot path — qps,
+// latency percentiles, the filter/refine cost split, secure-comparison
+// counts, and steady-state allocations per query — and, when the CLI's
+// -json flag names a path, writes the profile as JSON.
+func SearchPerf(cfg Config) error {
+	cfg = cfg.withDefaults()
+	datas, err := cfg.datasets("deep")
+	if err != nil {
+		return err
+	}
+	data := datas[0]
+	dep, err := newDeployment(data, core.Params{
+		Dim: data.Dim, Beta: 0.3, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	k := cfg.K
+	const ratioK = 16
+	opt := core.SearchOptions{RatioK: ratioK, EfSearch: ratioK * k}
+
+	// Warm-up: size every pooled buffer before measuring.
+	var dst []int
+	for _, tok := range dep.tokens {
+		if dst, _, err = dep.server.SearchInto(dst, tok, k, opt); err != nil {
+			return err
+		}
+	}
+
+	// Sequential pass: per-query latency distribution plus the cost split.
+	lat := make([]time.Duration, len(dep.tokens))
+	got := make([][]int, len(dep.tokens))
+	var agg core.SearchStats
+	start := time.Now()
+	for i, tok := range dep.tokens {
+		qStart := time.Now()
+		ids, st, err := dep.server.SearchInto(dst[:0], tok, k, opt)
+		if err != nil {
+			return err
+		}
+		lat[i] = time.Since(qStart)
+		got[i] = append([]int(nil), ids...)
+		dst = ids
+		agg.Comparisons += st.Comparisons
+		agg.FilterTime += st.FilterTime
+		agg.RefineTime += st.RefineTime
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	nq := len(dep.tokens)
+	pctl := func(p float64) float64 {
+		i := int(p * float64(nq-1))
+		return float64(lat[i].Nanoseconds()) / 1e3
+	}
+
+	// Steady-state allocation count of the pooled hot path. A GC cycle
+	// landing mid-measurement can drain the scratch pools and charge
+	// their refill to one unlucky run, so take the minimum of a few
+	// attempts — the pools refill immediately and the clean attempts show
+	// the true steady state.
+	qi := 0
+	allocs := math.Inf(1)
+	for attempt := 0; attempt < 3; attempt++ {
+		a := testing.AllocsPerRun(64, func() {
+			var err error
+			if dst, _, err = dep.server.SearchInto(dst, dep.tokens[qi%nq], k, opt); err != nil {
+				panic(err)
+			}
+			qi++
+		})
+		if a < allocs {
+			allocs = a
+		}
+		if allocs == 0 {
+			break
+		}
+	}
+
+	// Batch pass: whole query set across all cores.
+	workers := runtime.GOMAXPROCS(0)
+	const batchRounds = 3
+	bStart := time.Now()
+	for r := 0; r < batchRounds; r++ {
+		if _, err := dep.server.SearchBatch(dep.tokens, k, opt, workers); err != nil {
+			return err
+		}
+	}
+	batchElapsed := time.Since(bStart)
+
+	var rep SearchPerfReport
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Config.Dataset = data.Name
+	rep.Config.N = len(data.Train)
+	rep.Config.Dim = data.Dim
+	rep.Config.Queries = nq
+	rep.Config.K = k
+	rep.Config.RatioK = ratioK
+	rep.Config.Ef = opt.EfSearch
+	rep.Config.Backend = dep.server.Backend()
+	rep.Config.Seed = cfg.Seed
+	rep.Single.QPS = float64(nq) / elapsed.Seconds()
+	rep.Single.P50Micros = pctl(0.50)
+	rep.Single.P99Micros = pctl(0.99)
+	rep.Single.FilterMicro = float64(agg.FilterTime.Nanoseconds()) / float64(nq) / 1e3
+	rep.Single.RefineMicro = float64(agg.RefineTime.Nanoseconds()) / float64(nq) / 1e3
+	rep.Single.Comparisons = float64(agg.Comparisons) / float64(nq)
+	rep.Single.Recall = dataset.MeanRecall(got, data.GroundTruth(k))
+	rep.Single.AllocsPerOp = allocs
+	rep.Batch.QPS = float64(nq*batchRounds) / batchElapsed.Seconds()
+	rep.Batch.Parallelism = workers
+
+	cfg.printf("%-22s %s (n=%d d=%d, %d queries, k=%d, backend=%s)\n",
+		"corpus", rep.Config.Dataset, rep.Config.N, rep.Config.Dim, nq, k, rep.Config.Backend)
+	cfg.printf("%-22s %.0f qps   p50 %.0fµs   p99 %.0fµs\n", "single-thread", rep.Single.QPS, rep.Single.P50Micros, rep.Single.P99Micros)
+	cfg.printf("%-22s filter %.0fµs + refine %.0fµs, %.0f comparisons/query, recall %.3f\n",
+		"cost split", rep.Single.FilterMicro, rep.Single.RefineMicro, rep.Single.Comparisons, rep.Single.Recall)
+	cfg.printf("%-22s %.1f allocs/op (steady-state SearchInto)\n", "allocations", rep.Single.AllocsPerOp)
+	cfg.printf("%-22s %.0f qps across %d workers\n", "batch", rep.Batch.QPS, rep.Batch.Parallelism)
+
+	if cfg.JSONOut != "" {
+		blob, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(cfg.JSONOut, blob, 0o644); err != nil {
+			return fmt.Errorf("bench: writing %s: %w", cfg.JSONOut, err)
+		}
+		cfg.printf("%-22s %s\n", "profile written", cfg.JSONOut)
+	}
+	return nil
+}

@@ -6,12 +6,66 @@ import (
 	"sync"
 )
 
+// QueryError attributes one failed query inside a batch.
+type QueryError struct {
+	Query int // index into the batch's token slice
+	Err   error
+}
+
+func (e QueryError) Error() string { return fmt.Sprintf("query %d: %v", e.Query, e.Err) }
+
+// Unwrap exposes the underlying per-query error to errors.Is/As.
+func (e QueryError) Unwrap() error { return e.Err }
+
+// BatchError aggregates the failures of a SearchBatch call. The batch's
+// successful results are still returned alongside it — a single malformed
+// token no longer voids a thousand good answers.
+type BatchError struct {
+	Failed []QueryError // in query order
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("core: %d of batch queries failed (first: %v)", len(e.Failed), e.Failed[0])
+}
+
+// Unwrap exposes the per-query errors to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, qe := range e.Failed {
+		out[i] = qe
+	}
+	return out
+}
+
 // SearchBatch answers many queries concurrently across at most parallelism
 // workers (0 = GOMAXPROCS) and returns per-query results in input order.
 // The paper measures single-threaded search for comparability; a deployed
 // cloud server answers its query stream in parallel, which the scheme
 // supports because search is read-only over the encrypted state.
+//
+// Failed queries do not discard the batch: their result slots are nil and
+// the returned error is a *BatchError listing them; every other slot holds
+// its query's answer. Each worker draws its own pooled scratch, and every
+// worker reuses one result buffer across its queries, so the steady-state
+// per-query cost is a single allocation for the returned ids.
 func (s *Server) SearchBatch(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, error) {
+	results, errs := s.SearchBatchErrs(toks, k, opt, parallelism)
+	var failed []QueryError
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, QueryError{Query: i, Err: err})
+		}
+	}
+	if len(failed) > 0 {
+		return results, &BatchError{Failed: failed}
+	}
+	return results, nil
+}
+
+// SearchBatchErrs is SearchBatch returning the raw per-query error slice
+// (parallel to the result slice; nil entries mean success) instead of an
+// aggregate error. Both return values are nil for an empty batch.
+func (s *Server) SearchBatchErrs(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, []error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -30,6 +84,7 @@ func (s *Server) SearchBatch(toks []*QueryToken, k int, opt SearchOptions, paral
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var buf []int
 			for {
 				mu.Lock()
 				i := next
@@ -38,15 +93,13 @@ func (s *Server) SearchBatch(toks []*QueryToken, k int, opt SearchOptions, paral
 				if i >= len(toks) {
 					return
 				}
-				results[i], errs[i] = s.Search(toks[i], k, opt)
+				buf, _, errs[i] = s.SearchInto(buf[:0], toks[i], k, opt)
+				if errs[i] == nil {
+					results[i] = append([]int(nil), buf...)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: query %d: %w", i, err)
-		}
-	}
-	return results, nil
+	return results, errs
 }

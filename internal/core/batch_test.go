@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -59,6 +60,59 @@ func TestSearchBatchPropagatesErrors(t *testing.T) {
 	}
 	if _, err := w.server.SearchBatch([]*QueryToken{tok}, 5, SearchOptions{}, 2); err == nil {
 		t.Fatal("expected error to propagate from the batch")
+	}
+}
+
+func TestSearchBatchPartialFailureKeepsResults(t *testing.T) {
+	data := clustered(66, 400, 8, 4)
+	w := newWorld(t, Params{Dim: 8, Beta: 0.3, Seed: 66}, data)
+	good := make([]*QueryToken, 3)
+	for i := range good {
+		tok, err := w.user.Query(data[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		good[i] = tok
+	}
+	bad, err := w.user.QueryFilterOnly(data[9]) // lacks the DCE trapdoor
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := []*QueryToken{good[0], bad, good[1], nil, good[2]}
+
+	results, batchErr := w.server.SearchBatch(toks, 5, SearchOptions{RatioK: 8}, 3)
+	if batchErr == nil {
+		t.Fatal("expected a batch error for the failed queries")
+	}
+	var be *BatchError
+	if !errors.As(batchErr, &be) {
+		t.Fatalf("batch error has type %T, want *BatchError", batchErr)
+	}
+	if len(be.Failed) != 2 || be.Failed[0].Query != 1 || be.Failed[1].Query != 3 {
+		t.Fatalf("failed set = %+v, want queries 1 and 3", be.Failed)
+	}
+	// One bad query must not void the good answers.
+	for _, i := range []int{0, 2, 4} {
+		if len(results[i]) != 5 {
+			t.Fatalf("good query %d lost its results: %v", i, results[i])
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if results[i] != nil {
+			t.Fatalf("failed query %d has non-nil results %v", i, results[i])
+		}
+	}
+
+	// The raw per-query error slice mirrors the same split.
+	results2, errs := w.server.SearchBatchErrs(toks, 5, SearchOptions{RatioK: 8}, 0)
+	for i, err := range errs {
+		failed := i == 1 || i == 3
+		if (err != nil) != failed {
+			t.Fatalf("query %d: err = %v, want failure=%v", i, err, failed)
+		}
+		if !failed && len(results2[i]) != 5 {
+			t.Fatalf("query %d: results %v", i, results2[i])
+		}
 	}
 }
 

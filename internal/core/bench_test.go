@@ -1,0 +1,196 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"ppanns/internal/dce"
+	"ppanns/internal/resultheap"
+)
+
+// benchWorld builds a deployment once per benchmark binary.
+type benchWorld struct {
+	data   [][]float64
+	server *Server
+	toks   []*QueryToken
+}
+
+var benchW *benchWorld
+
+func getBenchWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	if benchW != nil {
+		return benchW
+	}
+	// Paper-scale dimensionality (SIFT-like): at d=128 a ciphertext record
+	// is ~8.7 KB, so the candidate working set exceeds L2 and the memory
+	// layout, not the ALU, dominates — the regime the arena targets.
+	data := clustered(91, 3000, 128, 12)
+	owner, err := NewDataOwner(Params{Dim: 128, Beta: 0.3, Seed: 91})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := NewServer(edb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, err := NewUser(owner.UserKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &benchWorld{data: data, server: server}
+	for _, q := range makeQueries(92, data, 64, 0.3) {
+		tok, err := user.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.toks = append(w.toks, tok)
+	}
+	benchW = w
+	return w
+}
+
+// naiveDistanceComp replicates the seed's DistanceComp — the straight,
+// un-unrolled loop — so the pointer-baseline below measures the actual
+// pre-arena hot path, not today's kernel on yesterday's layout.
+func naiveDistanceComp(co, cp *dce.Ciphertext, tq *dce.Trapdoor) float64 {
+	q := tq.Q
+	var z float64
+	o1, o2 := co.P1, co.P2
+	p3, p4 := cp.P3, cp.P4
+	for i, qv := range q {
+		z += (o1[i]*p3[i] - o2[i]*p4[i]) * qv
+	}
+	return z
+}
+
+// BenchmarkRefine isolates the refine phase over a fixed candidate set:
+// the pre-arena baseline (naive kernel over pointer-per-ciphertext
+// components, comparator closure, fresh heap per query) against the flat
+// arena with its unrolled kernel and pooled heap, with and without
+// trapdoor-scaled operand precomputation.
+func BenchmarkRefine(b *testing.B) {
+	const k, kPrime = 10, 160
+	w := getBenchWorld(b)
+	tok := w.toks[0]
+	w.server.mu.RLock()
+	edb := w.server.edb
+	w.server.mu.RUnlock()
+	items := edb.Index.Search(tok.SAP, kPrime, kPrime)
+	cands := make([]int, len(items))
+	for i, it := range items {
+		cands[i] = it.ID
+	}
+
+	// Pre-arena layout: one pointer ciphertext with four separately
+	// allocated components per point, in a dense id-indexed slice exactly
+	// like the old EncryptedDatabase.DCE field — materialized for the
+	// whole database so its heap spread matches what encryption produced.
+	scattered := make([]*dce.Ciphertext, edb.DCE.Len())
+	for id := range scattered {
+		view := edb.DCE.View(id)
+		scattered[id] = &dce.Ciphertext{
+			P1: append([]float64(nil), view.P1...),
+			P2: append([]float64(nil), view.P2...),
+			P3: append([]float64(nil), view.P3...),
+			P4: append([]float64(nil), view.P4...),
+		}
+	}
+
+	b.Run("pointer-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		farther := func(a, c int) bool {
+			return naiveDistanceComp(scattered[a], scattered[c], tok.Trapdoor) > 0
+		}
+		for i := 0; i < b.N; i++ {
+			h := resultheap.NewCompareHeap(k, farther)
+			for _, id := range cands {
+				h.Offer(id)
+			}
+			_ = h.SortedAscending()
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		sc := getScratch()
+		defer putScratch(sc)
+		cmp := &sc.dce
+		var dst []int
+		for i := 0; i < b.N; i++ {
+			*cmp = dceComparator{store: edb.DCE, q: tok.Trapdoor.Q, cands: cands}
+			dst, _ = refineScratch(sc, cands, k, cmp, dst)
+		}
+	})
+	b.Run("arena-precompute", func(b *testing.B) {
+		b.ReportAllocs()
+		sc := getScratch()
+		defer putScratch(sc)
+		cmp := &sc.dce
+		ctDim := edb.DCE.CtDim()
+		var dst []int
+		for i := 0; i < b.N; i++ {
+			sc.ops = edb.DCE.ScaleOperands(sc.ops, cands, tok.Trapdoor.Q)
+			*cmp = dceComparator{store: edb.DCE, q: tok.Trapdoor.Q, cands: cands, ops: sc.ops, ctDim: ctDim}
+			dst, _ = refineScratch(sc, cands, k, cmp, dst)
+		}
+	})
+}
+
+// BenchmarkSearch measures the full filter-and-refine path. The "into"
+// variants reuse the caller-side result buffer and must report 0 allocs/op
+// at steady state — the zero-allocation guarantee of the flat-arena
+// rework.
+func BenchmarkSearch(b *testing.B) {
+	w := getBenchWorld(b)
+	opt := SearchOptions{RatioK: 16, EfSearch: 160}
+	pre := opt
+	pre.PrecomputeRefine = true
+
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.server.Search(w.toks[i%len(w.toks)], 10, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for name, o := range map[string]SearchOptions{"into": opt, "into-precompute": pre} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var dst []int
+			var err error
+			// Warm the pools before the measured region.
+			for _, tok := range w.toks {
+				if dst, _, err = w.server.SearchInto(dst, tok, 10, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, _, err = w.server.SearchInto(dst, w.toks[i%len(w.toks)], 10, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchBatch measures the parallel query stream; each worker
+// holds its own pooled scratch.
+func BenchmarkSearchBatch(b *testing.B) {
+	w := getBenchWorld(b)
+	opt := SearchOptions{RatioK: 16, EfSearch: 160}
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.server.SearchBatch(w.toks, 10, opt, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(w.toks)), "queries/op")
+}

@@ -145,34 +145,23 @@ type QueryToken struct {
 }
 
 // EncryptedDatabase is the server-side state: the filter index over SAP
-// ciphertexts (which owns the C_SAP vectors) plus the DCE ciphertexts, and
-// optionally the AME ciphertexts for the baseline.
+// ciphertexts (which owns the C_SAP vectors) plus the DCE ciphertexts in a
+// flat arena store, and optionally the AME ciphertexts for the baseline.
 //
-// External ids (what users see, and what index the DCE/AME arrays) are the
-// data owner's vector positions; every index backend returns positions
-// from Search, keeping any internal id remapping to itself.
+// External ids (what users see, and what index the DCE store/AME array)
+// are the data owner's vector positions; every index backend returns
+// positions from Search, keeping any internal id remapping to itself.
 type EncryptedDatabase struct {
 	Dim     int
 	Backend string
 	Index   index.SecureIndex
-	DCE     []*dce.Ciphertext
+	DCE     *dce.CiphertextStore
 	AME     []*ame.Ciphertext // nil unless built WithAME
 }
 
 // Len returns the number of vectors in the encrypted database, including
 // tombstoned ones.
-func (e *EncryptedDatabase) Len() int { return len(e.DCE) }
-
-// ctDim returns the DCE ciphertext component length (0 when every entry is
-// tombstoned).
-func (e *EncryptedDatabase) ctDim() int {
-	for _, ct := range e.DCE {
-		if ct != nil {
-			return len(ct.P1)
-		}
-	}
-	return 0
-}
+func (e *EncryptedDatabase) Len() int { return e.DCE.Len() }
 
 // InsertPayload carries the ciphertexts of one new vector from the data
 // owner to the server (Section V-D insertion).

@@ -88,7 +88,10 @@ func (o *DataOwner) EncryptDatabase(vectors [][]float64) (*EncryptedDatabase, er
 
 	n := len(vectors)
 	sap := make([][]float64, n)
-	dceCts := make([]*dce.Ciphertext, n)
+	// DCE ciphertexts are encrypted straight into the flat arena store:
+	// workers fill disjoint records in place, so the encrypted database is
+	// born cache-friendly with no per-point ciphertext allocation.
+	store := dce.NewCiphertextStoreN(o.keys.DCE.CiphertextDim(), n)
 	var ameCts []*ame.Ciphertext
 	if o.params.WithAME {
 		ameCts = make([]*ame.Ciphertext, n)
@@ -102,7 +105,7 @@ func (o *DataOwner) EncryptDatabase(vectors [][]float64) (*EncryptedDatabase, er
 			defer wg.Done()
 			for i := w; i < n; i += workers {
 				sap[i] = o.keys.SAP.Encrypt(vectors[i])
-				dceCts[i] = o.keys.DCE.Encrypt(vectors[i])
+				o.keys.DCE.EncryptRecord(vectors[i], store.Record(i))
 				if ameCts != nil {
 					ameCts[i] = o.keys.AME.Encrypt(vectors[i])
 				}
@@ -120,7 +123,7 @@ func (o *DataOwner) EncryptDatabase(vectors [][]float64) (*EncryptedDatabase, er
 		Dim:     o.params.Dim,
 		Backend: o.params.Index,
 		Index:   idx,
-		DCE:     dceCts,
+		DCE:     store,
 		AME:     ameCts,
 	}, nil
 }

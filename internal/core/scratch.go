@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync"
+
+	"ppanns/internal/ame"
+	"ppanns/internal/dce"
+	"ppanns/internal/resultheap"
+)
+
+// searchScratch is the per-search working set, pooled so the steady-state
+// hot path performs no allocation: the filter-phase item buffer, the
+// candidate id list, the refine heap with its drain buffer, the pooled
+// comparators, and the optional trapdoor-scaled operand arena.
+//
+// Every Search call checks one scratch out of the pool and returns it on
+// exit, so concurrent SearchBatch workers each hold their own scratch
+// without coordination.
+type searchScratch struct {
+	items  []resultheap.Item
+	cands  []int
+	sorted []int
+	ops    []float64
+	heap   resultheap.CompareHeap
+	dce    dceComparator
+	ame    ameComparator
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+func getScratch() *searchScratch { return scratchPool.Get().(*searchScratch) }
+
+func putScratch(sc *searchScratch) {
+	// Drop per-query references (trapdoors, the ciphertext store) so a
+	// pooled scratch never pins another tenant's query material; the flat
+	// buffers are the point of the pool and stay.
+	sc.dce = dceComparator{}
+	sc.ame = ameComparator{}
+	scratchPool.Put(sc)
+}
+
+// dceComparator implements resultheap.Comparator over candidate positions
+// (indexes into cands), backed by the arena store. With ops set (the
+// trapdoor-scaled operands from CiphertextStore.ScaleOperands) each
+// comparison runs the cheaper two-multiply kernel.
+//
+// A pooled struct pointer stands in for the per-search closure the old
+// code allocated; the heap stores positions so the comparator can address
+// the precomputed operand blocks directly.
+type dceComparator struct {
+	store *dce.CiphertextStore
+	q     []float64
+	cands []int
+	ops   []float64 // nil unless precomputed; 2·ctDim floats per candidate
+	ctDim int
+}
+
+func (c *dceComparator) Farther(a, b int) bool {
+	if c.ops != nil {
+		st := 2 * c.ctDim
+		return c.store.ScaledComp(c.ops[a*st:(a+1)*st], c.cands[b]) > 0
+	}
+	return c.store.DistanceCompQ(c.cands[a], c.cands[b], c.q) > 0
+}
+
+// ameComparator is the AME-baseline counterpart of dceComparator.
+type ameComparator struct {
+	cts   []*ame.Ciphertext
+	cands []int
+	tq    *ame.Trapdoor
+}
+
+func (c *ameComparator) Farther(a, b int) bool {
+	return ame.Compare(c.cts[c.cands[a]], c.cts[c.cands[b]], c.tq) > 0
+}
+
+// refineScratch runs Algorithm 2's bounded max-heap selection over
+// candidate positions 0..len(cands)-1 using the scratch's pooled heap,
+// then maps the surviving positions back to external ids appended into
+// dst. Returns dst and the secure-comparison count.
+func refineScratch(sc *searchScratch, cands []int, k int, cmp resultheap.Comparator, dst []int) ([]int, int) {
+	if k > len(cands) {
+		k = len(cands)
+	}
+	sc.heap.Reset(k, cmp)
+	for i := range cands {
+		sc.heap.Offer(i)
+	}
+	sc.sorted = sc.heap.SortedInto(sc.sorted)
+	dst = dst[:0]
+	for _, pos := range sc.sorted {
+		dst = append(dst, cands[pos])
+	}
+	return dst, sc.heap.Comparisons()
+}

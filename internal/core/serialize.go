@@ -58,16 +58,27 @@ func LoadUserKey(r io.Reader) (*UserKey, error) {
 
 // Format history: PPANNSD2 stored a bare HNSW graph plus the id mapping;
 // PPANNSD3 prefixes a backend tag so saved databases round-trip any
-// registered index backend, whose payload is self-describing.
+// registered index backend, whose payload is self-describing, and stores
+// one CRC-framed record per ciphertext; PPANNSD4 stores the ciphertext
+// arena in bulk — a presence bitmap followed by the flat float array under
+// a single streaming CRC32 — matching the in-memory CiphertextStore so
+// loading is one contiguous read instead of n pointer-chased records.
 const (
-	edbMagic       = "PPANNSD3"
+	edbMagic       = "PPANNSD4"
+	edbMagicV3     = "PPANNSD3"
 	edbMagicLegacy = "PPANNSD2"
 )
 
-// Save writes the encrypted database (backend tag, DCE ciphertexts, index
-// payload) in a binary format. Every ciphertext record carries a CRC32 so
-// storage corruption is detected at load time instead of silently flipping
-// comparison results. AME ciphertexts, when present, are not persisted.
+// serializeChunk is the staging-buffer size (in float64s) for bulk arena
+// I/O: large enough to amortize the encode loop, small enough to stay
+// cache-resident.
+const serializeChunk = 8192
+
+// Save writes the encrypted database (backend tag, DCE ciphertext arena,
+// index payload) in the PPANNSD4 format. The arena travels under a
+// streaming CRC32 so storage corruption is detected at load time instead
+// of silently flipping comparison results. AME ciphertexts, when present,
+// are not persisted.
 func (e *EncryptedDatabase) Save(w io.Writer) error {
 	backend := e.Backend
 	if backend == "" {
@@ -86,41 +97,45 @@ func (e *EncryptedDatabase) Save(w io.Writer) error {
 	if _, err := bw.WriteString(backend); err != nil {
 		return err
 	}
-	n := len(e.DCE)
-	ctDim := e.ctDim()
+	n := e.DCE.Len()
+	ctDim := e.DCE.CtDim()
 	for _, v := range []int64{int64(e.Dim), int64(n), int64(ctDim)} {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
-	record := make([]byte, 4*ctDim*8)
-	for i, ct := range e.DCE {
-		present := byte(1)
-		if ct == nil {
-			present = 0
+	// Presence bitmap: tombstoned records stay in the arena as zeroed
+	// runs, so the bulk section's geometry is independent of deletions.
+	for _, live := range e.DCE.LiveMask() {
+		b := byte(0)
+		if live {
+			b = 1
 		}
-		if err := bw.WriteByte(present); err != nil {
+		if err := bw.WriteByte(b); err != nil {
 			return err
 		}
-		if ct == nil {
-			continue
+	}
+	// Bulk arena write with a running checksum.
+	arena := e.DCE.Raw()
+	buf := make([]byte, serializeChunk*8)
+	var crc uint32
+	for off := 0; off < len(arena); {
+		m := len(arena) - off
+		if m > serializeChunk {
+			m = serializeChunk
 		}
-		off := 0
-		for _, comp := range [][]float64{ct.P1, ct.P2, ct.P3, ct.P4} {
-			if len(comp) != ctDim {
-				return fmt.Errorf("core: ciphertext %d has component length %d, want %d", i, len(comp), ctDim)
-			}
-			for _, f := range comp {
-				binary.LittleEndian.PutUint64(record[off:], math.Float64bits(f))
-				off += 8
-			}
+		for j := 0; j < m; j++ {
+			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(arena[off+j]))
 		}
-		if _, err := bw.Write(record); err != nil {
+		chunk := buf[:m*8]
+		crc = crc32.Update(crc, crc32.IEEETable, chunk)
+		if _, err := bw.Write(chunk); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(record)); err != nil {
-			return err
-		}
+		off += m
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc); err != nil {
+		return err
 	}
 	if err := bw.Flush(); err != nil {
 		return err
@@ -128,17 +143,21 @@ func (e *EncryptedDatabase) Save(w io.Writer) error {
 	return e.Index.Save(w)
 }
 
-// LoadEncryptedDatabase reads a database written by Save.
+// LoadEncryptedDatabase reads a database written by Save — the current
+// PPANNSD4 bulk-arena format or the per-record PPANNSD3 layout, which is
+// loaded straight into the arena store so pre-arena files keep working
+// bit-for-bit.
 func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(edbMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
-	if string(magic) == edbMagicLegacy {
+	switch string(magic) {
+	case edbMagic, edbMagicV3:
+	case edbMagicLegacy:
 		return nil, fmt.Errorf("core: legacy %s database; re-encrypt with this version to add the backend tag", edbMagicLegacy)
-	}
-	if string(magic) != edbMagic {
+	default:
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
 	nameLen, err := br.ReadByte()
@@ -163,8 +182,89 @@ func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 	if dim <= 0 || n <= 0 || ctDim <= 0 {
 		return nil, fmt.Errorf("core: implausible header dim=%d n=%d ctDim=%d", dim, n, ctDim)
 	}
-	e := &EncryptedDatabase{Dim: dim, Backend: backend, DCE: make([]*dce.Ciphertext, n)}
-	record := make([]byte, 4*ctDim*8)
+	var store *dce.CiphertextStore
+	if string(magic) == edbMagic {
+		store, err = readArenaBulk(br, n, ctDim)
+	} else {
+		store, err = readArenaRecords(br, n, ctDim)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &EncryptedDatabase{Dim: dim, Backend: backend, DCE: store}
+	idx, err := index.Load(backend, br)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading %s index: %w", backend, err)
+	}
+	// Cross-check the index against the ciphertext section so corruption
+	// that survives both payloads' own checks still fails at load time
+	// instead of as an out-of-range id during a query.
+	if idx.Dim() != dim {
+		return nil, fmt.Errorf("core: index dimension %d does not match database dimension %d", idx.Dim(), dim)
+	}
+	if idx.Len() != store.Live() {
+		return nil, fmt.Errorf("core: index holds %d live vectors, ciphertext store %d", idx.Len(), store.Live())
+	}
+	e.Index = idx
+	return e, nil
+}
+
+// readArenaBulk reads the PPANNSD4 ciphertext section: presence bitmap,
+// flat arena, trailing CRC32 over the arena bytes.
+func readArenaBulk(br io.Reader, n, ctDim int) (*dce.CiphertextStore, error) {
+	present := make([]byte, n)
+	if _, err := io.ReadFull(br, present); err != nil {
+		return nil, fmt.Errorf("core: reading presence bitmap: %w", err)
+	}
+	live := make([]bool, n)
+	for i, b := range present {
+		switch b {
+		case 0:
+		case 1:
+			live[i] = true
+		default:
+			return nil, fmt.Errorf("core: corrupt presence byte %d for record %d", b, i)
+		}
+	}
+	arena := make([]float64, n*4*ctDim)
+	buf := make([]byte, serializeChunk*8)
+	var crc uint32
+	for off := 0; off < len(arena); {
+		m := len(arena) - off
+		if m > serializeChunk {
+			m = serializeChunk
+		}
+		chunk := buf[:m*8]
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, fmt.Errorf("core: reading ciphertext arena: %w", err)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, chunk)
+		for j := 0; j < m; j++ {
+			arena[off+j] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[j*8:]))
+		}
+		off += m
+	}
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("core: reading arena checksum: %w", err)
+	}
+	if crc != stored {
+		return nil, fmt.Errorf("core: ciphertext arena corrupted (crc %08x, want %08x)", crc, stored)
+	}
+	return dce.StoreFromRaw(ctDim, arena, live)
+}
+
+// readArenaRecords reads the pre-arena PPANNSD3 ciphertext section — one
+// presence byte plus CRC-framed record per point — directly into the flat
+// arena layout, preserving every float bit-for-bit.
+func readArenaRecords(br interface {
+	io.Reader
+	io.ByteReader
+}, n, ctDim int) (*dce.CiphertextStore, error) {
+	stride := 4 * ctDim
+	arena := make([]float64, n*stride)
+	live := make([]bool, n)
+	record := make([]byte, stride*8)
 	for i := 0; i < n; i++ {
 		present, err := br.ReadByte()
 		if err != nil {
@@ -183,38 +283,11 @@ func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 		if got := crc32.ChecksumIEEE(record); got != stored {
 			return nil, fmt.Errorf("core: ciphertext %d corrupted (crc %08x, want %08x)", i, got, stored)
 		}
-		ct := &dce.Ciphertext{
-			P1: make([]float64, ctDim), P2: make([]float64, ctDim),
-			P3: make([]float64, ctDim), P4: make([]float64, ctDim),
+		rec := arena[i*stride : (i+1)*stride]
+		for j := range rec {
+			rec[j] = math.Float64frombits(binary.LittleEndian.Uint64(record[j*8:]))
 		}
-		off := 0
-		for _, comp := range [][]float64{ct.P1, ct.P2, ct.P3, ct.P4} {
-			for j := range comp {
-				comp[j] = math.Float64frombits(binary.LittleEndian.Uint64(record[off:]))
-				off += 8
-			}
-		}
-		e.DCE[i] = ct
+		live[i] = true
 	}
-	idx, err := index.Load(backend, br)
-	if err != nil {
-		return nil, fmt.Errorf("core: loading %s index: %w", backend, err)
-	}
-	// Cross-check the index against the ciphertext section so corruption
-	// that survives both payloads' own checks still fails at load time
-	// instead of as an out-of-range id during a query.
-	if idx.Dim() != dim {
-		return nil, fmt.Errorf("core: index dimension %d does not match database dimension %d", idx.Dim(), dim)
-	}
-	live := 0
-	for _, ct := range e.DCE {
-		if ct != nil {
-			live++
-		}
-	}
-	if idx.Len() != live {
-		return nil, fmt.Errorf("core: index holds %d live vectors, ciphertext store %d", idx.Len(), live)
-	}
-	e.Index = idx
-	return e, nil
+	return dce.StoreFromRaw(ctDim, arena, live)
 }

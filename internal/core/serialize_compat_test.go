@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"testing"
+)
+
+// writeLegacyV3 produces a byte-exact pre-arena PPANNSD3 database file —
+// the per-record layout every database saved before the flat-arena rework
+// is stored in: magic, backend tag, dim/n/ctDim header, then one presence
+// byte plus a CRC32-framed [P1|P2|P3|P4] record per ciphertext, followed
+// by the index payload.
+func writeLegacyV3(t *testing.T, w io.Writer, e *EncryptedDatabase) {
+	t.Helper()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(edbMagicV3); err != nil {
+		t.Fatal(err)
+	}
+	backend := e.Backend
+	if err := bw.WriteByte(byte(len(backend))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.WriteString(backend); err != nil {
+		t.Fatal(err)
+	}
+	n := e.DCE.Len()
+	ctDim := e.DCE.CtDim()
+	for _, v := range []int64{int64(e.Dim), int64(n), int64(ctDim)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	record := make([]byte, 4*ctDim*8)
+	for i := 0; i < n; i++ {
+		if !e.DCE.Has(i) {
+			if err := bw.WriteByte(0); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := bw.WriteByte(1); err != nil {
+			t.Fatal(err)
+		}
+		ct := e.DCE.View(i)
+		off := 0
+		for _, comp := range [][]float64{ct.P1, ct.P2, ct.P3, ct.P4} {
+			for _, f := range comp {
+				binary.LittleEndian.PutUint64(record[off:], math.Float64bits(f))
+				off += 8
+			}
+		}
+		if _, err := bw.Write(record); err != nil {
+			t.Fatal(err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(record)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Index.Save(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyV3LoadsIntoArena proves a pre-arena PPANNSD3 database file
+// loads into the flat-arena layout bit-for-bit: every ciphertext float is
+// preserved exactly, tombstones survive, and search results before and
+// after the round-trip are identical — including after re-saving in the
+// current PPANNSD4 bulk format.
+func TestLegacyV3LoadsIntoArena(t *testing.T) {
+	data := clustered(71, 400, 8, 4)
+	w := newWorld(t, Params{Dim: 8, Beta: 0.5, Seed: 71}, data)
+	if err := w.server.Delete(11); err != nil {
+		t.Fatal(err)
+	}
+	w.server.mu.RLock()
+	edb := w.server.edb
+	var legacy bytes.Buffer
+	writeLegacyV3(t, &legacy, edb)
+	wantRaw := append([]float64(nil), edb.DCE.Raw()...)
+	wantLive := append([]bool(nil), edb.DCE.LiveMask()...)
+	w.server.mu.RUnlock()
+
+	loaded, err := LoadEncryptedDatabase(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatalf("loading legacy PPANNSD3 file: %v", err)
+	}
+	assertStoreBits := func(stage string, got *EncryptedDatabase) {
+		t.Helper()
+		if got.DCE.Len() != len(wantLive) || got.DCE.CtDim() != edb.DCE.CtDim() {
+			t.Fatalf("%s: store shape %d/%d, want %d/%d",
+				stage, got.DCE.Len(), got.DCE.CtDim(), len(wantLive), edb.DCE.CtDim())
+		}
+		gotRaw := got.DCE.Raw()
+		for i, f := range wantRaw {
+			if math.Float64bits(gotRaw[i]) != math.Float64bits(f) {
+				t.Fatalf("%s: arena float %d differs: %x vs %x",
+					stage, i, math.Float64bits(gotRaw[i]), math.Float64bits(f))
+			}
+		}
+		for i, l := range wantLive {
+			if got.DCE.Has(i) != l {
+				t.Fatalf("%s: liveness of id %d flipped", stage, i)
+			}
+		}
+	}
+	assertStoreBits("legacy load", loaded)
+
+	// Identical bits must give identical answers.
+	server2, err := NewServer(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := makeQueries(72, data, 20, 0.3)
+	assertSameResults := func(stage string, other *Server) {
+		t.Helper()
+		for qi, q := range queries {
+			tok, err := w.user.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := w.server.Search(tok, 5, SearchOptions{RatioK: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := other.Search(tok, 5, SearchOptions{RatioK: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%s: query %d result counts %d vs %d", stage, qi, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: query %d rank %d: %d vs %d", stage, qi, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	assertSameResults("legacy load", server2)
+
+	// Re-saving in the current bulk format must preserve the bits again.
+	var modern bytes.Buffer
+	if err := loaded.Save(&modern); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(modern.Bytes(), []byte(edbMagic)) {
+		t.Fatalf("re-save did not use the %s format", edbMagic)
+	}
+	reloaded, err := LoadEncryptedDatabase(bytes.NewReader(modern.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoreBits("v4 round-trip", reloaded)
+	server3, err := NewServer(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults("v4 round-trip", server3)
+}

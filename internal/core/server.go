@@ -5,10 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"ppanns/internal/ame"
-	"ppanns/internal/dce"
 	"ppanns/internal/index"
-	"ppanns/internal/resultheap"
 )
 
 // RefineMode selects how the server's refine phase compares candidates.
@@ -51,6 +48,16 @@ type SearchOptions struct {
 	EfSearch int
 	// Refine selects the comparison scheme (default RefineDCE).
 	Refine RefineMode
+	// PrecomputeRefine makes the DCE refine phase scale every candidate's
+	// P1/P2 operands by the trapdoor once, up front, so each of the
+	// O(k′ log k) heap comparisons runs a two-multiply kernel instead of
+	// three. The up-front pass writes 2·(2d+16) floats per candidate, so
+	// it only pays when the heap re-compares each candidate many times
+	// (comparisons ≫ k′, e.g. tiny k′ with deep re-heapification); at the
+	// paper's operating points (k′ = 16k) BenchmarkRefine measures it as
+	// a net loss, which is why it defaults to off. Results are identical
+	// either way up to float64 rounding of exactly tied distances.
+	PrecomputeRefine bool
 }
 
 func (s SearchOptions) kPrime(k int) int {
@@ -91,7 +98,7 @@ type Server struct {
 
 // NewServer wraps an encrypted database received from the data owner.
 func NewServer(edb *EncryptedDatabase) (*Server, error) {
-	if edb == nil || edb.Index == nil || len(edb.DCE) == 0 {
+	if edb == nil || edb.Index == nil || edb.DCE == nil || edb.DCE.Len() == 0 {
 		return nil, fmt.Errorf("core: incomplete encrypted database")
 	}
 	return &Server{edb: edb}, nil
@@ -129,18 +136,27 @@ func (s *Server) Caps() index.Caps {
 // Search answers a k-ANNS query (Algorithm 2) and returns external ids
 // ordered closest-first.
 func (s *Server) Search(tok *QueryToken, k int, opt SearchOptions) ([]int, error) {
-	ids, _, err := s.SearchWithStats(tok, k, opt)
+	ids, _, err := s.SearchInto(nil, tok, k, opt)
 	return ids, err
 }
 
 // SearchWithStats is Search plus cost accounting.
 func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]int, SearchStats, error) {
+	return s.SearchInto(nil, tok, k, opt)
+}
+
+// SearchInto is SearchWithStats appending the result ids into dst (whose
+// capacity is reused; pass nil to allocate). All per-query working state —
+// filter items, candidate list, refine heap, operand scratch — comes from
+// an internal pool, so with a recycled dst a steady-state search performs
+// zero allocations.
+func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions) ([]int, SearchStats, error) {
 	var st SearchStats
 	if tok == nil || tok.SAP == nil {
-		return nil, st, fmt.Errorf("core: query token missing SAP ciphertext")
+		return dst[:0], st, fmt.Errorf("core: query token missing SAP ciphertext")
 	}
 	if k <= 0 {
-		return nil, st, fmt.Errorf("core: non-positive k %d", k)
+		return dst[:0], st, fmt.Errorf("core: non-positive k %d", k)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -148,7 +164,7 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 	// Dimension checks up front: the index and comparison backends panic
 	// on mismatched vectors, which must not be reachable from the wire.
 	if len(tok.SAP) != edb.Dim {
-		return nil, st, fmt.Errorf("core: query token has dim %d, want %d", len(tok.SAP), edb.Dim)
+		return dst[:0], st, fmt.Errorf("core: query token has dim %d, want %d", len(tok.SAP), edb.Dim)
 	}
 
 	kPrime := opt.kPrime(k)
@@ -156,68 +172,76 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 		kPrime = k
 	}
 
+	sc := getScratch()
+	defer putScratch(sc)
+
 	// Filter phase (Algorithm 2 line 1): k′-ANNS over SAP ciphertexts.
 	// Backends return external ids directly.
 	start := time.Now()
-	items := edb.Index.Search(tok.SAP, kPrime, opt.ef(kPrime))
+	sc.items = edb.Index.SearchInto(sc.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
 	st.FilterTime = time.Since(start)
-	st.Candidates = len(items)
-	if len(items) == 0 {
-		return nil, st, nil
+	st.Candidates = len(sc.items)
+	if len(sc.items) == 0 {
+		return dst[:0], st, nil
 	}
 
-	cands := make([]int, len(items))
-	for i, it := range items {
-		cands[i] = it.ID
+	sc.cands = sc.cands[:0]
+	for _, it := range sc.items {
+		sc.cands = append(sc.cands, it.ID)
 	}
+	cands := sc.cands
 
 	// Refine phase (Algorithm 2 lines 2–9).
 	start = time.Now()
-	var result []int
 	switch opt.Refine {
 	case RefineNone:
 		if len(cands) > k {
 			cands = cands[:k]
 		}
-		result = cands
+		dst = append(dst[:0], cands...)
 	case RefineDCE:
 		if tok.Trapdoor == nil {
-			return nil, st, fmt.Errorf("core: token lacks DCE trapdoor for refine")
+			return dst[:0], st, fmt.Errorf("core: token lacks DCE trapdoor for refine")
 		}
-		if ctDim := len(edb.DCE[cands[0]].P1); len(tok.Trapdoor.Q) != ctDim {
-			return nil, st, fmt.Errorf("core: trapdoor has dim %d, ciphertexts %d", len(tok.Trapdoor.Q), ctDim)
+		ctDim := edb.DCE.CtDim()
+		if len(tok.Trapdoor.Q) != ctDim {
+			return dst[:0], st, fmt.Errorf("core: trapdoor has dim %d, ciphertexts %d", len(tok.Trapdoor.Q), ctDim)
 		}
-		farther := func(a, b int) bool {
-			return dce.DistanceComp(edb.DCE[a], edb.DCE[b], tok.Trapdoor) > 0
+		// A filter backend out of step with the ciphertext store must
+		// surface as a wire-safe error, never as an out-of-range panic in
+		// the serving process.
+		for _, id := range cands {
+			if !edb.DCE.Has(id) {
+				return dst[:0], st, fmt.Errorf("core: filter index returned id %d with no DCE ciphertext", id)
+			}
 		}
-		result, st.Comparisons = refineWithHeap(cands, k, farther)
+		cmp := &sc.dce
+		*cmp = dceComparator{store: edb.DCE, q: tok.Trapdoor.Q, cands: cands}
+		if opt.PrecomputeRefine {
+			sc.ops = edb.DCE.ScaleOperands(sc.ops, cands, tok.Trapdoor.Q)
+			cmp.ops, cmp.ctDim = sc.ops, ctDim
+		}
+		dst, st.Comparisons = refineScratch(sc, cands, k, cmp, dst)
 	case RefineAME:
 		if edb.AME == nil {
-			return nil, st, fmt.Errorf("core: database was built without AME ciphertexts")
+			return dst[:0], st, fmt.Errorf("core: database was built without AME ciphertexts")
 		}
 		if tok.AME == nil {
-			return nil, st, fmt.Errorf("core: token lacks AME trapdoor for refine")
+			return dst[:0], st, fmt.Errorf("core: token lacks AME trapdoor for refine")
 		}
-		farther := func(a, b int) bool {
-			return ame.Compare(edb.AME[a], edb.AME[b], tok.AME) > 0
+		for _, id := range cands {
+			if id < 0 || id >= len(edb.AME) || edb.AME[id] == nil {
+				return dst[:0], st, fmt.Errorf("core: filter index returned id %d with no AME ciphertext", id)
+			}
 		}
-		result, st.Comparisons = refineWithHeap(cands, k, farther)
+		cmp := &sc.ame
+		*cmp = ameComparator{cts: edb.AME, cands: cands, tq: tok.AME}
+		dst, st.Comparisons = refineScratch(sc, cands, k, cmp, dst)
 	default:
-		return nil, st, fmt.Errorf("core: unknown refine mode %d", opt.Refine)
+		return dst[:0], st, fmt.Errorf("core: unknown refine mode %d", opt.Refine)
 	}
 	st.RefineTime = time.Since(start)
-	return result, st, nil
-}
-
-// refineWithHeap implements Algorithm 2's max-heap selection: offer every
-// candidate, keep the closest k, then drain closest-first. Only the opaque
-// comparator touches ciphertexts.
-func refineWithHeap(cands []int, k int, farther resultheap.Farther) ([]int, int) {
-	h := resultheap.NewCompareHeap(k, farther)
-	for _, id := range cands {
-		h.Offer(id)
-	}
-	return h.SortedAscending(), h.Comparisons()
+	return dst, st, nil
 }
 
 // Insert adds one encrypted vector (Section V-D) and returns its external
@@ -239,8 +263,8 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 	if len(p.SAP) != edb.Dim {
 		return 0, fmt.Errorf("core: insert payload has dim %d, want %d", len(p.SAP), edb.Dim)
 	}
-	if ctDim := edb.ctDim(); ctDim > 0 &&
-		(len(p.DCE.P1) != ctDim || len(p.DCE.P2) != ctDim || len(p.DCE.P3) != ctDim || len(p.DCE.P4) != ctDim) {
+	if ctDim := edb.DCE.CtDim(); len(p.DCE.P1) != ctDim || len(p.DCE.P2) != ctDim ||
+		len(p.DCE.P3) != ctDim || len(p.DCE.P4) != ctDim {
 		return 0, fmt.Errorf("core: insert DCE ciphertext components do not match stored dimension %d", ctDim)
 	}
 	if edb.AME != nil && p.AME == nil {
@@ -254,14 +278,14 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 		return 0, fmt.Errorf("core: index insert: %w", err)
 	}
 	// Ids are assigned sequentially by every backend, so the new id must
-	// land exactly at the end of the ciphertext arrays. On a contract
+	// land exactly at the end of the ciphertext store. On a contract
 	// violation, roll the stray entry back out (best effort) so the index
 	// and ciphertext store stay in lockstep.
-	if pos != len(edb.DCE) {
+	if pos != edb.DCE.Len() {
 		_ = edb.Index.Delete(pos)
-		return 0, fmt.Errorf("core: index id %d out of step with database size %d", pos, len(edb.DCE))
+		return 0, fmt.Errorf("core: index id %d out of step with database size %d", pos, edb.DCE.Len())
 	}
-	edb.DCE = append(edb.DCE, p.DCE)
+	edb.DCE.Append(p.DCE)
 	if edb.AME != nil {
 		edb.AME = append(edb.AME, p.AME)
 	}
@@ -276,10 +300,10 @@ func (s *Server) Delete(pos int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	edb := s.edb
-	if pos < 0 || pos >= len(edb.DCE) {
+	if pos < 0 || pos >= edb.DCE.Len() {
 		return fmt.Errorf("core: delete of unknown id %d", pos)
 	}
-	if edb.DCE[pos] == nil {
+	if !edb.DCE.Has(pos) {
 		return fmt.Errorf("core: id %d already deleted", pos)
 	}
 	if !edb.Index.Caps().DynamicDelete {
@@ -288,7 +312,7 @@ func (s *Server) Delete(pos int) error {
 	if err := edb.Index.Delete(pos); err != nil {
 		return fmt.Errorf("core: index delete: %w", err)
 	}
-	edb.DCE[pos] = nil
+	edb.DCE.Delete(pos)
 	if edb.AME != nil {
 		edb.AME[pos] = nil
 	}
@@ -299,5 +323,5 @@ func (s *Server) Delete(pos int) error {
 func (s *Server) Deleted(pos int) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return pos < 0 || pos >= len(s.edb.DCE) || s.edb.DCE[pos] == nil
+	return !s.edb.DCE.Has(pos)
 }

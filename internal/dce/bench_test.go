@@ -1,0 +1,131 @@
+package dce
+
+import (
+	"fmt"
+	"testing"
+
+	"ppanns/internal/rng"
+)
+
+// benchSink defeats dead-code elimination of benchmarked comparisons.
+var benchSink float64
+
+// scatteredCiphertext rebuilds ct with four separately allocated component
+// slices — the pre-arena memory layout, kept here as the benchmark
+// baseline the flat store is measured against.
+func scatteredCiphertext(ct *Ciphertext) *Ciphertext {
+	return &Ciphertext{
+		P1: append([]float64(nil), ct.P1...),
+		P2: append([]float64(nil), ct.P2...),
+		P3: append([]float64(nil), ct.P3...),
+		P4: append([]float64(nil), ct.P4...),
+	}
+}
+
+// naiveDistanceComp is the seed implementation of DistanceComp — a
+// straight-line loop with no unrolling — kept as the kernel baseline.
+func naiveDistanceComp(co, cp *Ciphertext, tq *Trapdoor) float64 {
+	q := tq.Q
+	var z float64
+	o1, o2 := co.P1, co.P2
+	p3, p4 := cp.P3, cp.P4
+	for i, qv := range q {
+		z += (o1[i]*p3[i] - o2[i]*p4[i]) * qv
+	}
+	return z
+}
+
+// BenchmarkDistanceComp compares one secure comparison across layouts and
+// kernels: the seed's naive loop over pointer-per-ciphertext scattered
+// components (the old hot path), the unrolled kernel on the same scattered
+// layout, the flat arena store, and the arena with trapdoor-scaled
+// operands precomputed.
+func BenchmarkDistanceComp(b *testing.B) {
+	for _, dim := range []int{96, 128, 960} {
+		r := rng.NewSeeded(41)
+		key, err := KeyGen(r, dim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const nPoints = 256 // enough records that repeated pairs don't all sit in L1
+		store := NewCiphertextStoreN(key.CiphertextDim(), nPoints)
+		scattered := make([]*Ciphertext, nPoints)
+		for i := 0; i < nPoints; i++ {
+			key.EncryptRecord(rng.Gaussian(r, nil, dim), store.Record(i))
+			view := store.View(i)
+			scattered[i] = scatteredCiphertext(&view)
+		}
+		tq := key.TrapGen(rng.Gaussian(r, nil, dim))
+		ids := make([]int, nPoints)
+		for i := range ids {
+			ids[i] = i
+		}
+		ops := store.ScaleOperands(nil, ids, tq.Q)
+		st := 2 * store.CtDim()
+
+		// Every variant accumulates into the sink so the compiler cannot
+		// elide the comparison after inlining.
+		b.Run(fmt.Sprintf("pointer-naive/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			var z float64
+			for i := 0; i < b.N; i++ {
+				o, p := i%nPoints, (i*7+1)%nPoints
+				z += naiveDistanceComp(scattered[o], scattered[p], tq)
+			}
+			benchSink = z
+		})
+		b.Run(fmt.Sprintf("pointer/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			var z float64
+			for i := 0; i < b.N; i++ {
+				o, p := i%nPoints, (i*7+1)%nPoints
+				z += DistanceComp(scattered[o], scattered[p], tq)
+			}
+			benchSink = z
+		})
+		b.Run(fmt.Sprintf("arena/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			var z float64
+			for i := 0; i < b.N; i++ {
+				o, p := i%nPoints, (i*7+1)%nPoints
+				z += store.DistanceComp(o, p, tq)
+			}
+			benchSink = z
+		})
+		b.Run(fmt.Sprintf("arena-scaled/d=%d", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			var z float64
+			for i := 0; i < b.N; i++ {
+				o, p := i%nPoints, (i*7+1)%nPoints
+				z += store.ScaledComp(ops[o*st:(o+1)*st], p)
+			}
+			benchSink = z
+		})
+	}
+}
+
+// BenchmarkEncrypt measures per-vector encryption into a fresh ciphertext
+// vs in place into an arena record.
+func BenchmarkEncrypt(b *testing.B) {
+	const dim = 128
+	r := rng.NewSeeded(43)
+	key, err := KeyGen(r, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := rng.Gaussian(r, nil, dim)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key.Encrypt(v)
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		rec := make([]float64, 4*key.CiphertextDim())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key.EncryptRecord(v, rec)
+		}
+	})
+}

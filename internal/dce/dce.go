@@ -247,13 +247,33 @@ func (k *Key) randomizeQuery(q []float64) []float64 {
 }
 
 // Encrypt is the paper's Enc(p, SK): it encrypts one database vector into
-// its four-component ciphertext.
+// its four-component ciphertext. The components share one contiguous
+// backing array (the CiphertextStore record layout).
 func (k *Key) Encrypt(p []float64) *Ciphertext {
+	big := k.CiphertextDim()
+	rec := make([]float64, 4*big)
+	k.EncryptRecord(p, rec)
+	return &Ciphertext{
+		P1: rec[0*big : 1*big : 1*big],
+		P2: rec[1*big : 2*big : 2*big],
+		P3: rec[2*big : 3*big : 3*big],
+		P4: rec[3*big : 4*big : 4*big],
+	}
+}
+
+// EncryptRecord is Encrypt writing into a caller-provided flat record
+// [P1|P2|P3|P4] of length 4·CiphertextDim — typically a CiphertextStore
+// record, so bulk encryption fills the arena in place without per-point
+// allocation.
+func (k *Key) EncryptRecord(p []float64, rec []float64) {
 	if len(p) != k.dim {
 		panic(fmt.Sprintf("dce: encrypting %d-dim vector with %d-dim key", len(p), k.dim))
 	}
-	bar := k.randomizeDB(p)
 	big := k.CiphertextDim()
+	if len(rec) != 4*big {
+		panic(fmt.Sprintf("dce: record length %d, want %d", len(rec), 4*big))
+	}
+	bar := k.randomizeDB(p)
 
 	// Matrix encryption step i (Equation 10): project onto both halves
 	// of M₃ and form the ±1 shifted copies.
@@ -262,21 +282,15 @@ func (k *Key) Encrypt(p []float64) *Ciphertext {
 
 	rp := k.randScalars(1, false)[0] // r_p ∈ R⁺
 
-	ct := &Ciphertext{
-		P1: make([]float64, big),
-		P2: make([]float64, big),
-		P3: make([]float64, big),
-		P4: make([]float64, big),
-	}
+	p1, p2, p3, p4 := rec[:big], rec[big:2*big], rec[2*big:3*big], rec[3*big:]
 	// Randomness step ii (Equation 13): shift, divide by the key vectors,
 	// scale by r_p.
 	for i := 0; i < big; i++ {
-		ct.P1[i] = rp * (up[i] + 1) / k.kv1[i]
-		ct.P2[i] = rp * (up[i] - 1) / k.kv2[i]
-		ct.P3[i] = rp * (down[i] + 1) / k.kv3[i]
-		ct.P4[i] = rp * (down[i] - 1) / k.kv4[i]
+		p1[i] = rp * (up[i] + 1) / k.kv1[i]
+		p2[i] = rp * (up[i] - 1) / k.kv2[i]
+		p3[i] = rp * (down[i] + 1) / k.kv3[i]
+		p4[i] = rp * (down[i] - 1) / k.kv4[i]
 	}
-	return ct
 }
 
 // TrapGen is the paper's TrapGen(q, SK): it produces the trapdoor for a
@@ -307,14 +321,7 @@ func (k *Key) TrapGen(q []float64) *Trapdoor {
 // = 2·r_o·r_p·r_q·(dist(o,q) − dist(p,q)). Its sign answers the comparison:
 // negative means dist(o,q) < dist(p,q).
 func DistanceComp(co, cp *Ciphertext, tq *Trapdoor) float64 {
-	q := tq.Q
-	var z float64
-	o1, o2 := co.P1, co.P2
-	p3, p4 := cp.P3, cp.P4
-	for i, qv := range q {
-		z += (o1[i]*p3[i] - o2[i]*p4[i]) * qv
-	}
-	return z
+	return distCompKernel(co.P1, co.P2, cp.P3, cp.P4, tq.Q)
 }
 
 // Closer reports whether dist(o, q) < dist(p, q), i.e. whether candidate o

@@ -1,0 +1,278 @@
+package dce
+
+import "fmt"
+
+// CiphertextStore is a flat-arena backing for DCE ciphertexts. Instead of
+// four separately allocated component slices behind a pointer per point,
+// every point owns one contiguous record
+//
+//	[ P1 | P2 | P3 | P4 ]   (4·ctDim float64s)
+//
+// inside a single backing array. DistanceComp(o, p, q) reads o's first two
+// components and p's last two, so the layout puts each side's operands on
+// adjacent cache lines: the refine phase's O(k′ log k) comparisons walk two
+// contiguous ranges plus the (hot) trapdoor instead of chasing five
+// pointers across scattered heap objects.
+//
+// Records are addressed by id (0..Len()-1). Deleting a record zeroes it —
+// dropping the ciphertext material — and tombstones the id; ids are never
+// reused. All views are slices into the arena: cheap, copy-free, and
+// invalidated by the next Append (callers must not retain them across
+// mutations).
+type CiphertextStore struct {
+	ctDim int
+	arena []float64 // n records of 4·ctDim floats each
+	live  []bool
+	liveN int
+}
+
+// NewCiphertextStore returns an empty store for ciphertexts of component
+// length ctDim, with capacity preallocated for capHint records.
+func NewCiphertextStore(ctDim, capHint int) *CiphertextStore {
+	if ctDim <= 0 {
+		panic(fmt.Sprintf("dce: non-positive ciphertext dimension %d", ctDim))
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &CiphertextStore{
+		ctDim: ctDim,
+		arena: make([]float64, 0, 4*ctDim*capHint),
+		live:  make([]bool, 0, capHint),
+	}
+}
+
+// NewCiphertextStoreN returns a store holding n live, zero-filled records.
+// It exists for bulk encryption: workers fill disjoint Record(i) views in
+// place (EncryptRecord), so no per-point allocation or copying happens.
+func NewCiphertextStoreN(ctDim, n int) *CiphertextStore {
+	if ctDim <= 0 {
+		panic(fmt.Sprintf("dce: non-positive ciphertext dimension %d", ctDim))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("dce: negative store size %d", n))
+	}
+	s := &CiphertextStore{
+		ctDim: ctDim,
+		arena: make([]float64, 4*ctDim*n),
+		live:  make([]bool, n),
+		liveN: n,
+	}
+	for i := range s.live {
+		s.live[i] = true
+	}
+	return s
+}
+
+// StoreFromRaw wraps an existing flat arena (taking ownership) as a store.
+// len(live) is the record count; len(arena) must equal 4·ctDim·len(live).
+// Records with live[i] == false are tombstones (their floats should be
+// zero, as Delete leaves them).
+func StoreFromRaw(ctDim int, arena []float64, live []bool) (*CiphertextStore, error) {
+	if ctDim <= 0 {
+		return nil, fmt.Errorf("dce: non-positive ciphertext dimension %d", ctDim)
+	}
+	if len(arena) != 4*ctDim*len(live) {
+		return nil, fmt.Errorf("dce: arena length %d does not match %d records of dim %d", len(arena), len(live), ctDim)
+	}
+	s := &CiphertextStore{ctDim: ctDim, arena: arena, live: live}
+	for _, l := range live {
+		if l {
+			s.liveN++
+		}
+	}
+	return s, nil
+}
+
+// CtDim returns the component length of every ciphertext in the store.
+func (s *CiphertextStore) CtDim() int { return s.ctDim }
+
+// Len returns the number of records, including tombstones.
+func (s *CiphertextStore) Len() int { return len(s.live) }
+
+// Live returns the number of non-tombstoned records.
+func (s *CiphertextStore) Live() int { return s.liveN }
+
+// Has reports whether id names a live record.
+func (s *CiphertextStore) Has(id int) bool {
+	return id >= 0 && id < len(s.live) && s.live[id]
+}
+
+func (s *CiphertextStore) stride() int { return 4 * s.ctDim }
+
+// Record returns the full mutable record [P1|P2|P3|P4] of id as a view
+// into the arena.
+func (s *CiphertextStore) Record(id int) []float64 {
+	st := s.stride()
+	return s.arena[id*st : (id+1)*st : (id+1)*st]
+}
+
+// O12 returns the [P1|P2] half of id's record — the operands a point
+// contributes when it is the "o" side of DistanceComp.
+func (s *CiphertextStore) O12(id int) []float64 {
+	st := s.stride()
+	return s.arena[id*st : id*st+2*s.ctDim]
+}
+
+// P34 returns the [P3|P4] half of id's record — the operands a point
+// contributes when it is the "p" side of DistanceComp.
+func (s *CiphertextStore) P34(id int) []float64 {
+	st := s.stride()
+	return s.arena[id*st+2*s.ctDim : (id+1)*st]
+}
+
+// View adapts record id to the pointer Ciphertext API without copying: the
+// four components are slices into the arena. The zero Ciphertext is
+// returned for tombstoned or out-of-range ids.
+func (s *CiphertextStore) View(id int) Ciphertext {
+	if !s.Has(id) {
+		return Ciphertext{}
+	}
+	rec := s.Record(id)
+	d := s.ctDim
+	return Ciphertext{
+		P1: rec[0*d : 1*d : 1*d],
+		P2: rec[1*d : 2*d : 2*d],
+		P3: rec[2*d : 3*d : 3*d],
+		P4: rec[3*d : 4*d : 4*d],
+	}
+}
+
+// Append copies ct into a fresh record and returns its id. Component
+// lengths must equal CtDim.
+func (s *CiphertextStore) Append(ct *Ciphertext) int {
+	d := s.ctDim
+	if len(ct.P1) != d || len(ct.P2) != d || len(ct.P3) != d || len(ct.P4) != d {
+		panic(fmt.Sprintf("dce: appending ciphertext with component lengths %d/%d/%d/%d to store of dim %d",
+			len(ct.P1), len(ct.P2), len(ct.P3), len(ct.P4), d))
+	}
+	s.arena = append(s.arena, ct.P1...)
+	s.arena = append(s.arena, ct.P2...)
+	s.arena = append(s.arena, ct.P3...)
+	s.arena = append(s.arena, ct.P4...)
+	s.live = append(s.live, true)
+	s.liveN++
+	return len(s.live) - 1
+}
+
+// Delete tombstones id and zeroes its record, dropping the ciphertext
+// material. Deleting a dead or out-of-range id is a no-op.
+func (s *CiphertextStore) Delete(id int) {
+	if !s.Has(id) {
+		return
+	}
+	rec := s.Record(id)
+	for i := range rec {
+		rec[i] = 0
+	}
+	s.live[id] = false
+	s.liveN--
+}
+
+// Raw exposes the flat arena (Len()·4·CtDim floats; tombstoned records are
+// zero), used by the bulk serialization path. Callers must not resize it.
+func (s *CiphertextStore) Raw() []float64 { return s.arena }
+
+// LiveMask exposes the per-record liveness flags, used by the bulk
+// serialization path. Callers must not modify it.
+func (s *CiphertextStore) LiveMask() []bool { return s.live }
+
+// DistanceComp is the arena-resident form of the package-level
+// DistanceComp: it evaluates Z_{o,p,q} for records o and p without
+// materializing Ciphertext values.
+func (s *CiphertextStore) DistanceComp(o, p int, tq *Trapdoor) float64 {
+	return s.DistanceCompQ(o, p, tq.Q)
+}
+
+// DistanceCompQ is DistanceComp taking the raw trapdoor vector.
+func (s *CiphertextStore) DistanceCompQ(o, p int, q []float64) float64 {
+	d := s.ctDim
+	o12 := s.O12(o)
+	p34 := s.P34(p)
+	return distCompKernel(o12[:d], o12[d:], p34[:d], p34[d:], q)
+}
+
+// Closer reports whether dist(o, q) < dist(p, q) for records o and p.
+func (s *CiphertextStore) Closer(o, p int, tq *Trapdoor) bool {
+	return s.DistanceComp(o, p, tq) < 0
+}
+
+// ScaleOperands precomputes, for every id in ids, the trapdoor-scaled
+// operands (P1◦q | P2◦q) appended into dst (whose capacity is reused).
+// One pass over the candidate set turns every subsequent comparison from
+// three multiplies per element into two (ScaledComp), which pays off as
+// soon as the refine heap performs more comparisons than there are
+// candidates. The result has 2·CtDim floats per id, in ids order.
+func (s *CiphertextStore) ScaleOperands(dst []float64, ids []int, q []float64) []float64 {
+	d := s.ctDim
+	n := 2 * d * len(ids)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for j, id := range ids {
+		o12 := s.O12(id)
+		o1, o2 := o12[:d], o12[d:]
+		out := dst[j*2*d : (j+1)*2*d]
+		s1, s2 := out[:d], out[d:]
+		for i, qv := range q {
+			s1[i] = o1[i] * qv
+			s2[i] = o2[i] * qv
+		}
+	}
+	return dst
+}
+
+// ScaledComp evaluates Z using precomputed scaled operands s12 (one
+// 2·CtDim block from ScaleOperands) on the "o" side and record p on the
+// "p" side. Sign semantics match DistanceComp up to float64 rounding of
+// genuinely tied distances (the summation is associated differently).
+func (s *CiphertextStore) ScaledComp(s12 []float64, p int) float64 {
+	d := s.ctDim
+	p34 := s.P34(p)
+	return scaledCompKernel(s12[:d], s12[d:], p34[:d], p34[d:])
+}
+
+// distCompKernel computes Σᵢ (o1ᵢ·p3ᵢ − o2ᵢ·p4ᵢ)·qᵢ, unrolled four-wide
+// with independent accumulators so the FMAs pipeline.
+func distCompKernel(o1, o2, p3, p4, q []float64) float64 {
+	n := len(q)
+	o1 = o1[:n]
+	o2 = o2[:n]
+	p3 = p3[:n]
+	p4 = p4[:n]
+	var z0, z1, z2, z3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		z0 += (o1[i]*p3[i] - o2[i]*p4[i]) * q[i]
+		z1 += (o1[i+1]*p3[i+1] - o2[i+1]*p4[i+1]) * q[i+1]
+		z2 += (o1[i+2]*p3[i+2] - o2[i+2]*p4[i+2]) * q[i+2]
+		z3 += (o1[i+3]*p3[i+3] - o2[i+3]*p4[i+3]) * q[i+3]
+	}
+	for ; i < n; i++ {
+		z0 += (o1[i]*p3[i] - o2[i]*p4[i]) * q[i]
+	}
+	return (z0 + z1) + (z2 + z3)
+}
+
+// scaledCompKernel computes Σᵢ s1ᵢ·p3ᵢ − Σᵢ s2ᵢ·p4ᵢ with the same
+// unrolling as distCompKernel.
+func scaledCompKernel(s1, s2, p3, p4 []float64) float64 {
+	n := len(s1)
+	s2 = s2[:n]
+	p3 = p3[:n]
+	p4 = p4[:n]
+	var z0, z1, z2, z3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		z0 += s1[i]*p3[i] - s2[i]*p4[i]
+		z1 += s1[i+1]*p3[i+1] - s2[i+1]*p4[i+1]
+		z2 += s1[i+2]*p3[i+2] - s2[i+2]*p4[i+2]
+		z3 += s1[i+3]*p3[i+3] - s2[i+3]*p4[i+3]
+	}
+	for ; i < n; i++ {
+		z0 += s1[i]*p3[i] - s2[i]*p4[i]
+	}
+	return (z0 + z1) + (z2 + z3)
+}

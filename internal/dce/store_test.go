@@ -1,0 +1,204 @@
+package dce
+
+import (
+	"math"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// storeWorld builds a key, a store of n encrypted Gaussian vectors, the
+// matching standalone ciphertexts, and one trapdoor.
+func storeWorld(t *testing.T, dim, n int) (*Key, *CiphertextStore, []*Ciphertext, []float64, *Trapdoor) {
+	t.Helper()
+	r := rng.NewSeeded(101)
+	k, err := KeyGen(r, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewCiphertextStore(k.CiphertextDim(), n)
+	cts := make([]*Ciphertext, n)
+	for i := 0; i < n; i++ {
+		v := rng.Gaussian(r, nil, dim)
+		ct := k.Encrypt(v)
+		cts[i] = ct
+		if id := store.Append(ct); id != i {
+			t.Fatalf("Append returned id %d, want %d", id, i)
+		}
+	}
+	q := rng.Gaussian(r, nil, dim)
+	return k, store, cts, q, k.TrapGen(q)
+}
+
+func TestStoreMatchesPointerDistanceComp(t *testing.T) {
+	_, store, cts, _, tq := storeWorld(t, 13, 8)
+	for o := 0; o < len(cts); o++ {
+		for p := 0; p < len(cts); p++ {
+			want := DistanceComp(cts[o], cts[p], tq)
+			got := store.DistanceComp(o, p, tq)
+			if got != want {
+				t.Fatalf("store.DistanceComp(%d,%d) = %g, pointer API %g", o, p, got, want)
+			}
+		}
+	}
+}
+
+func TestStoreViewsShareArena(t *testing.T) {
+	_, store, cts, _, _ := storeWorld(t, 6, 3)
+	view := store.View(1)
+	for i := range view.P1 {
+		if view.P1[i] != cts[1].P1[i] || view.P4[i] != cts[1].P4[i] {
+			t.Fatalf("view component mismatch at %d", i)
+		}
+	}
+	// Views alias the arena, not copies.
+	store.Record(1)[0] = 42
+	if view.P1[0] != 42 {
+		t.Fatal("View does not alias the arena")
+	}
+	d := store.CtDim()
+	o12, p34 := store.O12(1), store.P34(1)
+	if len(o12) != 2*d || len(p34) != 2*d {
+		t.Fatalf("half-view lengths %d/%d, want %d", len(o12), len(p34), 2*d)
+	}
+}
+
+func TestStoreDeleteTombstones(t *testing.T) {
+	_, store, _, _, _ := storeWorld(t, 5, 4)
+	if store.Live() != 4 || store.Len() != 4 {
+		t.Fatalf("fresh store live=%d len=%d", store.Live(), store.Len())
+	}
+	store.Delete(2)
+	if store.Has(2) || store.Live() != 3 || store.Len() != 4 {
+		t.Fatalf("after delete: has=%v live=%d len=%d", store.Has(2), store.Live(), store.Len())
+	}
+	for _, f := range store.Record(2) {
+		if f != 0 {
+			t.Fatal("deleted record not zeroed")
+		}
+	}
+	if ct := store.View(2); ct.P1 != nil {
+		t.Fatal("View of tombstone should be zero")
+	}
+	store.Delete(2) // idempotent
+	store.Delete(99)
+	store.Delete(-1)
+	if store.Live() != 3 {
+		t.Fatal("no-op deletes changed live count")
+	}
+}
+
+func TestStoreScaledCompMatchesSign(t *testing.T) {
+	_, store, _, _, tq := storeWorld(t, 17, 10)
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ops := store.ScaleOperands(nil, ids, tq.Q)
+	st := 2 * store.CtDim()
+	for a := range ids {
+		for b := range ids {
+			plain := store.DistanceComp(ids[a], ids[b], tq)
+			scaled := store.ScaledComp(ops[a*st:(a+1)*st], ids[b])
+			if math.Abs(plain-scaled) > 1e-6*(math.Abs(plain)+1) {
+				t.Fatalf("scaled Z(%d,%d)=%g differs from plain %g", a, b, scaled, plain)
+			}
+		}
+	}
+	// Capacity reuse: a second call with enough capacity must not grow.
+	ops2 := store.ScaleOperands(ops, ids[:4], tq.Q)
+	if &ops2[0] != &ops[0] {
+		t.Fatal("ScaleOperands reallocated despite sufficient capacity")
+	}
+}
+
+func TestStoreSignAgainstPlainDistances(t *testing.T) {
+	dim, n := 9, 12
+	r := rng.NewSeeded(303)
+	k, err := KeyGen(r, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float64, n)
+	store := NewCiphertextStoreN(k.CiphertextDim(), n)
+	for i := range vecs {
+		vecs[i] = rng.Gaussian(r, nil, dim)
+		k.EncryptRecord(vecs[i], store.Record(i))
+	}
+	q := rng.Gaussian(r, nil, dim)
+	tq := k.TrapGen(q)
+	for o := 0; o < n; o++ {
+		for p := 0; p < n; p++ {
+			if o == p {
+				continue
+			}
+			do, dp := vec.SqDist(vecs[o], q), vec.SqDist(vecs[p], q)
+			if math.Abs(do-dp) < 1e-9 {
+				continue
+			}
+			if got, want := store.DistanceComp(o, p, tq) < 0, do < dp; got != want {
+				t.Fatalf("sign wrong for pair (%d,%d)", o, p)
+			}
+			if store.Closer(o, p, tq) != (do < dp) {
+				t.Fatalf("Closer wrong for pair (%d,%d)", o, p)
+			}
+		}
+	}
+}
+
+func TestStoreFromRawRoundTrip(t *testing.T) {
+	_, store, _, _, tq := storeWorld(t, 7, 5)
+	store.Delete(3)
+	arena := append([]float64(nil), store.Raw()...)
+	live := append([]bool(nil), store.LiveMask()...)
+	clone, err := StoreFromRaw(store.CtDim(), arena, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Len() != store.Len() || clone.Live() != store.Live() || clone.CtDim() != store.CtDim() {
+		t.Fatalf("clone shape %d/%d/%d, want %d/%d/%d",
+			clone.Len(), clone.Live(), clone.CtDim(), store.Len(), store.Live(), store.CtDim())
+	}
+	if clone.DistanceComp(0, 1, tq) != store.DistanceComp(0, 1, tq) {
+		t.Fatal("clone comparisons differ")
+	}
+	if _, err := StoreFromRaw(7, make([]float64, 10), make([]bool, 2)); err == nil {
+		t.Fatal("expected error for mismatched arena length")
+	}
+	if _, err := StoreFromRaw(0, nil, nil); err == nil {
+		t.Fatal("expected error for zero ctDim")
+	}
+}
+
+func TestStoreAppendMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewCiphertextStore(8, 1)
+	s.Append(&Ciphertext{P1: make([]float64, 3), P2: make([]float64, 8), P3: make([]float64, 8), P4: make([]float64, 8)})
+}
+
+func TestEncryptRecordMatchesEncrypt(t *testing.T) {
+	// Encrypt draws fresh randomness per call, so byte equality is not
+	// testable; instead check the record layout: Encrypt's components must
+	// tile one backing array exactly like EncryptRecord's.
+	r := rng.NewSeeded(77)
+	k, err := KeyGen(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := k.Encrypt(rng.Gaussian(r, nil, 10))
+	big := k.CiphertextDim()
+	if len(ct.P1) != big || len(ct.P2) != big || len(ct.P3) != big || len(ct.P4) != big {
+		t.Fatalf("component lengths %d/%d/%d/%d, want %d", len(ct.P1), len(ct.P2), len(ct.P3), len(ct.P4), big)
+	}
+	store := NewCiphertextStoreN(big, 1)
+	store.Record(0) // must not panic
+	k.EncryptRecord(rng.Gaussian(r, nil, 10), store.Record(0))
+	view := store.View(0)
+	q := rng.Gaussian(r, nil, 10)
+	tq := k.TrapGen(q)
+	if store.DistanceComp(0, 0, tq) != DistanceComp(&view, &view, tq) {
+		t.Fatal("record encryption disagrees with its own view")
+	}
+}

@@ -142,16 +142,26 @@ func (g *Graph) randomLevel() int {
 	return int(-math.Log(u) * g.mL)
 }
 
-// searchCtx holds per-search scratch state, pooled across searches.
+// searchCtx holds per-search scratch state, pooled across searches: the
+// visited-epoch table, both beam-search heaps, the neighbor snapshot
+// buffer, and the drained result slice. After warm-up a search touches no
+// allocator at all.
 type searchCtx struct {
 	visited []uint32
 	epoch   uint32
+	cand    *resultheap.MinDistHeap
+	res     *resultheap.MaxDistHeap
+	buf     []int32
+	items   []resultheap.Item
 }
 
 func (g *Graph) getCtx(n int) *searchCtx {
 	c, _ := g.ctxPool.Get().(*searchCtx)
 	if c == nil {
-		c = &searchCtx{}
+		c = &searchCtx{
+			cand: resultheap.NewMinDistHeap(64),
+			res:  resultheap.NewMaxDistHeap(64),
+		}
 	}
 	if len(c.visited) < n {
 		c.visited = make([]uint32, n+n/2+16)
@@ -196,9 +206,9 @@ func (g *Graph) copyNeighbors(buf []int32, id, layer int) []int32 {
 
 // greedyDescend walks one layer greedily towards q, returning the closest
 // node found and its distance. Caller must hold at least the read lock.
-func (g *Graph) greedyDescend(q []float64, ep int, epDist float64, layer int) (int, float64) {
+func (g *Graph) greedyDescend(ctx *searchCtx, q []float64, ep int, epDist float64, layer int) (int, float64) {
 	dist := g.cfg.Distance
-	var buf []int32
+	buf := ctx.buf
 	for {
 		improved := false
 		buf = g.copyNeighbors(buf, ep, layer)
@@ -210,6 +220,7 @@ func (g *Graph) greedyDescend(q []float64, ep int, epDist float64, layer int) (i
 			}
 		}
 		if !improved {
+			ctx.buf = buf
 			return ep, epDist
 		}
 	}
@@ -217,19 +228,23 @@ func (g *Graph) greedyDescend(q []float64, ep int, epDist float64, layer int) (i
 
 // searchLayer is the beam search of the HNSW paper (Algorithm 2): starting
 // from ep, it maintains a candidate min-heap and a bounded result max-heap
-// of width ef. allow filters result membership (traversal still passes
-// through filtered nodes so the graph stays navigable around tombstones).
-// Caller must hold at least the read lock.
-func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64, ef, layer int, allow func(int) bool) *resultheap.MaxDistHeap {
+// of width ef, both reused from ctx. liveOnly excludes tombstoned nodes
+// from the result set; allow further filters result membership (traversal
+// still passes through filtered nodes so the graph stays navigable around
+// tombstones). The returned heap is ctx-owned: consume it before the next
+// searchLayer call on the same ctx. Caller must hold at least the read
+// lock.
+func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64, ef, layer int, liveOnly bool, allow func(int) bool) *resultheap.MaxDistHeap {
 	dist := g.cfg.Distance
-	cand := resultheap.NewMinDistHeap(ef + 1)
-	res := resultheap.NewMaxDistHeap(ef + 1)
+	cand, res := ctx.cand, ctx.res
+	cand.Reset()
+	res.Reset()
 	ctx.seen(ep)
 	cand.Push(ep, epDist)
-	if allow == nil || allow(ep) {
+	if (!liveOnly || !g.nodes[ep].deleted) && (allow == nil || allow(ep)) {
 		res.Push(ep, epDist)
 	}
-	var buf []int32
+	buf := ctx.buf
 	for cand.Len() > 0 {
 		c := cand.Pop()
 		if res.Len() >= ef && c.Dist > res.Top().Dist {
@@ -244,7 +259,7 @@ func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64,
 			d := dist(q, g.data.At(id))
 			if res.Len() < ef || d < res.Top().Dist {
 				cand.Push(id, d)
-				if allow == nil || allow(id) {
+				if (!liveOnly || !g.nodes[id].deleted) && (allow == nil || allow(id)) {
 					res.Push(id, d)
 					if res.Len() > ef {
 						res.Pop()
@@ -253,6 +268,7 @@ func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64,
 			}
 		}
 	}
+	ctx.buf = buf
 	return res
 }
 
@@ -341,7 +357,7 @@ func (g *Graph) link(id int, v []float64, level, entry, maxLevel int) {
 	ep := entry
 	epDist := g.cfg.Distance(v, g.data.At(ep))
 	for l := maxLevel; l > level; l-- {
-		ep, epDist = g.greedyDescend(v, ep, epDist, l)
+		ep, epDist = g.greedyDescend(ctx, v, ep, epDist, l)
 	}
 	top := level
 	if maxLevel < level {
@@ -350,8 +366,9 @@ func (g *Graph) link(id int, v []float64, level, entry, maxLevel int) {
 	nd := g.nodes[id]
 	for l := top; l >= 0; l-- {
 		ctx.next() // fresh visited set per layer
-		res := g.searchLayer(ctx, v, ep, epDist, g.cfg.EfConstruction, l, nil)
-		cands := res.SortedAscending()
+		res := g.searchLayer(ctx, v, ep, epDist, g.cfg.EfConstruction, l, false, nil)
+		ctx.items = res.SortedInto(ctx.items)
+		cands := ctx.items
 		// Drop self-references (possible on re-link during repair).
 		filtered := cands[:0]
 		for _, c := range cands {
@@ -422,12 +439,23 @@ func sortItems(items []resultheap.Item) {
 // q, closest first, exploring with beam width ef (ef is raised to k when
 // smaller). It is the HNSW search of the paper's filter phase.
 func (g *Graph) Search(q []float64, k, ef int) []resultheap.Item {
-	return g.SearchFiltered(q, k, ef, nil)
+	return g.searchInto(nil, q, k, ef, nil)
+}
+
+// SearchInto is Search appending the results into dst (reusing its
+// capacity). With a recycled dst the whole search is allocation-free after
+// the context pool has warmed up.
+func (g *Graph) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
+	return g.searchInto(dst, q, k, ef, nil)
 }
 
 // SearchFiltered is Search restricted to ids accepted by allow (nil accepts
 // all). Deleted nodes are always excluded.
 func (g *Graph) SearchFiltered(q []float64, k, ef int, allow func(int) bool) []resultheap.Item {
+	return g.searchInto(nil, q, k, ef, allow)
+}
+
+func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, allow func(int) bool) []resultheap.Item {
 	if len(q) != g.cfg.Dim {
 		panic(fmt.Sprintf("hnsw: searching %d-dim query in %d-dim graph", len(q), g.cfg.Dim))
 	}
@@ -437,30 +465,24 @@ func (g *Graph) SearchFiltered(q []float64, k, ef int, allow func(int) bool) []r
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if g.entry < 0 || g.size == 0 {
-		return nil
+		return dst[:0]
 	}
 	ctx := g.getCtx(len(g.nodes))
 	defer g.ctxPool.Put(ctx)
 
-	effAllow := func(id int) bool {
-		if g.nodes[id].deleted {
-			return false
-		}
-		return allow == nil || allow(id)
-	}
-
 	ep := g.entry
 	epDist := g.cfg.Distance(q, g.data.At(ep))
 	for l := g.maxLevel; l > 0; l-- {
-		ep, epDist = g.greedyDescend(q, ep, epDist, l)
+		ep, epDist = g.greedyDescend(ctx, q, ep, epDist, l)
 	}
 	ctx.next()
-	res := g.searchLayer(ctx, q, ep, epDist, ef, 0, effAllow)
-	items := res.SortedAscending()
+	res := g.searchLayer(ctx, q, ep, epDist, ef, 0, true, allow)
+	ctx.items = res.SortedInto(ctx.items)
+	items := ctx.items
 	if len(items) > k {
 		items = items[:k]
 	}
-	return items
+	return append(dst[:0], items...)
 }
 
 // Delete removes id from the graph following Section V-D: the node is
@@ -530,9 +552,9 @@ func (g *Graph) Delete(id int) error {
 		allow := func(cid int) bool { return cid != rep.node && !g.nodes[cid].deleted }
 		ep, epDist := g.entry, g.cfg.Distance(v, g.data.At(g.entry))
 		for l := g.maxLevel; l > rep.layer; l-- {
-			ep, epDist = g.greedyDescend(v, ep, epDist, l)
+			ep, epDist = g.greedyDescend(ctx, v, ep, epDist, l)
 		}
-		res := g.searchLayer(ctx, v, ep, epDist, g.cfg.EfConstruction, rep.layer, allow)
+		res := g.searchLayer(ctx, v, ep, epDist, g.cfg.EfConstruction, rep.layer, false, allow)
 		cands := res.SortedAscending()
 		filtered := cands[:0]
 		for _, c := range cands {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"ppanns/internal/resultheap"
 	"ppanns/internal/rng"
 	"ppanns/internal/vec"
 )
@@ -133,6 +134,26 @@ func TestConformance(t *testing.T) {
 			}
 			if recall < floor {
 				t.Fatalf("recall@%d = %.3f, want ≥ %.2f", k, recall, floor)
+			}
+
+			// SearchInto must agree with Search and reuse dst capacity.
+			var dst []resultheap.Item
+			for qi, q := range queries {
+				want := ix.Search(q, k, ef)
+				dst = ix.SearchInto(dst, q, k, ef)
+				if len(dst) != len(want) {
+					t.Fatalf("query %d: SearchInto returned %d items, Search %d", qi, len(dst), len(want))
+				}
+				for i := range dst {
+					if dst[i].ID != want[i].ID {
+						t.Fatalf("query %d rank %d: SearchInto id %d, Search id %d", qi, i, dst[i].ID, want[i].ID)
+					}
+				}
+			}
+			before := cap(dst)
+			dst = ix.SearchInto(dst, queries[0], k, ef)
+			if cap(dst) != before {
+				t.Fatalf("SearchInto grew dst capacity %d → %d on a repeat query", before, cap(dst))
 			}
 
 			// Save/load round-trip must reproduce results exactly.

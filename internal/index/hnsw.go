@@ -89,13 +89,17 @@ func (ix *hnswIndex) Add(v []float64) (int, error) {
 }
 
 func (ix *hnswIndex) Search(q []float64, k, ef int) []resultheap.Item {
-	items := ix.g.Search(q, k, ef)
+	return ix.SearchInto(nil, q, k, ef)
+}
+
+func (ix *hnswIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
+	dst = ix.g.SearchInto(dst, q, k, ef)
 	ix.mu.RLock()
-	for i := range items {
-		items[i].ID = int(ix.gid2pos[items[i].ID])
+	for i := range dst {
+		dst[i].ID = int(ix.gid2pos[dst[i].ID])
 	}
 	ix.mu.RUnlock()
-	return items
+	return dst
 }
 
 func (ix *hnswIndex) Delete(pos int) error {

@@ -55,6 +55,10 @@ type SecureIndex interface {
 	// closest first. ef is an advisory search-effort knob (beam width for
 	// graphs; probe budget for partition- and hash-based backends).
 	Search(q []float64, k, ef int) []resultheap.Item
+	// SearchInto is Search appending into dst (reusing its capacity), so
+	// steady-state callers avoid per-query result allocation. Backends
+	// without a pooled internal search path may still allocate scratch.
+	SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item
 	// Delete tombstones an id. Backends without dynamic delete return an
 	// error wrapping ErrNotSupported.
 	Delete(id int) error

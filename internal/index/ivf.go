@@ -56,6 +56,10 @@ func (a *ivfIndex) Search(q []float64, k, ef int) []resultheap.Item {
 	return a.ix.Search(q, k, a.probesFor(ef))
 }
 
+func (a *ivfIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
+	return append(dst[:0], a.ix.Search(q, k, a.probesFor(ef))...)
+}
+
 func (a *ivfIndex) Delete(id int) error { return a.ix.Delete(id) }
 func (a *ivfIndex) Len() int            { return a.ix.Len() }
 func (a *ivfIndex) Dim() int            { return a.ix.Dim() }

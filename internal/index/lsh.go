@@ -155,6 +155,10 @@ func (a *lshIndex) Search(q []float64, k, ef int) []resultheap.Item {
 	return res.SortedAscending()
 }
 
+func (a *lshIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
+	return append(dst[:0], a.Search(q, k, ef)...)
+}
+
 func (a *lshIndex) Delete(id int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()

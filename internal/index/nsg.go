@@ -43,6 +43,10 @@ func (a *nsgIndex) Search(q []float64, k, ef int) []resultheap.Item {
 	return a.g.Search(q, k, ef)
 }
 
+func (a *nsgIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
+	return append(dst[:0], a.g.Search(q, k, ef)...)
+}
+
 func (a *nsgIndex) Delete(id int) error { return a.g.Delete(id) }
 func (a *nsgIndex) Len() int            { return a.g.Len() }
 func (a *nsgIndex) Dim() int            { return a.g.Dim() }

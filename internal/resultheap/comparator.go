@@ -6,6 +6,16 @@ package resultheap
 // call is a secure distance comparison the server cannot learn values from.
 type Farther func(a, b int) bool
 
+// Farther implements Comparator, so plain functions plug straight into
+// NewCompareHeapWith and Reset.
+func (f Farther) Farther(a, b int) bool { return f(a, b) }
+
+// Comparator is the interface form of Farther. Hot paths that must not
+// allocate pass a pooled struct pointer here instead of a fresh closure.
+type Comparator interface {
+	Farther(a, b int) bool
+}
+
 // CompareHeap is a bounded max-heap over candidate ids ordered only by a
 // Farther comparator. It implements the max heap H of the paper's
 // Algorithm 2: the top element is the current worst (farthest) of the best k
@@ -13,19 +23,42 @@ type Farther func(a, b int) bool
 //
 // The heap counts comparator invocations so experiments can report the
 // number of secure distance comparisons a search performed.
+//
+// The zero CompareHeap is usable after Reset, and Reset reuses the id
+// storage, so a pooled heap performs no steady-state allocation.
 type CompareHeap struct {
-	farther Farther
-	ids     []int
-	bound   int
-	calls   int
+	cmp   Comparator
+	ids   []int
+	bound int
+	calls int
 }
 
 // NewCompareHeap returns an empty heap holding at most bound ids.
 func NewCompareHeap(bound int, farther Farther) *CompareHeap {
+	return NewCompareHeapWith(bound, farther)
+}
+
+// NewCompareHeapWith is NewCompareHeap for any Comparator.
+func NewCompareHeapWith(bound int, cmp Comparator) *CompareHeap {
+	h := &CompareHeap{}
+	h.Reset(bound, cmp)
+	return h
+}
+
+// Reset re-arms the heap for a new selection with the given bound and
+// comparator, keeping the id storage and zeroing the comparison counter.
+func (h *CompareHeap) Reset(bound int, cmp Comparator) {
 	if bound <= 0 {
 		panic("resultheap: CompareHeap bound must be positive")
 	}
-	return &CompareHeap{farther: farther, ids: make([]int, 0, bound), bound: bound}
+	if cap(h.ids) < bound {
+		h.ids = make([]int, 0, bound)
+	} else {
+		h.ids = h.ids[:0]
+	}
+	h.cmp = cmp
+	h.bound = bound
+	h.calls = 0
 }
 
 // Len returns the number of ids held.
@@ -39,7 +72,7 @@ func (h *CompareHeap) Top() int { return h.ids[0] }
 
 func (h *CompareHeap) fartherCounted(a, b int) bool {
 	h.calls++
-	return h.farther(a, b)
+	return h.cmp.Farther(a, b)
 }
 
 // Offer considers candidate id for membership. While the heap is below its
@@ -78,11 +111,22 @@ func (h *CompareHeap) IDs() []int { return h.ids }
 // SortedAscending drains the heap, returning ids ordered from closest to
 // farthest. Each extraction costs O(log k) comparator calls.
 func (h *CompareHeap) SortedAscending() []int {
-	out := make([]int, len(h.ids))
-	for i := len(h.ids) - 1; i >= 0; i-- {
-		out[i] = h.Pop()
+	return h.SortedInto(nil)
+}
+
+// SortedInto is SortedAscending writing into dst (reusing its capacity),
+// so steady-state callers avoid the per-drain allocation.
+func (h *CompareHeap) SortedInto(dst []int) []int {
+	n := len(h.ids)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	} else {
+		dst = dst[:n]
 	}
-	return out
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = h.Pop()
+	}
+	return dst
 }
 
 func (h *CompareHeap) siftUp(i int) {

@@ -139,11 +139,22 @@ func (h *MaxDistHeap) Items() []Item { return h.items }
 // SortedAscending drains the heap and returns its items ordered from
 // closest to farthest.
 func (h *MaxDistHeap) SortedAscending() []Item {
-	out := make([]Item, len(h.items))
-	for i := len(h.items) - 1; i >= 0; i-- {
-		out[i] = h.Pop()
+	return h.SortedInto(nil)
+}
+
+// SortedInto is SortedAscending writing into dst (reusing its capacity),
+// so steady-state callers avoid the per-drain allocation.
+func (h *MaxDistHeap) SortedInto(dst []Item) []Item {
+	n := len(h.items)
+	if cap(dst) < n {
+		dst = make([]Item, n)
+	} else {
+		dst = dst[:n]
 	}
-	return out
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = h.Pop()
+	}
+	return dst
 }
 
 // Reset empties the heap while keeping its storage.

@@ -225,3 +225,49 @@ func TestCompareHeapPropertyRandom(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCompareHeapResetReuse(t *testing.T) {
+	asc := Farther(func(a, b int) bool { return a > b })
+	h := NewCompareHeapWith(3, asc)
+	for _, id := range []int{9, 1, 5, 7, 3} {
+		h.Offer(id)
+	}
+	got := h.SortedInto(nil)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("first selection = %v", got)
+	}
+	if h.Comparisons() == 0 {
+		t.Fatal("comparisons not counted")
+	}
+	// Reset must clear the counter and reuse storage for a fresh round.
+	h.Reset(2, asc)
+	if h.Comparisons() != 0 || h.Len() != 0 {
+		t.Fatalf("after Reset: calls=%d len=%d", h.Comparisons(), h.Len())
+	}
+	for _, id := range []int{4, 2, 8} {
+		h.Offer(id)
+	}
+	buf := make([]int, 0, 8)
+	got = h.SortedInto(buf)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("second selection = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("SortedInto did not reuse dst capacity")
+	}
+}
+
+func TestMaxDistHeapSortedInto(t *testing.T) {
+	h := NewMaxDistHeap(4)
+	for i, d := range []float64{3, 1, 4, 1.5} {
+		h.Push(i, d)
+	}
+	buf := make([]Item, 0, 8)
+	got := h.SortedInto(buf)
+	if len(got) != 4 || got[0].Dist != 1 || got[3].Dist != 4 {
+		t.Fatalf("SortedInto = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("SortedInto did not reuse dst capacity")
+	}
+}
