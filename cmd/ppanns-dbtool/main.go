@@ -3,12 +3,16 @@
 //
 //	ppanns-dbtool gen     -out data.fvecs -dataset sift -n 10000 [-queries q.fvecs -nq 100]
 //	ppanns-dbtool encrypt -in data.fvecs -db db.ppanns -key user.key [-beta 2.5] [-index hnsw]
+//	ppanns-dbtool split   -db db.ppanns -shards 4 [-out shard-]
 //	ppanns-dbtool serve   -db db.ppanns -addr :7070
 //	ppanns-dbtool query   -key user.key -queries q.fvecs -addr host:7070 [-k 10] [-ratio 16]
 //
 // gen writes synthetic corpora in the standard fvecs format (or use real
-// Sift1M/Gist/Glove/Deep files); encrypt plays the data owner; serve hosts
-// the encrypted database; query plays the user.
+// Sift1M/Gist/Glove/Deep files); encrypt plays the data owner; split
+// stripes one encrypted database into per-shard database files for a
+// scatter-gather deployment (serve each file on its own machine — see
+// internal/shard); serve hosts an encrypted database; query plays the
+// user.
 //
 // encrypt's -index flag selects the filter-index backend (hnsw, nsg, ivf,
 // or lsh); the choice is stored in the database file, and serve/query
@@ -40,6 +44,8 @@ func main() {
 		err = runGen(os.Args[2:])
 	case "encrypt":
 		err = runEncrypt(os.Args[2:])
+	case "split":
+		err = runSplit(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "query":
@@ -54,7 +60,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|serve|query> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|split|serve|query> [flags]")
 	os.Exit(2)
 }
 
@@ -145,6 +151,50 @@ func runEncrypt(args []string) error {
 		return err
 	}
 	fmt.Printf("encrypted database (%s index) → %s, user key → %s\n", *backend, *dbOut, *keyOut)
+	return nil
+}
+
+func runSplit(args []string) error {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	dbIn := fs.String("db", "db.ppanns", "encrypted database file")
+	shards := fs.Int("shards", 2, "number of shards")
+	outPrefix := fs.String("out", "shard-", "output file prefix (writes <prefix><i>.ppanns)")
+	m := fs.Int("m", 16, "HNSW M for the per-shard index rebuilds")
+	efc := fs.Int("efc", 200, "HNSW efConstruction for the per-shard index rebuilds")
+	seed := fs.Uint64("seed", 0, "per-shard index build seed (0 = nondeterministic)")
+	fs.Parse(args)
+
+	f, err := os.Open(*dbIn)
+	if err != nil {
+		return err
+	}
+	edb, err := ppanns.LoadEncryptedDatabase(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	parts, err := edb.Split(*shards, ppanns.IndexOptions{M: *m, EfConstruction: *efc, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	for s, p := range parts {
+		out := fmt.Sprintf("%s%d.ppanns", *outPrefix, s)
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := p.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("shard %d: %d vectors (%d live, %s index) → %s\n",
+			s, p.Len(), p.DCE.Live(), p.Backend, out)
+	}
+	fmt.Printf("global id g lives on shard g %% %d at local position g / %d; serve each file and point a shard coordinator at all of them\n",
+		*shards, *shards)
 	return nil
 }
 

@@ -4,11 +4,19 @@
 // back. Run modes:
 //
 //	go run ./examples/clientserver                 # demo: all roles, localhost
+//	go run ./examples/clientserver -mode sharded -shards 3   # scatter-gather tier
 //	go run ./examples/clientserver -mode server -addr :7070
 //	go run ./examples/clientserver -mode client -addr host:7070 -keyfile user.key
 //
 // In server mode the owner also writes the authorized user key to -keyfile
 // (hand it to clients over a secure channel).
+//
+// Sharded mode deploys the horizontal topology of internal/shard in one
+// process: the owner's encrypted database is striped across -shards shard
+// servers, each listening on its own TCP socket, and a scatter-gather
+// coordinator fans every query out and merges the per-shard top-k — then
+// checks the merged answers against an unsharded server on the same
+// vectors.
 package main
 
 import (
@@ -21,14 +29,16 @@ import (
 	"ppanns"
 	"ppanns/internal/core"
 	"ppanns/internal/dataset"
+	"ppanns/internal/shard"
 	"ppanns/internal/transport"
 )
 
 var (
-	mode    = flag.String("mode", "demo", "demo | server | client")
+	mode    = flag.String("mode", "demo", "demo | sharded | server | client")
 	addr    = flag.String("addr", "127.0.0.1:7070", "listen/dial address")
 	keyfile = flag.String("keyfile", "user.key", "user key file (written by server, read by client)")
 	n       = flag.Int("n", 4000, "database size (server/demo)")
+	shards  = flag.Int("shards", 3, "shard count (sharded mode)")
 )
 
 func main() {
@@ -36,6 +46,8 @@ func main() {
 	switch *mode {
 	case "demo":
 		demo()
+	case "sharded":
+		sharded(*shards)
 	case "server":
 		runServer(*addr, *keyfile)
 	case "client":
@@ -46,7 +58,7 @@ func main() {
 }
 
 // buildWorld plays the data owner: encrypt the corpus, return the pieces.
-func buildWorld() (*dataset.Data, *ppanns.DataOwner, *ppanns.Server) {
+func buildWorld() (*dataset.Data, *ppanns.DataOwner, *ppanns.EncryptedDatabase, *ppanns.Server) {
 	data := dataset.DeepLike(*n, 20, 9)
 	owner, err := ppanns.NewDataOwner(ppanns.Params{Dim: data.Dim, Beta: 0.3, M: 16, EfConstruction: 200, Seed: 9})
 	if err != nil {
@@ -60,11 +72,11 @@ func buildWorld() (*dataset.Data, *ppanns.DataOwner, *ppanns.Server) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return data, owner, server
+	return data, owner, edb, server
 }
 
 func runServer(addr, keyfile string) {
-	data, owner, server := buildWorld()
+	data, owner, _, server := buildWorld()
 	f, err := os.Create(keyfile)
 	if err != nil {
 		log.Fatal(err)
@@ -118,9 +130,112 @@ func runClient(addr, keyfile string) {
 	fmt.Printf("neighbors from remote server: %v\n", ids)
 }
 
+// sharded deploys 1 coordinator over nShards shard servers, each a real
+// TCP process boundary, and cross-checks the scatter-gather answers
+// against the unsharded server.
+func sharded(nShards int) {
+	data, owner, edb, unsharded := buildWorld()
+
+	parts, err := edb.Split(nShards, ppanns.IndexOptions{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	members := make([]shard.Shard, nShards)
+	for s, p := range parts {
+		srv, err := ppanns.NewServer(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go transport.Serve(l, srv)
+		client, err := transport.Dial(l.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		fmt.Printf("shard %d: %d encrypted vectors on %s\n", s, srv.Len(), l.Addr())
+		members[s] = client
+	}
+	coord, err := shard.NewCoordinator(members)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordinator over %d shards (%s index), %d vectors total\n",
+		coord.Shards(), coord.Backend(), coord.Len())
+
+	user, err := ppanns.NewUser(owner.UserKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scatter-gather each query and cross-check against the unsharded
+	// server; batch the whole query set in one round trip per shard.
+	opt := core.SearchOptions{RatioK: 16, EfSearch: 160}
+	gt := data.GroundTruth(10)
+	toks := make([]*core.QueryToken, len(data.Queries))
+	var recall float64
+	agree := 0
+	for i, q := range data.Queries {
+		tok, err := user.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		toks[i] = tok
+		ids, err := coord.Search(tok, 10, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recall += dataset.Recall(ids, gt[i])
+		want, err := unsharded.Search(tok, 10, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if equalIDs(ids, want) {
+			agree++
+		}
+	}
+	fmt.Printf("scatter-gather Recall@10: %.3f (%d queries, %d/%d identical to unsharded)\n",
+		recall/float64(len(data.Queries)), len(data.Queries), agree, len(data.Queries))
+
+	batch, err := coord.SearchBatch(toks, 10, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batched the same %d queries in one round trip per shard\n", len(batch))
+
+	// Owner-side update routed to the owning shard.
+	payload, err := owner.EncryptVector(data.Train[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	gid, err := coord.Insert(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, local := shard.Mapping{Shards: nShards}.Locate(gid)
+	fmt.Printf("inserted duplicate of vector 0 as global id %d → shard %d local %d; coordinator now tracks %d vectors\n",
+		gid, s, local, coord.Len())
+}
+
+// equalIDs reports whether two result lists match exactly, order included.
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // demo runs owner, server and user in one process over a loopback socket.
 func demo() {
-	data, owner, server := buildWorld()
+	data, owner, _, server := buildWorld()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -132,6 +132,7 @@ type deployment struct {
 	owner  *core.DataOwner
 	user   *core.User
 	server *core.Server
+	edb    *core.EncryptedDatabase
 	tokens []*core.QueryToken
 }
 
@@ -152,7 +153,7 @@ func newDeployment(data *dataset.Data, params core.Params) (*deployment, error) 
 	if err != nil {
 		return nil, err
 	}
-	d := &deployment{data: data, params: params, owner: owner, user: user, server: server}
+	d := &deployment{data: data, params: params, owner: owner, user: user, server: server, edb: edb}
 	d.tokens = make([]*core.QueryToken, len(data.Queries))
 	for i, q := range data.Queries {
 		tok, err := user.Query(q)

@@ -12,6 +12,8 @@ import (
 
 	"ppanns/internal/core"
 	"ppanns/internal/dataset"
+	"ppanns/internal/index"
+	"ppanns/internal/shard"
 )
 
 // SearchPerfReport is the machine-readable search-performance profile the
@@ -49,6 +51,16 @@ type SearchPerfReport struct {
 		QPS         float64 `json:"qps"`
 		Parallelism int     `json:"parallelism"`
 	} `json:"batch"`
+	// Sharded profiles the scatter-gather tier over a 2-way split of the
+	// same database (in-process shards, so the numbers isolate the
+	// coordination overhead: fan-out, per-shard search, candidate-merge),
+	// directly comparable to Single/Batch above.
+	Sharded struct {
+		Shards   int     `json:"shards"`
+		QPS      float64 `json:"qps"`
+		BatchQPS float64 `json:"batch_qps"`
+		Recall   float64 `json:"recall"`
+	} `json:"sharded"`
 }
 
 // SearchPerf ("perf") profiles the zero-allocation search hot path — qps,
@@ -140,6 +152,49 @@ func SearchPerf(cfg Config) error {
 	}
 	batchElapsed := time.Since(bStart)
 
+	// Sharded pass: the same database split 2 ways behind a scatter-gather
+	// coordinator, so the profile tracks what the horizontal tier costs
+	// (and buys) against the single-server numbers above.
+	const nShards = 2
+	parts, err := dep.edb.Split(nShards, index.Options{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	members := make([]shard.Shard, nShards)
+	for s, p := range parts {
+		srv, err := core.NewServer(p)
+		if err != nil {
+			return err
+		}
+		members[s] = shard.Local{Srv: srv}
+	}
+	coord, err := shard.NewCoordinator(members)
+	if err != nil {
+		return err
+	}
+	shardedGot := make([][]int, len(dep.tokens))
+	for i, tok := range dep.tokens { // warm-up + correctness capture
+		ids, err := coord.Search(tok, k, opt)
+		if err != nil {
+			return err
+		}
+		shardedGot[i] = ids
+	}
+	sStart := time.Now()
+	for _, tok := range dep.tokens {
+		if _, err := coord.Search(tok, k, opt); err != nil {
+			return err
+		}
+	}
+	shardedElapsed := time.Since(sStart)
+	sbStart := time.Now()
+	for r := 0; r < batchRounds; r++ {
+		if _, err := coord.SearchBatch(dep.tokens, k, opt); err != nil {
+			return err
+		}
+	}
+	shardedBatchElapsed := time.Since(sbStart)
+
 	var rep SearchPerfReport
 	rep.Generated = time.Now().UTC().Format(time.RFC3339)
 	rep.Config.Dataset = data.Name
@@ -156,11 +211,16 @@ func SearchPerf(cfg Config) error {
 	rep.Single.P99Micros = pctl(0.99)
 	rep.Single.FilterMicro = float64(agg.FilterTime.Nanoseconds()) / float64(nq) / 1e3
 	rep.Single.RefineMicro = float64(agg.RefineTime.Nanoseconds()) / float64(nq) / 1e3
+	gt := data.GroundTruth(k)
 	rep.Single.Comparisons = float64(agg.Comparisons) / float64(nq)
-	rep.Single.Recall = dataset.MeanRecall(got, data.GroundTruth(k))
+	rep.Single.Recall = dataset.MeanRecall(got, gt)
 	rep.Single.AllocsPerOp = allocs
 	rep.Batch.QPS = float64(nq*batchRounds) / batchElapsed.Seconds()
 	rep.Batch.Parallelism = workers
+	rep.Sharded.Shards = nShards
+	rep.Sharded.QPS = float64(nq) / shardedElapsed.Seconds()
+	rep.Sharded.BatchQPS = float64(nq*batchRounds) / shardedBatchElapsed.Seconds()
+	rep.Sharded.Recall = dataset.MeanRecall(shardedGot, gt)
 
 	cfg.printf("%-22s %s (n=%d d=%d, %d queries, k=%d, backend=%s)\n",
 		"corpus", rep.Config.Dataset, rep.Config.N, rep.Config.Dim, nq, k, rep.Config.Backend)
@@ -169,6 +229,8 @@ func SearchPerf(cfg Config) error {
 		"cost split", rep.Single.FilterMicro, rep.Single.RefineMicro, rep.Single.Comparisons, rep.Single.Recall)
 	cfg.printf("%-22s %.1f allocs/op (steady-state SearchInto)\n", "allocations", rep.Single.AllocsPerOp)
 	cfg.printf("%-22s %.0f qps across %d workers\n", "batch", rep.Batch.QPS, rep.Batch.Parallelism)
+	cfg.printf("%-22s %.0f qps single / %.0f qps batch across %d shards, recall %.3f\n",
+		"scatter-gather", rep.Sharded.QPS, rep.Sharded.BatchQPS, rep.Sharded.Shards, rep.Sharded.Recall)
 
 	if cfg.JSONOut != "" {
 		blob, err := json.MarshalIndent(&rep, "", "  ")

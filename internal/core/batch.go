@@ -62,21 +62,19 @@ func (s *Server) SearchBatch(toks []*QueryToken, k int, opt SearchOptions, paral
 	return results, nil
 }
 
-// SearchBatchErrs is SearchBatch returning the raw per-query error slice
-// (parallel to the result slice; nil entries mean success) instead of an
-// aggregate error. Both return values are nil for an empty batch.
-func (s *Server) SearchBatchErrs(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, []error) {
+// forEachQuery dispatches indexes 0..n-1 across at most parallelism
+// workers (0 = GOMAXPROCS), the shared scaffold of every batch search
+// flavor. Workers pull indexes off one counter, so long and short queries
+// interleave without static partitioning imbalance. newWorker runs once
+// per worker and returns the closure handling one index, so workers can
+// carry reusable state (result buffers) across the queries they process.
+func forEachQuery(n, parallelism int, newWorker func() func(i int)) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism > len(toks) {
-		parallelism = len(toks)
+	if parallelism > n {
+		parallelism = n
 	}
-	if len(toks) == 0 {
-		return nil, nil
-	}
-	results := make([][]int, len(toks))
-	errs := make([]error, len(toks))
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -84,22 +82,64 @@ func (s *Server) SearchBatchErrs(toks []*QueryToken, k int, opt SearchOptions, p
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var buf []int
+			fn := newWorker()
 			for {
 				mu.Lock()
 				i := next
 				next++
 				mu.Unlock()
-				if i >= len(toks) {
+				if i >= n {
 					return
 				}
-				buf, _, errs[i] = s.SearchInto(buf[:0], toks[i], k, opt)
-				if errs[i] == nil {
-					results[i] = append([]int(nil), buf...)
-				}
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// SearchShardBatch is SearchBatchErrs returning ShardResults — per-query
+// result ids plus the cross-shard merge material of the active refine mode
+// — so a scatter-gather coordinator amortizes one round trip (and here one
+// worker-pool spin-up) over a whole batch. Result and error slices are
+// parallel to toks; failed slots hold a zero ShardResult.
+func (s *Server) SearchShardBatch(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([]ShardResult, []error) {
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	results := make([]ShardResult, len(toks))
+	errs := make([]error, len(toks))
+	forEachQuery(len(toks), parallelism, func() func(int) {
+		return func(i int) {
+			var ids []int
+			ids, _, errs[i] = s.searchInto(nil, toks[i], k, opt, &results[i])
+			if errs[i] == nil {
+				results[i].IDs = ids
+			} else {
+				results[i] = ShardResult{}
+			}
+		}
+	})
+	return results, errs
+}
+
+// SearchBatchErrs is SearchBatch returning the raw per-query error slice
+// (parallel to the result slice; nil entries mean success) instead of an
+// aggregate error. Both return values are nil for an empty batch.
+func (s *Server) SearchBatchErrs(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, []error) {
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	results := make([][]int, len(toks))
+	errs := make([]error, len(toks))
+	forEachQuery(len(toks), parallelism, func() func(int) {
+		var buf []int
+		return func(i int) {
+			buf, _, errs[i] = s.SearchInto(buf[:0], toks[i], k, opt)
+			if errs[i] == nil {
+				results[i] = append([]int(nil), buf...)
+			}
+		}
+	})
 	return results, errs
 }

@@ -12,6 +12,9 @@ import (
 // and context pools are warm and the caller recycles its result buffer, a
 // full filter-and-refine search allocates nothing.
 func TestSearchIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
 	data := clustered(81, 1200, 10, 8)
 	w := newWorld(t, Params{Dim: 10, Beta: 0.3, Seed: 81}, data)
 	queries := makeQueries(82, data, 8, 0.3)

@@ -1,12 +1,21 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"ppanns/internal/ame"
 	"ppanns/internal/index"
 )
+
+// ErrInconsistent marks a server whose filter index and ciphertext store
+// are known to be desynced (a backend violated the sequential-id contract
+// and the rollback of its stray entry failed). Mutations on such a server
+// fail fast wrapping this error; searches keep running behind their
+// existing per-candidate guards.
+var ErrInconsistent = errors.New("core: server index and ciphertext store are desynced")
 
 // RefineMode selects how the server's refine phase compares candidates.
 type RefineMode int
@@ -94,6 +103,10 @@ type SearchStats struct {
 type Server struct {
 	mu  sync.RWMutex
 	edb *EncryptedDatabase
+	// broken is non-nil once a failed insert rollback left the index and
+	// ciphertext store desynced; it wraps ErrInconsistent and every
+	// subsequent mutation returns it.
+	broken error
 }
 
 // NewServer wraps an encrypted database received from the data owner.
@@ -145,12 +158,54 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 	return s.SearchInto(nil, tok, k, opt)
 }
 
+// ShardResult is one server's contribution to a scatter-gather search
+// (see internal/shard): the result ids in refine order plus the per-id
+// material a coordinator needs to merge candidates across shards. Because
+// DCE query tokens are position-independent, the returned ciphertext
+// records compare correctly against records from any other shard of the
+// same deployment.
+type ShardResult struct {
+	// IDs are the result ids, closest first (server-local positions).
+	IDs []int
+	// Dists holds the filter-phase SAP distances parallel to IDs, the
+	// merge key when no refine runs (RefineNone only).
+	Dists []float64
+	// Recs holds copies of the DCE records [P1|P2|P3|P4] parallel to IDs
+	// (RefineDCE only); CtDim is their component length.
+	Recs  [][]float64
+	CtDim int
+	// AME holds the AME ciphertexts parallel to IDs (RefineAME only).
+	// AME material never travels over the wire, so this field only serves
+	// in-process coordinators.
+	AME []*ame.Ciphertext
+}
+
+// SearchShard answers a query like Search and additionally returns the
+// merge material for the active refine mode, so a scatter-gather
+// coordinator can order this server's results against other shards'.
+func (s *Server) SearchShard(tok *QueryToken, k int, opt SearchOptions) (ShardResult, error) {
+	var res ShardResult
+	ids, _, err := s.searchInto(nil, tok, k, opt, &res)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	res.IDs = ids
+	return res, nil
+}
+
 // SearchInto is SearchWithStats appending the result ids into dst (whose
 // capacity is reused; pass nil to allocate). All per-query working state —
 // filter items, candidate list, refine heap, operand scratch — comes from
 // an internal pool, so with a recycled dst a steady-state search performs
 // zero allocations.
 func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions) ([]int, SearchStats, error) {
+	return s.searchInto(dst, tok, k, opt, nil)
+}
+
+// searchInto is the shared search body. When mm is non-nil it captures,
+// for every returned id, the cross-shard merge material of the active
+// refine mode (SAP distance, DCE record copy, or AME ciphertext).
+func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions, mm *ShardResult) ([]int, SearchStats, error) {
 	var st SearchStats
 	if tok == nil || tok.SAP == nil {
 		return dst[:0], st, fmt.Errorf("core: query token missing SAP ciphertext")
@@ -199,6 +254,14 @@ func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 			cands = cands[:k]
 		}
 		dst = append(dst[:0], cands...)
+		if mm != nil {
+			// cands is a prefix of the filter items, so the merge keys
+			// are their (comparable across shards) SAP distances.
+			mm.Dists = make([]float64, len(dst))
+			for i := range dst {
+				mm.Dists[i] = sc.items[i].Dist
+			}
+		}
 	case RefineDCE:
 		if tok.Trapdoor == nil {
 			return dst[:0], st, fmt.Errorf("core: token lacks DCE trapdoor for refine")
@@ -222,6 +285,15 @@ func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 			cmp.ops, cmp.ctDim = sc.ops, ctDim
 		}
 		dst, st.Comparisons = refineScratch(sc, cands, k, cmp, dst)
+		if mm != nil {
+			// Record copies, not arena views: the caller holds them past
+			// this RLock, across future appends to the arena.
+			mm.CtDim = ctDim
+			mm.Recs = make([][]float64, len(dst))
+			for i, id := range dst {
+				mm.Recs[i] = append([]float64(nil), edb.DCE.Record(id)...)
+			}
+		}
 	case RefineAME:
 		if edb.AME == nil {
 			return dst[:0], st, fmt.Errorf("core: database was built without AME ciphertexts")
@@ -237,6 +309,12 @@ func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 		cmp := &sc.ame
 		*cmp = ameComparator{cts: edb.AME, cands: cands, tq: tok.AME}
 		dst, st.Comparisons = refineScratch(sc, cands, k, cmp, dst)
+		if mm != nil {
+			mm.AME = make([]*ame.Ciphertext, len(dst))
+			for i, id := range dst {
+				mm.AME[i] = edb.AME[id]
+			}
+		}
 	default:
 		return dst[:0], st, fmt.Errorf("core: unknown refine mode %d", opt.Refine)
 	}
@@ -252,13 +330,19 @@ func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 // backend capability, and the index insert itself — happens before any
 // ciphertext state is appended, so a failed insert leaves the database
 // untouched (a backend violating the sequential-id contract has its stray
-// entry rolled back out).
+// entry rolled back out). If that rollback itself fails — the backend
+// does not support deletes, say — the index and ciphertext store are
+// desynced with no way back: the server marks itself inconsistent and
+// every later mutation fails fast wrapping ErrInconsistent.
 func (s *Server) Insert(p *InsertPayload) (int, error) {
 	if p == nil || p.SAP == nil || p.DCE == nil {
 		return 0, fmt.Errorf("core: incomplete insert payload")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken != nil {
+		return 0, s.broken
+	}
 	edb := s.edb
 	if len(p.SAP) != edb.Dim {
 		return 0, fmt.Errorf("core: insert payload has dim %d, want %d", len(p.SAP), edb.Dim)
@@ -279,10 +363,15 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 	}
 	// Ids are assigned sequentially by every backend, so the new id must
 	// land exactly at the end of the ciphertext store. On a contract
-	// violation, roll the stray entry back out (best effort) so the index
-	// and ciphertext store stay in lockstep.
+	// violation, roll the stray entry back out so the index and ciphertext
+	// store stay in lockstep. A failed rollback cannot be repaired from
+	// here — record the inconsistency instead of swallowing it.
 	if pos != edb.DCE.Len() {
-		_ = edb.Index.Delete(pos)
+		if derr := edb.Index.Delete(pos); derr != nil {
+			s.broken = fmt.Errorf("%w: index id %d out of step with database size %d and rollback failed: %v",
+				ErrInconsistent, pos, edb.DCE.Len(), derr)
+			return 0, s.broken
+		}
 		return 0, fmt.Errorf("core: index id %d out of step with database size %d", pos, edb.DCE.Len())
 	}
 	edb.DCE.Append(p.DCE)
@@ -299,6 +388,9 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 func (s *Server) Delete(pos int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
 	edb := s.edb
 	if pos < 0 || pos >= edb.DCE.Len() {
 		return fmt.Errorf("core: delete of unknown id %d", pos)
@@ -317,6 +409,15 @@ func (s *Server) Delete(pos int) error {
 		edb.AME[pos] = nil
 	}
 	return nil
+}
+
+// Inconsistent returns the error that marked this server's state
+// inconsistent (see Insert), or nil while the index and ciphertext store
+// are in lockstep.
+func (s *Server) Inconsistent() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.broken
 }
 
 // Deleted reports whether an external id is tombstoned.

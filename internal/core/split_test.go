@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ppanns/internal/index"
+)
+
+func TestSplitPartitionsStripe(t *testing.T) {
+	const n, dim, shards = 500, 8, 3
+	data := clustered(31, n, dim, 5)
+	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 31}, data)
+	edb := w.server.edb
+
+	// Tombstone a couple of ids before splitting so the stripe has holes.
+	for _, id := range []int{4, 7} {
+		if err := w.server.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parts, err := edb.Split(shards, index.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != shards {
+		t.Fatalf("Split returned %d shards, want %d", len(parts), shards)
+	}
+	var total, live int
+	for s, p := range parts {
+		wantCnt := (n - s + shards - 1) / shards
+		if p.Len() != wantCnt {
+			t.Fatalf("shard %d holds %d records, want %d", s, p.Len(), wantCnt)
+		}
+		if p.Dim != dim || p.Backend != edb.Backend {
+			t.Fatalf("shard %d shape %d/%q, want %d/%q", s, p.Dim, p.Backend, dim, edb.Backend)
+		}
+		total += p.Len()
+		live += p.DCE.Live()
+		// Every local record must be a bit-exact copy of its global record,
+		// with tombstones preserved in place.
+		for local := 0; local < p.Len(); local++ {
+			g := local*shards + s
+			if p.DCE.Has(local) != edb.DCE.Has(g) {
+				t.Fatalf("shard %d local %d liveness %v, global id %d is %v",
+					s, local, p.DCE.Has(local), g, edb.DCE.Has(g))
+			}
+			want := edb.DCE.Record(g)
+			got := p.DCE.Record(local)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("shard %d local %d record differs from global id %d at %d", s, local, g, j)
+				}
+			}
+		}
+		if p.Index.Len() != p.DCE.Live() {
+			t.Fatalf("shard %d index holds %d live, store %d", s, p.Index.Len(), p.DCE.Live())
+		}
+	}
+	if total != n {
+		t.Fatalf("shards hold %d records total, want %d", total, n)
+	}
+	if live != edb.DCE.Live() {
+		t.Fatalf("shards hold %d live records, want %d", live, edb.DCE.Live())
+	}
+
+	// Each shard must answer queries as a standalone server.
+	for s, p := range parts {
+		srv, err := NewServer(p)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		ids, err := srv.Search(mustToken(t, w, data[0]), 3, SearchOptions{RatioK: 8})
+		if err != nil {
+			t.Fatalf("shard %d search: %v", s, err)
+		}
+		if len(ids) == 0 {
+			t.Fatalf("shard %d returned no results", s)
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	data := clustered(32, 40, 6, 3)
+	w := newWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 32}, data)
+	if _, err := w.server.edb.Split(0, index.Options{}); err == nil {
+		t.Fatal("expected error for zero shard count")
+	}
+	if _, err := w.server.edb.Split(41, index.Options{}); err == nil {
+		t.Fatal("expected error for more shards than vectors")
+	}
+	if parts, err := w.server.edb.Split(1, index.Options{}); err != nil || len(parts) != 1 {
+		t.Fatalf("single-shard split: %d parts, %v", len(parts), err)
+	}
+}
+
+func TestSearchShardMatchesSearch(t *testing.T) {
+	const n, dim, k = 400, 8, 5
+	data := clustered(33, n, dim, 4)
+	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 33, WithAME: true}, data)
+	opt := SearchOptions{RatioK: 8}
+	for _, mode := range []RefineMode{RefineDCE, RefineNone, RefineAME} {
+		opt.Refine = mode
+		tok := mustToken(t, w, data[2])
+		want, err := w.server.Search(tok, k, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		res, err := w.server.SearchShard(tok, k, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(res.IDs) != len(want) {
+			t.Fatalf("%v: SearchShard returned %d ids, Search %d", mode, len(res.IDs), len(want))
+		}
+		for i := range want {
+			if res.IDs[i] != want[i] {
+				t.Fatalf("%v rank %d: SearchShard id %d, Search id %d", mode, i, res.IDs[i], want[i])
+			}
+		}
+		switch mode {
+		case RefineDCE:
+			if len(res.Recs) != len(res.IDs) || res.CtDim != w.server.edb.DCE.CtDim() {
+				t.Fatalf("DCE merge material malformed: %d recs, ctDim %d", len(res.Recs), res.CtDim)
+			}
+			for i, id := range res.IDs {
+				want := w.server.edb.DCE.Record(id)
+				if len(res.Recs[i]) != len(want) {
+					t.Fatalf("rec %d has %d floats, want %d", i, len(res.Recs[i]), len(want))
+				}
+				for j := range want {
+					if res.Recs[i][j] != want[j] {
+						t.Fatalf("rec %d differs from record of id %d at %d", i, id, j)
+					}
+				}
+			}
+		case RefineNone:
+			if len(res.Dists) != len(res.IDs) {
+				t.Fatalf("RefineNone merge material malformed: %d dists for %d ids", len(res.Dists), len(res.IDs))
+			}
+			for i := 1; i < len(res.Dists); i++ {
+				if res.Dists[i] < res.Dists[i-1] {
+					t.Fatalf("filter distances out of order at %d: %v", i, res.Dists)
+				}
+			}
+		case RefineAME:
+			if len(res.AME) != len(res.IDs) {
+				t.Fatalf("AME merge material malformed: %d cts for %d ids", len(res.AME), len(res.IDs))
+			}
+			for i, ct := range res.AME {
+				if ct != w.server.edb.AME[res.IDs[i]] {
+					t.Fatalf("AME ct %d is not the stored ciphertext of id %d", i, res.IDs[i])
+				}
+			}
+		}
+	}
+}
+
+// contractBreaker wraps a SecureIndex, returning an out-of-step id from Add
+// and refusing the rollback Delete — the worst-case backend misbehavior the
+// Insert path must surface as a persistent inconsistency.
+type contractBreaker struct {
+	index.SecureIndex
+	addShift   int
+	deleteErrs bool
+}
+
+func (b *contractBreaker) Add(v []float64) (int, error) {
+	pos, err := b.SecureIndex.Add(v)
+	return pos + b.addShift, err
+}
+
+func (b *contractBreaker) Delete(id int) error {
+	if b.deleteErrs {
+		return fmt.Errorf("stub: delete unsupported")
+	}
+	return b.SecureIndex.Delete(id - b.addShift)
+}
+
+func TestInsertRollbackFailureMarksInconsistent(t *testing.T) {
+	const n, dim = 200, 6
+	data := clustered(34, n, dim, 3)
+	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 34}, data)
+	w.server.edb.Index = &contractBreaker{SecureIndex: w.server.edb.Index, addShift: 5, deleteErrs: true}
+
+	payload, err := w.owner.EncryptVector(data[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.server.Insert(payload); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("Insert with failed rollback: err = %v, want ErrInconsistent", err)
+	}
+	if w.server.Inconsistent() == nil {
+		t.Fatal("server did not record the inconsistency")
+	}
+	// Every subsequent mutation fails fast with the same marker.
+	if _, err := w.server.Insert(payload); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("Insert on inconsistent server: err = %v", err)
+	}
+	if err := w.server.Delete(0); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("Delete on inconsistent server: err = %v", err)
+	}
+	// Searches stay behind their per-candidate guards: a query that
+	// surfaces the stray index entry fails wire-safely (no panic, no
+	// silently wrong ids), one that does not keeps answering.
+	_, err = w.server.Search(mustToken(t, w, data[0]), 3, SearchOptions{RatioK: 8})
+	if err != nil && !strings.Contains(err.Error(), "no DCE ciphertext") {
+		t.Fatalf("Search on inconsistent server: %v", err)
+	}
+}
+
+func TestInsertRollbackSucceedsWithoutMarking(t *testing.T) {
+	const n, dim = 200, 6
+	data := clustered(35, n, dim, 3)
+	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 35}, data)
+	w.server.edb.Index = &contractBreaker{SecureIndex: w.server.edb.Index, addShift: 5}
+
+	payload, err := w.owner.EncryptVector(data[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.server.Insert(payload)
+	if err == nil || errors.Is(err, ErrInconsistent) {
+		t.Fatalf("Insert with working rollback: err = %v, want out-of-step error without ErrInconsistent", err)
+	}
+	if w.server.Inconsistent() != nil {
+		t.Fatal("successful rollback must not mark the server inconsistent")
+	}
+}

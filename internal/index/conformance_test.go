@@ -156,6 +156,25 @@ func TestConformance(t *testing.T) {
 				t.Fatalf("SearchInto grew dst capacity %d → %d on a repeat query", before, cap(dst))
 			}
 
+			// Vector must recover every stored vector by position.
+			for _, pos := range []int{0, 5, n / 2, n - 1} {
+				v, ok := ix.Vector(pos)
+				if !ok {
+					t.Fatalf("Vector(%d) reported missing", pos)
+				}
+				for j := range v {
+					if v[j] != data[pos][j] {
+						t.Fatalf("Vector(%d)[%d] = %g, want %g", pos, j, v[j], data[pos][j])
+					}
+				}
+			}
+			if _, ok := ix.Vector(-1); ok {
+				t.Fatal("Vector(-1) reported present")
+			}
+			if _, ok := ix.Vector(n); ok {
+				t.Fatal("Vector(n) reported present before any insert")
+			}
+
 			// Save/load round-trip must reproduce results exactly.
 			var buf bytes.Buffer
 			if err := ix.Save(&buf); err != nil {
@@ -228,6 +247,9 @@ func TestConformance(t *testing.T) {
 					if id == top[0] {
 						t.Fatal("deleted id still returned")
 					}
+				}
+				if _, ok := ix.Vector(top[0]); !ok {
+					t.Fatal("Vector of tombstoned id reported missing")
 				}
 			} else {
 				if err := ix.Delete(0); !errors.Is(err, ErrNotSupported) {

@@ -116,6 +116,17 @@ func (ix *hnswIndex) Delete(pos int) error {
 func (ix *hnswIndex) Len() int { return ix.g.Len() }
 func (ix *hnswIndex) Dim() int { return ix.g.Dim() }
 
+func (ix *hnswIndex) Vector(pos int) ([]float64, bool) {
+	ix.mu.RLock()
+	if pos < 0 || pos >= len(ix.pos2gid) {
+		ix.mu.RUnlock()
+		return nil, false
+	}
+	gid := int(ix.pos2gid[pos])
+	ix.mu.RUnlock()
+	return ix.g.Vector(gid), true
+}
+
 func (ix *hnswIndex) Caps() Caps {
 	return Caps{Name: "hnsw", DynamicInsert: true, DynamicDelete: true}
 }

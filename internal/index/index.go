@@ -62,6 +62,14 @@ type SecureIndex interface {
 	// Delete tombstones an id. Backends without dynamic delete return an
 	// error wrapping ErrNotSupported.
 	Delete(id int) error
+	// Vector returns the stored (SAP-ciphertext) vector of an id, valid
+	// for tombstoned ids too — backends retain tombstone rows, and
+	// partition rebuilds (core.EncryptedDatabase.Split) need every
+	// position's vector to keep local ids dense. The second result is
+	// false only for ids the backend never assigned. Callers must treat
+	// the returned slice as read-only and copy it before retaining it
+	// across mutations.
+	Vector(id int) ([]float64, bool)
 	// Len returns the number of live (non-deleted) vectors.
 	Len() int
 	// Dim returns the vector dimension.

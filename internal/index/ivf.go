@@ -64,6 +64,11 @@ func (a *ivfIndex) Delete(id int) error { return a.ix.Delete(id) }
 func (a *ivfIndex) Len() int            { return a.ix.Len() }
 func (a *ivfIndex) Dim() int            { return a.ix.Dim() }
 
+func (a *ivfIndex) Vector(id int) ([]float64, bool) {
+	v := a.ix.Vector(id)
+	return v, v != nil
+}
+
 func (a *ivfIndex) Caps() Caps {
 	return Caps{Name: "ivf", DynamicInsert: true, DynamicDelete: true}
 }

@@ -181,6 +181,15 @@ func (a *lshIndex) Len() int {
 
 func (a *lshIndex) Dim() int { return a.cfg.Dim }
 
+func (a *lshIndex) Vector(id int) ([]float64, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if id < 0 || id >= len(a.deleted) {
+		return nil, false
+	}
+	return a.data.At(id), true
+}
+
 func (a *lshIndex) Caps() Caps {
 	return Caps{Name: "lsh", DynamicInsert: true, DynamicDelete: true}
 }

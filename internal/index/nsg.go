@@ -51,6 +51,11 @@ func (a *nsgIndex) Delete(id int) error { return a.g.Delete(id) }
 func (a *nsgIndex) Len() int            { return a.g.Len() }
 func (a *nsgIndex) Dim() int            { return a.g.Dim() }
 
+func (a *nsgIndex) Vector(id int) ([]float64, bool) {
+	v := a.g.Vector(id)
+	return v, v != nil
+}
+
 func (a *nsgIndex) Caps() Caps {
 	return Caps{Name: "nsg", DynamicInsert: false, DynamicDelete: true}
 }

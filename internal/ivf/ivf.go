@@ -99,6 +99,17 @@ func (ix *Index) Len() int {
 // Dim returns the vector dimension.
 func (ix *Index) Dim() int { return ix.dim }
 
+// Vector returns the stored vector for id (also valid for deleted ids,
+// whose rows remain as tombstones), or nil for out-of-range ids.
+func (ix *Index) Vector(id int) []float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.deleted) {
+		return nil
+	}
+	return ix.data.At(id)
+}
+
 // Lists returns nlist.
 func (ix *Index) Lists() int { return len(ix.lists) }
 

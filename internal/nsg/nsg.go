@@ -357,6 +357,15 @@ func (g *Graph) Len() int {
 // Dim returns the vector dimension.
 func (g *Graph) Dim() int { return g.dim }
 
+// Vector returns the stored vector for id (also valid for deleted ids,
+// whose rows remain as tombstones), or nil for out-of-range ids.
+func (g *Graph) Vector(id int) []float64 {
+	if id < 0 || id >= g.data.Len() {
+		return nil
+	}
+	return g.data.At(id)
+}
+
 // NavigatingNode returns the entry vertex id.
 func (g *Graph) NavigatingNode() int { return g.nav }
 

@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"ppanns/internal/ame"
+	"ppanns/internal/core"
+	"ppanns/internal/dce"
+	"ppanns/internal/resultheap"
+	"ppanns/internal/transport"
+)
+
+// Both shard flavors must keep satisfying the interface.
+var (
+	_ Shard = Local{}
+	_ Shard = (*transport.Client)(nil)
+)
+
+// Coordinator is the scatter-gather head of a sharded deployment: it owns
+// the global id space, fans queries out to every shard concurrently, and
+// merges shard-local answers into global ones. Searches may run
+// concurrently with each other and with updates; updates serialize on the
+// coordinator (the same discipline core.Server applies internally).
+type Coordinator struct {
+	shards  []Shard
+	m       Mapping
+	backend string
+	dim     int
+	insert  bool
+	delete  bool
+
+	mu    sync.RWMutex
+	total int // global ids ever assigned, tombstones included
+}
+
+// NewCoordinator wires a coordinator over its shards, validating that they
+// form a striped partition of one deployment: same backend and dimension
+// everywhere, and per-shard record counts matching Mapping.Count — a
+// mismatched set would silently remap ids to the wrong vectors.
+func NewCoordinator(shards []Shard) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one shard")
+	}
+	c := &Coordinator{shards: shards, m: Mapping{Shards: len(shards)}, insert: true, delete: true}
+	lens := make([]int, len(shards))
+	for s, sh := range shards {
+		info, err := sh.Info()
+		if err != nil {
+			return nil, &ShardError{Shard: s, Err: err}
+		}
+		lens[s] = info.N
+		c.total += info.N
+		if s == 0 {
+			c.backend, c.dim = info.Backend, info.Dim
+		} else if info.Backend != c.backend || info.Dim != c.dim {
+			return nil, fmt.Errorf("shard: shard %d runs %s/dim %d, shard 0 %s/dim %d",
+				s, info.Backend, info.Dim, c.backend, c.dim)
+		}
+		c.insert = c.insert && info.DynamicInsert
+		c.delete = c.delete && info.DynamicDelete
+	}
+	for s, n := range lens {
+		if want := c.m.Count(s, c.total); n != want {
+			return nil, fmt.Errorf("shard: shard %d holds %d records, a striped partition of %d needs %d",
+				s, n, c.total, want)
+		}
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Len returns the global record count, tombstones included.
+func (c *Coordinator) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.total
+}
+
+// Dim returns the vector dimension of the deployment.
+func (c *Coordinator) Dim() int { return c.dim }
+
+// Backend returns the filter-index backend every shard runs.
+func (c *Coordinator) Backend() string { return c.backend }
+
+// scatter runs fn once per shard concurrently and returns the first shard
+// failure (lowest shard index wins, so errors are deterministic).
+func (c *Coordinator) scatter(fn func(s int, sh Shard) error) error {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for s, sh := range c.shards {
+		wg.Add(1)
+		go func(s int, sh Shard) {
+			defer wg.Done()
+			errs[s] = fn(s, sh)
+		}(s, sh)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return &ShardError{Shard: s, Err: err}
+		}
+	}
+	return nil
+}
+
+// Search answers a k-ANNS query across all shards: one concurrent
+// scatter, then a comparator-driven merge of the shard-local top-k sets
+// into the global top-k, returned as global ids closest-first. A dead or
+// failing shard surfaces as a *ShardError — never a hang, and never a
+// silently partial answer.
+func (c *Coordinator) Search(tok *core.QueryToken, k int, opt core.SearchOptions) ([]int, error) {
+	results := make([]core.ShardResult, len(c.shards))
+	err := c.scatter(func(s int, sh Shard) error {
+		var err error
+		results[s], err = sh.SearchShard(tok, k, opt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.merge(tok, k, opt.Refine, results)
+}
+
+// SearchBatch answers a whole batch across all shards with one
+// SearchShardBatch call per shard — for remote shards one round trip per
+// shard per batch, not per query. Results are per-query in input order;
+// failed queries leave nil slots and are listed in a *core.BatchError,
+// wrapped per query in *ShardError when a specific shard caused the
+// failure.
+func (c *Coordinator) SearchBatch(toks []*core.QueryToken, k int, opt core.SearchOptions) ([][]int, error) {
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	perShard := make([][]core.ShardResult, len(c.shards))
+	perShardErrs := make([][]error, len(c.shards))
+	shardErrs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for s, sh := range c.shards {
+		wg.Add(1)
+		go func(s int, sh Shard) {
+			defer wg.Done()
+			perShard[s], perShardErrs[s], shardErrs[s] = sh.SearchShardBatch(toks, k, opt)
+		}(s, sh)
+	}
+	wg.Wait()
+
+	results := make([][]int, len(toks))
+	var failed []core.QueryError
+	gather := make([]core.ShardResult, len(c.shards))
+	for q := range toks {
+		var qErr error
+		for s := range c.shards {
+			switch {
+			case shardErrs[s] != nil:
+				qErr = &ShardError{Shard: s, Err: shardErrs[s]}
+			case perShardErrs[s][q] != nil:
+				qErr = &ShardError{Shard: s, Err: perShardErrs[s][q]}
+			default:
+				gather[s] = perShard[s][q]
+				continue
+			}
+			break
+		}
+		if qErr == nil {
+			results[q], qErr = c.merge(toks[q], k, opt.Refine, gather)
+		}
+		if qErr != nil {
+			failed = append(failed, core.QueryError{Query: q, Err: qErr})
+		}
+	}
+	if len(failed) > 0 {
+		return results, &core.BatchError{Failed: failed}
+	}
+	return results, nil
+}
+
+// merge folds per-shard results into the global top-k, remapping local ids
+// to global ones and ordering with the same comparator the refine phase
+// used — SAP distances for the filter-only mode, DCE record comparisons
+// (over the shard-returned record copies) for the paper's scheme, AME
+// comparisons for the baseline.
+func (c *Coordinator) merge(tok *core.QueryToken, k int, mode core.RefineMode, results []core.ShardResult) ([]int, error) {
+	switch mode {
+	case core.RefineNone:
+		// Bounded selection on the filter distances every shard reported.
+		h := resultheap.NewMaxDistHeap(k + 1)
+		for s, r := range results {
+			if len(r.Dists) != len(r.IDs) {
+				return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: %d filter distances for %d ids", len(r.Dists), len(r.IDs))}
+			}
+			for i, local := range r.IDs {
+				gid := c.m.Global(s, local)
+				if h.Len() < k {
+					h.Push(gid, r.Dists[i])
+				} else if r.Dists[i] < h.Top().Dist {
+					h.Pop()
+					h.Push(gid, r.Dists[i])
+				}
+			}
+		}
+		items := h.SortedAscending()
+		ids := make([]int, len(items))
+		for i, it := range items {
+			ids[i] = it.ID
+		}
+		return ids, nil
+
+	case core.RefineDCE:
+		if tok == nil || tok.Trapdoor == nil {
+			return nil, fmt.Errorf("shard: token lacks DCE trapdoor for merge")
+		}
+		ctDim := 0
+		total := 0
+		for s, r := range results {
+			if len(r.Recs) != len(r.IDs) {
+				return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: %d DCE records for %d ids", len(r.Recs), len(r.IDs))}
+			}
+			if len(r.IDs) > 0 {
+				if ctDim == 0 {
+					ctDim = r.CtDim
+				} else if r.CtDim != ctDim {
+					return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: ciphertext dim %d, other shards %d", r.CtDim, ctDim)}
+				}
+			}
+			total += len(r.IDs)
+		}
+		if total == 0 {
+			return nil, nil
+		}
+		if len(tok.Trapdoor.Q) != ctDim {
+			return nil, fmt.Errorf("shard: trapdoor has dim %d, shard ciphertexts %d", len(tok.Trapdoor.Q), ctDim)
+		}
+		// Stage the returned records in a flat arena so the merge runs the
+		// same cache-friendly comparison kernel the shards themselves use.
+		gids := make([]int, 0, total)
+		arena := make([]float64, 0, total*4*ctDim)
+		for s, r := range results {
+			for i, local := range r.IDs {
+				if len(r.Recs[i]) != 4*ctDim {
+					return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: record %d has %d floats, want %d", i, len(r.Recs[i]), 4*ctDim)}
+				}
+				gids = append(gids, c.m.Global(s, local))
+				arena = append(arena, r.Recs[i]...)
+			}
+		}
+		live := make([]bool, len(gids))
+		for i := range live {
+			live[i] = true
+		}
+		store, err := dce.StoreFromRaw(ctDim, arena, live)
+		if err != nil {
+			return nil, fmt.Errorf("shard: staging merge arena: %w", err)
+		}
+		q := tok.Trapdoor.Q
+		return mergeSelect(gids, k, resultheap.Farther(func(a, b int) bool {
+			return store.DistanceCompQ(a, b, q) > 0
+		})), nil
+
+	case core.RefineAME:
+		if tok == nil || tok.AME == nil {
+			return nil, fmt.Errorf("shard: token lacks AME trapdoor for merge")
+		}
+		var gids []int
+		var cts []*ame.Ciphertext
+		for s, r := range results {
+			if len(r.AME) != len(r.IDs) {
+				return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: %d AME ciphertexts for %d ids (remote shards cannot serve RefineAME)", len(r.AME), len(r.IDs))}
+			}
+			for i, local := range r.IDs {
+				gids = append(gids, c.m.Global(s, local))
+				cts = append(cts, r.AME[i])
+			}
+		}
+		tq := tok.AME
+		return mergeSelect(gids, k, resultheap.Farther(func(a, b int) bool {
+			return ame.Compare(cts[a], cts[b], tq) > 0
+		})), nil
+
+	default:
+		return nil, fmt.Errorf("shard: unknown refine mode %d", mode)
+	}
+}
+
+// mergeSelect runs Algorithm 2's bounded max-heap selection over candidate
+// indexes 0..len(gids)-1 and returns the chosen global ids closest-first.
+func mergeSelect(gids []int, k int, cmp resultheap.Comparator) []int {
+	if len(gids) == 0 {
+		return nil
+	}
+	if k > len(gids) {
+		k = len(gids)
+	}
+	h := resultheap.NewCompareHeapWith(k, cmp)
+	for i := range gids {
+		h.Offer(i)
+	}
+	ids := make([]int, 0, k)
+	for _, i := range h.SortedAscending() {
+		ids = append(ids, gids[i])
+	}
+	return ids
+}
+
+// Insert routes one encrypted vector to the shard the next global id
+// belongs to and returns that global id. The striped-growth invariant is
+// verified against the local id the shard actually assigned: a mismatch
+// means the shard was mutated outside the coordinator, and the error says
+// so rather than silently corrupting the global id space.
+func (c *Coordinator) Insert(p *core.InsertPayload) (int, error) {
+	if !c.insert {
+		return 0, fmt.Errorf("shard: %s shards do not support inserts", c.backend)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gid := c.total
+	s, local := c.m.Locate(gid)
+	got, err := c.shards[s].Insert(p)
+	if err != nil {
+		return 0, &ShardError{Shard: s, Err: err}
+	}
+	if got != local {
+		return 0, &ShardError{Shard: s, Err: fmt.Errorf("shard: insert landed at local id %d, want %d — shard mutated outside the coordinator", got, local)}
+	}
+	c.total++
+	return gid, nil
+}
+
+// Delete tombstones a global id on its owning shard.
+func (c *Coordinator) Delete(gid int) error {
+	if !c.delete {
+		return fmt.Errorf("shard: %s shards do not support deletes", c.backend)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if gid < 0 || gid >= c.total {
+		return fmt.Errorf("shard: delete of unknown global id %d", gid)
+	}
+	s, local := c.m.Locate(gid)
+	if err := c.shards[s].Delete(local); err != nil {
+		return &ShardError{Shard: s, Err: err}
+	}
+	return nil
+}

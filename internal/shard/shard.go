@@ -1,0 +1,123 @@
+// Package shard scales the PP-ANNS serving tier horizontally: a
+// scatter-gather Coordinator partitions one encrypted database across N
+// core.Server shards — in-process or remote over transport — fans every
+// query token out to all of them concurrently, and merges the per-shard
+// top-k into the global top-k.
+//
+// The scheme supports this for free: search is read-only, and both query
+// token halves are position-independent — a DCE trapdoor compares
+// ciphertext records no matter which machine stores them, and SAP filter
+// distances are plain (encrypted-domain) distance values comparable across
+// shards. Each shard therefore answers with its local top-k plus the merge
+// material of the active refine mode (core.ShardResult), and the
+// coordinator re-runs the paper's Algorithm-2 heap selection — the same
+// resultheap comparators the refine phase uses — over the ≤ N·k returned
+// candidates. The merged result is exactly what an unsharded server would
+// return whenever the shard-local candidate sets cover the true top-k.
+//
+// # Id remapping
+//
+// External (global) ids are striped: global id g lives on shard g % N as
+// local position g / N (Mapping). This is the partition
+// core.EncryptedDatabase.Split produces, and it stays valid under
+// coordinator-routed updates: inserting global id G = Len() lands on shard
+// G % N exactly when that shard holds G / N records, which round-robin
+// growth preserves; deletes tombstone in place and never shift ids.
+package shard
+
+import (
+	"fmt"
+
+	"ppanns/internal/core"
+	"ppanns/internal/transport"
+)
+
+// Mapping is the arithmetic bijection between global external ids and
+// (shard, local position) pairs under striped partitioning.
+type Mapping struct {
+	// Shards is N, the shard count.
+	Shards int
+}
+
+// Locate returns the shard owning a global id and its local position there.
+func (m Mapping) Locate(global int) (shard, local int) {
+	return global % m.Shards, global / m.Shards
+}
+
+// Global returns the global id of a shard-local position.
+func (m Mapping) Global(shard, local int) int {
+	return local*m.Shards + shard
+}
+
+// Count returns how many of the global ids 0..total-1 a shard owns.
+func (m Mapping) Count(shard, total int) int {
+	return (total - shard + m.Shards - 1) / m.Shards
+}
+
+// Shard is the coordinator's view of one partition server. Both Local
+// (wrapping an in-process *core.Server) and *transport.Client (a remote
+// server speaking the wire protocol) satisfy it.
+type Shard interface {
+	// SearchShard answers one query with local ids in refine order plus
+	// the merge material of the active refine mode.
+	SearchShard(tok *core.QueryToken, k int, opt core.SearchOptions) (core.ShardResult, error)
+	// SearchShardBatch is SearchShard over a whole batch — one round trip
+	// for remote shards. Result and error slices are parallel to toks;
+	// the final error is a shard-level failure voiding the whole call.
+	SearchShardBatch(toks []*core.QueryToken, k int, opt core.SearchOptions) ([]core.ShardResult, []error, error)
+	// Insert appends one encrypted vector and returns its local position.
+	Insert(p *core.InsertPayload) (int, error)
+	// Delete tombstones a local position.
+	Delete(local int) error
+	// Info reports the shard's backend, capabilities and shape, including
+	// its record count (tombstones included) as Info.N.
+	Info() (transport.Info, error)
+}
+
+// Local adapts an in-process *core.Server to the Shard interface.
+type Local struct {
+	Srv *core.Server
+}
+
+// SearchShard answers one query against the wrapped server.
+func (l Local) SearchShard(tok *core.QueryToken, k int, opt core.SearchOptions) (core.ShardResult, error) {
+	return l.Srv.SearchShard(tok, k, opt)
+}
+
+// SearchShardBatch fans the batch across the wrapped server's cores.
+func (l Local) SearchShardBatch(toks []*core.QueryToken, k int, opt core.SearchOptions) ([]core.ShardResult, []error, error) {
+	rs, errs := l.Srv.SearchShardBatch(toks, k, opt, 0)
+	return rs, errs, nil
+}
+
+// Insert appends one encrypted vector.
+func (l Local) Insert(p *core.InsertPayload) (int, error) { return l.Srv.Insert(p) }
+
+// Delete tombstones a local position.
+func (l Local) Delete(local int) error { return l.Srv.Delete(local) }
+
+// Info reports the wrapped server's backend, capabilities and shape.
+func (l Local) Info() (transport.Info, error) {
+	caps := l.Srv.Caps()
+	return transport.Info{
+		Backend:       l.Srv.Backend(),
+		DynamicInsert: caps.DynamicInsert,
+		DynamicDelete: caps.DynamicDelete,
+		N:             l.Srv.Len(),
+		Dim:           l.Srv.Dim(),
+	}, nil
+}
+
+// ShardError attributes a failure to the shard that raised it, so a dead
+// or misbehaving partition is identifiable from the error alone.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d: %v", e.Shard, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }

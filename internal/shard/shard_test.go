@@ -1,0 +1,543 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"ppanns/internal/core"
+	"ppanns/internal/index"
+	"ppanns/internal/rng"
+	"ppanns/internal/transport"
+	"ppanns/internal/vec"
+)
+
+// world is an unsharded deployment plus the raw vectors behind it.
+type world struct {
+	train   [][]float64
+	queries [][]float64
+	owner   *core.DataOwner
+	user    *core.User
+	server  *core.Server
+	edb     *core.EncryptedDatabase
+}
+
+func testData(seed uint64, n, dim, queries int) (train, qs [][]float64) {
+	r := rng.NewSeeded(seed)
+	const clusters = 8
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		centers[i] = rng.GaussianVec(r, dim, 6)
+	}
+	train = make([][]float64, n)
+	for i := range train {
+		train[i] = vec.Add(nil, centers[r.IntN(clusters)], rng.GaussianVec(r, dim, 1))
+	}
+	qs = make([][]float64, queries)
+	for i := range qs {
+		qs[i] = vec.Add(nil, train[r.IntN(n)], rng.GaussianVec(r, dim, 0.3))
+	}
+	return train, qs
+}
+
+func newWorld(t *testing.T, n, dim int, withAME bool) *world {
+	t.Helper()
+	train, qs := testData(11, n, dim, 20)
+	owner, err := core.NewDataOwner(core.Params{Dim: dim, Beta: 0.2, Seed: 11, WithAME: withAME})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewUser(owner.UserKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{train: train, queries: qs, owner: owner, user: user, server: srv, edb: edb}
+}
+
+// localCoordinator splits the world's database and wires an in-process
+// coordinator over the parts.
+func localCoordinator(t *testing.T, w *world, shards int) (*Coordinator, []*core.Server) {
+	t.Helper()
+	parts, err := w.edb.Split(shards, index.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvs := make([]*core.Server, shards)
+	shs := make([]Shard, shards)
+	for s, p := range parts {
+		srv, err := core.NewServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[s] = srv
+		shs[s] = Local{Srv: srv}
+	}
+	coord, err := NewCoordinator(shs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, srvs
+}
+
+// fullRecall makes both the unsharded filter and every shard filter
+// exhaustive, so the sharded and unsharded candidate sets each contain the
+// true top-k and the conformance comparison is deterministic.
+func fullRecall(n int, mode core.RefineMode) core.SearchOptions {
+	return core.SearchOptions{KPrime: n, EfSearch: n, Refine: mode}
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScatterGatherConformance is the acceptance test of the sharded tier:
+// a scatter-gather search over ≥2 shards returns exactly the same ids in
+// exactly the same order as the unsharded server, for all three refine
+// modes, including after deletions.
+func TestScatterGatherConformance(t *testing.T) {
+	const n, dim, k = 500, 16, 10
+	w := newWorld(t, n, dim, true)
+	// Tombstone a few ids first so the stripe carries holes through Split.
+	for _, id := range []int{3, 10, 11} {
+		if err := w.server.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, shards := range []int{2, 3} {
+		coord, _ := localCoordinator(t, w, shards)
+		if coord.Len() != n {
+			t.Fatalf("%d shards: coordinator Len = %d, want %d", shards, coord.Len(), n)
+		}
+		for _, mode := range []core.RefineMode{core.RefineDCE, core.RefineNone, core.RefineAME} {
+			opt := fullRecall(n, mode)
+			for qi, q := range w.queries {
+				tok, err := w.user.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := w.server.Search(tok, k, opt)
+				if err != nil {
+					t.Fatalf("%d shards, %v, query %d (unsharded): %v", shards, mode, qi, err)
+				}
+				got, err := coord.Search(tok, k, opt)
+				if err != nil {
+					t.Fatalf("%d shards, %v, query %d: %v", shards, mode, qi, err)
+				}
+				if !sameIDs(got, want) {
+					t.Fatalf("%d shards, %v, query %d:\nsharded   %v\nunsharded %v", shards, mode, qi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBatchMatchesUnsharded(t *testing.T) {
+	const n, dim, k = 400, 16, 8
+	w := newWorld(t, n, dim, false)
+	coord, _ := localCoordinator(t, w, 2)
+	opt := fullRecall(n, core.RefineDCE)
+
+	toks := make([]*core.QueryToken, len(w.queries))
+	for i, q := range w.queries {
+		tok, err := w.user.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks[i] = tok
+	}
+	want, err := w.server.SearchBatch(toks, k, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.SearchBatch(toks, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range toks {
+		if !sameIDs(got[i], want[i]) {
+			t.Fatalf("query %d:\nsharded   %v\nunsharded %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSearchBatchPartialFailure(t *testing.T) {
+	const n, dim, k = 300, 16, 5
+	w := newWorld(t, n, dim, false)
+	coord, _ := localCoordinator(t, w, 2)
+	opt := fullRecall(n, core.RefineDCE)
+
+	good, err := w.user.Query(w.queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := w.user.QueryFilterOnly(w.queries[1]) // no trapdoor → DCE refine fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := coord.SearchBatch([]*core.QueryToken{good, bad, good}, k, opt)
+	var be *core.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *core.BatchError", err)
+	}
+	if len(be.Failed) != 1 || be.Failed[0].Query != 1 {
+		t.Fatalf("failed queries = %+v, want exactly query 1", be.Failed)
+	}
+	var se *ShardError
+	if !errors.As(be.Failed[0].Err, &se) {
+		t.Fatalf("query failure %v does not attribute a shard", be.Failed[0].Err)
+	}
+	if results[1] != nil {
+		t.Fatalf("failed query kept a result: %v", results[1])
+	}
+	if len(results[0]) != k || !sameIDs(results[0], results[2]) {
+		t.Fatalf("good queries lost results: %v / %v", results[0], results[2])
+	}
+}
+
+func TestInsertDeleteRouting(t *testing.T) {
+	const n, dim, k = 300, 16, 5
+	w := newWorld(t, n, dim, false)
+	coord, srvs := localCoordinator(t, w, 3)
+
+	// Inserts must land on the striped owner and hand out sequential
+	// global ids, mirroring the unsharded id sequence.
+	for i := 0; i < 7; i++ {
+		payload, err := w.owner.EncryptVector(w.train[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gid, err := coord.Insert(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gid != n+i {
+			t.Fatalf("insert %d: global id %d, want %d", i, gid, n+i)
+		}
+		s, local := Mapping{Shards: 3}.Locate(gid)
+		if srvs[s].Deleted(local) {
+			t.Fatalf("insert %d missing on owning shard %d", i, s)
+		}
+	}
+	if coord.Len() != n+7 {
+		t.Fatalf("Len = %d, want %d", coord.Len(), n+7)
+	}
+
+	// An inserted duplicate of train[0] must now be findable globally.
+	tok, err := w.user.Query(w.train[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fullRecall(n+7, core.RefineDCE)
+	ids, err := coord.Search(tok, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDup := false
+	for _, id := range ids {
+		if id == n { // the duplicate of train[0]
+			foundDup = true
+		}
+	}
+	if !foundDup {
+		t.Fatalf("inserted duplicate (global id %d) not in %v", n, ids)
+	}
+
+	// Delete routes to the owning shard and excludes the id globally.
+	if err := coord.Delete(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Delete(n); err == nil {
+		t.Fatal("double delete did not error")
+	}
+	if err := coord.Delete(coord.Len()); err == nil {
+		t.Fatal("out-of-range delete did not error")
+	}
+	ids, err = coord.Search(tok, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == n {
+			t.Fatalf("deleted global id %d still returned: %v", n, ids)
+		}
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7} {
+		m := Mapping{Shards: shards}
+		counts := make([]int, shards)
+		for g := 0; g < 200; g++ {
+			s, local := m.Locate(g)
+			if s < 0 || s >= shards {
+				t.Fatalf("Locate(%d) shard %d out of range", g, s)
+			}
+			if local != counts[s] {
+				t.Fatalf("Locate(%d) local %d, want %d (stripe order)", g, local, counts[s])
+			}
+			counts[s]++
+			if back := m.Global(s, local); back != g {
+				t.Fatalf("Global(Locate(%d)) = %d", g, back)
+			}
+		}
+		for s := 0; s < shards; s++ {
+			if got := m.Count(s, 200); got != counts[s] {
+				t.Fatalf("Count(%d, 200) = %d, want %d", s, got, counts[s])
+			}
+		}
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(nil); err == nil {
+		t.Fatal("expected error for zero shards")
+	}
+	const n, dim = 120, 16
+	w := newWorld(t, n, dim, false)
+	parts, err := w.edb.Split(2, index.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shs []Shard
+	for _, p := range parts {
+		srv, err := core.NewServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shs = append(shs, Local{Srv: srv})
+	}
+	// Swapping the stripe order breaks the per-shard count invariant only
+	// for odd totals; mutating one shard always does.
+	payload, err := w.owner.EncryptVector(w.train[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shs[1].Insert(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(shs); err == nil {
+		t.Fatal("expected error for a non-striped partition")
+	}
+}
+
+// proxy is a severable TCP forwarder standing between a client and a
+// shard server, so tests can kill the connection mid-deployment.
+type proxy struct {
+	l      net.Listener
+	mu     sync.Mutex
+	conns  []net.Conn
+	target string
+}
+
+func newProxy(t *testing.T, target string) *proxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &proxy{l: l, target: target}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, conn, up)
+			p.mu.Unlock()
+			go func() { io.Copy(up, conn); up.Close() }()
+			go func() { io.Copy(conn, up); conn.Close() }()
+		}
+	}()
+	t.Cleanup(func() { p.kill() })
+	return p
+}
+
+// kill severs every proxied connection and stops accepting new ones.
+func (p *proxy) kill() {
+	p.l.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+// remoteCoordinator serves each split part over real TCP and wires a
+// coordinator of transport clients; shard 1 sits behind a severable proxy.
+func remoteCoordinator(t *testing.T, w *world, shards int) (*Coordinator, *proxy) {
+	t.Helper()
+	parts, err := w.edb.Split(shards, index.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var px *proxy
+	shs := make([]Shard, shards)
+	for s, p := range parts {
+		srv, err := core.NewServer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go transport.Serve(l, srv)
+		addr := l.Addr().String()
+		if s == 1 {
+			px = newProxy(t, addr)
+			addr = px.l.Addr().String()
+		}
+		client, err := transport.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+		shs[s] = client
+	}
+	coord, err := NewCoordinator(shs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, px
+}
+
+func TestScatterGatherOverTransport(t *testing.T) {
+	const n, dim, k = 400, 16, 8
+	w := newWorld(t, n, dim, false)
+	coord, _ := remoteCoordinator(t, w, 2)
+
+	for _, mode := range []core.RefineMode{core.RefineDCE, core.RefineNone} {
+		opt := fullRecall(n, mode)
+		for qi, q := range w.queries[:10] {
+			tok, err := w.user.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := w.server.Search(tok, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := coord.Search(tok, k, opt)
+			if err != nil {
+				t.Fatalf("%v query %d: %v", mode, qi, err)
+			}
+			if !sameIDs(got, want) {
+				t.Fatalf("%v query %d:\nsharded   %v\nunsharded %v", mode, qi, got, want)
+			}
+		}
+	}
+
+	// Batch path over the wire, one round trip per shard.
+	toks := make([]*core.QueryToken, 10)
+	for i := range toks {
+		tok, err := w.user.Query(w.queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks[i] = tok
+	}
+	opt := fullRecall(n, core.RefineDCE)
+	want, err := w.server.SearchBatch(toks, k, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.SearchBatch(toks, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range toks {
+		if !sameIDs(got[i], want[i]) {
+			t.Fatalf("batch query %d:\nsharded   %v\nunsharded %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestKilledShardSurfacesError kills one shard's connections mid-
+// deployment: the scatter must answer with a *ShardError naming it — not
+// hang, and not return a silently partial result — and stay failing fast
+// on the poisoned connection afterwards.
+func TestKilledShardSurfacesError(t *testing.T) {
+	const n, dim, k = 300, 16, 5
+	w := newWorld(t, n, dim, false)
+	coord, px := remoteCoordinator(t, w, 2)
+	opt := fullRecall(n, core.RefineDCE)
+
+	tok, err := w.user.Query(w.queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Search(tok, k, opt); err != nil {
+		t.Fatalf("search before kill: %v", err)
+	}
+
+	px.kill()
+
+	_, err = coord.Search(tok, k, opt)
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ShardError", err)
+	}
+	if se.Shard != 1 {
+		t.Fatalf("error names shard %d, want the killed shard 1", se.Shard)
+	}
+
+	// The killed shard's client is now poisoned: the next call fails fast
+	// with the sentinel instead of desyncing the gob stream.
+	_, err = coord.Search(tok, k, opt)
+	if !errors.As(err, &se) || !errors.Is(se.Err, transport.ErrClientBroken) {
+		t.Fatalf("err after kill = %v, want ShardError wrapping ErrClientBroken", err)
+	}
+
+	// Batches attribute the dead shard per query.
+	_, err = coord.SearchBatch([]*core.QueryToken{tok, tok}, k, opt)
+	var be *core.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("batch err = %v, want *core.BatchError", err)
+	}
+	if len(be.Failed) != 2 {
+		t.Fatalf("batch failed %d queries, want 2", len(be.Failed))
+	}
+	for _, qe := range be.Failed {
+		if !errors.As(qe.Err, &se) || se.Shard != 1 {
+			t.Fatalf("batch failure %v does not name shard 1", qe.Err)
+		}
+	}
+}
+
+func TestShardErrorFormatting(t *testing.T) {
+	inner := fmt.Errorf("boom")
+	err := &ShardError{Shard: 2, Err: inner}
+	if err.Error() != "shard 2: boom" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	if !errors.Is(err, inner) {
+		t.Fatal("Unwrap does not expose the cause")
+	}
+}

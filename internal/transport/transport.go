@@ -6,7 +6,10 @@
 // The protocol is deliberately minimal (length-free gob stream per
 // connection, one in-flight request per connection); it exists so the
 // three-role example runs as real processes, not to be a general RPC
-// framework. AME trapdoors (benchmark-only) are not carried.
+// framework. The searchbatch op amortizes the round trip over a whole
+// batch of tokens, and search ops can additionally return cross-shard
+// merge material for the scatter-gather tier (internal/shard). AME
+// trapdoors and ciphertexts (benchmark-only) are not carried.
 package transport
 
 import (
@@ -14,12 +17,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
+	"time"
 
 	"ppanns/internal/core"
 	"ppanns/internal/dce"
 )
+
+// ErrClientBroken marks a Client whose gob stream was poisoned by an
+// earlier encode/decode failure. The stream carries no framing, so once an
+// error interrupts it mid-message there is no way to resynchronize;
+// instead of silently pairing requests with stale responses, every later
+// call fails fast wrapping this error. Dial a fresh Client to recover.
+var ErrClientBroken = errors.New("transport: connection poisoned by an earlier stream error")
 
 // wireToken is the on-the-wire query token: the SAP ciphertext and the DCE
 // trapdoor vector. AME trapdoors (benchmark-only, megabytes of matrices)
@@ -99,34 +111,81 @@ type Info struct {
 
 // request is the wire envelope for client→server calls.
 type request struct {
-	Op      string // "search", "insert", "delete", "len", "info"
-	Token   *wireToken
-	K       int
-	Opt     core.SearchOptions
+	Op    string // "search", "searchbatch", "insert", "delete", "len", "info"
+	Token *wireToken
+	// Tokens carries a whole batch for "searchbatch", amortizing one round
+	// trip over every query in it.
+	Tokens []*wireToken
+	K      int
+	Opt    core.SearchOptions
+	// Merge asks "search"/"searchbatch" to return per-id merge material
+	// (filter distances or DCE records) alongside the ids, so a
+	// scatter-gather coordinator can order results across shards.
+	Merge   bool
 	Payload *wireInsert
 	ID      int
 }
 
+// wireResult is one query's answer inside a "searchbatch" response: ids,
+// optional merge material, and the per-query error (batch queries fail
+// individually, never collectively).
+type wireResult struct {
+	IDs   []int
+	Dists []float64
+	Recs  [][]float64
+	CtDim int
+	Err   string
+}
+
 // response is the wire envelope for server→client replies.
 type response struct {
-	IDs  []int
-	ID   int
-	N    int
-	Info *Info
-	Err  string
+	IDs []int
+	// Dists/Recs/CtDim carry the merge material of a Merge search.
+	Dists []float64
+	Recs  [][]float64
+	CtDim int
+	// Batch carries per-query results for "searchbatch".
+	Batch []wireResult
+	ID    int
+	N     int
+	Info  *Info
+	Err   string
 }
+
+// acceptBackoffMax caps the retry delay of the accept loop.
+const acceptBackoffMax = time.Second
 
 // Serve accepts connections on l and answers requests against srv until
 // the listener closes. Each connection is served on its own goroutine.
+//
+// Transient Accept failures (ECONNABORTED on a connection reset before
+// accept, EMFILE under descriptor pressure, ...) must not kill the serving
+// tier permanently: the loop retries with exponential backoff from 5ms up
+// to one second, resetting after any successful accept, and only returns
+// once the listener itself is closed. Each failure is logged — the backoff
+// caps that at one line per second — so a permanently failing listener is
+// visible to the operator instead of spinning silently.
 func Serve(l net.Listener, srv *core.Server) error {
+	var delay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
-			return err
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else {
+				delay *= 2
+				if delay > acceptBackoffMax {
+					delay = acceptBackoffMax
+				}
+			}
+			log.Printf("transport: accept: %v (retrying in %v)", err, delay)
+			time.Sleep(delay)
+			continue
 		}
+		delay = 0
 		go serveConn(conn, srv)
 	}
 }
@@ -143,11 +202,45 @@ func serveConn(conn net.Conn, srv *core.Server) {
 		var resp response
 		switch req.Op {
 		case "search":
-			ids, err := srv.Search(req.Token.token(), req.K, req.Opt)
-			if err != nil {
-				resp.Err = err.Error()
+			if req.Merge {
+				r, err := srv.SearchShard(req.Token.token(), req.K, req.Opt)
+				if err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.IDs, resp.Dists, resp.Recs, resp.CtDim = r.IDs, r.Dists, r.Recs, r.CtDim
+				}
 			} else {
-				resp.IDs = ids
+				ids, err := srv.Search(req.Token.token(), req.K, req.Opt)
+				if err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.IDs = ids
+				}
+			}
+		case "searchbatch":
+			toks := make([]*core.QueryToken, len(req.Tokens))
+			for i, wt := range req.Tokens {
+				toks[i] = wt.token()
+			}
+			resp.Batch = make([]wireResult, len(toks))
+			if req.Merge {
+				rs, errs := srv.SearchShardBatch(toks, req.K, req.Opt, 0)
+				for i := range toks {
+					if errs[i] != nil {
+						resp.Batch[i].Err = errs[i].Error()
+						continue
+					}
+					resp.Batch[i] = wireResult{IDs: rs[i].IDs, Dists: rs[i].Dists, Recs: rs[i].Recs, CtDim: rs[i].CtDim}
+				}
+			} else {
+				results, errs := srv.SearchBatchErrs(toks, req.K, req.Opt, 0)
+				for i := range toks {
+					if errs[i] != nil {
+						resp.Batch[i].Err = errs[i].Error()
+						continue
+					}
+					resp.Batch[i].IDs = results[i]
+				}
 			}
 		case "insert":
 			id, err := srv.Insert(req.Payload.payload())
@@ -187,6 +280,12 @@ type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	// broken records the first stream-level failure. The unframed gob
+	// stream cannot recover from a partial message, so once set every
+	// later round trip fails fast wrapping ErrClientBroken. Application
+	// errors (a response carrying Err) do not poison the stream — the
+	// message framing survived intact.
+	broken error
 }
 
 // Dial connects to a server started with Serve.
@@ -201,14 +300,27 @@ func Dial(addr string) (*Client, error) {
 // Close tears down the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Broken returns the stream error that poisoned this client, or nil while
+// the connection is healthy.
+func (c *Client) Broken() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return response{}, fmt.Errorf("%w (cause: %v)", ErrClientBroken, c.broken)
+	}
 	if err := c.enc.Encode(&req); err != nil {
+		c.broken = err
 		return response{}, fmt.Errorf("transport: send: %w", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.broken = err
 		if errors.Is(err, io.EOF) {
 			return response{}, fmt.Errorf("transport: server closed the connection")
 		}
@@ -231,6 +343,88 @@ func (c *Client) Search(tok *core.QueryToken, k int, opt core.SearchOptions) ([]
 		return nil, err
 	}
 	return resp.IDs, nil
+}
+
+// SearchShard is Search additionally returning the merge material a
+// scatter-gather coordinator needs (see core.Server.SearchShard). AME
+// material is never carried, so remote shards serve the DCE and
+// filter-only refine modes.
+func (c *Client) SearchShard(tok *core.QueryToken, k int, opt core.SearchOptions) (core.ShardResult, error) {
+	wt, err := toWireToken(tok)
+	if err != nil {
+		return core.ShardResult{}, err
+	}
+	resp, err := c.roundTrip(request{Op: "search", Token: wt, K: k, Opt: opt, Merge: true})
+	if err != nil {
+		return core.ShardResult{}, err
+	}
+	return core.ShardResult{IDs: resp.IDs, Dists: resp.Dists, Recs: resp.Recs, CtDim: resp.CtDim}, nil
+}
+
+// searchBatch is the shared client body of the "searchbatch" op: one round
+// trip for the whole batch, per-query results and errors in input order.
+func (c *Client) searchBatch(toks []*core.QueryToken, k int, opt core.SearchOptions, merge bool) ([]core.ShardResult, []error, error) {
+	if len(toks) == 0 {
+		return nil, nil, nil
+	}
+	wts := make([]*wireToken, len(toks))
+	for i, tok := range toks {
+		wt, err := toWireToken(tok)
+		if err != nil {
+			return nil, nil, err
+		}
+		wts[i] = wt
+	}
+	resp, err := c.roundTrip(request{Op: "searchbatch", Tokens: wts, K: k, Opt: opt, Merge: merge})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(resp.Batch) != len(toks) {
+		return nil, nil, fmt.Errorf("transport: server answered %d of %d batch queries", len(resp.Batch), len(toks))
+	}
+	results := make([]core.ShardResult, len(toks))
+	errs := make([]error, len(toks))
+	for i, wr := range resp.Batch {
+		if wr.Err != "" {
+			errs[i] = errors.New(wr.Err)
+			continue
+		}
+		results[i] = core.ShardResult{IDs: wr.IDs, Dists: wr.Dists, Recs: wr.Recs, CtDim: wr.CtDim}
+	}
+	return results, errs, nil
+}
+
+// SearchBatch answers a whole batch of queries in a single round trip —
+// the server fans the batch across its cores — and returns per-query
+// results in input order. Failed queries surface exactly like
+// core.Server.SearchBatch: their slots are nil and the returned error is a
+// *core.BatchError listing them, so a single malformed token never voids
+// the rest of the batch. A transport-level failure voids the whole call.
+func (c *Client) SearchBatch(toks []*core.QueryToken, k int, opt core.SearchOptions) ([][]int, error) {
+	rs, errs, err := c.searchBatch(toks, k, opt, false)
+	if err != nil || rs == nil {
+		return nil, err
+	}
+	results := make([][]int, len(rs))
+	var failed []core.QueryError
+	for i := range rs {
+		if errs[i] != nil {
+			failed = append(failed, core.QueryError{Query: i, Err: errs[i]})
+			continue
+		}
+		results[i] = rs[i].IDs
+	}
+	if len(failed) > 0 {
+		return results, &core.BatchError{Failed: failed}
+	}
+	return results, nil
+}
+
+// SearchShardBatch is SearchShard over a whole batch in one round trip:
+// per-query ShardResults and errors in input order (parallel slices), plus
+// the transport-level error that voided the call, if any.
+func (c *Client) SearchShardBatch(toks []*core.QueryToken, k int, opt core.SearchOptions) ([]core.ShardResult, []error, error) {
+	return c.searchBatch(toks, k, opt, true)
 }
 
 // Insert ships one encrypted vector and returns its id.

@@ -1,10 +1,14 @@
 package transport
 
 import (
+	"encoding/gob"
+	"errors"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ppanns/internal/core"
 	"ppanns/internal/dataset"
@@ -185,5 +189,349 @@ func TestInfoOverTCP(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil || !strings.Contains(err.Error(), "dial") {
 		t.Fatalf("expected dial error, got %v", err)
+	}
+}
+
+func batchTokens(t *testing.T, user *core.User, d *dataset.Data, n int) []*core.QueryToken {
+	t.Helper()
+	toks := make([]*core.QueryToken, n)
+	for i := range toks {
+		tok, err := user.Query(d.Queries[i%len(d.Queries)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks[i] = tok
+	}
+	return toks
+}
+
+// TestSearchBatchSingleRoundTrip pins the batch op's whole point: a batch
+// of m queries crosses the wire as one request envelope, not m. The test
+// server counts envelopes while answering with the real protocol.
+func TestSearchBatchSingleRoundTrip(t *testing.T) {
+	d := dataset.DeepLike(600, 10, 5)
+	owner, err := core.NewDataOwner(core.Params{Dim: d.Dim, Beta: 0.05, M: 12, EfConstruction: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(d.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewUser(owner.UserKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	var envelopes atomic.Int64
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		for {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			envelopes.Add(1)
+			if req.Op != "searchbatch" {
+				enc.Encode(&response{Err: "test server only answers searchbatch"})
+				continue
+			}
+			toks := make([]*core.QueryToken, len(req.Tokens))
+			for i, wt := range req.Tokens {
+				toks[i] = wt.token()
+			}
+			results, errs := srv.SearchBatchErrs(toks, req.K, req.Opt, 0)
+			resp := response{Batch: make([]wireResult, len(toks))}
+			for i := range toks {
+				if errs[i] != nil {
+					resp.Batch[i].Err = errs[i].Error()
+				} else {
+					resp.Batch[i].IDs = results[i]
+				}
+			}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const m = 20
+	toks := batchTokens(t, user, d, m)
+	results, err := client.SearchBatch(toks, 5, core.SearchOptions{RatioK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != m {
+		t.Fatalf("got %d results, want %d", len(results), m)
+	}
+	for i, ids := range results {
+		if len(ids) != 5 {
+			t.Fatalf("query %d returned %d ids", i, len(ids))
+		}
+	}
+	if got := envelopes.Load(); got != 1 {
+		t.Fatalf("batch of %d queries crossed the wire in %d envelopes, want 1", m, got)
+	}
+}
+
+// TestSearchBatchPartialFailureOverTCP maps per-query server failures onto
+// *core.BatchError exactly like the in-process SearchBatch: failed slots
+// nil and listed, good slots intact.
+func TestSearchBatchPartialFailureOverTCP(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	toks := batchTokens(t, user, d, 4)
+	badTok, err := user.QueryFilterOnly(d.Queries[0]) // no trapdoor → DCE refine fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks[2] = badTok
+
+	results, err := client.SearchBatch(toks, 5, core.SearchOptions{RatioK: 8})
+	var be *core.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *core.BatchError", err)
+	}
+	if len(be.Failed) != 1 || be.Failed[0].Query != 2 {
+		t.Fatalf("failed = %+v, want exactly query 2", be.Failed)
+	}
+	if results[2] != nil {
+		t.Fatalf("failed query kept results: %v", results[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if len(results[i]) != 5 {
+			t.Fatalf("good query %d lost its results: %v", i, results[i])
+		}
+	}
+
+	// The whole batch shares one stream message: per-query failures must
+	// not poison the connection.
+	if _, err := client.Len(); err != nil {
+		t.Fatalf("connection unusable after partial batch failure: %v", err)
+	}
+}
+
+func TestSearchBatchEmptyOverTCP(t *testing.T) {
+	_, _, _, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	results, err := client.SearchBatch(nil, 5, core.SearchOptions{})
+	if err != nil || results != nil {
+		t.Fatalf("empty batch: %v, %v", results, err)
+	}
+}
+
+// TestClientPoisonedAfterStreamError is the regression test for the
+// desynced-gob-stream bug: after a garbled response the client must refuse
+// further calls with ErrClientBroken instead of pairing requests with
+// stale or misaligned responses.
+func TestClientPoisonedAfterStreamError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Read the request bytes, answer with garbage, keep the conn open:
+		// a crashed or misbehaving server mid-stream.
+		buf := make([]byte, 4096)
+		conn.Read(buf)
+		conn.Write([]byte("this is not gob"))
+		time.Sleep(10 * time.Second)
+		conn.Close()
+	}()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Len(); err == nil {
+		t.Fatal("expected stream error from garbage response")
+	}
+	if client.Broken() == nil {
+		t.Fatal("client did not record the stream error")
+	}
+	// Subsequent calls fail fast with the sentinel — no network I/O, no
+	// misaligned decode.
+	start := time.Now()
+	if _, err := client.Len(); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("err = %v, want ErrClientBroken", err)
+	}
+	if _, err := client.Search(nil, 1, core.SearchOptions{}); err == nil {
+		t.Fatal("Search on poisoned client did not error")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("poisoned client took %v to fail, want fast failure", elapsed)
+	}
+}
+
+// TestApplicationErrorsDoNotPoison pins the poisoning boundary: an error
+// the server answers inside the protocol leaves the stream healthy.
+func TestApplicationErrorsDoNotPoison(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	tok, err := user.Query(d.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Search(tok, 0, core.SearchOptions{}); err == nil {
+		t.Fatal("expected application error for k=0")
+	}
+	if client.Broken() != nil {
+		t.Fatalf("application error poisoned the client: %v", client.Broken())
+	}
+	if _, err := client.Search(tok, 5, core.SearchOptions{RatioK: 8}); err != nil {
+		t.Fatalf("client unusable after application error: %v", err)
+	}
+}
+
+// flakyListener injects transient Accept failures before delegating, the
+// ECONNABORTED shape that used to kill Serve permanently.
+type flakyListener struct {
+	net.Listener
+	failures atomic.Int64 // remaining injected failures
+}
+
+type tempError struct{}
+
+func (tempError) Error() string   { return "accept: connection aborted (injected)" }
+func (tempError) Timeout() bool   { return false }
+func (tempError) Temporary() bool { return true }
+
+func (fl *flakyListener) Accept() (net.Conn, error) {
+	if fl.failures.Add(-1) >= 0 {
+		return nil, tempError{}
+	}
+	return fl.Listener.Accept()
+}
+
+// TestServeSurvivesTransientAcceptErrors is the regression test for the
+// accept-loop-death bug: transient Accept errors must not take the server
+// down; closing the listener must still end Serve cleanly.
+func TestServeSurvivesTransientAcceptErrors(t *testing.T) {
+	d := dataset.DeepLike(300, 3, 5)
+	owner, err := core.NewDataOwner(core.Params{Dim: d.Dim, Beta: 0.05, M: 12, EfConstruction: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(d.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: l}
+	fl.failures.Store(3)
+
+	done := make(chan error, 1)
+	go func() { done <- Serve(fl, srv) }()
+
+	// The loop must ride out the injected failures and still accept.
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if n, err := client.Len(); err != nil || n != 300 {
+		t.Fatalf("Len after transient accept errors = %d, %v", n, err)
+	}
+	if fl.failures.Load() >= 0 {
+		t.Fatal("listener never injected its failures")
+	}
+
+	l.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on listener close, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after the listener closed")
+	}
+}
+
+// TestSearchShardOverTCP exercises the Merge flag end to end: ids match a
+// plain Search and the merge material arrives well-formed.
+func TestSearchShardOverTCP(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	tok, err := user.Query(d.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.SearchOptions{RatioK: 8}
+	want, err := client.Search(tok, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.SearchShard(tok, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != len(want) {
+		t.Fatalf("SearchShard returned %d ids, Search %d", len(res.IDs), len(want))
+	}
+	for i := range want {
+		if res.IDs[i] != want[i] {
+			t.Fatalf("rank %d: SearchShard id %d, Search id %d", i, res.IDs[i], want[i])
+		}
+	}
+	if len(res.Recs) != len(res.IDs) || res.CtDim <= 0 {
+		t.Fatalf("merge material malformed: %d recs, ctDim %d", len(res.Recs), res.CtDim)
+	}
+	for i, rec := range res.Recs {
+		if len(rec) != 4*res.CtDim {
+			t.Fatalf("rec %d has %d floats, want %d", i, len(rec), 4*res.CtDim)
+		}
 	}
 }
