@@ -25,6 +25,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"ppanns"
 	"ppanns/internal/bench"
@@ -50,6 +51,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
 	default:
 		usage()
 	}
@@ -60,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|split|serve|query> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|split|serve|query|info> [flags]")
 	os.Exit(2)
 }
 
@@ -223,6 +226,42 @@ func runServe(args []string) error {
 	}
 	fmt.Printf("serving %d encrypted vectors (%s index) on %s\n", server.Len(), server.Backend(), l.Addr())
 	return transport.Serve(l, server)
+}
+
+// runInfo dials a serving instance and prints what the transport info op
+// reports: backend, capabilities, dimension, and the record counts — total
+// (tombstones included) and live — so operators can see deletion debt at a
+// glance.
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-call deadline (0 = wait forever)")
+	fs.Parse(args)
+
+	client, err := transport.DialWith(*addr, transport.DialOptions{
+		DialTimeout: *timeout,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	info, err := client.Info()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("backend:    %s (insert=%v delete=%v)\n", info.Backend, info.DynamicInsert, info.DynamicDelete)
+	fmt.Printf("dimension:  %d\n", info.Dim)
+	fmt.Printf("records:    %d total\n", info.N)
+	if info.Proto == 0 {
+		// A pre-v2 server never sends live counts; zero here means
+		// "absent", not "everything tombstoned".
+		fmt.Printf("live:       unknown (server speaks protocol v1)\n")
+		return nil
+	}
+	fmt.Printf("live:       %d\n", info.Live)
+	fmt.Printf("tombstones: %d\n", info.N-info.Live)
+	return nil
 }
 
 func runQuery(args []string) error {

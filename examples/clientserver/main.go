@@ -25,6 +25,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"ppanns"
 	"ppanns/internal/core"
@@ -111,7 +114,13 @@ func runClient(addr, keyfile string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	client, err := transport.Dial(addr)
+	// Production-shaped dial: deadlines on connect and on every call, so a
+	// stalled server surfaces as an error instead of a hang (the client is
+	// poisoned afterwards — redial to recover).
+	client, err := transport.DialWith(addr, transport.DialOptions{
+		DialTimeout: 5 * time.Second,
+		Timeout:     10 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -200,11 +209,35 @@ func sharded(nShards int) {
 	fmt.Printf("scatter-gather Recall@10: %.3f (%d queries, %d/%d identical to unsharded)\n",
 		recall/float64(len(data.Queries)), len(data.Queries), agree, len(data.Queries))
 
-	batch, err := coord.SearchBatch(toks, 10, opt)
+	// One round trip per shard for the whole batch; Parallelism rides in
+	// the options, so each remote shard fans its share across 4 workers.
+	bOpt := opt
+	bOpt.Parallelism = 4
+	batch, err := coord.SearchBatch(toks, 10, bOpt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("batched the same %d queries in one round trip per shard\n", len(batch))
+	fmt.Printf("batched the same %d queries in one round trip per shard (parallelism %d per shard)\n",
+		len(batch), bOpt.Parallelism)
+
+	// Throughput mode: a divide-effort coordinator hands every shard its
+	// 1/N share of the filter work, so the tier stops paying N× compute
+	// per query (results stay at the same recall operating point but are
+	// no longer guaranteed bit-identical to the unsharded server).
+	fast, err := shard.NewCoordinatorWith(members, shard.Options{DivideEffort: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fastRecall float64
+	for i, tok := range toks {
+		ids, err := fast.Search(tok, 10, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fastRecall += dataset.Recall(ids, gt[i])
+	}
+	fmt.Printf("divide-effort coordinator Recall@10: %.3f (≈1/%d filter work per shard)\n",
+		fastRecall/float64(len(toks)), nShards)
 
 	// Owner-side update routed to the owning shard.
 	payload, err := owner.EncryptVector(data.Train[0])
@@ -268,6 +301,36 @@ func demo() {
 	}
 	fmt.Printf("Recall@10 over TCP: %.3f (%d queries)\n", recall/float64(len(data.Queries)), len(data.Queries))
 
+	// Protocol v2 multiplexing: many goroutines share the one connection,
+	// their requests pipeline, and the demux routes each response to its
+	// caller — no per-goroutine dialing, no head-of-line lockstep. Tokens
+	// are encrypted up front on one goroutine: the user key's randomness
+	// stream is not safe for concurrent TrapGen.
+	toks := make([]*core.QueryToken, len(data.Queries))
+	for i, q := range data.Queries {
+		tok, err := user.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		toks[i] = tok
+	}
+	var wg sync.WaitGroup
+	var pipelined atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(toks); i += 4 {
+				if _, err := client.Search(toks[i], 10, core.SearchOptions{RatioK: 16}); err != nil {
+					log.Fatal(err)
+				}
+				pipelined.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("pipelined %d concurrent queries over one connection\n", pipelined.Load())
+
 	// Owner-side update shipped over the same channel.
 	payload, err := owner.EncryptVector(data.Train[0])
 	if err != nil {
@@ -277,9 +340,17 @@ func demo() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := client.Delete(id); err != nil {
+		log.Fatal(err)
+	}
 	nvec, err := client.Len()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("inserted duplicate of vector 0 as id %d; server now holds %d vectors\n", id, nvec)
+	live, err := client.Live()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted duplicate of vector 0 as id %d, then deleted it; server holds %d records, %d live\n",
+		id, nvec, live)
 }

@@ -49,7 +49,7 @@ func TestBackendsEndToEnd(t *testing.T) {
 
 			// Save/load round-trip must preserve search results exactly.
 			var buf bytes.Buffer
-			if err := w.server.edb.Save(&buf); err != nil {
+			if err := w.server.Database().Save(&buf); err != nil {
 				t.Fatal(err)
 			}
 			edb2, err := LoadEncryptedDatabase(bytes.NewReader(buf.Bytes()))

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
 
@@ -38,10 +37,12 @@ func (e *BatchError) Unwrap() []error {
 }
 
 // SearchBatch answers many queries concurrently across at most parallelism
-// workers (0 = GOMAXPROCS) and returns per-query results in input order.
-// The paper measures single-threaded search for comparability; a deployed
-// cloud server answers its query stream in parallel, which the scheme
-// supports because search is read-only over the encrypted state.
+// workers (0 defers to SearchOptions.Parallelism, then GOMAXPROCS) and
+// returns per-query results in input order. The paper measures
+// single-threaded search for comparability; a deployed cloud server
+// answers its query stream in parallel, which the snapshot-isolated read
+// path supports with no locking at all — every worker searches the same
+// immutable snapshot.
 //
 // Failed queries do not discard the batch: their result slots are nil and
 // the returned error is a *BatchError listing them; every other slot holds
@@ -63,14 +64,15 @@ func (s *Server) SearchBatch(toks []*QueryToken, k int, opt SearchOptions, paral
 }
 
 // forEachQuery dispatches indexes 0..n-1 across at most parallelism
-// workers (0 = GOMAXPROCS), the shared scaffold of every batch search
-// flavor. Workers pull indexes off one counter, so long and short queries
-// interleave without static partitioning imbalance. newWorker runs once
-// per worker and returns the closure handling one index, so workers can
-// carry reusable state (result buffers) across the queries they process.
+// workers (already resolved by the caller via SearchOptions.parallelism),
+// the shared scaffold of every batch search flavor. Workers pull indexes
+// off one counter, so long and short queries interleave without static
+// partitioning imbalance. newWorker runs once per worker and returns the
+// closure handling one index, so workers can carry reusable state (result
+// buffers) across the queries they process.
 func forEachQuery(n, parallelism int, newWorker func() func(i int)) {
 	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+		parallelism = 1
 	}
 	if parallelism > n {
 		parallelism = n
@@ -104,15 +106,28 @@ func forEachQuery(n, parallelism int, newWorker func() func(i int)) {
 // worker-pool spin-up) over a whole batch. Result and error slices are
 // parallel to toks; failed slots hold a zero ShardResult.
 func (s *Server) SearchShardBatch(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([]ShardResult, []error) {
+	return s.searchShardBatch(toks, k, opt, parallelism, false)
+}
+
+// SearchShardBatchView is SearchShardBatch returning zero-copy merge
+// material (see SearchShardView): each result borrows the snapshot's
+// ciphertext store instead of copying records, which the in-process
+// scatter-gather tier merges without staging allocations.
+func (s *Server) SearchShardBatchView(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([]ShardResult, []error) {
+	return s.searchShardBatch(toks, k, opt, parallelism, true)
+}
+
+func (s *Server) searchShardBatch(toks []*QueryToken, k int, opt SearchOptions, parallelism int, views bool) ([]ShardResult, []error) {
 	if len(toks) == 0 {
 		return nil, nil
 	}
 	results := make([]ShardResult, len(toks))
 	errs := make([]error, len(toks))
-	forEachQuery(len(toks), parallelism, func() func(int) {
+	forEachQuery(len(toks), opt.parallelism(parallelism), func() func(int) {
 		return func(i int) {
 			var ids []int
-			ids, _, errs[i] = s.searchInto(nil, toks[i], k, opt, &results[i])
+			results[i].views = views
+			ids, _, errs[i] = s.searchInto(make([]int, 0, k), toks[i], k, opt, &results[i])
 			if errs[i] == nil {
 				results[i].IDs = ids
 			} else {
@@ -132,7 +147,7 @@ func (s *Server) SearchBatchErrs(toks []*QueryToken, k int, opt SearchOptions, p
 	}
 	results := make([][]int, len(toks))
 	errs := make([]error, len(toks))
-	forEachQuery(len(toks), parallelism, func() func(int) {
+	forEachQuery(len(toks), opt.parallelism(parallelism), func() func(int) {
 		var buf []int
 		return func(i int) {
 			buf, _, errs[i] = s.SearchInto(buf[:0], toks[i], k, opt)

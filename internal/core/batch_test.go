@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"errors"
+	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -120,9 +122,7 @@ func TestCorruptedDatabaseDetected(t *testing.T) {
 	data := clustered(65, 300, 8, 3)
 	w := newWorld(t, Params{Dim: 8, Beta: 0.3, Seed: 65}, data)
 	var buf bytes.Buffer
-	w.server.mu.RLock()
-	err := w.server.edb.Save(&buf)
-	w.server.mu.RUnlock()
+	err := w.server.Database().Save(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,5 +136,42 @@ func TestCorruptedDatabaseDetected(t *testing.T) {
 	// Unmodified stream still loads.
 	if _, err := LoadEncryptedDatabase(bytes.NewReader(raw)); err != nil {
 		t.Fatalf("pristine stream failed to load: %v", err)
+	}
+}
+
+// TestBatchParallelismResolution pins the worker-count resolution chain of
+// the batch executors: explicit argument, then SearchOptions.Parallelism
+// (which travels over the wire), then one worker per CPU.
+func TestBatchParallelismResolution(t *testing.T) {
+	if got := (SearchOptions{}).parallelism(5); got != 5 {
+		t.Fatalf("explicit argument: %d, want 5", got)
+	}
+	if got := (SearchOptions{Parallelism: 3}).parallelism(0); got != 3 {
+		t.Fatalf("options fallback: %d, want 3", got)
+	}
+	if got := (SearchOptions{Parallelism: 3}).parallelism(2); got != 2 {
+		t.Fatalf("explicit argument must win: %d, want 2", got)
+	}
+	if got, want := (SearchOptions{}).parallelism(0), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default: %d, want GOMAXPROCS %d", got, want)
+	}
+
+	// forEachQuery spins up exactly the resolved worker count (capped by
+	// the queue length).
+	var workers atomic.Int32
+	forEachQuery(10, 3, func() func(int) {
+		workers.Add(1)
+		return func(int) {}
+	})
+	if got := workers.Load(); got != 3 {
+		t.Fatalf("forEachQuery started %d workers, want 3", got)
+	}
+	workers.Store(0)
+	forEachQuery(2, 8, func() func(int) {
+		workers.Add(1)
+		return func(int) {}
+	})
+	if got := workers.Load(); got != 2 {
+		t.Fatalf("forEachQuery started %d workers for 2 queries, want 2", got)
 	}
 }

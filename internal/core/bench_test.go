@@ -77,9 +77,7 @@ func BenchmarkRefine(b *testing.B) {
 	const k, kPrime = 10, 160
 	w := getBenchWorld(b)
 	tok := w.toks[0]
-	w.server.mu.RLock()
-	edb := w.server.edb
-	w.server.mu.RUnlock()
+	edb := w.server.Database()
 	items := edb.Index.Search(tok.SAP, kPrime, kPrime)
 	cands := make([]int, len(items))
 	for i, it := range items {

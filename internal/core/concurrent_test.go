@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ppanns/internal/index"
+)
+
+// TestSnapshotIsolationUnderChurn is the concurrency conformance test of
+// the snapshot-publication serving model, run against every registered
+// filter-index backend: parallel lock-free searches race against a
+// scripted stream of interleaved Insert/Delete mutations, and every
+// result set must reflect exactly one published snapshot — each returned
+// id was live at the epoch that served the query, no id from a
+// half-applied insert, no tombstone resurrection, no torn reads (the race
+// detector's half of the contract). The mutation script is fixed up
+// front, so the exact live set of every epoch is known before the race
+// starts and searchers can verify against it without synchronizing with
+// the mutator.
+func TestSnapshotIsolationUnderChurn(t *testing.T) {
+	const (
+		n, dim    = 240, 8
+		mutations = 30
+		searchers = 3
+	)
+	data := clustered(91, n, dim, 5)
+
+	for _, name := range index.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 91, Index: name}, data)
+			caps := w.server.Caps()
+			if !caps.DynamicDelete {
+				t.Skipf("%s supports no mutations to churn with", name)
+			}
+
+			// Script the mutation sequence. Epoch e is the state after the
+			// first e mutations, so liveAt[e] is exact.
+			type mutation struct {
+				insert []float64 // nil = delete
+				del    int
+			}
+			var muts []mutation
+			nextDel := 0
+			inserts := 0
+			for m := 0; m < mutations; m++ {
+				if caps.DynamicInsert && m%2 == 0 {
+					muts = append(muts, mutation{insert: data[m]})
+					inserts++
+				} else {
+					muts = append(muts, mutation{insert: nil, del: nextDel})
+					nextDel += 3 // distinct ids, all within the initial set
+				}
+			}
+			liveAt := make([][]bool, mutations+1)
+			live := make([]bool, n+inserts)
+			for i := 0; i < n; i++ {
+				live[i] = true
+			}
+			liveAt[0] = append([]bool(nil), live...)
+			nextID := n
+			for e, mu := range muts {
+				if mu.insert != nil {
+					live[nextID] = true
+					nextID++
+				} else {
+					live[mu.del] = false
+				}
+				liveAt[e+1] = append([]bool(nil), live...)
+			}
+
+			toks := make([]*QueryToken, 8)
+			for i := range toks {
+				toks[i] = mustToken(t, w, data[i*7])
+			}
+
+			var done atomic.Bool
+			var iters atomic.Int64
+			errCh := make(chan error, searchers+1)
+			var wg sync.WaitGroup
+			for s := 0; s < searchers; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					var dst []int
+					for rep := 0; !done.Load(); rep++ {
+						tok := toks[(s+rep)%len(toks)]
+						var st SearchStats
+						var err error
+						dst, st, err = w.server.SearchInto(dst[:0], tok, 5, SearchOptions{RatioK: 8})
+						if err != nil {
+							errCh <- fmt.Errorf("searcher %d: %v", s, err)
+							return
+						}
+						if st.Epoch > uint64(len(liveAt)-1) {
+							errCh <- fmt.Errorf("searcher %d: served epoch %d beyond the %d published", s, st.Epoch, len(liveAt)-1)
+							return
+						}
+						liveSet := liveAt[st.Epoch]
+						for _, id := range dst {
+							if id < 0 || id >= len(liveSet) || !liveSet[id] {
+								errCh <- fmt.Errorf("searcher %d: epoch %d returned id %d, not live in that snapshot", s, st.Epoch, id)
+								return
+							}
+						}
+						iters.Add(1)
+					}
+				}(s)
+			}
+
+			// The mutator runs the script concurrently with the searchers,
+			// letting at least one search complete between mutations so the
+			// two streams genuinely interleave even on a single CPU.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer done.Store(true)
+				for e, mu := range muts {
+					before := iters.Load()
+					for iters.Load() == before {
+						runtime.Gosched()
+					}
+					if mu.insert != nil {
+						payload, err := w.owner.EncryptVector(mu.insert)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if _, err := w.server.Insert(payload); err != nil {
+							errCh <- fmt.Errorf("mutation %d (insert): %v", e, err)
+							return
+						}
+					} else if err := w.server.Delete(mu.del); err != nil {
+						errCh <- fmt.Errorf("mutation %d (delete %d): %v", e, mu.del, err)
+						return
+					}
+					if got := w.server.Epoch(); got != uint64(e+1) {
+						errCh <- fmt.Errorf("mutation %d published epoch %d, want %d", e, got, e+1)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			if iters.Load() == 0 {
+				t.Fatal("searchers never overlapped the mutation stream")
+			}
+
+			// The final snapshot adds up and has quiesced.
+			wantLive := 0
+			for _, l := range liveAt[len(liveAt)-1] {
+				if l {
+					wantLive++
+				}
+			}
+			if got := w.server.Len(); got != n+inserts {
+				t.Fatalf("final Len = %d, want %d", got, n+inserts)
+			}
+			if got := w.server.Live(); got != wantLive {
+				t.Fatalf("final Live = %d, want %d", got, wantLive)
+			}
+			if got := w.server.Epoch(); got != mutations {
+				t.Fatalf("final epoch = %d, want %d", got, mutations)
+			}
+			if got := w.server.InFlight(); got != 0 {
+				t.Fatalf("%d searches still pinned to the final snapshot", got)
+			}
+		})
+	}
+}

@@ -163,6 +163,10 @@ type EncryptedDatabase struct {
 // tombstoned ones.
 func (e *EncryptedDatabase) Len() int { return e.DCE.Len() }
 
+// Live returns the number of non-tombstoned vectors — what Len counts
+// minus the deletions still holding their id slots.
+func (e *EncryptedDatabase) Live() int { return e.DCE.Live() }
+
 // InsertPayload carries the ciphertexts of one new vector from the data
 // owner to the server (Section V-D insertion).
 type InsertPayload struct {

@@ -126,9 +126,7 @@ func TestSearchRejectsUnknownCandidateIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.server.mu.Lock()
-	w.server.edb.Index = &rogueIndex{SecureIndex: w.server.edb.Index, shift: len(data)}
-	w.server.mu.Unlock()
+	w.server.Database().Index = &rogueIndex{SecureIndex: w.server.Database().Index, shift: len(data)}
 	_, _, err = w.server.SearchWithStats(tok, 5, SearchOptions{RatioK: 8})
 	if err == nil {
 		t.Fatal("expected error for out-of-store candidate ids")
@@ -137,9 +135,7 @@ func TestSearchRejectsUnknownCandidateIDs(t *testing.T) {
 		t.Fatalf("error %q is not the wire-safe candidate rejection", err)
 	}
 	// Negative ids are rejected the same way, not by panicking.
-	w.server.mu.Lock()
-	w.server.edb.Index.(*rogueIndex).shift = -len(data)
-	w.server.mu.Unlock()
+	w.server.Database().Index.(*rogueIndex).shift = -len(data)
 	if _, _, err = w.server.SearchWithStats(tok, 5, SearchOptions{RatioK: 8}); err == nil {
 		t.Fatal("expected error for negative candidate ids")
 	}

@@ -115,24 +115,31 @@ func (e *EncryptedDatabase) Save(w io.Writer) error {
 			return err
 		}
 	}
-	// Bulk arena write with a running checksum.
+	// Bulk arena write with a running checksum, one record at a time.
+	// Tombstoned records are written as zeroed runs regardless of their
+	// in-memory bytes: the snapshot-safe Tombstone leaves dropped
+	// ciphertext material in the shared arena (zeroing it would tear
+	// older snapshots' reads), and that material must not outlive the
+	// deletion on disk.
 	arena := e.DCE.Raw()
-	buf := make([]byte, serializeChunk*8)
+	liveMask := e.DCE.LiveMask()
+	stride := 4 * ctDim
+	buf := make([]byte, stride*8)
+	zeros := make([]byte, stride*8)
 	var crc uint32
-	for off := 0; off < len(arena); {
-		m := len(arena) - off
-		if m > serializeChunk {
-			m = serializeChunk
+	for i := 0; i < n; i++ {
+		chunk := zeros
+		if liveMask[i] {
+			rec := arena[i*stride : (i+1)*stride]
+			for j, f := range rec {
+				binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(f))
+			}
+			chunk = buf
 		}
-		for j := 0; j < m; j++ {
-			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(arena[off+j]))
-		}
-		chunk := buf[:m*8]
 		crc = crc32.Update(crc, crc32.IEEETable, chunk)
 		if _, err := bw.Write(chunk); err != nil {
 			return err
 		}
-		off += m
 	}
 	if err := binary.Write(bw, binary.LittleEndian, crc); err != nil {
 		return err

@@ -58,9 +58,7 @@ func TestEncryptedDatabaseRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	w.server.mu.RLock()
-	err := w.server.edb.Save(&buf)
-	w.server.mu.RUnlock()
+	err := w.server.Database().Save(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,21 +1,16 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppanns/internal/ame"
+	"ppanns/internal/dce"
 	"ppanns/internal/index"
 )
-
-// ErrInconsistent marks a server whose filter index and ciphertext store
-// are known to be desynced (a backend violated the sequential-id contract
-// and the rollback of its stray entry failed). Mutations on such a server
-// fail fast wrapping this error; searches keep running behind their
-// existing per-candidate guards.
-var ErrInconsistent = errors.New("core: server index and ciphertext store are desynced")
 
 // RefineMode selects how the server's refine phase compares candidates.
 type RefineMode int
@@ -67,6 +62,12 @@ type SearchOptions struct {
 	// a net loss, which is why it defaults to off. Results are identical
 	// either way up to float64 rounding of exactly tied distances.
 	PrecomputeRefine bool
+	// Parallelism caps the worker count of the batch executors
+	// (SearchBatch and friends); 0 means one worker per CPU. It rides
+	// inside the options so remote batch calls carry it over the wire and
+	// the scatter-gather coordinator forwards it to every shard. An
+	// explicit parallelism argument on the batch methods overrides it.
+	Parallelism int
 }
 
 func (s SearchOptions) kPrime(k int) int {
@@ -89,6 +90,47 @@ func (s SearchOptions) ef(kPrime int) int {
 	return 50
 }
 
+// parallelism resolves the worker count of a batch executor: an explicit
+// argument wins, then the Parallelism option, then one worker per CPU.
+func (s SearchOptions) parallelism(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Partition returns a copy of the options with the filter effort divided
+// across n shards: k′ and the beam width shrink to their per-shard share
+// (floored at k — every shard must still produce a full local top-k for
+// the global merge to select from). A scatter-gather coordinator spreading
+// one query over n shards then performs ≈ the same total filter work as a
+// single server, instead of n times it; the candidate pool keeps its total
+// size, merely spread across shards, so recall stays at the same operating
+// point while the sharded tier stops costing n× the compute per query.
+func (s SearchOptions) Partition(n, k int) SearchOptions {
+	if n <= 1 {
+		return s
+	}
+	kPrime := s.kPrime(k)
+	ef := s.ef(kPrime)
+	share := (kPrime + n - 1) / n
+	if share < k {
+		share = k
+	}
+	efShare := (ef + n - 1) / n
+	if efShare < share {
+		efShare = share
+	}
+	out := s
+	out.KPrime = share
+	out.RatioK = 0
+	out.EfSearch = efShare
+	return out
+}
+
 // SearchStats reports the cost split of one search, matching the
 // quantities the paper's Figures 6 and 9 plot.
 type SearchStats struct {
@@ -96,17 +138,48 @@ type SearchStats struct {
 	RefineTime  time.Duration // heap selection via secure comparisons
 	Candidates  int           // |R′| actually returned by the filter
 	Comparisons int           // secure distance comparisons performed
+	// Epoch identifies the published snapshot that served the query (the
+	// server's mutation count at publication time), so callers — and the
+	// concurrency conformance tests — can tie a result set to the exact
+	// database state it reflects.
+	Epoch uint64
+}
+
+// snapshot is one immutable publication of the encrypted database. The
+// serving tier is copy-on-write: searches load the current snapshot from an
+// atomic pointer and run entirely against it — no lock, no coordination
+// with writers — while mutations build the next snapshot from cheap clones
+// and publish it with a single pointer swap. A snapshot, once published, is
+// never mutated again; in-flight searches therefore always finish on the
+// exact database state they started with, and the garbage collector
+// reclaims superseded snapshots when their last reader drops them.
+type snapshot struct {
+	edb   *EncryptedDatabase
+	epoch uint64
+	// readers counts in-flight searches pinned to this snapshot. The
+	// refcount is not needed for reclamation (the GC handles that); it
+	// exists so tests and operators can observe snapshot drain — e.g.
+	// assert that superseded epochs quiesce instead of leaking searches.
+	readers atomic.Int64
 }
 
 // Server hosts the encrypted database and answers queries (Figure 1 steps
 // 2–3). It never holds keys or plaintexts.
+//
+// # Concurrency model
+//
+// Reads are lock-free: Search and every accessor load the current snapshot
+// and never block, regardless of concurrent mutations. Insert and Delete
+// serialize among themselves on a writer mutex, clone the affected state
+// (the filter index deep-copies; the ciphertext arena is shared
+// append-only), apply the mutation to the private clone, and publish the
+// result atomically. Writers therefore pay O(n) per mutation — the price
+// of never making a reader wait — and a failed mutation simply discards
+// its clone, leaving the published snapshot untouched: there is no window
+// in which the index and ciphertext store can be observed desynced.
 type Server struct {
-	mu  sync.RWMutex
-	edb *EncryptedDatabase
-	// broken is non-nil once a failed insert rollback left the index and
-	// ciphertext store desynced; it wraps ErrInconsistent and every
-	// subsequent mutation returns it.
-	broken error
+	snap atomic.Pointer[snapshot]
+	wmu  sync.Mutex // serializes Insert/Delete; never held by readers
 }
 
 // NewServer wraps an encrypted database received from the data owner.
@@ -114,37 +187,46 @@ func NewServer(edb *EncryptedDatabase) (*Server, error) {
 	if edb == nil || edb.Index == nil || edb.DCE == nil || edb.DCE.Len() == 0 {
 		return nil, fmt.Errorf("core: incomplete encrypted database")
 	}
-	return &Server{edb: edb}, nil
+	s := &Server{}
+	s.snap.Store(&snapshot{edb: edb})
+	return s, nil
 }
+
+// Database returns the currently published database state — what Save and
+// Split should operate on once a server has applied mutations, since the
+// copy-on-write discipline means the *EncryptedDatabase the server was
+// constructed with no longer reflects them. The returned value is an
+// immutable snapshot: callers may read it freely without locking but must
+// not mutate it (mutating it would tear concurrent searches, exactly what
+// the snapshot discipline exists to prevent).
+func (s *Server) Database() *EncryptedDatabase { return s.snap.Load().edb }
 
 // Len returns the number of stored vectors (including tombstones).
-func (s *Server) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.edb.Len()
-}
+func (s *Server) Len() int { return s.Database().Len() }
+
+// Live returns the number of stored vectors excluding tombstones — the
+// count users actually search over. Len-Live is the tombstone count.
+func (s *Server) Live() int { return s.Database().Live() }
+
+// Epoch returns the current snapshot's publication count: 0 for the state
+// the server was constructed with, incremented by every successful Insert
+// or Delete.
+func (s *Server) Epoch() uint64 { return s.snap.Load().epoch }
+
+// InFlight returns the number of searches currently running against the
+// published snapshot. Searches pinned to superseded snapshots are not
+// counted; the value is a point-in-time observation for diagnostics.
+func (s *Server) InFlight() int64 { return s.snap.Load().readers.Load() }
 
 // Dim returns the vector dimension of the hosted database.
-func (s *Server) Dim() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.edb.Dim
-}
+func (s *Server) Dim() int { return s.Database().Dim }
 
 // Backend returns the registry name of the filter-index backend.
-func (s *Server) Backend() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.edb.Backend
-}
+func (s *Server) Backend() string { return s.Database().Backend }
 
 // Caps reports the filter index's update capabilities, so clients can
 // learn whether Insert/Delete are available before attempting them.
-func (s *Server) Caps() index.Caps {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.edb.Index.Caps()
-}
+func (s *Server) Caps() index.Caps { return s.Database().Index.Caps() }
 
 // Search answers a k-ANNS query (Algorithm 2) and returns external ids
 // ordered closest-first.
@@ -171,21 +253,51 @@ type ShardResult struct {
 	// merge key when no refine runs (RefineNone only).
 	Dists []float64
 	// Recs holds copies of the DCE records [P1|P2|P3|P4] parallel to IDs
-	// (RefineDCE only); CtDim is their component length.
+	// (RefineDCE only); CtDim is their component length. Populated by the
+	// wire-safe SearchShard; the view-returning variants leave it nil and
+	// set Store instead.
 	Recs  [][]float64
 	CtDim int
 	// AME holds the AME ciphertexts parallel to IDs (RefineAME only).
 	// AME material never travels over the wire, so this field only serves
 	// in-process coordinators.
 	AME []*ame.Ciphertext
+	// Store, when non-nil, replaces Recs for in-process coordinators
+	// (RefineDCE only): the snapshot's ciphertext store, addressed by the
+	// local ids in IDs. The snapshot discipline makes this a zero-copy
+	// borrow that stays valid indefinitely — published stores are never
+	// mutated — at the cost of pinning the snapshot in memory while the
+	// result is held.
+	Store *dce.CiphertextStore
+	// views marks a result whose merge material should borrow snapshot
+	// views instead of copying records. Only core can set it (via the
+	// View search variants); zero means wire-safe copies.
+	views bool
 }
 
 // SearchShard answers a query like Search and additionally returns the
 // merge material for the active refine mode, so a scatter-gather
-// coordinator can order this server's results against other shards'.
+// coordinator can order this server's results against other shards'. The
+// DCE merge material is copied out of the snapshot, making the result safe
+// to serialize over the wire; in-process coordinators should prefer
+// SearchShardView.
 func (s *Server) SearchShard(tok *QueryToken, k int, opt SearchOptions) (ShardResult, error) {
-	var res ShardResult
-	ids, _, err := s.searchInto(nil, tok, k, opt, &res)
+	return s.searchShard(tok, k, opt, false)
+}
+
+// SearchShardView is SearchShard without the copies: the DCE merge
+// material is returned as the snapshot's ciphertext store plus local ids
+// (ShardResult.Store). Immutable snapshots make the borrow safe for as
+// long as the caller holds it; the in-process scatter-gather tier uses
+// this to merge without staging a single record copy.
+func (s *Server) SearchShardView(tok *QueryToken, k int, opt SearchOptions) (ShardResult, error) {
+	return s.searchShard(tok, k, opt, true)
+}
+
+func (s *Server) searchShard(tok *QueryToken, k int, opt SearchOptions, views bool) (ShardResult, error) {
+	res := ShardResult{views: views}
+	dst := make([]int, 0, k) // exact-size result buffer: one allocation, no append growth
+	ids, _, err := s.searchInto(dst, tok, k, opt, &res)
 	if err != nil {
 		return ShardResult{}, err
 	}
@@ -204,7 +316,12 @@ func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 
 // searchInto is the shared search body. When mm is non-nil it captures,
 // for every returned id, the cross-shard merge material of the active
-// refine mode (SAP distance, DCE record copy, or AME ciphertext).
+// refine mode (SAP distance, DCE record copy or store view, or AME
+// ciphertext).
+//
+// The whole body runs lock-free against one immutable snapshot: it loads
+// the snapshot pointer once and never observes a concurrent mutation —
+// writers publish whole new snapshots instead of touching this one.
 func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions, mm *ShardResult) ([]int, SearchStats, error) {
 	var st SearchStats
 	if tok == nil || tok.SAP == nil {
@@ -213,9 +330,11 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 	if k <= 0 {
 		return dst[:0], st, fmt.Errorf("core: non-positive k %d", k)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	edb := s.edb
+	sp := s.snap.Load()
+	sp.readers.Add(1)
+	defer sp.readers.Add(-1)
+	edb := sp.edb
+	st.Epoch = sp.epoch
 	// Dimension checks up front: the index and comparison backends panic
 	// on mismatched vectors, which must not be reachable from the wire.
 	if len(tok.SAP) != edb.Dim {
@@ -286,12 +405,19 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 		}
 		dst, st.Comparisons = refineScratch(sc, cands, k, cmp, dst)
 		if mm != nil {
-			// Record copies, not arena views: the caller holds them past
-			// this RLock, across future appends to the arena.
 			mm.CtDim = ctDim
-			mm.Recs = make([][]float64, len(dst))
-			for i, id := range dst {
-				mm.Recs[i] = append([]float64(nil), edb.DCE.Record(id)...)
+			if mm.views {
+				// Zero-copy: the snapshot's store is immutable once
+				// published, so a borrowed view stays valid for as long
+				// as the caller holds the result.
+				mm.Store = edb.DCE
+			} else {
+				// Record copies, not arena views: wire-safe against any
+				// later snapshot appends sharing the arena.
+				mm.Recs = make([][]float64, len(dst))
+				for i, id := range dst {
+					mm.Recs[i] = append([]float64(nil), edb.DCE.Record(id)...)
+				}
 			}
 		}
 	case RefineAME:
@@ -326,24 +452,21 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 // id. Deletion tombstones are not reused; ids grow monotonically. The
 // backend must support dynamic inserts (see Caps).
 //
-// All validation — payload completeness, dimensions, AME consistency,
-// backend capability, and the index insert itself — happens before any
-// ciphertext state is appended, so a failed insert leaves the database
-// untouched (a backend violating the sequential-id contract has its stray
-// entry rolled back out). If that rollback itself fails — the backend
-// does not support deletes, say — the index and ciphertext store are
-// desynced with no way back: the server marks itself inconsistent and
-// every later mutation fails fast wrapping ErrInconsistent.
+// Insert is copy-on-write: it clones the current snapshot's filter index,
+// inserts into the clone, appends the ciphertexts to a snapshot of the
+// arena store, and publishes the assembled state atomically. Concurrent
+// searches keep running on the previous snapshot throughout and never see
+// a partially applied insert; a failed insert (validation, an unsupported
+// backend, or a backend violating the sequential-id contract) discards the
+// private clone and leaves the published snapshot byte-identical.
 func (s *Server) Insert(p *InsertPayload) (int, error) {
 	if p == nil || p.SAP == nil || p.DCE == nil {
 		return 0, fmt.Errorf("core: incomplete insert payload")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.broken != nil {
-		return 0, s.broken
-	}
-	edb := s.edb
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.snap.Load()
+	edb := cur.edb
 	if len(p.SAP) != edb.Dim {
 		return 0, fmt.Errorf("core: insert payload has dim %d, want %d", len(p.SAP), edb.Dim)
 	}
@@ -357,41 +480,53 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 	if !edb.Index.Caps().DynamicInsert {
 		return 0, fmt.Errorf("core: %s backend does not support inserts (%w)", edb.Backend, index.ErrNotSupported)
 	}
-	pos, err := edb.Index.Add(p.SAP)
+	idx := edb.Index.Clone()
+	pos, err := idx.Add(p.SAP)
 	if err != nil {
 		return 0, fmt.Errorf("core: index insert: %w", err)
 	}
 	// Ids are assigned sequentially by every backend, so the new id must
-	// land exactly at the end of the ciphertext store. On a contract
-	// violation, roll the stray entry back out so the index and ciphertext
-	// store stay in lockstep. A failed rollback cannot be repaired from
-	// here — record the inconsistency instead of swallowing it.
+	// land exactly at the end of the ciphertext store. A backend violating
+	// that contract costs nothing to undo here: the violation happened on
+	// a private clone that is simply never published.
 	if pos != edb.DCE.Len() {
-		if derr := edb.Index.Delete(pos); derr != nil {
-			s.broken = fmt.Errorf("%w: index id %d out of step with database size %d and rollback failed: %v",
-				ErrInconsistent, pos, edb.DCE.Len(), derr)
-			return 0, s.broken
-		}
 		return 0, fmt.Errorf("core: index id %d out of step with database size %d", pos, edb.DCE.Len())
 	}
-	edb.DCE.Append(p.DCE)
+	store := edb.DCE.Snapshot()
+	store.Append(p.DCE)
+	var ameCts []*ame.Ciphertext
 	if edb.AME != nil {
-		edb.AME = append(edb.AME, p.AME)
+		ameCts = make([]*ame.Ciphertext, len(edb.AME)+1)
+		copy(ameCts, edb.AME)
+		ameCts[len(edb.AME)] = p.AME
 	}
+	s.snap.Store(&snapshot{
+		edb: &EncryptedDatabase{
+			Dim:     edb.Dim,
+			Backend: edb.Backend,
+			Index:   idx,
+			DCE:     store,
+			AME:     ameCts,
+		},
+		epoch: cur.epoch + 1,
+	})
 	return pos, nil
 }
 
 // Delete removes the vector with the given external id (Section V-D): the
 // index tombstones it (graphs additionally repair in-neighbors) and the
-// ciphertexts are dropped. Server-only — no data-owner participation, as
-// the paper notes. The backend must support dynamic deletes (see Caps).
+// ciphertext record is dropped from the live set. Server-only — no
+// data-owner participation, as the paper notes. The backend must support
+// dynamic deletes (see Caps).
+//
+// Like Insert, Delete is copy-on-write: the tombstone lands in a private
+// clone and is published atomically, so concurrent searches either see the
+// id fully live or fully gone, never a half-deleted state.
 func (s *Server) Delete(pos int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.broken != nil {
-		return s.broken
-	}
-	edb := s.edb
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.snap.Load()
+	edb := cur.edb
 	if pos < 0 || pos >= edb.DCE.Len() {
 		return fmt.Errorf("core: delete of unknown id %d", pos)
 	}
@@ -401,28 +536,29 @@ func (s *Server) Delete(pos int) error {
 	if !edb.Index.Caps().DynamicDelete {
 		return fmt.Errorf("core: %s backend does not support deletes (%w)", edb.Backend, index.ErrNotSupported)
 	}
-	if err := edb.Index.Delete(pos); err != nil {
+	idx := edb.Index.Clone()
+	if err := idx.Delete(pos); err != nil {
 		return fmt.Errorf("core: index delete: %w", err)
 	}
-	edb.DCE.Delete(pos)
-	if edb.AME != nil {
-		edb.AME[pos] = nil
+	store := edb.DCE.Snapshot()
+	store.Tombstone(pos)
+	ameCts := edb.AME
+	if ameCts != nil {
+		ameCts = append([]*ame.Ciphertext(nil), edb.AME...)
+		ameCts[pos] = nil
 	}
+	s.snap.Store(&snapshot{
+		edb: &EncryptedDatabase{
+			Dim:     edb.Dim,
+			Backend: edb.Backend,
+			Index:   idx,
+			DCE:     store,
+			AME:     ameCts,
+		},
+		epoch: cur.epoch + 1,
+	})
 	return nil
 }
 
-// Inconsistent returns the error that marked this server's state
-// inconsistent (see Insert), or nil while the index and ciphertext store
-// are in lockstep.
-func (s *Server) Inconsistent() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.broken
-}
-
 // Deleted reports whether an external id is tombstoned.
-func (s *Server) Deleted(pos int) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return !s.edb.DCE.Has(pos)
-}
+func (s *Server) Deleted(pos int) bool { return !s.Database().DCE.Has(pos) }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"strings"
 	"testing"
 
@@ -13,7 +11,7 @@ func TestSplitPartitionsStripe(t *testing.T) {
 	const n, dim, shards = 500, 8, 3
 	data := clustered(31, n, dim, 5)
 	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 31}, data)
-	edb := w.server.edb
+	edb := w.server.Database()
 
 	// Tombstone a couple of ids before splitting so the stripe has holes.
 	for _, id := range []int{4, 7} {
@@ -86,13 +84,13 @@ func TestSplitPartitionsStripe(t *testing.T) {
 func TestSplitValidation(t *testing.T) {
 	data := clustered(32, 40, 6, 3)
 	w := newWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 32}, data)
-	if _, err := w.server.edb.Split(0, index.Options{}); err == nil {
+	if _, err := w.server.Database().Split(0, index.Options{}); err == nil {
 		t.Fatal("expected error for zero shard count")
 	}
-	if _, err := w.server.edb.Split(41, index.Options{}); err == nil {
+	if _, err := w.server.Database().Split(41, index.Options{}); err == nil {
 		t.Fatal("expected error for more shards than vectors")
 	}
-	if parts, err := w.server.edb.Split(1, index.Options{}); err != nil || len(parts) != 1 {
+	if parts, err := w.server.Database().Split(1, index.Options{}); err != nil || len(parts) != 1 {
 		t.Fatalf("single-shard split: %d parts, %v", len(parts), err)
 	}
 }
@@ -123,11 +121,11 @@ func TestSearchShardMatchesSearch(t *testing.T) {
 		}
 		switch mode {
 		case RefineDCE:
-			if len(res.Recs) != len(res.IDs) || res.CtDim != w.server.edb.DCE.CtDim() {
+			if len(res.Recs) != len(res.IDs) || res.CtDim != w.server.Database().DCE.CtDim() {
 				t.Fatalf("DCE merge material malformed: %d recs, ctDim %d", len(res.Recs), res.CtDim)
 			}
 			for i, id := range res.IDs {
-				want := w.server.edb.DCE.Record(id)
+				want := w.server.Database().DCE.Record(id)
 				if len(res.Recs[i]) != len(want) {
 					t.Fatalf("rec %d has %d floats, want %d", i, len(res.Recs[i]), len(want))
 				}
@@ -151,7 +149,7 @@ func TestSearchShardMatchesSearch(t *testing.T) {
 				t.Fatalf("AME merge material malformed: %d cts for %d ids", len(res.AME), len(res.IDs))
 			}
 			for i, ct := range res.AME {
-				if ct != w.server.edb.AME[res.IDs[i]] {
+				if ct != w.server.Database().AME[res.IDs[i]] {
 					t.Fatalf("AME ct %d is not the stored ciphertext of id %d", i, res.IDs[i])
 				}
 			}
@@ -159,13 +157,13 @@ func TestSearchShardMatchesSearch(t *testing.T) {
 	}
 }
 
-// contractBreaker wraps a SecureIndex, returning an out-of-step id from Add
-// and refusing the rollback Delete — the worst-case backend misbehavior the
-// Insert path must surface as a persistent inconsistency.
+// contractBreaker wraps a SecureIndex, returning an out-of-step id from
+// Add — the backend misbehavior the copy-on-write insert must reject
+// without publishing anything. Clone preserves the wrapper so the breaker
+// survives into the writer's private clone, where the violation happens.
 type contractBreaker struct {
 	index.SecureIndex
-	addShift   int
-	deleteErrs bool
+	addShift int
 }
 
 func (b *contractBreaker) Add(v []float64) (int, error) {
@@ -173,60 +171,51 @@ func (b *contractBreaker) Add(v []float64) (int, error) {
 	return pos + b.addShift, err
 }
 
-func (b *contractBreaker) Delete(id int) error {
-	if b.deleteErrs {
-		return fmt.Errorf("stub: delete unsupported")
-	}
-	return b.SecureIndex.Delete(id - b.addShift)
+func (b *contractBreaker) Clone() index.SecureIndex {
+	return &contractBreaker{SecureIndex: b.SecureIndex.Clone(), addShift: b.addShift}
 }
 
-func TestInsertRollbackFailureMarksInconsistent(t *testing.T) {
+// TestInsertContractViolationLeavesSnapshotUntouched pins the payoff of
+// copy-on-write mutation: a backend violating the sequential-id contract
+// fails the insert, but the violation happened on a private clone that is
+// simply never published — no rollback, no possible desync, no wedged
+// server. (Under the old in-place mutation scheme this same misbehavior
+// could strand the server in a permanently inconsistent state.)
+func TestInsertContractViolationLeavesSnapshotUntouched(t *testing.T) {
 	const n, dim = 200, 6
 	data := clustered(34, n, dim, 3)
 	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 34}, data)
-	w.server.edb.Index = &contractBreaker{SecureIndex: w.server.edb.Index, addShift: 5, deleteErrs: true}
+	honest := w.server.Database().Index
+	w.server.Database().Index = &contractBreaker{SecureIndex: honest, addShift: 5}
 
 	payload, err := w.owner.EncryptVector(data[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.server.Insert(payload); !errors.Is(err, ErrInconsistent) {
-		t.Fatalf("Insert with failed rollback: err = %v, want ErrInconsistent", err)
+	if _, err := w.server.Insert(payload); err == nil || !strings.Contains(err.Error(), "out of step") {
+		t.Fatalf("Insert through a contract-violating backend: err = %v, want out-of-step error", err)
 	}
-	if w.server.Inconsistent() == nil {
-		t.Fatal("server did not record the inconsistency")
+	// The published snapshot is byte-identical to before the attempt.
+	if got := w.server.Epoch(); got != 0 {
+		t.Fatalf("failed insert published epoch %d, want 0", got)
 	}
-	// Every subsequent mutation fails fast with the same marker.
-	if _, err := w.server.Insert(payload); !errors.Is(err, ErrInconsistent) {
-		t.Fatalf("Insert on inconsistent server: err = %v", err)
+	if got := w.server.Len(); got != n {
+		t.Fatalf("failed insert changed Len to %d, want %d", got, n)
 	}
-	if err := w.server.Delete(0); !errors.Is(err, ErrInconsistent) {
-		t.Fatalf("Delete on inconsistent server: err = %v", err)
+	if _, err := w.server.Search(mustToken(t, w, data[0]), 3, SearchOptions{RatioK: 8}); err != nil {
+		t.Fatalf("Search after failed insert: %v", err)
 	}
-	// Searches stay behind their per-candidate guards: a query that
-	// surfaces the stray index entry fails wire-safely (no panic, no
-	// silently wrong ids), one that does not keeps answering.
-	_, err = w.server.Search(mustToken(t, w, data[0]), 3, SearchOptions{RatioK: 8})
-	if err != nil && !strings.Contains(err.Error(), "no DCE ciphertext") {
-		t.Fatalf("Search on inconsistent server: %v", err)
-	}
-}
-
-func TestInsertRollbackSucceedsWithoutMarking(t *testing.T) {
-	const n, dim = 200, 6
-	data := clustered(35, n, dim, 3)
-	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 35}, data)
-	w.server.edb.Index = &contractBreaker{SecureIndex: w.server.edb.Index, addShift: 5}
-
-	payload, err := w.owner.EncryptVector(data[0])
+	// The server is not wedged: with the backend behaving again, the next
+	// mutation applies and publishes normally.
+	w.server.Database().Index = honest
+	id, err := w.server.Insert(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = w.server.Insert(payload)
-	if err == nil || errors.Is(err, ErrInconsistent) {
-		t.Fatalf("Insert with working rollback: err = %v, want out-of-step error without ErrInconsistent", err)
+	if id != n {
+		t.Fatalf("recovered insert landed at id %d, want %d", id, n)
 	}
-	if w.server.Inconsistent() != nil {
-		t.Fatal("successful rollback must not mark the server inconsistent")
+	if got := w.server.Epoch(); got != 1 {
+		t.Fatalf("recovered insert published epoch %d, want 1", got)
 	}
 }

@@ -5,6 +5,12 @@ import "fmt"
 // User is the query party: it holds the authorized key material and
 // encrypts queries. Per property P3, this is the user's entire computational
 // role — O(d²) work per query, no participation in the search itself.
+//
+// A User is NOT safe for concurrent Query calls: trapdoor generation draws
+// per-query randomness from the key's single (unsynchronized) stream.
+// Encrypt tokens from one goroutine — or use one User per goroutine — and
+// share the resulting tokens freely; tokens are immutable and the serving
+// side is fully concurrent.
 type User struct {
 	key *UserKey
 }

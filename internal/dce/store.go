@@ -155,6 +155,37 @@ func (s *CiphertextStore) Append(ct *Ciphertext) int {
 	return len(s.live) - 1
 }
 
+// Snapshot returns a copy-on-write clone for core's snapshot-publication
+// discipline. The liveness flags are copied, so Tombstone and Append on the
+// clone are invisible to the receiver; the arena is shared, which is safe
+// under that discipline because published stores are never mutated again —
+// appends only ever write past every published snapshot's length, and
+// snapshot deletes go through Tombstone, which flips only the (private)
+// liveness flag. Callers outside that discipline must not mutate both the
+// receiver and the clone.
+func (s *CiphertextStore) Snapshot() *CiphertextStore {
+	return &CiphertextStore{
+		ctDim: s.ctDim,
+		arena: s.arena,
+		live:  append([]bool(nil), s.live...),
+		liveN: s.liveN,
+	}
+}
+
+// Tombstone marks id dead without touching its record: the snapshot-safe
+// delete for stores whose arena is shared with older snapshots (zeroing, as
+// Delete does, would tear concurrent reads on them). The ciphertext
+// material therefore survives in memory until the arena is next copied or
+// the snapshot chain is collected. Tombstoning a dead or out-of-range id is
+// a no-op.
+func (s *CiphertextStore) Tombstone(id int) {
+	if !s.Has(id) {
+		return
+	}
+	s.live[id] = false
+	s.liveN--
+}
+
 // Delete tombstones id and zeroes its record, dropping the ciphertext
 // material. Deleting a dead or out-of-range id is a no-op.
 func (s *CiphertextStore) Delete(id int) {
@@ -232,6 +263,15 @@ func (s *CiphertextStore) ScaledComp(s12 []float64, p int) float64 {
 	d := s.ctDim
 	p34 := s.P34(p)
 	return scaledCompKernel(s12[:d], s12[d:], p34[:d], p34[d:])
+}
+
+// DistanceCompHalves evaluates Z_{o,p,q} from o's [P1|P2] half and p's
+// [P3|P4] half (each 2·len(q) floats), without requiring both records to
+// live in the same store. The scatter-gather merge uses it to compare
+// candidates returned by different shards against one trapdoor.
+func DistanceCompHalves(o12, p34, q []float64) float64 {
+	d := len(q)
+	return distCompKernel(o12[:d], o12[d:], p34[:d], p34[d:], q)
 }
 
 // distCompKernel computes Σᵢ (o1ᵢ·p3ᵢ − o2ᵢ·p4ᵢ)·qᵢ, unrolled four-wide

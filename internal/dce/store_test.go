@@ -202,3 +202,86 @@ func TestEncryptRecordMatchesEncrypt(t *testing.T) {
 		t.Fatal("record encryption disagrees with its own view")
 	}
 }
+
+// TestSnapshotTombstone covers the copy-on-write store primitives behind
+// core's snapshot publication: a Snapshot shares the arena but owns its
+// liveness, and Tombstone drops a record from the live set without
+// touching the shared bytes older snapshots may still be reading.
+func TestSnapshotTombstone(t *testing.T) {
+	const ctDim, n = 6, 5
+	s := NewCiphertextStoreN(ctDim, n)
+	for i := 0; i < n; i++ {
+		rec := s.Record(i)
+		for j := range rec {
+			rec[j] = float64(i*100 + j + 1)
+		}
+	}
+
+	snap := s.Snapshot()
+	snap.Tombstone(3)
+	if !s.Has(3) {
+		t.Fatal("Tombstone on the snapshot leaked into the receiver")
+	}
+	if snap.Has(3) {
+		t.Fatal("snapshot still reports the tombstoned id live")
+	}
+	if got, want := snap.Live(), s.Live()-1; got != want {
+		t.Fatalf("snapshot Live = %d, want %d", got, want)
+	}
+	// The shared bytes are intact — that is the point of Tombstone.
+	for j, v := range snap.Record(3) {
+		if v != float64(3*100+j+1) {
+			t.Fatalf("Tombstone zeroed shared arena byte %d", j)
+		}
+	}
+	// Tombstoning a dead or out-of-range id is a no-op.
+	snap.Tombstone(3)
+	snap.Tombstone(99)
+	if got, want := snap.Live(), n-1; got != want {
+		t.Fatalf("no-op tombstones changed Live to %d, want %d", got, want)
+	}
+
+	// Appending to the snapshot must be invisible to the receiver.
+	ct := &Ciphertext{
+		P1: make([]float64, ctDim), P2: make([]float64, ctDim),
+		P3: make([]float64, ctDim), P4: make([]float64, ctDim),
+	}
+	id := snap.Append(ct)
+	if id != n {
+		t.Fatalf("snapshot append landed at %d, want %d", id, n)
+	}
+	if s.Len() != n {
+		t.Fatalf("append to the snapshot grew the receiver to %d", s.Len())
+	}
+	// A second-generation snapshot sees the first's state.
+	snap2 := snap.Snapshot()
+	if snap2.Len() != n+1 || snap2.Has(3) {
+		t.Fatalf("second-generation snapshot inconsistent: len %d, Has(3) %v", snap2.Len(), snap2.Has(3))
+	}
+}
+
+// TestDistanceCompHalves checks the cross-store comparison entry point
+// agrees with the in-store kernel.
+func TestDistanceCompHalves(t *testing.T) {
+	const ctDim, n = 8, 4
+	s := NewCiphertextStoreN(ctDim, n)
+	for i := 0; i < n; i++ {
+		rec := s.Record(i)
+		for j := range rec {
+			rec[j] = float64((i+1)*(j+2)) * 0.25
+		}
+	}
+	q := make([]float64, ctDim)
+	for j := range q {
+		q[j] = float64(j+1) * 0.5
+	}
+	for o := 0; o < n; o++ {
+		for p := 0; p < n; p++ {
+			want := s.DistanceCompQ(o, p, q)
+			got := DistanceCompHalves(s.O12(o), s.P34(p), q)
+			if got != want {
+				t.Fatalf("DistanceCompHalves(%d, %d) = %g, in-store %g", o, p, got, want)
+			}
+		}
+	}
+}

@@ -131,6 +131,49 @@ func (g *Graph) Vector(id int) []float64 {
 	return g.data.At(id)
 }
 
+// Clone returns a deep copy of the graph sharing no mutable state with the
+// receiver: vectors, adjacency lists and tombstones are all copied, so
+// mutating either graph never changes what the other's searches observe.
+// The clone's level RNG is derived from (and advances) the receiver's
+// stream, so a chain of clone-then-insert steps keeps drawing fresh levels
+// instead of replaying one.
+//
+// Clone locks each node while copying its adjacency, so it is safe against
+// concurrent searches on the receiver; for a semantically clean copy the
+// caller must not run Add/Delete on the receiver while cloning (the
+// snapshot writers in core guarantee this by serializing mutations).
+func (g *Graph) Clone() *Graph {
+	g.lvlMu.Lock()
+	lvlRnd := rng.New(g.lvlRnd.Uint64(), g.lvlRnd.Uint64())
+	g.lvlMu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ng := &Graph{
+		cfg:      g.cfg,
+		mL:       g.mL,
+		data:     g.data.Clone(),
+		nodes:    make([]*node, len(g.nodes)),
+		entry:    g.entry,
+		maxLevel: g.maxLevel,
+		size:     g.size,
+		lvlRnd:   lvlRnd,
+	}
+	for i, nd := range g.nodes {
+		nd.mu.Lock()
+		cp := &node{
+			neighbors: make([][]int32, len(nd.neighbors)),
+			level:     nd.level,
+			deleted:   nd.deleted,
+		}
+		for l, lst := range nd.neighbors {
+			cp.neighbors[l] = append([]int32(nil), lst...)
+		}
+		nd.mu.Unlock()
+		ng.nodes[i] = cp
+	}
+	return ng
+}
+
 // randomLevel draws floor(−ln(U)·mL), the paper's level distribution.
 func (g *Graph) randomLevel() int {
 	g.lvlMu.Lock()

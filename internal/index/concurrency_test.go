@@ -1,0 +1,189 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The concurrent-read contract every backend must satisfy (see the
+// SecureIndex docs): searches are safe and deterministic under arbitrary
+// concurrency, and Clone yields a copy whose mutations are invisible to
+// the original. core's snapshot-publication tier is built directly on
+// these two guarantees, so they get their own conformance tests — run
+// with -race in CI, where any shared mutable state between clones or
+// between concurrent searches surfaces as a detector report.
+
+// TestConformanceConcurrentSearch runs many goroutines searching one
+// static index and requires every result to equal the sequential answer:
+// concurrent reads may not race (the detector's job) nor perturb each
+// other's results (ours).
+func TestConformanceConcurrentSearch(t *testing.T) {
+	const n, dim, k, ef = 800, 10, 10, 100
+	data := clustered(17, n, dim, 8)
+	queries := makeQueries(18, data, 20, 0.3)
+
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ix, err := Build(name, data, Options{Dim: dim, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]int, len(queries))
+			for i, q := range queries {
+				want[i] = searchIDs(ix, q, k, ef)
+			}
+
+			const workers = 4
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for rep := 0; rep < 10; rep++ {
+						qi := (w + rep) % len(queries)
+						got := searchIDs(ix, queries[qi], k, ef)
+						if len(got) != len(want[qi]) {
+							errs <- fmt.Errorf("worker %d query %d: %d ids, want %d", w, qi, len(got), len(want[qi]))
+							return
+						}
+						for i := range got {
+							if got[i] != want[qi][i] {
+								errs <- fmt.Errorf("worker %d query %d rank %d: id %d, want %d", w, qi, i, got[i], want[qi][i])
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConformanceCloneIsolation pins the copy-on-write contract: mutating
+// a clone — while the original is being searched concurrently, as the
+// snapshot tier does — must leave the original's answers bit-identical,
+// and the clone must actually reflect its own mutations.
+func TestConformanceCloneIsolation(t *testing.T) {
+	const n, dim, k, ef = 600, 10, 10, 100
+	data := clustered(19, n, dim, 6)
+	queries := makeQueries(20, data, 10, 0.3)
+
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ix, err := Build(name, data, Options{Dim: dim, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps := ix.Caps()
+			want := make([][]int, len(queries))
+			for i, q := range queries {
+				want[i] = searchIDs(ix, q, k, ef)
+			}
+			// The id we delete on the clone: the top answer of query 0, so
+			// its disappearance from the clone's results is observable.
+			if len(want[0]) == 0 {
+				t.Fatal("query 0 returned nothing")
+			}
+			victim := want[0][0]
+
+			clone := ix.Clone()
+			searching := make(chan struct{})
+			done := make(chan struct{})
+			var searchErr error
+			go func() {
+				defer close(done)
+				close(searching)
+				for rep := 0; rep < 20; rep++ {
+					for qi, q := range queries {
+						got := searchIDs(ix, q, k, ef)
+						if len(got) != len(want[qi]) {
+							searchErr = fmt.Errorf("during clone mutation, query %d: %d ids, want %d", qi, len(got), len(want[qi]))
+							return
+						}
+						for i := range got {
+							if got[i] != want[qi][i] {
+								searchErr = fmt.Errorf("during clone mutation, query %d rank %d: id %d, want %d", qi, i, got[i], want[qi][i])
+								return
+							}
+						}
+					}
+				}
+			}()
+			<-searching
+
+			// Mutate the clone while the original is being searched.
+			if caps.DynamicDelete {
+				if err := clone.Delete(victim); err != nil {
+					t.Fatalf("clone delete: %v", err)
+				}
+			}
+			if caps.DynamicInsert {
+				for rep := 0; rep < 5; rep++ {
+					if _, err := clone.Add(data[rep]); err != nil {
+						t.Fatalf("clone add: %v", err)
+					}
+				}
+			}
+			<-done
+			if searchErr != nil {
+				t.Fatal(searchErr)
+			}
+
+			if caps.DynamicDelete {
+				// The clone must reflect its own delete...
+				for _, id := range searchIDs(clone, queries[0], k, ef) {
+					if id == victim {
+						t.Fatalf("clone still returns deleted id %d", victim)
+					}
+				}
+				// ...and the original must not.
+				found := false
+				for _, id := range searchIDs(ix, queries[0], k, ef) {
+					if id == victim {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("delete on the clone leaked into the original (id %d gone)", victim)
+				}
+			}
+			if caps.DynamicInsert {
+				if got, orig := clone.Len(), ix.Len(); got <= orig && caps.DynamicDelete {
+					// 5 adds minus 1 delete must leave the clone strictly larger.
+					t.Fatalf("clone Len %d not larger than original %d after adds", got, orig)
+				}
+			}
+
+			// Mutating the original must equally leave the clone alone:
+			// delete the clone-side top answer from the original and check
+			// the clone still returns it.
+			if caps.DynamicDelete {
+				cloneWant := searchIDs(clone, queries[1], k, ef)
+				if len(cloneWant) == 0 {
+					t.Fatal("clone query 1 returned nothing")
+				}
+				if err := ix.Delete(cloneWant[0]); err != nil {
+					t.Fatalf("original delete: %v", err)
+				}
+				found := false
+				for _, id := range searchIDs(clone, queries[1], k, ef) {
+					if id == cloneWant[0] {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("delete on the original leaked into the clone (id %d gone)", cloneWant[0])
+				}
+			}
+		})
+	}
+}

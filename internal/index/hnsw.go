@@ -127,6 +127,16 @@ func (ix *hnswIndex) Vector(pos int) ([]float64, bool) {
 	return ix.g.Vector(gid), true
 }
 
+func (ix *hnswIndex) Clone() SecureIndex {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return &hnswIndex{
+		g:       ix.g.Clone(),
+		pos2gid: append([]int32(nil), ix.pos2gid...),
+		gid2pos: append([]int32(nil), ix.gid2pos...),
+	}
+}
+
 func (ix *hnswIndex) Caps() Caps {
 	return Caps{Name: "hnsw", DynamicInsert: true, DynamicDelete: true}
 }

@@ -44,8 +44,22 @@ type Caps struct {
 
 // SecureIndex is the filter-phase index over SAP ciphertexts. Ids are
 // vector positions (0..n-1 in build order, then sequential per Add).
-// Implementations are safe for concurrent Search; mutations are serialized
-// by the caller (core.Server holds a write lock across Add/Delete).
+//
+// # Concurrent-read contract
+//
+// Every backend must satisfy (and the conformance suite verifies) two
+// concurrency guarantees the snapshot-publication serving tier builds on:
+//
+//  1. Search/SearchInto may run concurrently with any number of other
+//     searches on the same instance, with no external locking.
+//  2. Clone returns a copy sharing no mutable state with the receiver:
+//     mutating either side (Add, Delete) never changes what the other
+//     side's searches observe.
+//
+// Mutations themselves are not required to be safe against concurrent
+// searches on the same instance — core.Server never mutates a published
+// index; its writers Clone the current one, mutate the private clone, and
+// atomically publish it (see core's snapshot documentation).
 type SecureIndex interface {
 	// Add inserts a vector and returns its id, which is always the value
 	// Len-including-tombstones had before the call. Backends without
@@ -62,6 +76,12 @@ type SecureIndex interface {
 	// Delete tombstones an id. Backends without dynamic delete return an
 	// error wrapping ErrNotSupported.
 	Delete(id int) error
+	// Clone returns an independent copy of the index: the copy-on-write
+	// primitive of the serving tier's snapshot discipline. Mutations on the
+	// clone are invisible to the original (and vice versa), and cloning is
+	// pure copying — no distance computations, no rebuild. Immutable state
+	// (trained quantizers, hash projections) may be shared.
+	Clone() SecureIndex
 	// Vector returns the stored (SAP-ciphertext) vector of an id, valid
 	// for tombstoned ids too — backends retain tombstone rows, and
 	// partition rebuilds (core.EncryptedDatabase.Split) need every

@@ -69,6 +69,8 @@ func (a *ivfIndex) Vector(id int) ([]float64, bool) {
 	return v, v != nil
 }
 
+func (a *ivfIndex) Clone() SecureIndex { return &ivfIndex{ix: a.ix.Clone(), nprobe: a.nprobe} }
+
 func (a *ivfIndex) Caps() Caps {
 	return Caps{Name: "ivf", DynamicInsert: true, DynamicDelete: true}
 }

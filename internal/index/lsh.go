@@ -190,6 +190,19 @@ func (a *lshIndex) Vector(id int) ([]float64, bool) {
 	return a.data.At(id), true
 }
 
+func (a *lshIndex) Clone() SecureIndex {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return &lshIndex{
+		cfg:     a.cfg,
+		probes:  a.probes,
+		ix:      a.ix.Clone(),
+		data:    a.data.Clone(),
+		deleted: append([]bool(nil), a.deleted...),
+		live:    a.live,
+	}
+}
+
 func (a *lshIndex) Caps() Caps {
 	return Caps{Name: "lsh", DynamicInsert: true, DynamicDelete: true}
 }

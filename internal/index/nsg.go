@@ -56,6 +56,8 @@ func (a *nsgIndex) Vector(id int) ([]float64, bool) {
 	return v, v != nil
 }
 
+func (a *nsgIndex) Clone() SecureIndex { return &nsgIndex{g: a.g.Clone()} }
+
 func (a *nsgIndex) Caps() Caps {
 	return Caps{Name: "nsg", DynamicInsert: false, DynamicDelete: true}
 }

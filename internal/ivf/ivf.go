@@ -113,6 +113,26 @@ func (ix *Index) Vector(id int) []float64 {
 // Lists returns nlist.
 func (ix *Index) Lists() int { return len(ix.lists) }
 
+// Clone returns an independent copy of the index: the inverted lists,
+// vectors and tombstones are copied, so Add/Delete on either side is
+// invisible to the other. The trained quantizer is immutable and shared.
+func (ix *Index) Clone() *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cp := &Index{
+		dim:       ix.dim,
+		centroids: ix.centroids,
+		lists:     make([][]int32, len(ix.lists)),
+		data:      ix.data.Clone(),
+		deleted:   append([]bool(nil), ix.deleted...),
+		live:      ix.live,
+	}
+	for i, lst := range ix.lists {
+		cp.lists[i] = append([]int32(nil), lst...)
+	}
+	return cp
+}
+
 // Add inserts a vector and returns its id.
 func (ix *Index) Add(v []float64) int {
 	if len(v) != ix.dim {

@@ -369,6 +369,24 @@ func (g *Graph) Vector(id int) []float64 {
 // NavigatingNode returns the entry vertex id.
 func (g *Graph) NavigatingNode() int { return g.nav }
 
+// Clone returns an independent copy of the graph. NSG is batch-built: the
+// vectors and adjacency never change after Build, so the clone shares them
+// and only copies the mutable tombstone state — deleting on either graph
+// is invisible to the other.
+func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return &Graph{
+		cfg:     g.cfg,
+		dim:     g.dim,
+		data:    g.data,
+		adj:     g.adj,
+		nav:     g.nav,
+		deleted: append([]bool(nil), g.deleted...),
+		live:    g.live,
+	}
+}
+
 // Delete tombstones an id; searches route through it but never return it.
 func (g *Graph) Delete(id int) error {
 	g.mu.Lock()

@@ -7,7 +7,6 @@ import (
 	"ppanns/internal/ame"
 	"ppanns/internal/core"
 	"ppanns/internal/dce"
-	"ppanns/internal/resultheap"
 	"ppanns/internal/transport"
 )
 
@@ -17,14 +16,31 @@ var (
 	_ Shard = (*transport.Client)(nil)
 )
 
+// Options tunes a coordinator beyond its shard set.
+type Options struct {
+	// DivideEffort makes the coordinator hand every shard its per-shard
+	// share of the filter effort (SearchOptions.Partition) instead of the
+	// full k′/ef: n shards then perform ≈ one server's worth of total
+	// filter work per query rather than n×, which is what lets the
+	// sharded tier match — and under real parallelism beat — a single
+	// server on throughput. The candidate pool keeps its total size,
+	// merely spread across shards, so recall holds at the same operating
+	// point; the per-shard candidate sets do shift, so results are no
+	// longer guaranteed bit-identical to an unsharded server on exact
+	// ties (the default, full-effort mode keeps that guarantee).
+	DivideEffort bool
+}
+
 // Coordinator is the scatter-gather head of a sharded deployment: it owns
 // the global id space, fans queries out to every shard concurrently, and
 // merges shard-local answers into global ones. Searches may run
 // concurrently with each other and with updates; updates serialize on the
-// coordinator (the same discipline core.Server applies internally).
+// coordinator (shard servers themselves publish snapshots, so their reads
+// never block either way).
 type Coordinator struct {
 	shards  []Shard
 	m       Mapping
+	opts    Options
 	backend string
 	dim     int
 	insert  bool
@@ -34,15 +50,22 @@ type Coordinator struct {
 	total int // global ids ever assigned, tombstones included
 }
 
-// NewCoordinator wires a coordinator over its shards, validating that they
-// form a striped partition of one deployment: same backend and dimension
-// everywhere, and per-shard record counts matching Mapping.Count — a
-// mismatched set would silently remap ids to the wrong vectors.
+// NewCoordinator wires a coordinator over its shards with default options
+// (full per-shard effort; see NewCoordinatorWith).
 func NewCoordinator(shards []Shard) (*Coordinator, error) {
+	return NewCoordinatorWith(shards, Options{})
+}
+
+// NewCoordinatorWith is NewCoordinator with explicit Options, validating
+// that the shards form a striped partition of one deployment: same backend
+// and dimension everywhere, and per-shard record counts matching
+// Mapping.Count — a mismatched set would silently remap ids to the wrong
+// vectors.
+func NewCoordinatorWith(shards []Shard, opts Options) (*Coordinator, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least one shard")
 	}
-	c := &Coordinator{shards: shards, m: Mapping{Shards: len(shards)}, insert: true, delete: true}
+	c := &Coordinator{shards: shards, m: Mapping{Shards: len(shards)}, opts: opts, insert: true, delete: true}
 	lens := make([]int, len(shards))
 	for s, sh := range shards {
 		info, err := sh.Info()
@@ -85,25 +108,57 @@ func (c *Coordinator) Dim() int { return c.dim }
 // Backend returns the filter-index backend every shard runs.
 func (c *Coordinator) Backend() string { return c.backend }
 
-// scatter runs fn once per shard concurrently and returns the first shard
-// failure (lowest shard index wins, so errors are deterministic).
-func (c *Coordinator) scatter(fn func(s int, sh Shard) error) error {
-	errs := make([]error, len(c.shards))
-	var wg sync.WaitGroup
-	for s, sh := range c.shards {
-		wg.Add(1)
-		go func(s int, sh Shard) {
-			defer wg.Done()
-			errs[s] = fn(s, sh)
-		}(s, sh)
+// shardOpt derives the options each shard receives: the caller's, with the
+// filter effort divided across shards when the coordinator runs in
+// divide-effort mode.
+func (c *Coordinator) shardOpt(k int, opt core.SearchOptions) core.SearchOptions {
+	if c.opts.DivideEffort {
+		return opt.Partition(len(c.shards), k)
 	}
-	wg.Wait()
-	for s, err := range errs {
-		if err != nil {
-			return &ShardError{Shard: s, Err: err}
-		}
+	return opt
+}
+
+// searchScratch is the pooled per-search working set of the coordinator:
+// the scatter's result and error slots, the merge's cursors, and the
+// per-mode merge comparators. Pooling it (plus comparator state instead
+// of closures) keeps the steady-state scatter-gather path down to the
+// few allocations that escape to the caller — on a host where search is
+// compute-bound, a dozen small per-query allocations are measurable
+// against a single server that makes none.
+type searchScratch struct {
+	results []core.ShardResult
+	errs    []error
+	cursors []int
+	dce     dceMerge
+	ame     ameMerge
+	none    distMerge
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+func (sc *searchScratch) shards(n int) {
+	if cap(sc.results) < n {
+		sc.results = make([]core.ShardResult, n)
+		sc.errs = make([]error, n)
+		sc.cursors = make([]int, n)
 	}
-	return nil
+	sc.results = sc.results[:n]
+	sc.errs = sc.errs[:n]
+	sc.cursors = sc.cursors[:n]
+}
+
+func putScratch(sc *searchScratch) {
+	// Drop per-query references so a pooled scratch never pins a
+	// snapshot store, wire records, or trapdoor material while idle.
+	for i := range sc.results {
+		sc.results[i] = core.ShardResult{}
+	}
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+	sc.dce = dceMerge{}
+	sc.ame = ameMerge{}
+	scratchPool.Put(sc)
 }
 
 // Search answers a k-ANNS query across all shards: one concurrent
@@ -112,16 +167,26 @@ func (c *Coordinator) scatter(fn func(s int, sh Shard) error) error {
 // failing shard surfaces as a *ShardError — never a hang, and never a
 // silently partial answer.
 func (c *Coordinator) Search(tok *core.QueryToken, k int, opt core.SearchOptions) ([]int, error) {
-	results := make([]core.ShardResult, len(c.shards))
-	err := c.scatter(func(s int, sh Shard) error {
-		var err error
-		results[s], err = sh.SearchShard(tok, k, opt)
-		return err
-	})
-	if err != nil {
-		return nil, err
+	sc := scratchPool.Get().(*searchScratch)
+	defer putScratch(sc)
+	sc.shards(len(c.shards))
+	results := sc.results
+	sOpt := c.shardOpt(k, opt)
+	var wg sync.WaitGroup
+	for s, sh := range c.shards {
+		wg.Add(1)
+		go func(s int, sh Shard) {
+			defer wg.Done()
+			results[s], sc.errs[s] = sh.SearchShard(tok, k, sOpt)
+		}(s, sh)
 	}
-	return c.merge(tok, k, opt.Refine, results)
+	wg.Wait()
+	for s, err := range sc.errs {
+		if err != nil {
+			return nil, &ShardError{Shard: s, Err: err}
+		}
+	}
+	return c.merge(tok, k, opt.Refine, results, sc)
 }
 
 // SearchBatch answers a whole batch across all shards with one
@@ -137,19 +202,23 @@ func (c *Coordinator) SearchBatch(toks []*core.QueryToken, k int, opt core.Searc
 	perShard := make([][]core.ShardResult, len(c.shards))
 	perShardErrs := make([][]error, len(c.shards))
 	shardErrs := make([]error, len(c.shards))
+	sOpt := c.shardOpt(k, opt)
 	var wg sync.WaitGroup
 	for s, sh := range c.shards {
 		wg.Add(1)
 		go func(s int, sh Shard) {
 			defer wg.Done()
-			perShard[s], perShardErrs[s], shardErrs[s] = sh.SearchShardBatch(toks, k, opt)
+			perShard[s], perShardErrs[s], shardErrs[s] = sh.SearchShardBatch(toks, k, sOpt)
 		}(s, sh)
 	}
 	wg.Wait()
 
 	results := make([][]int, len(toks))
 	var failed []core.QueryError
-	gather := make([]core.ShardResult, len(c.shards))
+	sc := scratchPool.Get().(*searchScratch)
+	defer putScratch(sc)
+	sc.shards(len(c.shards))
+	gather := sc.results
 	for q := range toks {
 		var qErr error
 		for s := range c.shards {
@@ -165,7 +234,7 @@ func (c *Coordinator) SearchBatch(toks []*core.QueryToken, k int, opt core.Searc
 			break
 		}
 		if qErr == nil {
-			results[q], qErr = c.merge(toks[q], k, opt.Refine, gather)
+			results[q], qErr = c.merge(toks[q], k, opt.Refine, gather, sc)
 		}
 		if qErr != nil {
 			failed = append(failed, core.QueryError{Query: q, Err: qErr})
@@ -177,131 +246,169 @@ func (c *Coordinator) SearchBatch(toks []*core.QueryToken, k int, opt core.Searc
 	return results, nil
 }
 
-// merge folds per-shard results into the global top-k, remapping local ids
-// to global ones and ordering with the same comparator the refine phase
-// used — SAP distances for the filter-only mode, DCE record comparisons
-// (over the shard-returned record copies) for the paper's scheme, AME
-// comparisons for the baseline.
-func (c *Coordinator) merge(tok *core.QueryToken, k int, mode core.RefineMode, results []core.ShardResult) ([]int, error) {
+// mergeCmp orders candidates across shard result lists; one pooled
+// implementation per refine mode (closures here would put an allocation
+// on every merge).
+type mergeCmp interface {
+	closer(results []core.ShardResult, s1, i1, s2, i2 int) bool
+}
+
+// distMerge orders by the SAP filter distances (RefineNone).
+type distMerge struct{}
+
+func (*distMerge) closer(results []core.ShardResult, s1, i1, s2, i2 int) bool {
+	return results[s1].Dists[i1] < results[s2].Dists[i2]
+}
+
+// dceMerge orders by secure DCE comparisons over record halves, resolved
+// lazily per comparison — snapshot-store views for in-process shards,
+// slices of the wire copies for remote ones.
+type dceMerge struct {
+	ctDim int
+	q     []float64
+}
+
+func (m *dceMerge) o12(r *core.ShardResult, i int) []float64 {
+	if r.Store != nil {
+		return r.Store.O12(r.IDs[i])
+	}
+	return r.Recs[i][:2*m.ctDim]
+}
+
+func (m *dceMerge) p34(r *core.ShardResult, i int) []float64 {
+	if r.Store != nil {
+		return r.Store.P34(r.IDs[i])
+	}
+	return r.Recs[i][2*m.ctDim:]
+}
+
+func (m *dceMerge) closer(results []core.ShardResult, s1, i1, s2, i2 int) bool {
+	return dce.DistanceCompHalves(m.o12(&results[s1], i1), m.p34(&results[s2], i2), m.q) < 0
+}
+
+// ameMerge orders by AME comparisons (in-process baseline only).
+type ameMerge struct {
+	tq *ame.Trapdoor
+}
+
+func (m *ameMerge) closer(results []core.ShardResult, s1, i1, s2, i2 int) bool {
+	return ame.Compare(results[s1].AME[i1], results[s2].AME[i2], m.tq) < 0
+}
+
+// merge folds per-shard results into the global top-k, remapping local
+// ids to global ones and ordering with the same comparator the refine
+// phase used — SAP distances for the filter-only mode, DCE record
+// comparisons for the paper's scheme (straight out of the shards' snapshot
+// stores when they were borrowed in-process, over the wire copies
+// otherwise), AME comparisons for the baseline.
+//
+// Every shard returns its list closest-first, so the global top-k is a
+// k-way merge of sorted lists: k steps of (shards−1) head-to-head
+// comparisons each, instead of pushing all shards·k candidates through a
+// selection heap. With secure comparisons as the unit of cost, a 2-shard
+// merge spends exactly k of them.
+func (c *Coordinator) merge(tok *core.QueryToken, k int, mode core.RefineMode, results []core.ShardResult, sc *searchScratch) ([]int, error) {
+	var cmp mergeCmp
 	switch mode {
 	case core.RefineNone:
-		// Bounded selection on the filter distances every shard reported.
-		h := resultheap.NewMaxDistHeap(k + 1)
 		for s, r := range results {
 			if len(r.Dists) != len(r.IDs) {
 				return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: %d filter distances for %d ids", len(r.Dists), len(r.IDs))}
 			}
-			for i, local := range r.IDs {
-				gid := c.m.Global(s, local)
-				if h.Len() < k {
-					h.Push(gid, r.Dists[i])
-				} else if r.Dists[i] < h.Top().Dist {
-					h.Pop()
-					h.Push(gid, r.Dists[i])
-				}
-			}
 		}
-		items := h.SortedAscending()
-		ids := make([]int, len(items))
-		for i, it := range items {
-			ids[i] = it.ID
-		}
-		return ids, nil
+		cmp = &sc.none
 
 	case core.RefineDCE:
 		if tok == nil || tok.Trapdoor == nil {
 			return nil, fmt.Errorf("shard: token lacks DCE trapdoor for merge")
 		}
 		ctDim := 0
-		total := 0
 		for s, r := range results {
-			if len(r.Recs) != len(r.IDs) {
+			if r.Store == nil && len(r.Recs) != len(r.IDs) {
 				return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: %d DCE records for %d ids", len(r.Recs), len(r.IDs))}
 			}
-			if len(r.IDs) > 0 {
-				if ctDim == 0 {
-					ctDim = r.CtDim
-				} else if r.CtDim != ctDim {
-					return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: ciphertext dim %d, other shards %d", r.CtDim, ctDim)}
+			if len(r.IDs) == 0 {
+				continue
+			}
+			d := r.CtDim
+			if r.Store != nil {
+				d = r.Store.CtDim()
+			}
+			if ctDim == 0 {
+				ctDim = d
+			} else if d != ctDim {
+				return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: ciphertext dim %d, other shards %d", d, ctDim)}
+			}
+			if r.Store != nil {
+				for _, local := range r.IDs {
+					if !r.Store.Has(local) {
+						return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: result id %d has no live record in the snapshot store", local)}
+					}
+				}
+			} else {
+				for i, rec := range r.Recs {
+					if len(rec) != 4*ctDim {
+						return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: record %d has %d floats, want %d", i, len(rec), 4*ctDim)}
+					}
 				}
 			}
-			total += len(r.IDs)
 		}
-		if total == 0 {
-			return nil, nil
-		}
-		if len(tok.Trapdoor.Q) != ctDim {
+		if ctDim != 0 && len(tok.Trapdoor.Q) != ctDim {
 			return nil, fmt.Errorf("shard: trapdoor has dim %d, shard ciphertexts %d", len(tok.Trapdoor.Q), ctDim)
 		}
-		// Stage the returned records in a flat arena so the merge runs the
-		// same cache-friendly comparison kernel the shards themselves use.
-		gids := make([]int, 0, total)
-		arena := make([]float64, 0, total*4*ctDim)
-		for s, r := range results {
-			for i, local := range r.IDs {
-				if len(r.Recs[i]) != 4*ctDim {
-					return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: record %d has %d floats, want %d", i, len(r.Recs[i]), 4*ctDim)}
-				}
-				gids = append(gids, c.m.Global(s, local))
-				arena = append(arena, r.Recs[i]...)
-			}
-		}
-		live := make([]bool, len(gids))
-		for i := range live {
-			live[i] = true
-		}
-		store, err := dce.StoreFromRaw(ctDim, arena, live)
-		if err != nil {
-			return nil, fmt.Errorf("shard: staging merge arena: %w", err)
-		}
-		q := tok.Trapdoor.Q
-		return mergeSelect(gids, k, resultheap.Farther(func(a, b int) bool {
-			return store.DistanceCompQ(a, b, q) > 0
-		})), nil
+		sc.dce = dceMerge{ctDim: ctDim, q: tok.Trapdoor.Q}
+		cmp = &sc.dce
 
 	case core.RefineAME:
 		if tok == nil || tok.AME == nil {
 			return nil, fmt.Errorf("shard: token lacks AME trapdoor for merge")
 		}
-		var gids []int
-		var cts []*ame.Ciphertext
 		for s, r := range results {
 			if len(r.AME) != len(r.IDs) {
 				return nil, &ShardError{Shard: s, Err: fmt.Errorf("shard: %d AME ciphertexts for %d ids (remote shards cannot serve RefineAME)", len(r.AME), len(r.IDs))}
 			}
-			for i, local := range r.IDs {
-				gids = append(gids, c.m.Global(s, local))
-				cts = append(cts, r.AME[i])
-			}
 		}
-		tq := tok.AME
-		return mergeSelect(gids, k, resultheap.Farther(func(a, b int) bool {
-			return ame.Compare(cts[a], cts[b], tq) > 0
-		})), nil
+		sc.ame = ameMerge{tq: tok.AME}
+		cmp = &sc.ame
 
 	default:
 		return nil, fmt.Errorf("shard: unknown refine mode %d", mode)
 	}
-}
 
-// mergeSelect runs Algorithm 2's bounded max-heap selection over candidate
-// indexes 0..len(gids)-1 and returns the chosen global ids closest-first.
-func mergeSelect(gids []int, k int, cmp resultheap.Comparator) []int {
-	if len(gids) == 0 {
-		return nil
+	total := 0
+	for _, r := range results {
+		total += len(r.IDs)
 	}
-	if k > len(gids) {
-		k = len(gids)
+	if total == 0 {
+		return nil, nil
 	}
-	h := resultheap.NewCompareHeapWith(k, cmp)
-	for i := range gids {
-		h.Offer(i)
+	if k > total {
+		k = total
+	}
+	// k-way merge over the sorted per-shard lists; ties resolve to the
+	// lowest shard index, keeping results deterministic.
+	cursors := sc.cursors[:len(results)]
+	for i := range cursors {
+		cursors[i] = 0
 	}
 	ids := make([]int, 0, k)
-	for _, i := range h.SortedAscending() {
-		ids = append(ids, gids[i])
+	for len(ids) < k {
+		best := -1
+		for s := range results {
+			if cursors[s] >= len(results[s].IDs) {
+				continue
+			}
+			if best == -1 || cmp.closer(results, s, cursors[s], best, cursors[best]) {
+				best = s
+			}
+		}
+		if best == -1 {
+			break
+		}
+		ids = append(ids, c.m.Global(best, results[best].IDs[cursors[best]]))
+		cursors[best]++
 	}
-	return ids
+	return ids, nil
 }
 
 // Insert routes one encrypted vector to the shard the next global id

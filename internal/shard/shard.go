@@ -79,14 +79,18 @@ type Local struct {
 	Srv *core.Server
 }
 
-// SearchShard answers one query against the wrapped server.
+// SearchShard answers one query against the wrapped server. Being
+// in-process, it borrows the snapshot's ciphertext store as merge material
+// (core.ShardResult.Store) instead of copying records — the snapshot is
+// immutable, so the view stays valid for the life of the result.
 func (l Local) SearchShard(tok *core.QueryToken, k int, opt core.SearchOptions) (core.ShardResult, error) {
-	return l.Srv.SearchShard(tok, k, opt)
+	return l.Srv.SearchShardView(tok, k, opt)
 }
 
-// SearchShardBatch fans the batch across the wrapped server's cores.
+// SearchShardBatch fans the batch across the wrapped server's cores,
+// borrowing snapshot views like SearchShard.
 func (l Local) SearchShardBatch(toks []*core.QueryToken, k int, opt core.SearchOptions) ([]core.ShardResult, []error, error) {
-	rs, errs := l.Srv.SearchShardBatch(toks, k, opt, 0)
+	rs, errs := l.Srv.SearchShardBatchView(toks, k, opt, 0)
 	return rs, errs, nil
 }
 
@@ -96,15 +100,19 @@ func (l Local) Insert(p *core.InsertPayload) (int, error) { return l.Srv.Insert(
 // Delete tombstones a local position.
 func (l Local) Delete(local int) error { return l.Srv.Delete(local) }
 
-// Info reports the wrapped server's backend, capabilities and shape.
+// Info reports the wrapped server's backend, capabilities and shape, all
+// read from one snapshot so the counts are never torn across a mutation.
 func (l Local) Info() (transport.Info, error) {
-	caps := l.Srv.Caps()
+	db := l.Srv.Database()
+	caps := db.Index.Caps()
 	return transport.Info{
-		Backend:       l.Srv.Backend(),
+		Backend:       db.Backend,
 		DynamicInsert: caps.DynamicInsert,
 		DynamicDelete: caps.DynamicDelete,
-		N:             l.Srv.Len(),
-		Dim:           l.Srv.Dim(),
+		N:             db.Len(),
+		Live:          db.Live(),
+		Dim:           db.Dim,
+		Proto:         transport.ProtoVersion,
 	}, nil
 }
 

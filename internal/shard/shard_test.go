@@ -69,7 +69,7 @@ func newWorld(t *testing.T, n, dim int, withAME bool) *world {
 // coordinator over the parts.
 func localCoordinator(t *testing.T, w *world, shards int) (*Coordinator, []*core.Server) {
 	t.Helper()
-	parts, err := w.edb.Split(shards, index.Options{Seed: 11})
+	parts, err := w.server.Database().Split(shards, index.Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestCoordinatorValidation(t *testing.T) {
 	}
 	const n, dim = 120, 16
 	w := newWorld(t, n, dim, false)
-	parts, err := w.edb.Split(2, index.Options{Seed: 11})
+	parts, err := w.server.Database().Split(2, index.Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func (p *proxy) kill() {
 // coordinator of transport clients; shard 1 sits behind a severable proxy.
 func remoteCoordinator(t *testing.T, w *world, shards int) (*Coordinator, *proxy) {
 	t.Helper()
-	parts, err := w.edb.Split(shards, index.Options{Seed: 11})
+	parts, err := w.server.Database().Split(shards, index.Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -539,5 +539,94 @@ func TestShardErrorFormatting(t *testing.T) {
 	}
 	if !errors.Is(err, inner) {
 		t.Fatal("Unwrap does not expose the cause")
+	}
+}
+
+// TestDivideEffortRecall pins the throughput mode of the coordinator: with
+// Options.DivideEffort each shard runs its per-shard share of the filter
+// effort, and the merged answers must stay at the same recall operating
+// point as the unsharded server (the candidate pool keeps its total size,
+// merely spread across shards).
+func TestDivideEffortRecall(t *testing.T) {
+	const n, dim, k = 500, 16, 10
+	w := newWorld(t, n, dim, false)
+	opt := core.SearchOptions{RatioK: 16}
+
+	for _, shards := range []int{2, 3} {
+		parts, err := w.server.Database().Split(shards, index.Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shs := make([]Shard, shards)
+		for s, p := range parts {
+			srv, err := core.NewServer(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shs[s] = Local{Srv: srv}
+		}
+		coord, err := NewCoordinatorWith(shs, Options{DivideEffort: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recall float64
+		for qi, q := range w.queries {
+			tok, err := w.user.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := w.server.Search(tok, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := coord.Search(tok, k, opt)
+			if err != nil {
+				t.Fatalf("%d shards, query %d: %v", shards, qi, err)
+			}
+			if len(got) != k {
+				t.Fatalf("%d shards, query %d: %d ids, want %d", shards, qi, len(got), k)
+			}
+			seen := map[int]bool{}
+			for _, id := range got {
+				if id < 0 || id >= n || seen[id] {
+					t.Fatalf("%d shards, query %d: invalid or duplicate id %d in %v", shards, qi, id, got)
+				}
+				seen[id] = true
+			}
+			hits := 0
+			for _, id := range want {
+				if seen[id] {
+					hits++
+				}
+			}
+			recall += float64(hits) / float64(len(want))
+		}
+		recall /= float64(len(w.queries))
+		if recall < 0.9 {
+			t.Fatalf("%d shards: divided-effort recall vs unsharded = %.3f, want ≥ 0.9", shards, recall)
+		}
+	}
+}
+
+// TestPartitionOptions pins the per-shard effort arithmetic DivideEffort
+// relies on.
+func TestPartitionOptions(t *testing.T) {
+	opt := core.SearchOptions{RatioK: 16}
+	p := opt.Partition(2, 10)
+	if p.KPrime != 80 || p.EfSearch != 80 || p.RatioK != 0 {
+		t.Fatalf("Partition(2, 10) of RatioK=16: %+v", p)
+	}
+	// The per-shard share floors at k: every shard must still produce a
+	// full local top-k for the merge to select from.
+	p = core.SearchOptions{KPrime: 12}.Partition(4, 10)
+	if p.KPrime != 10 {
+		t.Fatalf("share below k not floored: %+v", p)
+	}
+	if p.EfSearch < p.KPrime {
+		t.Fatalf("beam narrower than the candidate count: %+v", p)
+	}
+	// A single shard changes nothing.
+	if p := opt.Partition(1, 10); p != opt {
+		t.Fatalf("Partition(1, ·) altered the options: %+v", p)
 	}
 }

@@ -3,13 +3,33 @@
 // back — the deployment shape of the paper's Figure 1, where the only
 // user↔server traffic is one encrypted token up and k ids down.
 //
-// The protocol is deliberately minimal (length-free gob stream per
-// connection, one in-flight request per connection); it exists so the
-// three-role example runs as real processes, not to be a general RPC
-// framework. The searchbatch op amortizes the round trip over a whole
-// batch of tokens, and search ops can additionally return cross-shard
-// merge material for the scatter-gather tier (internal/shard). AME
-// trapdoors and ciphertexts (benchmark-only) are not carried.
+// # Protocol v2: multiplexed streams
+//
+// Every request carries a client-assigned id (Seq) which the server echoes
+// on the matching response, so one connection multiplexes any number of
+// concurrent calls: the client pipelines requests from many goroutines
+// over a single gob stream and a demux goroutine routes each response to
+// the caller waiting on its Seq, while the server dispatches every decoded
+// request to its own handler goroutine (responses serialize on a write
+// mutex, so frames never interleave). A slow search therefore no longer
+// blocks the queries behind it, and the scatter-gather tier keeps one
+// connection per shard regardless of concurrency.
+//
+// The v1 protocol (lockstep, one in-flight request per connection) is a
+// wire-compatible subset. A v1 client never pipelines, so a v2 server's
+// out-of-order completions are unobservable to it (gob ignores the Seq
+// field it does not know). A v1 server echoes no Seq; the v2 client
+// detects the zero id and falls back to FIFO matching, which is exactly
+// right because a lockstep server answers in request order.
+//
+// Streams remain unframed gob, so the PR 3 poisoning semantics carry over
+// unchanged: any stream-level failure (including the new deadline
+// expiries) poisons the client and fails every pending and future call
+// with ErrClientBroken; application errors inside intact frames do not.
+// The searchbatch op still amortizes one round trip over a whole batch of
+// tokens, and search ops can return cross-shard merge material for the
+// scatter-gather tier (internal/shard). AME trapdoors and ciphertexts
+// (benchmark-only) are not carried.
 package transport
 
 import (
@@ -19,6 +39,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,10 +48,11 @@ import (
 )
 
 // ErrClientBroken marks a Client whose gob stream was poisoned by an
-// earlier encode/decode failure. The stream carries no framing, so once an
-// error interrupts it mid-message there is no way to resynchronize;
-// instead of silently pairing requests with stale responses, every later
-// call fails fast wrapping this error. Dial a fresh Client to recover.
+// earlier failure (encode/decode error, expired deadline, or Close). The
+// stream carries no framing, so once an error interrupts it mid-message
+// there is no way to resynchronize; instead of silently pairing requests
+// with stale responses, every later call fails fast wrapping this error.
+// Dial a fresh Client to recover.
 var ErrClientBroken = errors.New("transport: connection poisoned by an earlier stream error")
 
 // wireToken is the on-the-wire query token: the SAP ciphertext and the DCE
@@ -97,20 +119,34 @@ func (wi *wireInsert) payload() *core.InsertPayload {
 	return p
 }
 
+// ProtoVersion is the generation this package speaks; servers stamp it on
+// info/len responses so clients can tell a zero-valued field from one a
+// legacy peer simply never sent. In-process Info builders (shard.Local)
+// stamp it too, since they are by definition current.
+const ProtoVersion = 2
+
 // Info describes the server a client is connected to: which filter-index
-// backend it runs and what update operations that backend supports, so
+// backend it runs, what update operations that backend supports (so
 // clients can gate Insert/Delete calls instead of discovering failures
-// remotely.
+// remotely), and its record counts — N includes tombstones, Live does not.
+// Proto is the server's protocol generation: 0 means a pre-v2 server,
+// whose responses carry no Live count (Live then gob-decodes as 0 and
+// must not be read as "everything tombstoned").
 type Info struct {
 	Backend       string
 	DynamicInsert bool
 	DynamicDelete bool
 	N             int
+	Live          int
 	Dim           int
+	Proto         int
 }
 
 // request is the wire envelope for client→server calls.
 type request struct {
+	// Seq is the multiplexing id: the server echoes it on the matching
+	// response. 0 identifies a legacy (v1, lockstep) client.
+	Seq   uint64
 	Op    string // "search", "searchbatch", "insert", "delete", "len", "info"
 	Token *wireToken
 	// Tokens carries a whole batch for "searchbatch", amortizing one round
@@ -139,6 +175,8 @@ type wireResult struct {
 
 // response is the wire envelope for server→client replies.
 type response struct {
+	// Seq echoes the request's multiplexing id (0 from a v1 server).
+	Seq uint64
 	IDs []int
 	// Dists/Recs/CtDim carry the merge material of a Merge search.
 	Dists []float64
@@ -148,6 +186,10 @@ type response struct {
 	Batch []wireResult
 	ID    int
 	N     int
+	Live  int
+	// Proto is stamped ProtoVersion on len responses so clients can
+	// distinguish a legacy server's absent Live count from a real zero.
+	Proto int
 	Info  *Info
 	Err   string
 }
@@ -155,8 +197,25 @@ type response struct {
 // acceptBackoffMax caps the retry delay of the accept loop.
 const acceptBackoffMax = time.Second
 
+// maxInFlightPerConn bounds the handler goroutines one connection may have
+// running at once. Requests beyond it queue in the read loop (the client
+// keeps pipelining; the server just stops pulling new frames), so one
+// misbehaving client cannot grow goroutines without bound.
+const maxInFlightPerConn = 128
+
+// serverWriteTimeout bounds each response write. Without it a client that
+// pipelines requests and then stops reading would pin maxInFlightPerConn
+// handler goroutines (plus their response payloads) per connection
+// forever, every one blocked in Encode behind a full TCP send buffer.
+// Generous on purpose: it only needs to catch wedged peers, not pace
+// healthy ones.
+const serverWriteTimeout = 2 * time.Minute
+
 // Serve accepts connections on l and answers requests against srv until
-// the listener closes. Each connection is served on its own goroutine.
+// the listener closes. Each connection is served on its own goroutine, and
+// each request on a connection is dispatched to its own handler goroutine
+// (bounded by maxInFlightPerConn), so concurrent calls multiplexed over
+// one connection run in parallel against the server's lock-free read path.
 //
 // Transient Accept failures (ECONNABORTED on a connection reset before
 // accept, EMFILE under descriptor pressure, ...) must not kill the serving
@@ -190,115 +249,217 @@ func Serve(l net.Listener, srv *core.Server) error {
 	}
 }
 
+// serveConn multiplexes one connection: a single read loop decodes
+// requests and hands each to a handler goroutine; responses are encoded
+// under a write mutex so frames never interleave on the shared stream.
 func serveConn(conn net.Conn, srv *core.Server) {
-	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInFlightPerConn)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // client hung up (io.EOF) or sent garbage
+			break // client hung up (io.EOF) or sent garbage
 		}
-		var resp response
-		switch req.Op {
-		case "search":
-			if req.Merge {
-				r, err := srv.SearchShard(req.Token.token(), req.K, req.Opt)
-				if err != nil {
-					resp.Err = err.Error()
-				} else {
-					resp.IDs, resp.Dists, resp.Recs, resp.CtDim = r.IDs, r.Dists, r.Recs, r.CtDim
-				}
-			} else {
-				ids, err := srv.Search(req.Token.token(), req.K, req.Opt)
-				if err != nil {
-					resp.Err = err.Error()
-				} else {
-					resp.IDs = ids
-				}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(req request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := handle(srv, &req)
+			resp.Seq = req.Seq
+			wmu.Lock()
+			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+			err := enc.Encode(resp)
+			wmu.Unlock()
+			if err != nil {
+				// The stream is unrecoverable mid-message; closing the
+				// connection also unblocks the read loop.
+				conn.Close()
 			}
-		case "searchbatch":
-			toks := make([]*core.QueryToken, len(req.Tokens))
-			for i, wt := range req.Tokens {
-				toks[i] = wt.token()
-			}
-			resp.Batch = make([]wireResult, len(toks))
-			if req.Merge {
-				rs, errs := srv.SearchShardBatch(toks, req.K, req.Opt, 0)
-				for i := range toks {
-					if errs[i] != nil {
-						resp.Batch[i].Err = errs[i].Error()
-						continue
-					}
-					resp.Batch[i] = wireResult{IDs: rs[i].IDs, Dists: rs[i].Dists, Recs: rs[i].Recs, CtDim: rs[i].CtDim}
-				}
-			} else {
-				results, errs := srv.SearchBatchErrs(toks, req.K, req.Opt, 0)
-				for i := range toks {
-					if errs[i] != nil {
-						resp.Batch[i].Err = errs[i].Error()
-						continue
-					}
-					resp.Batch[i].IDs = results[i]
-				}
-			}
-		case "insert":
-			id, err := srv.Insert(req.Payload.payload())
+		}(req)
+	}
+	wg.Wait()
+	conn.Close()
+}
+
+// handle executes one decoded request against the server.
+func handle(srv *core.Server, req *request) *response {
+	var resp response
+	// Parallelism arrives from the wire; clamp it so a remote client can
+	// ask for up to all of this host's cores but can never make one
+	// request spawn more workers than that (the semaphore in serveConn
+	// bounds concurrent requests, not workers within one).
+	if max := runtime.GOMAXPROCS(0); req.Opt.Parallelism > max {
+		req.Opt.Parallelism = max
+	}
+	switch req.Op {
+	case "search":
+		if req.Merge {
+			r, err := srv.SearchShard(req.Token.token(), req.K, req.Opt)
 			if err != nil {
 				resp.Err = err.Error()
 			} else {
-				resp.ID = id
+				resp.IDs, resp.Dists, resp.Recs, resp.CtDim = r.IDs, r.Dists, r.Recs, r.CtDim
 			}
-		case "delete":
-			if err := srv.Delete(req.ID); err != nil {
+		} else {
+			ids, err := srv.Search(req.Token.token(), req.K, req.Opt)
+			if err != nil {
 				resp.Err = err.Error()
+			} else {
+				resp.IDs = ids
 			}
-		case "len":
-			resp.N = srv.Len()
-		case "info":
-			caps := srv.Caps()
-			resp.Info = &Info{
-				Backend:       srv.Backend(),
-				DynamicInsert: caps.DynamicInsert,
-				DynamicDelete: caps.DynamicDelete,
-				N:             srv.Len(),
-				Dim:           srv.Dim(),
+		}
+	case "searchbatch":
+		toks := make([]*core.QueryToken, len(req.Tokens))
+		for i, wt := range req.Tokens {
+			toks[i] = wt.token()
+		}
+		resp.Batch = make([]wireResult, len(toks))
+		if req.Merge {
+			rs, errs := srv.SearchShardBatch(toks, req.K, req.Opt, 0)
+			for i := range toks {
+				if errs[i] != nil {
+					resp.Batch[i].Err = errs[i].Error()
+					continue
+				}
+				resp.Batch[i] = wireResult{IDs: rs[i].IDs, Dists: rs[i].Dists, Recs: rs[i].Recs, CtDim: rs[i].CtDim}
 			}
-		default:
-			resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)
+		} else {
+			results, errs := srv.SearchBatchErrs(toks, req.K, req.Opt, 0)
+			for i := range toks {
+				if errs[i] != nil {
+					resp.Batch[i].Err = errs[i].Error()
+					continue
+				}
+				resp.Batch[i].IDs = results[i]
+			}
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return
+	case "insert":
+		id, err := srv.Insert(req.Payload.payload())
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.ID = id
 		}
+	case "delete":
+		if err := srv.Delete(req.ID); err != nil {
+			resp.Err = err.Error()
+		}
+	case "len":
+		// One snapshot load for the whole pair, so N and Live can never
+		// be torn across a concurrent mutation.
+		db := srv.Database()
+		resp.N = db.Len()
+		resp.Live = db.Live()
+		resp.Proto = ProtoVersion
+	case "info":
+		db := srv.Database()
+		caps := db.Index.Caps()
+		resp.Info = &Info{
+			Backend:       db.Backend,
+			DynamicInsert: caps.DynamicInsert,
+			DynamicDelete: caps.DynamicDelete,
+			N:             db.Len(),
+			Live:          db.Live(),
+			Dim:           db.Dim,
+			Proto:         ProtoVersion,
+		}
+	default:
+		resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)
 	}
+	return &resp
 }
 
-// Client is a connection to a remote PP-ANNS server. Safe for concurrent
-// use (requests serialize on the connection).
+// DialOptions configures a Client's deadlines. The zero value disables
+// them all — calls then wait indefinitely, as v1 did.
+type DialOptions struct {
+	// DialTimeout bounds the TCP connect (0 = the OS default).
+	DialTimeout time.Duration
+	// Timeout is the per-call deadline: a call not answered within it
+	// fails and poisons the client. Poisoning is deliberately
+	// conservative — against a v2 server the demux could simply drop the
+	// late response by its Seq, but the client cannot know the peer's
+	// protocol generation up front (a legacy lockstep server would
+	// desync), and a deadline expiry usually means the connection is
+	// sick. Fail every call fast; redial to recover.
+	Timeout time.Duration
+	// WriteTimeout bounds each request's encode onto the socket.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds the silence while calls are pending: the demux
+	// loop must receive *some* response within it or the stream is
+	// declared dead. An idle connection (no calls in flight) never times
+	// out.
+	ReadTimeout time.Duration
+}
+
+// callResult is what the demux loop delivers to a waiting caller.
+type callResult struct {
+	resp *response
+	err  error
+}
+
+// Client is a connection to a remote PP-ANNS server, safe for concurrent
+// use. Unlike the v1 lockstep client, concurrent calls pipeline over the
+// single connection: each is tagged with a Seq id, and a demux goroutine
+// routes responses — which a v2 server may complete out of order — back to
+// their callers.
 type Client struct {
-	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	opts DialOptions
+
+	encMu sync.Mutex // serializes request frames onto the stream
+	enc   *gob.Encoder
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan callResult
+	fifo    []uint64 // send order, for FIFO-matching legacy (Seq-0) servers
 	// broken records the first stream-level failure. The unframed gob
 	// stream cannot recover from a partial message, so once set every
-	// later round trip fails fast wrapping ErrClientBroken. Application
-	// errors (a response carrying Err) do not poison the stream — the
-	// message framing survived intact.
+	// later call fails fast wrapping ErrClientBroken. Application errors
+	// (a response carrying Err) do not poison the stream — the message
+	// framing survived intact.
 	broken error
+	closed bool
 }
 
-// Dial connects to a server started with Serve.
+// Dial connects to a server started with Serve, with no deadlines.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith is Dial with explicit deadline options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if opts.DialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	c := &Client{
+		conn:    conn,
+		opts:    opts,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan callResult),
+	}
+	go c.demux()
+	return c, nil
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears down the connection; pending and future calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
 
 // Broken returns the stream error that poisoned this client, or nil while
 // the connection is healthy.
@@ -308,28 +469,187 @@ func (c *Client) Broken() error {
 	return c.broken
 }
 
+// fail poisons the client: it records the first stream-level error, closes
+// the connection (unblocking the demux loop and any blocked writers), and
+// delivers the error to every pending call exactly once.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]chan callResult)
+	c.fifo = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pend {
+		ch <- callResult{err: err}
+	}
+}
+
+// bumpReadDeadline refreshes (or, with pending == 0, clears) the read
+// deadline guarding the demux loop. Called after a request reaches the
+// wire, on every byte of response progress, and after every completed
+// response — never on mere registration — so the deadline bounds actual
+// silence from a server that owes us an answer. Caller holds c.mu.
+func (c *Client) bumpReadDeadline() {
+	if c.opts.ReadTimeout <= 0 {
+		return
+	}
+	if len(c.pending) == 0 {
+		c.conn.SetReadDeadline(time.Time{})
+	} else {
+		c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+	}
+}
+
+// progressReader feeds the demux decoder and counts any received byte as
+// liveness: each successful read while calls are pending re-arms the read
+// deadline, so ReadTimeout bounds true silence — a large response frame
+// that transfers slower than the timeout but keeps progressing never
+// trips it.
+type progressReader struct {
+	c *Client
+}
+
+func (r *progressReader) Read(p []byte) (int, error) {
+	n, err := r.c.conn.Read(p)
+	if n > 0 && r.c.opts.ReadTimeout > 0 {
+		r.c.mu.Lock()
+		r.c.bumpReadDeadline()
+		r.c.mu.Unlock()
+	}
+	return n, err
+}
+
+// demux is the Client's single reader: it decodes responses off the shared
+// stream and routes each to the caller registered under its Seq. Responses
+// from a legacy v1 server carry Seq 0 and are matched FIFO — correct
+// because a lockstep server answers strictly in request order.
+func (c *Client) demux() {
+	dec := gob.NewDecoder(&progressReader{c: c})
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			switch {
+			case closed:
+				err = fmt.Errorf("transport: client closed")
+			case errors.Is(err, io.EOF):
+				err = fmt.Errorf("transport: server closed the connection")
+			default:
+				err = fmt.Errorf("transport: receive: %w", err)
+			}
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		seq := resp.Seq
+		if seq == 0 {
+			// Legacy server: match the oldest still-pending call,
+			// skipping ids already resolved (timed out, failed).
+			for len(c.fifo) > 0 {
+				s := c.fifo[0]
+				c.fifo = c.fifo[1:]
+				if _, ok := c.pending[s]; ok {
+					seq = s
+					break
+				}
+			}
+		}
+		ch, ok := c.pending[seq]
+		if ok {
+			delete(c.pending, seq)
+		}
+		// Trim resolved ids off the fifo head so a pure-v2 stream does
+		// not accumulate one entry per request for the life of the
+		// connection (entries behind a still-pending head linger only
+		// until it resolves — bounded by the in-flight count).
+		for len(c.fifo) > 0 {
+			if _, waiting := c.pending[c.fifo[0]]; waiting {
+				break
+			}
+			c.fifo = c.fifo[1:]
+		}
+		c.bumpReadDeadline()
+		c.mu.Unlock()
+		if ok {
+			ch <- callResult{resp: &resp}
+		}
+		// A response with no waiter (e.g. a stray frame from a confused
+		// server) is dropped; the next decode either resynchronizes or
+		// fails and poisons the stream.
+	}
+}
+
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.broken != nil {
-		return response{}, fmt.Errorf("%w (cause: %v)", ErrClientBroken, c.broken)
+		err := fmt.Errorf("%w (cause: %v)", ErrClientBroken, c.broken)
+		c.mu.Unlock()
+		return response{}, err
 	}
-	if err := c.enc.Encode(&req); err != nil {
-		c.broken = err
-		return response{}, fmt.Errorf("transport: send: %w", err)
+	c.seq++
+	req.Seq = c.seq
+	ch := make(chan callResult, 1)
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	c.encMu.Lock()
+	// The write deadline is armed under the write lock, immediately
+	// before the encode: set any earlier, time spent queued behind other
+	// writers would count against it (and would retarget the deadline of
+	// whichever Write is in progress), poisoning a healthy connection.
+	if c.opts.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.broken = err
-		if errors.Is(err, io.EOF) {
-			return response{}, fmt.Errorf("transport: server closed the connection")
+	// The fifo records socket WRITE order, not registration order — a
+	// legacy server answers in the order requests hit the wire, so the
+	// append must happen under the write lock, atomically with the
+	// encode, or two goroutines racing between registration and encode
+	// would let the FIFO fallback swap their responses.
+	c.mu.Lock()
+	c.fifo = append(c.fifo, req.Seq)
+	c.mu.Unlock()
+	err := c.enc.Encode(&req)
+	c.encMu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("transport: send: %w", err)
+		c.fail(err)
+		return response{}, err
+	}
+	// Arm the read deadline only once the request has actually reached
+	// the wire — armed at registration it would count time spent queued
+	// behind other writers, and the server cannot answer a request it
+	// has not received. From here, every byte of response progress
+	// (progressReader) and every completed response re-arm it, so it
+	// bounds true silence.
+	c.mu.Lock()
+	c.bumpReadDeadline()
+	c.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if c.opts.Timeout > 0 {
+		t := time.NewTimer(c.opts.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return response{}, r.err
 		}
-		return response{}, fmt.Errorf("transport: receive: %w", err)
+		if r.resp.Err != "" {
+			return response{}, errors.New(r.resp.Err)
+		}
+		return *r.resp, nil
+	case <-timeout:
+		err := fmt.Errorf("transport: call timed out after %v", c.opts.Timeout)
+		c.fail(err)
+		return response{}, err
 	}
-	if resp.Err != "" {
-		return response{}, errors.New(resp.Err)
-	}
-	return resp, nil
 }
 
 // Search sends an encrypted query token and returns result ids.
@@ -395,11 +715,12 @@ func (c *Client) searchBatch(toks []*core.QueryToken, k int, opt core.SearchOpti
 }
 
 // SearchBatch answers a whole batch of queries in a single round trip —
-// the server fans the batch across its cores — and returns per-query
-// results in input order. Failed queries surface exactly like
-// core.Server.SearchBatch: their slots are nil and the returned error is a
-// *core.BatchError listing them, so a single malformed token never voids
-// the rest of the batch. A transport-level failure voids the whole call.
+// the server fans the batch across its cores, honoring
+// core.SearchOptions.Parallelism — and returns per-query results in input
+// order. Failed queries surface exactly like core.Server.SearchBatch:
+// their slots are nil and the returned error is a *core.BatchError listing
+// them, so a single malformed token never voids the rest of the batch. A
+// transport-level failure voids the whole call.
 func (c *Client) SearchBatch(toks []*core.QueryToken, k int, opt core.SearchOptions) ([][]int, error) {
 	rs, errs, err := c.searchBatch(toks, k, opt, false)
 	if err != nil || rs == nil {
@@ -446,13 +767,27 @@ func (c *Client) Delete(id int) error {
 	return err
 }
 
-// Len returns the server-side vector count.
+// Len returns the server-side vector count (tombstones included).
 func (c *Client) Len() (int, error) {
 	resp, err := c.roundTrip(request{Op: "len"})
 	if err != nil {
 		return 0, err
 	}
 	return resp.N, nil
+}
+
+// Live returns the server-side count of non-tombstoned vectors. A pre-v2
+// server never reports it; that surfaces as an error rather than a bogus
+// zero.
+func (c *Client) Live() (int, error) {
+	resp, err := c.roundTrip(request{Op: "len"})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Proto == 0 {
+		return 0, fmt.Errorf("transport: server predates live counts (protocol v1)")
+	}
+	return resp.Live, nil
 }
 
 // Info returns the server's backend name, capabilities and size.

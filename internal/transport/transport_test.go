@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -533,5 +534,259 @@ func TestSearchShardOverTCP(t *testing.T) {
 		if len(rec) != 4*res.CtDim {
 			t.Fatalf("rec %d has %d floats, want %d", i, len(rec), 4*res.CtDim)
 		}
+	}
+}
+
+// TestPipelinedConcurrentCalls exercises protocol v2's whole point: many
+// goroutines share one connection, their requests pipeline, and the demux
+// routes every (possibly out-of-order) response to the right caller — the
+// answers must match a sequential baseline exactly.
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	toks := batchTokens(t, user, d, 8)
+	opt := core.SearchOptions{RatioK: 8}
+	want := make([][]int, len(toks))
+	for i, tok := range toks {
+		if want[i], err = client.Search(tok, 5, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				qi := (w + rep) % len(toks)
+				ids, err := client.Search(toks[qi], 5, opt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range ids {
+					if ids[i] != want[qi][i] {
+						errs <- fmt.Errorf("worker %d query %d rank %d: id %d, want %d (response misrouted?)", w, qi, i, ids[i], want[qi][i])
+						return
+					}
+				}
+				if n, err := client.Len(); err != nil || n != 600 {
+					errs <- fmt.Errorf("worker %d: Len = %d, %v", w, n, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if client.Broken() != nil {
+		t.Fatalf("pipelined load poisoned the client: %v", client.Broken())
+	}
+}
+
+// TestLegacyServerFIFOFallback pins the v1 compatibility story: a lockstep
+// server that echoes no Seq answers in request order, and the client's
+// FIFO fallback must pair every pipelined caller with a distinct response
+// — responses are made distinguishable by a server-side counter.
+func TestLegacyServerFIFOFallback(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		n := 0
+		for {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			n++
+			// v1 shape: no Seq echoed, strictly in request order.
+			if err := enc.Encode(&response{N: n}); err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const calls = 10
+	got := make([]int, calls)
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := client.Len()
+			if err != nil {
+				errs <- err
+				return
+			}
+			got[i] = n
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool, calls)
+	for i, n := range got {
+		if n < 1 || n > calls || seen[n] {
+			t.Fatalf("caller %d got response %d; FIFO fallback misrouted (all: %v)", i, n, got)
+		}
+		seen[n] = true
+	}
+}
+
+// TestCallTimeoutOnStalledServer covers the deadline satellite: a server
+// that accepts and then never answers must fail the call within the
+// configured deadline and poison the client — not hang it forever.
+func TestCallTimeoutOnStalledServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1<<16)
+		conn.Read(buf) // swallow the request, answer nothing
+		<-stop
+	}()
+
+	client, err := DialWith(l.Addr().String(), DialOptions{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	start := time.Now()
+	if _, err := client.Len(); err == nil {
+		t.Fatal("expected timeout error from stalled server")
+	} else if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timed-out call took %v", elapsed)
+	}
+	if client.Broken() == nil {
+		t.Fatal("timeout did not poison the client")
+	}
+	if _, err := client.Len(); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("call after timeout: err = %v, want ErrClientBroken", err)
+	}
+}
+
+// TestReadTimeoutOnSilentServer is the stream-level flavor: with a read
+// deadline configured and a call pending, prolonged silence must poison
+// the stream and fail the pending call even without a per-call timeout.
+func TestReadTimeoutOnSilentServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1<<16)
+		conn.Read(buf)
+		<-stop
+	}()
+
+	client, err := DialWith(l.Addr().String(), DialOptions{ReadTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	start := time.Now()
+	if _, err := client.Len(); err == nil {
+		t.Fatal("expected read-deadline error from silent server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline expiry took %v", elapsed)
+	}
+	if client.Broken() == nil {
+		t.Fatal("read deadline did not poison the client")
+	}
+}
+
+// TestLiveCountsOverTCP covers the tombstone-count satellite: Live and
+// Info must separate live records from tombstones while Len keeps
+// counting both.
+func TestLiveCountsOverTCP(t *testing.T) {
+	owner, _, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	payload, err := owner.EncryptVector(d.Train[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.Insert(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := client.Len()
+	if err != nil || n != 601 {
+		t.Fatalf("Len = %d, %v, want 601", n, err)
+	}
+	live, err := client.Live()
+	if err != nil || live != 599 {
+		t.Fatalf("Live = %d, %v, want 599", live, err)
+	}
+	info, err := client.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 601 || info.Live != 599 {
+		t.Fatalf("Info counts N=%d Live=%d, want 601/599", info.N, info.Live)
 	}
 }
