@@ -33,6 +33,8 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (sift,gist,glove,deep)")
 		full     = flag.Bool("full", false, "lift laptop-scale caps (gist-size AME pieces)")
 		jsonOut  = flag.String("json", "", "path for the machine-readable profile of -exp perf (e.g. BENCH_search.json)")
+		baseline = flag.String("baseline", "", "committed profile to regression-gate -exp perf against (fails on >tolerance qps drop)")
+		tol      = flag.Float64("baseline-tolerance", 0.25, "allowed fractional single-stream qps drop vs -baseline")
 	)
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 
 	cfg := bench.Config{
 		N: *n, Queries: *queries, K: *k, Seed: *seed, Full: *full, Out: os.Stdout, JSONOut: *jsonOut,
+		Baseline: *baseline, BaselineTolerance: *tol,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")

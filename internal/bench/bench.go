@@ -41,6 +41,15 @@ type Config struct {
 	// JSONOut, when non-empty, is the path experiments with a
 	// machine-readable profile (currently "perf") write it to.
 	JSONOut string
+	// Baseline, when non-empty, names a committed profile (the repo's
+	// BENCH_search.json) the "perf" experiment compares its fresh
+	// single-stream qps against, failing on a regression beyond
+	// BaselineTolerance. Tolerance-gated, not flaky-tight: CI hosts jitter,
+	// so only a drop that cannot be noise should fail the job.
+	Baseline string
+	// BaselineTolerance is the allowed fractional qps drop vs the baseline
+	// (default 0.25, i.e. fail only when >25% slower).
+	BaselineTolerance float64
 }
 
 func (c Config) withDefaults() Config {

@@ -40,11 +40,16 @@ type SearchPerfReport struct {
 	} `json:"config"`
 	// Single profiles the sequential (one-query-at-a-time) hot path.
 	Single struct {
-		QPS         float64 `json:"qps"`
-		P50Micros   float64 `json:"p50_us"`
-		P99Micros   float64 `json:"p99_us"`
-		FilterMicro float64 `json:"filter_us"` // mean per query
-		RefineMicro float64 `json:"refine_us"` // mean per query
+		QPS       float64 `json:"qps"`
+		P50Micros float64 `json:"p50_us"`
+		P99Micros float64 `json:"p99_us"`
+		// FilterMicro/RefineMicro are per-query medians: the hot path
+		// allocates nothing and every query does the same shape of work,
+		// so the median is the stable estimator of per-stage cost — a
+		// scheduler preemption or GC debt landing on one query inflates a
+		// mean by milliseconds while leaving the median untouched.
+		FilterMicro float64 `json:"filter_us"`
+		RefineMicro float64 `json:"refine_us"`
 		Comparisons float64 `json:"comparisons_per_query"`
 		Recall      float64 `json:"recall"`
 		AllocsPerOp float64 `json:"allocs_per_op"` // steady-state SearchInto
@@ -86,10 +91,15 @@ type SearchPerfReport struct {
 	} `json:"sharded"`
 }
 
-// ConcurrentPoint is one parallelism level of the concurrent sweep.
+// ConcurrentPoint is one parallelism level of the concurrent sweep, with
+// the per-stage cost split so a flat-scaling regression is attributable to
+// the stage that stopped scaling instead of showing up as one opaque qps
+// number.
 type ConcurrentPoint struct {
 	Parallelism int     `json:"parallelism"`
 	QPS         float64 `json:"qps"`
+	FilterMicro float64 `json:"filter_us"` // mean per query across the sweep's rounds
+	RefineMicro float64 `json:"refine_us"`
 }
 
 // SearchPerf ("perf") profiles the zero-allocation search hot path — qps,
@@ -122,22 +132,33 @@ func SearchPerf(cfg Config) error {
 	}
 
 	// Sequential pass: per-query latency distribution plus the cost split.
+	// The collector gets the same treatment as the throughput rounds below
+	// (one collection up front, then disabled): the hot path allocates
+	// nothing, so any GC landing mid-pass is background debt charged to
+	// whichever query it interrupts — pure noise in the per-stage means
+	// this profile exists to track.
 	lat := make([]time.Duration, len(dep.tokens))
+	filterLat := make([]time.Duration, len(dep.tokens))
+	refineLat := make([]time.Duration, len(dep.tokens))
 	got := make([][]int, len(dep.tokens))
 	var agg core.SearchStats
+	runtime.GC()
+	seqPrevGC := debug.SetGCPercent(-1)
 	for i, tok := range dep.tokens {
 		qStart := time.Now()
 		ids, st, err := dep.server.SearchInto(dst[:0], tok, k, opt)
 		if err != nil {
+			debug.SetGCPercent(seqPrevGC)
 			return err
 		}
 		lat[i] = time.Since(qStart)
 		got[i] = append([]int(nil), ids...)
 		dst = ids
 		agg.Comparisons += st.Comparisons
-		agg.FilterTime += st.FilterTime
-		agg.RefineTime += st.RefineTime
+		filterLat[i] = st.FilterTime
+		refineLat[i] = st.RefineTime
 	}
+	debug.SetGCPercent(seqPrevGC)
 	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
 	nq := len(dep.tokens)
 	pctl := func(p float64) float64 {
@@ -234,13 +255,41 @@ func SearchPerf(cfg Config) error {
 			return nil
 		}
 	}
+	// The concurrent sweep collects per-query stats so the profile reports
+	// each parallelism level's filter/refine split alongside its qps.
+	type stageAgg struct {
+		filter  time.Duration
+		refine  time.Duration
+		queries int
+	}
+	batchStatsRun := func(par int, agg *stageAgg) func() error {
+		pOpt := opt
+		pOpt.Parallelism = par
+		return func() error {
+			_, stats, errs := dep.server.SearchBatchStats(dep.tokens, k, pOpt, 0)
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			for _, st := range stats {
+				agg.filter += st.FilterTime
+				agg.refine += st.RefineTime
+			}
+			agg.queries += len(stats)
+			return nil
+		}
+	}
 	singleSec := &section{name: "single", run: singleRun}
 	batchSec := &section{name: "batch", run: batchRun(workers)}
 	sections := []*section{singleSec, batchSec}
 	concurrentAt := make(map[int]*section, len(sweep))
+	concurrentAgg := make(map[int]*stageAgg, len(sweep))
 	for _, par := range sweep {
-		s := &section{name: fmt.Sprintf("concurrent-%d", par), run: batchRun(par)}
+		agg := &stageAgg{}
+		s := &section{name: fmt.Sprintf("concurrent-%d", par), run: batchStatsRun(par, agg)}
 		concurrentAt[par] = s
+		concurrentAgg[par] = agg
 		sections = append(sections, s)
 	}
 	shardedSingle := &section{name: "sharded", run: func() error {
@@ -325,8 +374,13 @@ func SearchPerf(cfg Config) error {
 	rep.Single.QPS = qps(singleSec)
 	rep.Single.P50Micros = pctl(0.50)
 	rep.Single.P99Micros = pctl(0.99)
-	rep.Single.FilterMicro = float64(agg.FilterTime.Nanoseconds()) / float64(nq) / 1e3
-	rep.Single.RefineMicro = float64(agg.RefineTime.Nanoseconds()) / float64(nq) / 1e3
+	median := func(ds []time.Duration) float64 {
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		return float64(sorted[len(sorted)/2].Nanoseconds()) / 1e3
+	}
+	rep.Single.FilterMicro = median(filterLat)
+	rep.Single.RefineMicro = median(refineLat)
 	gt := data.GroundTruth(k)
 	rep.Single.Comparisons = float64(agg.Comparisons) / float64(nq)
 	rep.Single.Recall = dataset.MeanRecall(got, gt)
@@ -334,10 +388,16 @@ func SearchPerf(cfg Config) error {
 	rep.Batch.QPS = qps(batchSec)
 	rep.Batch.Parallelism = workers
 	for _, par := range sweep {
-		rep.Concurrent.Sweep = append(rep.Concurrent.Sweep, ConcurrentPoint{
+		agg := concurrentAgg[par]
+		pt := ConcurrentPoint{
 			Parallelism: par,
 			QPS:         qps(concurrentAt[par]),
-		})
+		}
+		if agg.queries > 0 {
+			pt.FilterMicro = float64(agg.filter.Nanoseconds()) / float64(agg.queries) / 1e3
+			pt.RefineMicro = float64(agg.refine.Nanoseconds()) / float64(agg.queries) / 1e3
+		}
+		rep.Concurrent.Sweep = append(rep.Concurrent.Sweep, pt)
 	}
 	rep.Sharded.Shards = nShards
 	rep.Sharded.DivideEffort = true
@@ -355,7 +415,8 @@ func SearchPerf(cfg Config) error {
 	cfg.printf("%-22s %.1f allocs/op (steady-state SearchInto)\n", "allocations", rep.Single.AllocsPerOp)
 	cfg.printf("%-22s %.0f qps across %d workers\n", "batch", rep.Batch.QPS, rep.Batch.Parallelism)
 	for _, pt := range rep.Concurrent.Sweep {
-		cfg.printf("%-22s %.0f qps at parallelism %d\n", "concurrent", pt.QPS, pt.Parallelism)
+		cfg.printf("%-22s %.0f qps at parallelism %d (filter %.0fµs + refine %.0fµs per query)\n",
+			"concurrent", pt.QPS, pt.Parallelism, pt.FilterMicro, pt.RefineMicro)
 	}
 	cfg.printf("%-22s %.0f qps lockstep / %.0f qps %d-stream pipelined / %.0f qps batch across %d shards (divided effort), recall %.3f\n",
 		"scatter-gather", rep.Sharded.QPS, rep.Sharded.PipelinedQPS, rep.Sharded.PipelinedStreams,
@@ -371,6 +432,42 @@ func SearchPerf(cfg Config) error {
 			return fmt.Errorf("bench: writing %s: %w", cfg.JSONOut, err)
 		}
 		cfg.printf("%-22s %s\n", "profile written", cfg.JSONOut)
+	}
+	if cfg.Baseline != "" {
+		if err := gateAgainstBaseline(cfg, &rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gateAgainstBaseline compares the fresh single-stream qps against a
+// committed profile and fails on a drop beyond the tolerance. The gate is
+// deliberately loose (default 25%): CI hosts jitter by tens of percent
+// between runs, and a flaky gate trains people to ignore it — only a drop
+// no plausible host variance explains should turn the job red.
+func gateAgainstBaseline(cfg Config, rep *SearchPerfReport) error {
+	blob, err := os.ReadFile(cfg.Baseline)
+	if err != nil {
+		return fmt.Errorf("bench: reading baseline %s: %w", cfg.Baseline, err)
+	}
+	var base SearchPerfReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", cfg.Baseline, err)
+	}
+	if base.Single.QPS <= 0 {
+		return fmt.Errorf("bench: baseline %s has no single-stream qps", cfg.Baseline)
+	}
+	tol := cfg.BaselineTolerance
+	if tol <= 0 {
+		tol = 0.25
+	}
+	ratio := rep.Single.QPS / base.Single.QPS
+	cfg.printf("%-22s %.0f qps fresh vs %.0f qps committed (%.2fx, gate at %.2fx)\n",
+		"baseline gate", rep.Single.QPS, base.Single.QPS, ratio, 1-tol)
+	if ratio < 1-tol {
+		return fmt.Errorf("bench: single-stream qps regressed beyond tolerance: fresh %.0f vs committed %.0f (%.0f%% drop > %.0f%% allowed)",
+			rep.Single.QPS, base.Single.QPS, (1-ratio)*100, tol*100)
 	}
 	return nil
 }

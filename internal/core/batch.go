@@ -142,19 +142,40 @@ func (s *Server) searchShardBatch(toks []*QueryToken, k int, opt SearchOptions, 
 // (parallel to the result slice; nil entries mean success) instead of an
 // aggregate error. Both return values are nil for an empty batch.
 func (s *Server) SearchBatchErrs(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, []error) {
+	results, _, errs := s.searchBatch(toks, k, opt, parallelism, false)
+	return results, errs
+}
+
+// SearchBatchStats is SearchBatchErrs additionally returning the per-query
+// SearchStats (parallel to the result slice; zero value for failed slots),
+// so callers profiling the batch executor can attribute time to the filter
+// and refine stages without a second measurement pass.
+func (s *Server) SearchBatchStats(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, []SearchStats, []error) {
+	return s.searchBatch(toks, k, opt, parallelism, true)
+}
+
+func (s *Server) searchBatch(toks []*QueryToken, k int, opt SearchOptions, parallelism int, wantStats bool) ([][]int, []SearchStats, []error) {
 	if len(toks) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	results := make([][]int, len(toks))
 	errs := make([]error, len(toks))
+	var stats []SearchStats
+	if wantStats {
+		stats = make([]SearchStats, len(toks))
+	}
 	forEachQuery(len(toks), opt.parallelism(parallelism), func() func(int) {
 		var buf []int
 		return func(i int) {
-			buf, _, errs[i] = s.SearchInto(buf[:0], toks[i], k, opt)
+			var st SearchStats
+			buf, st, errs[i] = s.SearchInto(buf[:0], toks[i], k, opt)
 			if errs[i] == nil {
 				results[i] = append([]int(nil), buf...)
+				if wantStats {
+					stats[i] = st
+				}
 			}
 		}
 	})
-	return results, errs
+	return results, stats, errs
 }

@@ -116,10 +116,13 @@ func BenchmarkRefine(b *testing.B) {
 		b.ReportAllocs()
 		sc := getScratch()
 		defer putScratch(sc)
+		if err := edb.DCE.PrepareQuery(&sc.pq, tok.Trapdoor.Q); err != nil {
+			b.Fatal(err)
+		}
 		cmp := &sc.dce
 		var dst []int
 		for i := 0; i < b.N; i++ {
-			*cmp = dceComparator{store: edb.DCE, q: tok.Trapdoor.Q, cands: cands}
+			*cmp = dceComparator{pq: &sc.pq, cands: cands}
 			dst, _ = refineScratch(sc, cands, k, cmp, dst)
 		}
 	})
@@ -127,12 +130,15 @@ func BenchmarkRefine(b *testing.B) {
 		b.ReportAllocs()
 		sc := getScratch()
 		defer putScratch(sc)
+		if err := edb.DCE.PrepareQuery(&sc.pq, tok.Trapdoor.Q); err != nil {
+			b.Fatal(err)
+		}
 		cmp := &sc.dce
 		ctDim := edb.DCE.CtDim()
 		var dst []int
 		for i := 0; i < b.N; i++ {
 			sc.ops = edb.DCE.ScaleOperands(sc.ops, cands, tok.Trapdoor.Q)
-			*cmp = dceComparator{store: edb.DCE, q: tok.Trapdoor.Q, cands: cands, ops: sc.ops, ctDim: ctDim}
+			*cmp = dceComparator{pq: &sc.pq, cands: cands, ops: sc.ops, ctDim: ctDim}
 			dst, _ = refineScratch(sc, cands, k, cmp, dst)
 		}
 	})

@@ -22,6 +22,7 @@ type searchScratch struct {
 	sorted []int
 	ops    []float64
 	heap   resultheap.CompareHeap
+	pq     dce.PreparedQuery
 	dce    dceComparator
 	ame    ameComparator
 }
@@ -34,22 +35,24 @@ func putScratch(sc *searchScratch) {
 	// Drop per-query references (trapdoors, the ciphertext store) so a
 	// pooled scratch never pins another tenant's query material; the flat
 	// buffers are the point of the pool and stay.
+	sc.pq.Reset()
 	sc.dce = dceComparator{}
 	sc.ame = ameComparator{}
 	scratchPool.Put(sc)
 }
 
 // dceComparator implements resultheap.Comparator over candidate positions
-// (indexes into cands), backed by the arena store. With ops set (the
-// trapdoor-scaled operands from CiphertextStore.ScaleOperands) each
-// comparison runs the cheaper two-multiply kernel.
+// (indexes into cands), backed by the pooled PreparedQuery — the store
+// binding and trapdoor validation are paid exactly once per query, before
+// the heap starts comparing. With ops set (the trapdoor-scaled operands
+// from CiphertextStore.ScaleOperands) each comparison runs the cheaper
+// two-multiply kernel.
 //
 // A pooled struct pointer stands in for the per-search closure the old
 // code allocated; the heap stores positions so the comparator can address
 // the precomputed operand blocks directly.
 type dceComparator struct {
-	store *dce.CiphertextStore
-	q     []float64
+	pq    *dce.PreparedQuery
 	cands []int
 	ops   []float64 // nil unless precomputed; 2·ctDim floats per candidate
 	ctDim int
@@ -58,9 +61,9 @@ type dceComparator struct {
 func (c *dceComparator) Farther(a, b int) bool {
 	if c.ops != nil {
 		st := 2 * c.ctDim
-		return c.store.ScaledComp(c.ops[a*st:(a+1)*st], c.cands[b]) > 0
+		return c.pq.Store().ScaledComp(c.ops[a*st:(a+1)*st], c.cands[b]) > 0
 	}
-	return c.store.DistanceCompQ(c.cands[a], c.cands[b], c.q) > 0
+	return c.pq.Comp(c.cands[a], c.cands[b]) > 0
 }
 
 // ameComparator is the AME-baseline counterpart of dceComparator.

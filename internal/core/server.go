@@ -386,8 +386,11 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 			return dst[:0], st, fmt.Errorf("core: token lacks DCE trapdoor for refine")
 		}
 		ctDim := edb.DCE.CtDim()
-		if len(tok.Trapdoor.Q) != ctDim {
-			return dst[:0], st, fmt.Errorf("core: trapdoor has dim %d, ciphertexts %d", len(tok.Trapdoor.Q), ctDim)
+		// PrepareQuery validates the trapdoor dimension once; every heap
+		// comparison then runs against the prepared binding with no
+		// per-call setup.
+		if err := edb.DCE.PrepareQuery(&sc.pq, tok.Trapdoor.Q); err != nil {
+			return dst[:0], st, fmt.Errorf("core: %w", err)
 		}
 		// A filter backend out of step with the ciphertext store must
 		// surface as a wire-safe error, never as an out-of-range panic in
@@ -398,7 +401,7 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 			}
 		}
 		cmp := &sc.dce
-		*cmp = dceComparator{store: edb.DCE, q: tok.Trapdoor.Q, cands: cands}
+		*cmp = dceComparator{pq: &sc.pq, cands: cands}
 		if opt.PrecomputeRefine {
 			sc.ops = edb.DCE.ScaleOperands(sc.ops, cands, tok.Trapdoor.Q)
 			cmp.ops, cmp.ctDim = sc.ops, ctDim

@@ -129,3 +129,71 @@ func BenchmarkEncrypt(b *testing.B) {
 		}
 	})
 }
+
+// Kernel microbenchmarks of the prepared-query layer, run by the CI
+// bench-smoke job: one scalar comparison per call, the same comparison
+// through a PreparedQuery, and a whole candidate block per call.
+func BenchmarkDistCompScalar(b *testing.B) {
+	benchPrepared(b, func(b *testing.B, store *CiphertextStore, pq *PreparedQuery, ids []int32) {
+		q := pq.Trapdoor()
+		var z float64
+		for i := 0; i < b.N; i++ {
+			z += store.DistanceCompQ(int(ids[i%len(ids)]), int(ids[(i*7+1)%len(ids)]), q)
+		}
+		benchSink = z
+	})
+}
+
+func BenchmarkDistCompPreparedQuery(b *testing.B) {
+	benchPrepared(b, func(b *testing.B, store *CiphertextStore, pq *PreparedQuery, ids []int32) {
+		pq.SetPivot(int(ids[0]))
+		var z float64
+		for i := 0; i < b.N; i++ {
+			z += pq.CompWithPivot(int(ids[(i*7+1)%len(ids)]))
+		}
+		benchSink = z
+	})
+}
+
+func BenchmarkDistCompBlock(b *testing.B) {
+	benchPrepared(b, func(b *testing.B, store *CiphertextStore, pq *PreparedQuery, ids []int32) {
+		pq.SetPivot(int(ids[0]))
+		var dst []float64
+		var z float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(ids) {
+			dst = pq.DistanceCompBlock(dst[:0], ids)
+			z += dst[0]
+		}
+		benchSink = z
+	})
+}
+
+func benchPrepared(b *testing.B, run func(*testing.B, *CiphertextStore, *PreparedQuery, []int32)) {
+	for _, dim := range []int{96, 960} {
+		b.Run(fmt.Sprintf("d=%d", dim), func(b *testing.B) {
+			r := rng.NewSeeded(44)
+			key, err := KeyGen(r, dim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const nPoints = 256
+			store := NewCiphertextStoreN(key.CiphertextDim(), nPoints)
+			for i := 0; i < nPoints; i++ {
+				key.EncryptRecord(rng.Gaussian(r, nil, dim), store.Record(i))
+			}
+			tq := key.TrapGen(rng.Gaussian(r, nil, dim))
+			var pq PreparedQuery
+			if err := store.PrepareQuery(&pq, tq.Q); err != nil {
+				b.Fatal(err)
+			}
+			ids := make([]int32, nPoints)
+			for i := range ids {
+				ids[i] = int32(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			run(b, store, &pq, ids)
+		})
+	}
+}

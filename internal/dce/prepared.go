@@ -1,0 +1,104 @@
+package dce
+
+import "fmt"
+
+// PreparedQuery carries the per-query state of arena DCE comparisons: the
+// store binding, the validated trapdoor vector, and the hoisted operand
+// views of a pivot record. The filter-and-refine hot path performs hundreds
+// of comparisons per query against one trapdoor; preparing the query once
+// moves every per-call dimension check and pivot slice computation out of
+// the comparison kernels, and the blocked kernel below evaluates a whole
+// candidate list against the pivot in one pass over the arena.
+//
+// All comparison paths through a PreparedQuery are bit-identical to the
+// scalar CiphertextStore.DistanceCompQ: they run the same kernel with the
+// same operand association, so exchanging them never reorders results.
+//
+// A PreparedQuery is single-goroutine state (pool one per search scratch);
+// Reset drops the store and trapdoor references so a pooled value never
+// pins another tenant's query material.
+type PreparedQuery struct {
+	store *CiphertextStore
+	q     []float64
+	pivot int
+	o1    []float64 // pivot's P1 component view
+	o2    []float64 // pivot's P2 component view
+}
+
+// PrepareQuery binds pq to the store and raw trapdoor vector, performing
+// the dimension validation exactly once per query. The pivot is unset.
+func (s *CiphertextStore) PrepareQuery(pq *PreparedQuery, q []float64) error {
+	if len(q) != s.ctDim {
+		return fmt.Errorf("dce: trapdoor has dim %d, ciphertexts %d", len(q), s.ctDim)
+	}
+	pq.store = s
+	pq.q = q
+	pq.pivot = -1
+	pq.o1, pq.o2 = nil, nil
+	return nil
+}
+
+// Reset drops all references so a pooled PreparedQuery retains nothing.
+func (pq *PreparedQuery) Reset() { *pq = PreparedQuery{pivot: -1} }
+
+// Store returns the bound ciphertext store (nil before PrepareQuery).
+func (pq *PreparedQuery) Store() *CiphertextStore { return pq.store }
+
+// Trapdoor returns the bound raw trapdoor vector.
+func (pq *PreparedQuery) Trapdoor() []float64 { return pq.q }
+
+// Comp evaluates Z_{o,p,q} for records o and p, bit-identical to
+// DistanceCompQ on the bound store.
+func (pq *PreparedQuery) Comp(o, p int) float64 {
+	return pq.store.DistanceCompQ(o, p, pq.q)
+}
+
+// Closer reports whether dist(o, q) < dist(p, q).
+func (pq *PreparedQuery) Closer(o, p int) bool { return pq.Comp(o, p) < 0 }
+
+// SetPivot hoists record o's "o"-side operand views so subsequent
+// CompWithPivot/DistanceCompBlock calls skip the per-call slicing.
+func (pq *PreparedQuery) SetPivot(o int) {
+	d := pq.store.ctDim
+	o12 := pq.store.O12(o)
+	pq.pivot = o
+	pq.o1, pq.o2 = o12[:d], o12[d:]
+}
+
+// Pivot returns the current pivot record id (-1 when unset).
+func (pq *PreparedQuery) Pivot() int { return pq.pivot }
+
+// CompWithPivot evaluates Z_{pivot,p,q}, bit-identical to
+// DistanceCompQ(pivot, p, q).
+func (pq *PreparedQuery) CompWithPivot(p int) float64 {
+	d := pq.store.ctDim
+	p34 := pq.store.P34(p)
+	return distCompKernel(pq.o1, pq.o2, p34[:d], p34[d:], pq.q)
+}
+
+// DistanceCompBlock evaluates dst[j] = Z_{pivot, ids[j], q} for every id in
+// one pass over the arena, reusing dst's capacity. Each element runs the
+// same four-wide unrolled kernel as the scalar path, so results are
+// bit-identical to per-id DistanceCompQ calls; the blocked form amortizes
+// the pivot setup and keeps the trapdoor and pivot operands hot across the
+// whole candidate list — the shape a DCE-walked neighbor evaluation wants
+// (one kernel call per hop instead of one per neighbor).
+func (pq *PreparedQuery) DistanceCompBlock(dst []float64, ids []int32) []float64 {
+	if pq.pivot < 0 {
+		panic("dce: DistanceCompBlock without SetPivot")
+	}
+	if cap(dst) < len(ids) {
+		dst = make([]float64, len(ids), len(ids)+len(ids)/2+8)
+	} else {
+		dst = dst[:len(ids)]
+	}
+	s := pq.store
+	d := s.ctDim
+	st := s.stride()
+	o1, o2, q := pq.o1, pq.o2, pq.q
+	for j, id := range ids {
+		p34 := s.arena[int(id)*st+2*d : (int(id)+1)*st]
+		dst[j] = distCompKernel(o1, o2, p34[:d], p34[d:], q)
+	}
+	return dst
+}

@@ -1,0 +1,50 @@
+package epochset
+
+import "testing"
+
+func TestSeenPerRound(t *testing.T) {
+	var s Set
+	s.Grow(8)
+	s.Next()
+	if s.Seen(3) {
+		t.Fatal("fresh id reported seen")
+	}
+	if !s.Seen(3) {
+		t.Fatal("repeat id not reported seen")
+	}
+	s.Next()
+	if s.Seen(3) {
+		t.Fatal("stamp leaked across rounds")
+	}
+}
+
+func TestGrowPreservesCorrectness(t *testing.T) {
+	var s Set
+	s.Grow(4)
+	s.Next()
+	s.Seen(2)
+	s.Grow(100) // reallocates; all stamps reset, epoch restarts
+	s.Next()
+	if s.Seen(2) || s.Seen(99) {
+		t.Fatal("grown set reported unvisited ids as seen")
+	}
+	if !s.Seen(99) {
+		t.Fatal("grown set lost a fresh stamp")
+	}
+}
+
+func TestEpochWrapClearsTable(t *testing.T) {
+	var s Set
+	s.Grow(4)
+	s.Next()
+	s.Seen(1)
+	s.epoch = ^uint32(0) // force the wrap on the next round
+	s.tags[2] = ^uint32(0)
+	s.Next()
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", s.epoch)
+	}
+	if s.Seen(2) {
+		t.Fatal("stale max-epoch stamp aliased the fresh epoch")
+	}
+}

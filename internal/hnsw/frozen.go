@@ -1,0 +1,225 @@
+package hnsw
+
+// Frozen CSR search views.
+//
+// The mutable graph stores one adjacency slice per node per layer, each
+// guarded by that node's mutex; a search therefore pays a lock/unlock plus a
+// defensive copy for every hop. Under the snapshot-publication serving
+// discipline the graph a search runs against is almost always immutable
+// (core never mutates a published index), making all of that per-hop work
+// pure overhead — and the pointer-per-node layout scatters the adjacency
+// across the heap, so the beam search's dominant memory traffic is random.
+//
+// A frozenView flattens the adjacency of one quiescent generation into CSR
+// form — per layer, one offsets array plus one flat neighbor array — so the
+// frozen search walks contiguous memory with zero locking and zero copying,
+// and each hop hands its whole gathered neighbor list to one blocked
+// distance kernel call instead of N scalar calls.
+//
+// Lifecycle: the view is built lazily on the first search of a quiescent
+// graph and cached behind an atomic pointer. Every mutation (Add, Delete)
+// bumps the graph's generation under the exclusive lock, so a cached view
+// is self-invalidating: searches use it only while its generation matches.
+// Clone does not share the cache — a clone starts unfrozen and freezes on
+// its own first search.
+//
+// Safety argument for lock-free reads: a view is only built, and only
+// trusted, when (a) the builder/search holds the graph's read lock, so no
+// mutation can start (Add's node-materialization phase and all of Delete
+// require the exclusive lock), and (b) the in-flight linker count is zero,
+// so every Add that already passed its exclusive phase has finished writing
+// adjacency. Both the generation and the linker count are sequentially
+// consistent atomics, giving the builder a happens-before edge over every
+// completed mutation's writes.
+
+import "ppanns/internal/resultheap"
+
+// csrLayer is one layer's adjacency in compressed-sparse-row form: node
+// id's neighbor list is nbrs[offs[id]:offs[id+1]].
+type csrLayer struct {
+	offs []int32
+	nbrs []int32
+}
+
+// neighbors returns id's neighbor list at this layer (empty when the node's
+// level is below the layer).
+func (l *csrLayer) neighbors(id int) []int32 {
+	return l.nbrs[l.offs[id]:l.offs[id+1]]
+}
+
+// frozenView is an immutable CSR snapshot of the graph at generation gen.
+type frozenView struct {
+	gen      uint64
+	entry    int
+	maxLevel int
+	deleted  []bool
+	layers   []csrLayer
+}
+
+// frozenViewFor returns a CSR view valid for the current generation, or nil
+// when the graph is mid-mutation (callers then take the locked path).
+// Caller must hold at least the read lock.
+func (g *Graph) frozenViewFor() *frozenView {
+	if g.noFreeze {
+		return nil
+	}
+	cur := g.gen.Load()
+	if v := g.view.Load(); v != nil && v.gen == cur {
+		return v
+	}
+	// Stale or absent: rebuild, but only from a quiescent graph. A non-zero
+	// linker count means an insert past its exclusive phase is still writing
+	// adjacency; freezing now would capture a half-linked node.
+	if g.linking.Load() != 0 {
+		return nil
+	}
+	// One builder at a time; concurrent searches fall back to the locked
+	// path for this query instead of queueing on the build.
+	if !g.freezeMu.TryLock() {
+		return nil
+	}
+	defer g.freezeMu.Unlock()
+	if v := g.view.Load(); v != nil && v.gen == cur {
+		return v
+	}
+	v := g.buildFrozenView(cur)
+	g.view.Store(v)
+	return v
+}
+
+// buildFrozenView flattens the adjacency into CSR form. Caller holds the
+// read lock on a quiescent graph (generation cur, no in-flight linkers), so
+// plain reads of every node's state are safe.
+func (g *Graph) buildFrozenView(cur uint64) *frozenView {
+	n := len(g.nodes)
+	v := &frozenView{
+		gen:      cur,
+		entry:    g.entry,
+		maxLevel: g.maxLevel,
+		deleted:  make([]bool, n),
+		layers:   make([]csrLayer, g.maxLevel+1),
+	}
+	for i, nd := range g.nodes {
+		v.deleted[i] = nd.deleted
+	}
+	for l := range v.layers {
+		offs := make([]int32, n+1)
+		total := int32(0)
+		for i, nd := range g.nodes {
+			if l < len(nd.neighbors) {
+				total += int32(len(nd.neighbors[l]))
+			}
+			offs[i+1] = total
+		}
+		nbrs := make([]int32, total)
+		for i, nd := range g.nodes {
+			if l < len(nd.neighbors) {
+				copy(nbrs[offs[i]:offs[i+1]], nd.neighbors[l])
+			}
+		}
+		v.layers[l] = csrLayer{offs: offs, nbrs: nbrs}
+	}
+	return v
+}
+
+// frozenDescend is greedyDescend over a CSR view: one blocked distance call
+// per hop, no node locks, no adjacency copies. Results are identical to the
+// locked path — the same neighbors are evaluated with the same kernel in
+// the same order.
+func (g *Graph) frozenDescend(ctx *searchCtx, v *frozenView, q []float64, ep int, epDist float64, layer int) (int, float64) {
+	lay := &v.layers[layer]
+	dist := g.cfg.Distance
+	for {
+		improved := false
+		nbrs := lay.neighbors(ep)
+		if g.blockDist {
+			ctx.dists = g.data.SqDistBlock(ctx.dists, q, nbrs)
+			for j, nb := range nbrs {
+				if d := ctx.dists[j]; d < epDist {
+					epDist, ep = d, int(nb)
+					improved = true
+				}
+			}
+		} else {
+			for _, nb := range nbrs {
+				if d := dist(q, g.data.At(int(nb))); d < epDist {
+					epDist, ep = d, int(nb)
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return ep, epDist
+		}
+	}
+}
+
+// frozenSearchLayer is the layer-0 beam search over a CSR view (liveOnly
+// semantics, matching what searchInto requests). Each hop gathers its
+// unvisited neighbors and evaluates them with one blocked kernel call; the
+// admission logic then replays in neighbor order, so heap state evolves
+// exactly as on the locked path and results are order-identical.
+func (g *Graph) frozenSearchLayer(ctx *searchCtx, v *frozenView, q []float64, ep int, epDist float64, ef, layer int, allow func(int) bool) *resultheap.MaxDistHeap {
+	offs, nbrs := v.layers[layer].offs, v.layers[layer].nbrs
+	deleted := v.deleted
+	dist := g.cfg.Distance
+	cand, res := ctx.cand, ctx.res
+	cand.Reset()
+	res.Reset()
+	ctx.seen(ep)
+	cand.Push(ep, epDist)
+	if !deleted[ep] && (allow == nil || allow(ep)) {
+		res.Push(ep, epDist)
+	}
+	gather := ctx.buf
+	for cand.Len() > 0 {
+		c := cand.Pop()
+		if res.Len() >= ef && c.Dist > res.Top().Dist {
+			break
+		}
+		gather = gather[:0]
+		for _, nb := range nbrs[offs[c.ID]:offs[c.ID+1]] {
+			if !ctx.seen(int(nb)) {
+				gather = append(gather, nb)
+			}
+		}
+		if g.blockDist {
+			ctx.dists = g.data.SqDistBlock(ctx.dists, q, gather)
+		} else {
+			if cap(ctx.dists) < len(gather) {
+				ctx.dists = make([]float64, len(gather))
+			} else {
+				ctx.dists = ctx.dists[:len(gather)]
+			}
+			for j, nb := range gather {
+				ctx.dists[j] = dist(q, g.data.At(int(nb)))
+			}
+		}
+		dists := ctx.dists
+		if allow == nil {
+			for j, nb := range gather {
+				id := int(nb)
+				d := dists[j]
+				if res.Len() < ef || d < res.Top().Dist {
+					cand.Push(id, d)
+					if !deleted[id] {
+						res.PushBounded(id, d, ef)
+					}
+				}
+			}
+		} else {
+			for j, nb := range gather {
+				id := int(nb)
+				d := dists[j]
+				if res.Len() < ef || d < res.Top().Dist {
+					cand.Push(id, d)
+					if !deleted[id] && allow(id) {
+						res.PushBounded(id, d, ef)
+					}
+				}
+			}
+		}
+	}
+	ctx.buf = gather
+	return res
+}

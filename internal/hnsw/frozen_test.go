@@ -1,0 +1,191 @@
+package hnsw
+
+import (
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+func frozenTestGraph(t *testing.T, n, dim int, cfg Config) (*Graph, [][]float64) {
+	t.Helper()
+	cfg.Dim = dim
+	r := rng.NewSeeded(777)
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = rng.Gaussian(r, nil, dim)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data {
+		g.Add(v)
+	}
+	queries := make([][]float64, 32)
+	for i := range queries {
+		queries[i] = rng.Gaussian(r, nil, dim)
+	}
+	return g, queries
+}
+
+// TestFrozenSearchMatchesLockedExactly is the CSR conformance test: the
+// frozen fast path must return the exact same ids in the exact same order,
+// with bit-identical distances, as the per-node-locked path.
+func TestFrozenSearchMatchesLockedExactly(t *testing.T) {
+	g, queries := frozenTestGraph(t, 600, 24, Config{M: 8, EfConstruction: 60, Seed: 5})
+	// Tombstones exercise the deleted snapshot inside the view.
+	for _, id := range []int{3, 77, 450, 599} {
+		if err := g.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi, q := range queries {
+		g.noFreeze = true
+		locked := g.Search(q, 10, 40)
+		g.noFreeze = false
+		frozen := g.Search(q, 10, 40)
+		if g.view.Load() == nil {
+			t.Fatal("search did not build a frozen view on a quiescent graph")
+		}
+		if len(frozen) != len(locked) {
+			t.Fatalf("query %d: frozen returned %d items, locked %d", qi, len(frozen), len(locked))
+		}
+		for i := range frozen {
+			if frozen[i].ID != locked[i].ID || frozen[i].Dist != locked[i].Dist {
+				t.Fatalf("query %d pos %d: frozen (%d, %v) != locked (%d, %v)",
+					qi, i, frozen[i].ID, frozen[i].Dist, locked[i].ID, locked[i].Dist)
+			}
+		}
+	}
+}
+
+// TestFrozenSearchMatchesLockedCustomDistance covers the non-default-metric
+// path, where frozen hops fall back to per-neighbor DistanceFunc calls.
+func TestFrozenSearchMatchesLockedCustomDistance(t *testing.T) {
+	ip := func(a, b []float64) float64 { return -vec.Dot(a, b) }
+	g, queries := frozenTestGraph(t, 300, 16, Config{M: 8, EfConstruction: 60, Seed: 6, Distance: ip})
+	if g.blockDist {
+		t.Fatal("custom distance must disable the blocked kernel")
+	}
+	for qi, q := range queries {
+		g.noFreeze = true
+		locked := g.Search(q, 5, 30)
+		g.noFreeze = false
+		frozen := g.Search(q, 5, 30)
+		if len(frozen) != len(locked) {
+			t.Fatalf("query %d: frozen %d items, locked %d", qi, len(frozen), len(locked))
+		}
+		for i := range frozen {
+			if frozen[i].ID != locked[i].ID || frozen[i].Dist != locked[i].Dist {
+				t.Fatalf("query %d pos %d: frozen != locked", qi, i)
+			}
+		}
+	}
+}
+
+// TestFrozenViewInvalidation asserts the view lifecycle: built on first
+// search, reused while quiescent, invalidated by Add and Delete, rebuilt at
+// the new generation on the next search.
+func TestFrozenViewInvalidation(t *testing.T) {
+	g, queries := frozenTestGraph(t, 200, 8, Config{M: 8, EfConstruction: 40, Seed: 7})
+	q := queries[0]
+
+	if g.view.Load() != nil {
+		t.Fatal("view exists before any search")
+	}
+	g.Search(q, 5, 20)
+	v1 := g.view.Load()
+	if v1 == nil {
+		t.Fatal("first search did not freeze")
+	}
+	g.Search(q, 5, 20)
+	if g.view.Load() != v1 {
+		t.Fatal("quiescent search rebuilt the view instead of reusing it")
+	}
+
+	id := g.Add(make([]float64, 8))
+	g.Search(q, 5, 20)
+	v2 := g.view.Load()
+	if v2 == v1 || v2 == nil || v2.gen == v1.gen {
+		t.Fatalf("Add did not invalidate the frozen view (v1.gen=%d v2.gen=%d)", v1.gen, v2.gen)
+	}
+
+	if err := g.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	g.Search(q, 5, 20)
+	v3 := g.view.Load()
+	if v3 == v2 || v3 == nil || v3.gen == v2.gen {
+		t.Fatal("Delete did not invalidate the frozen view")
+	}
+	if !v3.deleted[id] {
+		t.Fatal("rebuilt view does not carry the tombstone")
+	}
+}
+
+// TestCloneDoesNotShareFrozenView: a clone must start unfrozen and freeze
+// independently — the satellite bugfix this PR ships is precisely that a
+// cloned (immutable) snapshot searches without any per-node locking.
+func TestCloneDoesNotShareFrozenView(t *testing.T) {
+	g, queries := frozenTestGraph(t, 200, 8, Config{M: 8, EfConstruction: 40, Seed: 8})
+	g.Search(queries[0], 5, 20)
+	if g.view.Load() == nil {
+		t.Fatal("receiver did not freeze")
+	}
+	c := g.Clone()
+	if c.view.Load() != nil {
+		t.Fatal("clone inherited the receiver's frozen view")
+	}
+	got := c.Search(queries[0], 5, 20)
+	if c.view.Load() == nil {
+		t.Fatal("clone did not freeze on its own first search")
+	}
+	want := g.Search(queries[0], 5, 20)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clone search diverges at %d", i)
+		}
+	}
+	// Mutating the clone must leave the receiver's view untouched.
+	c.Add(make([]float64, 8))
+	if v := g.view.Load(); v == nil || v.gen != g.gen.Load() {
+		t.Fatal("mutating the clone disturbed the receiver's frozen view")
+	}
+}
+
+// TestFrozenConcurrentChurn hammers searches against concurrent inserts and
+// deletes; under -race this verifies the freeze discipline (generation +
+// linker count) never lets a search read adjacency that is being written.
+func TestFrozenConcurrentChurn(t *testing.T) {
+	g, queries := frozenTestGraph(t, 400, 8, Config{M: 8, EfConstruction: 40, Seed: 9})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := rng.NewSeeded(11)
+		for i := 0; i < 60; i++ {
+			id := g.Add(rng.Gaussian(r, nil, 8))
+			if i%3 == 0 {
+				_ = g.Delete(id)
+			}
+		}
+	}()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			// One more search on the now-quiescent graph must freeze.
+			g.Search(queries[0], 5, 20)
+			if g.view.Load() == nil || g.view.Load().gen != g.gen.Load() {
+				t.Fatal("quiescent graph did not refreeze after churn")
+			}
+			return
+		default:
+			res := g.Search(queries[i%len(queries)], 5, 20)
+			for _, it := range res {
+				if it.ID < 0 {
+					t.Fatal("invalid id")
+				}
+			}
+		}
+	}
+}

@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"ppanns/internal/epochset"
 	"ppanns/internal/resultheap"
 	"ppanns/internal/rng"
 	"ppanns/internal/vec"
@@ -82,6 +84,9 @@ type node struct {
 type Graph struct {
 	cfg Config
 	mL  float64
+	// blockDist marks the default metric, whose frozen-path hops run the
+	// blocked arena kernel instead of per-neighbor DistanceFunc calls.
+	blockDist bool
 
 	// mu guards data/nodes growth, entry and maxLevel. Searches hold the
 	// read lock for their whole duration so vector rows stay stable.
@@ -92,6 +97,18 @@ type Graph struct {
 	maxLevel int
 	size     int // live (non-deleted) node count
 
+	// gen counts mutations; every Add/Delete bumps it under the exclusive
+	// lock, invalidating any cached frozen view. linking counts inserts
+	// past their exclusive phase that are still writing adjacency — a view
+	// may only be frozen while it is zero (see frozen.go). view caches the
+	// CSR snapshot of the current generation; noFreeze pins searches to the
+	// locked path (conformance tests compare the two).
+	gen      atomic.Uint64
+	linking  atomic.Int64
+	view     atomic.Pointer[frozenView]
+	freezeMu sync.Mutex
+	noFreeze bool
+
 	lvlMu  sync.Mutex
 	lvlRnd *rng.Rand
 
@@ -100,16 +117,18 @@ type Graph struct {
 
 // New creates an empty graph.
 func New(cfg Config) (*Graph, error) {
+	blockDist := cfg.Distance == nil
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	return &Graph{
-		cfg:    cfg,
-		mL:     1 / math.Log(float64(cfg.M)),
-		data:   vec.NewDataset(cfg.Dim, 1024),
-		entry:  -1,
-		lvlRnd: rng.NewSeeded(cfg.Seed ^ 0x9e37),
+		cfg:       cfg,
+		mL:        1 / math.Log(float64(cfg.M)),
+		blockDist: blockDist,
+		data:      vec.NewDataset(cfg.Dim, 1024),
+		entry:     -1,
+		lvlRnd:    rng.NewSeeded(cfg.Seed ^ 0x9e37),
 	}, nil
 }
 
@@ -148,15 +167,19 @@ func (g *Graph) Clone() *Graph {
 	g.lvlMu.Unlock()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
+	// The frozen-view cache is deliberately not carried over: the clone is
+	// an independent mutable graph and freezes lazily on its own first
+	// search (its zero generation plus nil view make that automatic).
 	ng := &Graph{
-		cfg:      g.cfg,
-		mL:       g.mL,
-		data:     g.data.Clone(),
-		nodes:    make([]*node, len(g.nodes)),
-		entry:    g.entry,
-		maxLevel: g.maxLevel,
-		size:     g.size,
-		lvlRnd:   lvlRnd,
+		cfg:       g.cfg,
+		mL:        g.mL,
+		blockDist: g.blockDist,
+		data:      g.data.Clone(),
+		nodes:     make([]*node, len(g.nodes)),
+		entry:     g.entry,
+		maxLevel:  g.maxLevel,
+		size:      g.size,
+		lvlRnd:    lvlRnd,
 	}
 	for i, nd := range g.nodes {
 		nd.mu.Lock()
@@ -186,16 +209,16 @@ func (g *Graph) randomLevel() int {
 }
 
 // searchCtx holds per-search scratch state, pooled across searches: the
-// visited-epoch table, both beam-search heaps, the neighbor snapshot
-// buffer, and the drained result slice. After warm-up a search touches no
-// allocator at all.
+// visited set, both beam-search heaps, the neighbor snapshot buffer, and
+// the drained result slice. After warm-up a search touches no allocator
+// at all.
 type searchCtx struct {
-	visited []uint32
-	epoch   uint32
-	cand    *resultheap.MinDistHeap
-	res     *resultheap.MaxDistHeap
-	buf     []int32
-	items   []resultheap.Item
+	vis   epochset.Set
+	cand  *resultheap.MinDistHeap
+	res   *resultheap.MaxDistHeap
+	buf   []int32
+	dists []float64 // blocked-kernel output, parallel to the gathered buf
+	items []resultheap.Item
 }
 
 func (g *Graph) getCtx(n int) *searchCtx {
@@ -206,33 +229,14 @@ func (g *Graph) getCtx(n int) *searchCtx {
 			res:  resultheap.NewMaxDistHeap(64),
 		}
 	}
-	if len(c.visited) < n {
-		c.visited = make([]uint32, n+n/2+16)
-		c.epoch = 0
-	}
-	c.next()
+	c.vis.Grow(n)
+	c.vis.Next()
 	return c
 }
 
-// next advances the visited epoch, clearing the table on uint32 wrap so a
-// stale tag can never alias the fresh epoch.
-func (c *searchCtx) next() {
-	c.epoch++
-	if c.epoch == 0 {
-		for i := range c.visited {
-			c.visited[i] = 0
-		}
-		c.epoch = 1
-	}
-}
+func (c *searchCtx) next() { c.vis.Next() }
 
-func (c *searchCtx) seen(id int) bool {
-	if c.visited[id] == c.epoch {
-		return true
-	}
-	c.visited[id] = c.epoch
-	return false
-}
+func (c *searchCtx) seen(id int) bool { return c.vis.Seen(id) }
 
 // copyNeighbors snapshots a node's adjacency list at a layer under its lock.
 func (g *Graph) copyNeighbors(buf []int32, id, layer int) []int32 {
@@ -303,10 +307,7 @@ func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64,
 			if res.Len() < ef || d < res.Top().Dist {
 				cand.Push(id, d)
 				if (!liveOnly || !g.nodes[id].deleted) && (allow == nil || allow(id)) {
-					res.Push(id, d)
-					if res.Len() > ef {
-						res.Pop()
-					}
+					res.PushBounded(id, d, ef)
 				}
 			}
 		}
@@ -358,8 +359,13 @@ func (g *Graph) Add(v []float64) int {
 	}
 	level := g.randomLevel()
 
-	// Phase 1: materialize the node (exclusive).
+	// Phase 1: materialize the node (exclusive). The generation bump
+	// invalidates any cached frozen view before a single edge is written,
+	// and the linker count stays raised until every adjacency write of this
+	// insert has landed, so no search can freeze a half-linked graph.
 	g.mu.Lock()
+	g.gen.Add(1)
+	g.linking.Add(1)
 	id := g.data.Append(v)
 	nd := &node{level: level, neighbors: make([][]int32, level+1)}
 	g.nodes = append(g.nodes, nd)
@@ -371,6 +377,7 @@ func (g *Graph) Add(v []float64) int {
 	}
 	entry, maxLevel := g.entry, g.maxLevel
 	g.mu.Unlock()
+	defer g.linking.Add(-1)
 	if first {
 		return id
 	}
@@ -513,13 +520,27 @@ func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, allow 
 	ctx := g.getCtx(len(g.nodes))
 	defer g.ctxPool.Put(ctx)
 
-	ep := g.entry
-	epDist := g.cfg.Distance(q, g.data.At(ep))
-	for l := g.maxLevel; l > 0; l-- {
-		ep, epDist = g.greedyDescend(ctx, q, ep, epDist, l)
+	var res *resultheap.MaxDistHeap
+	if v := g.frozenViewFor(); v != nil {
+		// Frozen fast path: CSR adjacency, no per-node locks, no neighbor
+		// copies, one blocked distance call per hop. Order-identical to the
+		// locked path below.
+		ep := v.entry
+		epDist := g.cfg.Distance(q, g.data.At(ep))
+		for l := v.maxLevel; l > 0; l-- {
+			ep, epDist = g.frozenDescend(ctx, v, q, ep, epDist, l)
+		}
+		ctx.next()
+		res = g.frozenSearchLayer(ctx, v, q, ep, epDist, ef, 0, allow)
+	} else {
+		ep := g.entry
+		epDist := g.cfg.Distance(q, g.data.At(ep))
+		for l := g.maxLevel; l > 0; l-- {
+			ep, epDist = g.greedyDescend(ctx, q, ep, epDist, l)
+		}
+		ctx.next()
+		res = g.searchLayer(ctx, q, ep, epDist, ef, 0, true, allow)
 	}
-	ctx.next()
-	res := g.searchLayer(ctx, q, ep, epDist, ef, 0, true, allow)
 	ctx.items = res.SortedInto(ctx.items)
 	items := ctx.items
 	if len(items) > k {
@@ -542,6 +563,9 @@ func (g *Graph) Delete(id int) error {
 	if nd.deleted {
 		return fmt.Errorf("hnsw: id %d already deleted", id)
 	}
+	// Invalidate any cached frozen view — after validation, so a rejected
+	// delete does not force the next search into a spurious rebuild.
+	g.gen.Add(1)
 	nd.deleted = true
 	g.size--
 

@@ -285,3 +285,100 @@ func TestRegistry(t *testing.T) {
 		t.Fatal("expected Load error for unknown backend")
 	}
 }
+
+// TestConformanceFrozenViewStability covers the frozen/flattened search
+// views on every registered backend: repeated searches (the first of which
+// builds the lazy view), searches on a fresh clone (which freezes
+// independently), and searches after a mutation (which invalidates and
+// rebuilds the view) must all return the exact same ids in the exact same
+// order for the same database state. The per-package suites additionally
+// compare each view walk against its locked/scalar reference path
+// bit-for-bit; the LSH adapter's reference lives in this package, so its
+// toggle is exercised here.
+func TestConformanceFrozenViewStability(t *testing.T) {
+	data := clustered(91, 900, 12, 6)
+	queries := makeQueries(92, data, 24, 0.3)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			ix, err := Build(name, data, Options{Dim: 12, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := make([][]resultheap.Item, len(queries))
+			var dst []resultheap.Item
+			for i, q := range queries {
+				dst = ix.SearchInto(dst[:0], q, 10, 60)
+				first[i] = append([]resultheap.Item(nil), dst...)
+			}
+			// Second pass runs entirely on the cached view.
+			for i, q := range queries {
+				dst = ix.SearchInto(dst[:0], q, 10, 60)
+				if len(dst) != len(first[i]) {
+					t.Fatalf("query %d: warm view returned %d items, first pass %d", i, len(dst), len(first[i]))
+				}
+				for j := range dst {
+					if dst[j] != first[i][j] {
+						t.Fatalf("query %d pos %d: warm view (%d, %v) != first pass (%d, %v)",
+							i, j, dst[j].ID, dst[j].Dist, first[i][j].ID, first[i][j].Dist)
+					}
+				}
+			}
+			// A clone freezes its own view; same state, same exact results.
+			cl := ix.Clone()
+			for i, q := range queries {
+				dst = cl.SearchInto(dst[:0], q, 10, 60)
+				for j := range dst {
+					if dst[j] != first[i][j] {
+						t.Fatalf("query %d pos %d: clone view diverges", i, j)
+					}
+				}
+			}
+			// Mutation invalidates: results must reflect the new state on
+			// both the mutated index and an unfrozen rebuild of it.
+			if ix.Caps().DynamicDelete {
+				victim := first[0][0].ID
+				if err := ix.Delete(victim); err != nil {
+					t.Fatal(err)
+				}
+				for i, q := range queries {
+					dst = ix.SearchInto(dst[:0], q, 10, 60)
+					for _, it := range dst {
+						if it.ID == victim {
+							t.Fatalf("query %d: deleted id %d served from stale view", i, victim)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLSHBlockedScanMatchesScalar compares the LSH adapter's blocked
+// ranking scan against the scalar reference path bit-for-bit.
+func TestLSHBlockedScanMatchesScalar(t *testing.T) {
+	data := clustered(93, 700, 10, 5)
+	queries := makeQueries(94, data, 24, 0.3)
+	ix, err := Build("lsh", data, Options{Dim: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ix.(*lshIndex)
+	if err := a.Delete(11); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		a.noFlat = true
+		scalar := a.Search(q, 10, 60)
+		a.noFlat = false
+		blocked := a.Search(q, 10, 60)
+		if len(blocked) != len(scalar) {
+			t.Fatalf("query %d: blocked %d items, scalar %d", qi, len(blocked), len(scalar))
+		}
+		for i := range blocked {
+			if blocked[i] != scalar[i] {
+				t.Fatalf("query %d pos %d: blocked (%d, %v) != scalar (%d, %v)",
+					qi, i, blocked[i].ID, blocked[i].Dist, scalar[i].ID, scalar[i].Dist)
+			}
+		}
+	}
+}

@@ -57,7 +57,7 @@ func (a *ivfIndex) Search(q []float64, k, ef int) []resultheap.Item {
 }
 
 func (a *ivfIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
-	return append(dst[:0], a.ix.Search(q, k, a.probesFor(ef))...)
+	return a.ix.SearchInto(dst, q, k, a.probesFor(ef))
 }
 
 func (a *ivfIndex) Delete(id int) error { return a.ix.Delete(id) }

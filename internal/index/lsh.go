@@ -29,18 +29,34 @@ const (
 // lshIndex adapts lsh.Index to SecureIndex. The hash tables only store
 // ids, so the adapter keeps the vectors itself to rank the candidate union
 // by distance — the same filter-then-rank shape the RS-SANN and PRI-ANN
-// baselines use, here serving the generic filter phase.
+// baselines use, here serving the generic filter phase. The ranking scan is
+// blocked: candidates are gathered into a flat id list and evaluated with
+// one blocked distance call over the vector arena per query.
 type lshIndex struct {
 	cfg lsh.Config
 	// probes fixes the multi-probe budget per table; 0 derives it from
 	// the search's ef budget.
 	probes int
+	// noFlat pins searches to the scalar per-candidate scan (conformance
+	// tests compare it against the blocked path).
+	noFlat bool
 
 	mu      sync.RWMutex
 	ix      *lsh.Index
 	data    *vec.Dataset
 	deleted []bool
 	live    int
+
+	ctxPool sync.Pool
+}
+
+// lshCtx is the pooled per-search scratch of the adapter's ranking scan.
+type lshCtx struct {
+	cands  []int32
+	gather []int32
+	dists  []float64
+	res    *resultheap.MaxDistHeap
+	items  []resultheap.Item
 }
 
 // calibrateW estimates a quantization width from the data scale: W is set
@@ -136,27 +152,43 @@ func (a *lshIndex) probesFor(ef int) int {
 }
 
 func (a *lshIndex) Search(q []float64, k, ef int) []resultheap.Item {
-	cands := a.ix.Candidates(q, a.probesFor(ef), 0)
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	res := resultheap.NewMaxDistHeap(k + 1)
-	for _, id := range cands {
-		if a.deleted[id] {
-			continue
-		}
-		d := vec.SqDist(q, a.data.At(id))
-		if res.Len() < k {
-			res.Push(id, d)
-		} else if d < res.Top().Dist {
-			res.Pop()
-			res.Push(id, d)
-		}
-	}
-	return res.SortedAscending()
+	return a.SearchInto(nil, q, k, ef)
 }
 
 func (a *lshIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
-	return append(dst[:0], a.Search(q, k, ef)...)
+	ctx, _ := a.ctxPool.Get().(*lshCtx)
+	if ctx == nil {
+		ctx = &lshCtx{res: resultheap.NewMaxDistHeap(k + 1)}
+	}
+	defer a.ctxPool.Put(ctx)
+	ctx.cands = a.ix.CandidatesInto(ctx.cands[:0], q, a.probesFor(ef), 0)
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	res := ctx.res
+	res.Reset()
+	if a.noFlat {
+		// Scalar reference scan, kept for the blocked-path conformance test.
+		for _, id := range ctx.cands {
+			if a.deleted[id] {
+				continue
+			}
+			res.PushBounded(int(id), vec.SqDist(q, a.data.At(int(id))), k)
+		}
+	} else {
+		gather := ctx.gather[:0]
+		for _, id := range ctx.cands {
+			if !a.deleted[id] {
+				gather = append(gather, id)
+			}
+		}
+		ctx.dists = a.data.SqDistBlock(ctx.dists, q, gather)
+		for j, id := range gather {
+			res.PushBounded(int(id), ctx.dists[j], k)
+		}
+		ctx.gather = gather
+	}
+	ctx.items = res.SortedInto(ctx.items)
+	return append(dst[:0], ctx.items...)
 }
 
 func (a *lshIndex) Delete(id int) error {

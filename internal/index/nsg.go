@@ -44,7 +44,7 @@ func (a *nsgIndex) Search(q []float64, k, ef int) []resultheap.Item {
 }
 
 func (a *nsgIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
-	return append(dst[:0], a.g.Search(q, k, ef)...)
+	return a.g.SearchInto(dst, q, k, ef)
 }
 
 func (a *nsgIndex) Delete(id int) error { return a.g.Delete(id) }

@@ -9,6 +9,7 @@ package ivf
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ppanns/internal/kmeans"
 	"ppanns/internal/resultheap"
@@ -36,6 +37,62 @@ type Index struct {
 	data    *vec.Dataset
 	deleted []bool
 	live    int
+
+	// gen counts membership mutations (Add; Delete only tombstones, which
+	// the flat view does not capture). flat caches the CSR flattening of
+	// lists for the current generation: one offsets array plus one flat
+	// member array, so a probe scans a contiguous id span instead of
+	// chasing the outer slice. Built lazily on first search, invalidated by
+	// the generation bump. noFlat pins searches to the slice-of-slices path
+	// (conformance tests compare the two).
+	gen     atomic.Uint64
+	flat    atomic.Pointer[flatLists]
+	flatMu  sync.Mutex
+	noFlat  bool
+	ctxPool sync.Pool
+}
+
+// flatLists is the immutable CSR view of the inverted lists at one
+// generation: list c's members are ids[offs[c]:offs[c+1]].
+type flatLists struct {
+	gen  uint64
+	offs []int32
+	ids  []int32
+}
+
+// flatFor returns the CSR list view for the current generation, building
+// it if stale. Caller must hold at least the read lock, which excludes the
+// membership mutations that would invalidate the build mid-flight.
+func (ix *Index) flatFor() *flatLists {
+	if ix.noFlat {
+		return nil
+	}
+	cur := ix.gen.Load()
+	if f := ix.flat.Load(); f != nil && f.gen == cur {
+		return f
+	}
+	if !ix.flatMu.TryLock() {
+		return nil
+	}
+	defer ix.flatMu.Unlock()
+	if f := ix.flat.Load(); f != nil && f.gen == cur {
+		return f
+	}
+	offs, ids := vec.FlattenCSR(ix.lists)
+	f := &flatLists{gen: cur, offs: offs, ids: ids}
+	ix.flat.Store(f)
+	return f
+}
+
+// searchCtx is the pooled per-search scratch: probe list, gathered live
+// ids, blocked-kernel output, result heap and drain buffer.
+type searchCtx struct {
+	probes     []int
+	probeDists []float64
+	gather     []int32
+	dists      []float64
+	res        *resultheap.MaxDistHeap
+	items      []resultheap.Item
 }
 
 // Build trains the quantizer on the vectors and populates the lists.
@@ -141,6 +198,7 @@ func (ix *Index) Add(v []float64) int {
 	c := kmeans.Nearest(ix.centroids, v)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.gen.Add(1) // invalidate the cached flat list view
 	id := ix.data.Append(v)
 	ix.deleted = append(ix.deleted, false)
 	ix.lists[c] = append(ix.lists[c], int32(id))
@@ -166,6 +224,14 @@ func (ix *Index) Delete(id int) error {
 // Search scans the nprobe closest lists and returns the k nearest live
 // ids, closest first.
 func (ix *Index) Search(q []float64, k, nprobe int) []resultheap.Item {
+	return ix.SearchInto(nil, q, k, nprobe)
+}
+
+// SearchInto is Search appending into dst (reusing its capacity). Scratch
+// state is pooled and each probed list is evaluated with one blocked
+// distance call over the flattened member arena, so a warm search with a
+// recycled dst allocates nothing.
+func (ix *Index) SearchInto(dst []resultheap.Item, q []float64, k, nprobe int) []resultheap.Item {
 	if len(q) != ix.dim {
 		panic(fmt.Sprintf("ivf: querying %d-dim vector in %d-dim index", len(q), ix.dim))
 	}
@@ -175,23 +241,38 @@ func (ix *Index) Search(q []float64, k, nprobe int) []resultheap.Item {
 	if nprobe > len(ix.lists) {
 		nprobe = len(ix.lists)
 	}
-	probes := kmeans.NearestN(ix.centroids, q, nprobe)
+	ctx, _ := ix.ctxPool.Get().(*searchCtx)
+	if ctx == nil {
+		ctx = &searchCtx{res: resultheap.NewMaxDistHeap(k + 1)}
+	}
+	defer ix.ctxPool.Put(ctx)
+	ctx.probes, ctx.probeDists = kmeans.NearestNInto(ctx.probes, ctx.probeDists, ix.centroids, q, nprobe)
+
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	res := resultheap.NewMaxDistHeap(k + 1)
-	for _, c := range probes {
-		for _, id := range ix.lists[c] {
-			if ix.deleted[id] {
-				continue
-			}
-			d := vec.SqDist(q, ix.data.At(int(id)))
-			if res.Len() < k {
-				res.Push(int(id), d)
-			} else if d < res.Top().Dist {
-				res.Pop()
-				res.Push(int(id), d)
+	flat := ix.flatFor()
+	res := ctx.res
+	res.Reset()
+	gather := ctx.gather
+	for _, c := range ctx.probes {
+		var members []int32
+		if flat != nil {
+			members = flat.ids[flat.offs[c]:flat.offs[c+1]]
+		} else {
+			members = ix.lists[c]
+		}
+		gather = gather[:0]
+		for _, id := range members {
+			if !ix.deleted[id] {
+				gather = append(gather, id)
 			}
 		}
+		ctx.dists = ix.data.SqDistBlock(ctx.dists, q, gather)
+		for j, id := range gather {
+			res.PushBounded(int(id), ctx.dists[j], k)
+		}
 	}
-	return res.SortedAscending()
+	ctx.gather = gather
+	ctx.items = res.SortedInto(ctx.items)
+	return append(dst[:0], ctx.items...)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ppanns/internal/dataset"
+	"ppanns/internal/resultheap"
 	"ppanns/internal/rng"
 	"ppanns/internal/vec"
 )
@@ -118,5 +119,62 @@ func TestListsCoverAllVectors(t *testing.T) {
 	}
 	if total != 700 {
 		t.Fatalf("lists hold %d entries, want 700", total)
+	}
+}
+
+// TestFlatScanMatchesSliceLists is the flattened-view conformance test: the
+// CSR member-arena scan must return the exact same ids, order and distances
+// as the slice-of-slices path, including after membership mutations
+// invalidate and rebuild the view.
+func TestFlatScanMatchesSliceLists(t *testing.T) {
+	ix, d := buildIndex(t, 1200)
+	for _, id := range []int{7, 300, 911} {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(stage string) {
+		t.Helper()
+		for qi, q := range d.Queries {
+			ix.noFlat = true
+			slices := ix.Search(q, 10, 8)
+			ix.noFlat = false
+			flat := ix.Search(q, 10, 8)
+			if ix.flat.Load() == nil || ix.flat.Load().gen != ix.gen.Load() {
+				t.Fatalf("%s: search did not (re)build the flat view", stage)
+			}
+			if len(flat) != len(slices) {
+				t.Fatalf("%s query %d: flat %d items, slices %d", stage, qi, len(flat), len(slices))
+			}
+			for i := range flat {
+				if flat[i] != slices[i] {
+					t.Fatalf("%s query %d pos %d: flat (%d, %v) != slices (%d, %v)",
+						stage, qi, i, flat[i].ID, flat[i].Dist, slices[i].ID, slices[i].Dist)
+				}
+			}
+		}
+	}
+	check("initial")
+	v1 := ix.flat.Load()
+	ix.Add(d.Queries[0]) // membership mutation must invalidate the view
+	check("after add")
+	if ix.flat.Load() == v1 {
+		t.Fatal("Add did not invalidate the flat list view")
+	}
+}
+
+// TestSearchIntoAllocationFree guards the pooled scan path.
+func TestSearchIntoAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	ix, d := buildIndex(t, 800)
+	var dst []resultheap.Item
+	dst = ix.SearchInto(dst, d.Queries[0], 10, 8) // warm pools
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = ix.SearchInto(dst[:0], d.Queries[1], 10, 8)
+	})
+	if allocs > 1 { // tolerate one pool refill if GC lands mid-run
+		t.Fatalf("warm SearchInto allocates %.1f times per run", allocs)
 	}
 }

@@ -116,34 +116,40 @@ func nearest(centroids [][]float64, v []float64) int {
 // Nearest exposes centroid lookup for search-time probing.
 func Nearest(centroids [][]float64, v []float64) int { return nearest(centroids, v) }
 
-// NearestN returns the indexes of the n closest centroids, closest first.
-func NearestN(centroids [][]float64, v []float64, n int) []int {
-	type pair struct {
-		c int
-		d float64
-	}
-	best := make([]pair, 0, n+1)
+// NearestNInto is NearestN writing the winning indexes into dst (whose
+// capacity is reused) and using dists as the parallel distance scratch, so
+// per-query probing on a pooled buffer allocates nothing. Both slices are
+// returned re-sliced to the result length.
+func NearestNInto(dst []int, dists []float64, centroids [][]float64, v []float64, n int) ([]int, []float64) {
+	dst = dst[:0]
+	dists = dists[:0]
 	for c, cent := range centroids {
 		d := vec.SqDist(cent, v)
-		if len(best) == n && d >= best[len(best)-1].d {
+		if len(dst) == n && d >= dists[len(dists)-1] {
 			continue
 		}
 		pos := 0
-		for pos < len(best) && best[pos].d <= d {
+		for pos < len(dst) && dists[pos] <= d {
 			pos++
 		}
-		best = append(best, pair{})
-		copy(best[pos+1:], best[pos:])
-		best[pos] = pair{c: c, d: d}
-		if len(best) > n {
-			best = best[:n]
+		dst = append(dst, 0)
+		dists = append(dists, 0)
+		copy(dst[pos+1:], dst[pos:])
+		copy(dists[pos+1:], dists[pos:])
+		dst[pos] = c
+		dists[pos] = d
+		if len(dst) > n {
+			dst = dst[:n]
+			dists = dists[:n]
 		}
 	}
-	out := make([]int, len(best))
-	for i, p := range best {
-		out[i] = p.c
-	}
-	return out
+	return dst, dists
+}
+
+// NearestN returns the indexes of the n closest centroids, closest first.
+func NearestN(centroids [][]float64, v []float64, n int) []int {
+	idx, _ := NearestNInto(nil, nil, centroids, v, n)
+	return idx
 }
 
 // seedPlusPlus implements k-means++ (D² sampling).

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ppanns/internal/epochset"
 	"ppanns/internal/hnsw"
 	"ppanns/internal/resultheap"
 	"ppanns/internal/vec"
@@ -54,11 +55,28 @@ type Graph struct {
 	adj  [][]int32
 	nav  int // navigating node (medoid)
 
+	// flatOffs/flatNbrs are the CSR view of adj: node id's neighbors are
+	// flatNbrs[flatOffs[id]:flatOffs[id+1]]. NSG adjacency is immutable
+	// after Build, so the view is built eagerly (no generation tracking)
+	// and shared by clones; the beam search walks it with one blocked
+	// distance call per hop instead of chasing per-node slice headers.
+	// noFlat pins searches to the slice-of-slices path (conformance tests
+	// compare the two).
+	flatOffs []int32
+	flatNbrs []int32
+	noFlat   bool
+
 	mu      sync.RWMutex
 	deleted []bool
 	live    int
 
 	ctxPool sync.Pool
+}
+
+// flatten builds the CSR adjacency view. Called once construction (or
+// deserialization) has finalized adj.
+func (g *Graph) flatten() {
+	g.flatOffs, g.flatNbrs = vec.FlattenCSR(g.adj)
 }
 
 // Build constructs the graph over the given vectors.
@@ -132,6 +150,7 @@ func Build(vectors [][]float64, cfg Config) (*Graph, error) {
 	// Step 5: connectivity — span unreachable vertices from the
 	// navigating node by attaching them to their nearest reached vertex.
 	g.ensureReachable()
+	g.flatten()
 	return g, nil
 }
 
@@ -377,13 +396,15 @@ func (g *Graph) Clone() *Graph {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return &Graph{
-		cfg:     g.cfg,
-		dim:     g.dim,
-		data:    g.data,
-		adj:     g.adj,
-		nav:     g.nav,
-		deleted: append([]bool(nil), g.deleted...),
-		live:    g.live,
+		cfg:      g.cfg,
+		dim:      g.dim,
+		data:     g.data,
+		adj:      g.adj,
+		nav:      g.nav,
+		flatOffs: g.flatOffs,
+		flatNbrs: g.flatNbrs,
+		deleted:  append([]bool(nil), g.deleted...),
+		live:     g.live,
 	}
 }
 
@@ -402,14 +423,29 @@ func (g *Graph) Delete(id int) error {
 	return nil
 }
 
+// searchCtx is the pooled per-search working set: the visited set, both
+// beam heaps, the gathered-neighbor buffer with its blocked-kernel
+// output, and the drained result slice. A warm search allocates nothing.
 type searchCtx struct {
-	visited []uint32
-	epoch   uint32
+	vis    epochset.Set
+	cand   *resultheap.MinDistHeap
+	res    *resultheap.MaxDistHeap
+	gather []int32
+	dists  []float64
+	items  []resultheap.Item
 }
 
 // Search returns the (approximately) k closest live ids, closest first,
 // using beam width ef.
 func (g *Graph) Search(q []float64, k, ef int) []resultheap.Item {
+	return g.SearchInto(nil, q, k, ef)
+}
+
+// SearchInto is Search appending into dst (reusing its capacity). With a
+// recycled dst a warm search is allocation-free: all scratch state is
+// pooled, and the beam walks the CSR adjacency view with one blocked
+// distance call per hop.
+func (g *Graph) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
 	if len(q) != g.dim {
 		panic(fmt.Sprintf("nsg: querying %d-dim vector in %d-dim graph", len(q), g.dim))
 	}
@@ -419,64 +455,68 @@ func (g *Graph) Search(q []float64, k, ef int) []resultheap.Item {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if g.live == 0 {
-		return nil
+		return dst[:0]
 	}
 
 	ctx, _ := g.ctxPool.Get().(*searchCtx)
-	if ctx == nil || len(ctx.visited) < len(g.adj) {
-		ctx = &searchCtx{visited: make([]uint32, len(g.adj))}
-	}
-	ctx.epoch++
-	if ctx.epoch == 0 {
-		for i := range ctx.visited {
-			ctx.visited[i] = 0
+	if ctx == nil {
+		ctx = &searchCtx{
+			cand: resultheap.NewMinDistHeap(ef + 1),
+			res:  resultheap.NewMaxDistHeap(ef + 1),
 		}
-		ctx.epoch = 1
 	}
+	ctx.vis.Grow(len(g.adj))
+	ctx.vis.Next()
 	defer g.ctxPool.Put(ctx)
-	seen := func(id int) bool {
-		if ctx.visited[id] == ctx.epoch {
-			return true
-		}
-		ctx.visited[id] = ctx.epoch
-		return false
-	}
 
-	cand := resultheap.NewMinDistHeap(ef + 1)
-	res := resultheap.NewMaxDistHeap(ef + 1)
+	flat := g.flatOffs != nil && !g.noFlat
+	cand, res := ctx.cand, ctx.res
+	cand.Reset()
+	res.Reset()
 	d0 := vec.SqDist(q, g.data.At(g.nav))
-	seen(g.nav)
+	ctx.vis.Seen(g.nav)
 	cand.Push(g.nav, d0)
 	if !g.deleted[g.nav] {
 		res.Push(g.nav, d0)
 	}
+	gather := ctx.gather
 	for cand.Len() > 0 {
 		c := cand.Pop()
 		if res.Len() >= ef && c.Dist > res.Top().Dist {
 			break
 		}
-		for _, nb := range g.adj[c.ID] {
-			id := int(nb)
-			if seen(id) {
-				continue
+		var nbrs []int32
+		if flat {
+			nbrs = g.flatNbrs[g.flatOffs[c.ID]:g.flatOffs[c.ID+1]]
+		} else {
+			nbrs = g.adj[c.ID]
+		}
+		gather = gather[:0]
+		for _, nb := range nbrs {
+			if !ctx.vis.Seen(int(nb)) {
+				gather = append(gather, nb)
 			}
-			d := vec.SqDist(q, g.data.At(id))
+		}
+		ctx.dists = g.data.SqDistBlock(ctx.dists, q, gather)
+		dists := ctx.dists
+		for j, nb := range gather {
+			id := int(nb)
+			d := dists[j]
 			if res.Len() < ef || d < res.Top().Dist {
 				cand.Push(id, d)
 				if !g.deleted[id] {
-					res.Push(id, d)
-					if res.Len() > ef {
-						res.Pop()
-					}
+					res.PushBounded(id, d, ef)
 				}
 			}
 		}
 	}
-	items := res.SortedAscending()
+	ctx.gather = gather
+	ctx.items = res.SortedInto(ctx.items)
+	items := ctx.items
 	if len(items) > k {
 		items = items[:k]
 	}
-	return items
+	return append(dst[:0], items...)
 }
 
 // Stats describes the graph shape.

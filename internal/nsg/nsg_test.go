@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ppanns/internal/dataset"
+	"ppanns/internal/resultheap"
 )
 
 func buildGraph(t *testing.T, n int) (*Graph, *dataset.Data) {
@@ -136,4 +137,51 @@ func TestDimMismatchPanics(t *testing.T) {
 		}
 	}()
 	g.Search(make([]float64, 3), 1, 10)
+}
+
+// TestFlatSearchMatchesSliceAdjacency is the CSR conformance test: the
+// flattened adjacency walk must return the exact same ids, order and
+// distances as the slice-of-slices path it replaced.
+func TestFlatSearchMatchesSliceAdjacency(t *testing.T) {
+	g, d := buildGraph(t, 800)
+	if g.flatOffs == nil {
+		t.Fatal("Build did not flatten the adjacency")
+	}
+	for _, id := range []int{5, 100, 731} {
+		if err := g.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi, q := range d.Queries {
+		g.noFlat = true
+		slices := g.Search(q, 10, 50)
+		g.noFlat = false
+		flat := g.Search(q, 10, 50)
+		if len(flat) != len(slices) {
+			t.Fatalf("query %d: flat %d items, slices %d", qi, len(flat), len(slices))
+		}
+		for i := range flat {
+			if flat[i] != slices[i] {
+				t.Fatalf("query %d pos %d: flat (%d, %v) != slices (%d, %v)",
+					qi, i, flat[i].ID, flat[i].Dist, slices[i].ID, slices[i].Dist)
+			}
+		}
+	}
+}
+
+// TestSearchIntoReusesCapacity guards the pooled hot path: a warm
+// SearchInto with a recycled dst must not allocate.
+func TestSearchIntoReusesCapacity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	g, d := buildGraph(t, 500)
+	var dst []resultheap.Item
+	dst = g.SearchInto(dst, d.Queries[0], 10, 50) // warm pools + dst
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = g.SearchInto(dst[:0], d.Queries[1%len(d.Queries)], 10, 50)
+	})
+	if allocs > 1 { // tolerate one pool refill if GC lands mid-run
+		t.Fatalf("warm SearchInto allocates %.1f times per run", allocs)
+	}
 }

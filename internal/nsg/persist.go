@@ -122,5 +122,6 @@ func Load(r io.Reader) (*Graph, error) {
 		}
 		g.adj[i] = lst
 	}
+	g.flatten()
 	return g, nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package nsg
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are meaningless under it.
+const raceEnabled = true

@@ -61,6 +61,49 @@ func (d *Dataset) AppendZero() (int, []float64) {
 	return n, d.At(n)
 }
 
+// SqDistBlock computes dst[j] = SqDist(q, At(ids[j])) for every id in one
+// pass over the flat backing array, reusing dst's capacity. Results are
+// bit-identical to per-row SqDist calls (the same kernel evaluates both);
+// the win is structural: one call evaluates a whole gathered neighbor or
+// candidate list, the row addressing stays inside this loop where the
+// compiler hoists the dimension, and q stays hot in registers/L1 across
+// rows. Graph hops and inverted-list scans are the intended callers.
+func (d *Dataset) SqDistBlock(dst []float64, q []float64, ids []int32) []float64 {
+	if len(q) != d.dim {
+		panic(fmt.Sprintf("vec: block sqdist of %d-dim query on %d-dim dataset", len(q), d.dim))
+	}
+	if cap(dst) < len(ids) {
+		dst = make([]float64, len(ids), len(ids)+len(ids)/2+8)
+	} else {
+		dst = dst[:len(ids)]
+	}
+	dim := d.dim
+	for j, id := range ids {
+		row := d.data[int(id)*dim : int(id)*dim+dim]
+		dst[j] = sqDistKernel(q, row)
+	}
+	return dst
+}
+
+// FlattenCSR flattens a slice-of-slices id structure (adjacency lists,
+// inverted-list memberships) into compressed-sparse-row form: list i
+// occupies flat[offs[i]:offs[i+1]]. The frozen search views are built on
+// this shape so scans walk one contiguous array instead of chasing the
+// outer slice's pointers.
+func FlattenCSR(lists [][]int32) (offs []int32, flat []int32) {
+	offs = make([]int32, len(lists)+1)
+	total := int32(0)
+	for i, lst := range lists {
+		total += int32(len(lst))
+		offs[i+1] = total
+	}
+	flat = make([]int32, total)
+	for i, lst := range lists {
+		copy(flat[offs[i]:offs[i+1]], lst)
+	}
+	return offs, flat
+}
+
 // Slices returns all rows as slice views (no copying).
 func (d *Dataset) Slices() [][]float64 {
 	out := make([][]float64, d.Len())

@@ -140,3 +140,74 @@ func TestAliasedDst(t *testing.T) {
 		t.Fatalf("aliased Add = %v", a)
 	}
 }
+
+// referenceSqDist is the straight-line accumulation SqDist had before the
+// unrolled kernel, kept as the semantic reference.
+func referenceSqDist(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestSqDistMatchesReferenceAssociation(t *testing.T) {
+	// The unrolled kernel may associate differently from the straight-line
+	// loop, but must stay within a few ULPs of it across dims that cover
+	// every unroll tail (0..3 leftover elements).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 96, 97} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64((i*2654435761)%1000)/997 - 0.5
+			b[i] = float64((i*40503+17)%1000)/991 - 0.5
+		}
+		got := SqDist(a, b)
+		want := referenceSqDist(a, b)
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: SqDist = %v, reference = %v", n, got, want)
+		}
+	}
+}
+
+func TestSqDistBlockBitIdentical(t *testing.T) {
+	for _, dim := range []int{1, 3, 4, 31, 96} {
+		ds := NewDataset(dim, 8)
+		for r := 0; r < 8; r++ {
+			v := make([]float64, dim)
+			for i := range v {
+				v[i] = float64((r*1315423911+i*2654435761)%2048)/2047 - 0.5
+			}
+			ds.Append(v)
+		}
+		q := make([]float64, dim)
+		for i := range q {
+			q[i] = float64((i*97+13)%512)/511 - 0.5
+		}
+		ids := []int32{7, 0, 3, 3, 5}
+		dst := ds.SqDistBlock(nil, q, ids)
+		if len(dst) != len(ids) {
+			t.Fatalf("dim=%d: block returned %d results for %d ids", dim, len(dst), len(ids))
+		}
+		for j, id := range ids {
+			if want := SqDist(q, ds.At(int(id))); dst[j] != want {
+				t.Fatalf("dim=%d id=%d: block = %v, scalar = %v (must be bit-identical)", dim, id, dst[j], want)
+			}
+		}
+		// Capacity reuse: a recycled dst must not reallocate.
+		dst2 := ds.SqDistBlock(dst[:0], q, ids[:2])
+		if &dst2[0] != &dst[0] {
+			t.Fatal("SqDistBlock reallocated despite sufficient capacity")
+		}
+	}
+}
+
+func TestSqDistBlockDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDataset(3, 1).SqDistBlock(nil, []float64{1, 2}, nil)
+}
