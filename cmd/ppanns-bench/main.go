@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,19 +25,34 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list) or \"all\"")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		n        = flag.Int("n", 8000, "database size per dataset")
-		queries  = flag.Int("queries", 50, "number of queries")
-		k        = flag.Int("k", 10, "result size k")
-		seed     = flag.Uint64("seed", 42, "experiment seed")
-		datasets = flag.String("datasets", "", "comma-separated dataset subset (sift,gist,glove,deep)")
-		full     = flag.Bool("full", false, "lift laptop-scale caps (gist-size AME pieces)")
-		jsonOut  = flag.String("json", "", "path for the machine-readable profile of -exp perf (e.g. BENCH_search.json)")
-		baseline = flag.String("baseline", "", "committed profile to regression-gate -exp perf against (fails on >tolerance qps drop)")
-		tol      = flag.Float64("baseline-tolerance", 0.25, "allowed fractional single-stream qps drop vs -baseline")
+		exp        = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		n          = flag.Int("n", 8000, "database size per dataset")
+		queries    = flag.Int("queries", 50, "number of queries")
+		k          = flag.Int("k", 10, "result size k")
+		seed       = flag.Uint64("seed", 42, "experiment seed")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset (sift,gist,glove,deep)")
+		full       = flag.Bool("full", false, "lift laptop-scale caps (gist-size AME pieces)")
+		jsonOut    = flag.String("json", "", "path for the machine-readable profile of -exp perf (e.g. BENCH_search.json)")
+		baseline   = flag.String("baseline", "", "committed profile to regression-gate -exp perf against (fails on >tolerance qps drop)")
+		tol        = flag.Float64("baseline-tolerance", 0.25, "allowed fractional single-stream qps drop vs -baseline")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppanns-bench: creating %s: %v\n", *cpuprofile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ppanns-bench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {

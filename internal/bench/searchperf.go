@@ -15,8 +15,10 @@ import (
 
 	"ppanns/internal/core"
 	"ppanns/internal/dataset"
+	"ppanns/internal/dce"
 	"ppanns/internal/index"
 	"ppanns/internal/shard"
+	"ppanns/internal/vec"
 )
 
 // SearchPerfReport is the machine-readable search-performance profile the
@@ -89,6 +91,36 @@ type SearchPerfReport struct {
 		BatchQPS         float64 `json:"batch_qps"`
 		Recall           float64 `json:"recall"`
 	} `json:"sharded"`
+	// MultiQuery profiles the query-blocked batch executor
+	// (SearchBatchBlocked) at parallelism 1 across group sizes, so the
+	// profile shows what sharing gathered candidate blocks across Q
+	// trapdoor-prepared queries buys over the per-query executor (the Q=1
+	// row, which runs the per-query path as the reference point).
+	MultiQuery struct {
+		Points []MultiQueryPoint `json:"points"`
+	} `json:"multi_query"`
+	// Kernels holds the per-kernel, per-variant microbenchmark numbers of
+	// the dispatched distance kernels, measured in-process against the
+	// run's own data. The baseline gate compares each (kernel, variant)
+	// pair independently, so an assembly regression in one kernel cannot
+	// hide behind an improvement in another.
+	Kernels []KernelPoint `json:"kernels"`
+}
+
+// MultiQueryPoint is one group size of the multi-query blocking sweep.
+type MultiQueryPoint struct {
+	Q           int     `json:"q"`
+	QPS         float64 `json:"qps"`
+	FilterMicro float64 `json:"filter_us"` // mean per query across rounds
+	RefineMicro float64 `json:"refine_us"`
+	Recall      float64 `json:"recall"`
+}
+
+// KernelPoint is one (kernel, variant) microbenchmark result.
+type KernelPoint struct {
+	Kernel  string  `json:"kernel"`  // e.g. "vec.sq_dist_block"
+	Variant string  `json:"variant"` // e.g. "scalar", "avx2"
+	NsPerOp float64 `json:"ns_per_op"`
 }
 
 // ConcurrentPoint is one parallelism level of the concurrent sweep, with
@@ -280,9 +312,64 @@ func SearchPerf(cfg Config) error {
 			return nil
 		}
 	}
+	// The multi-query sweep pins parallelism to 1: blocking trades nothing
+	// against parallel workers (groups are scheduled across workers), but
+	// the single-worker numbers isolate the cache-sharing effect the
+	// blocked executor exists for.
+	blockedStatsRun := func(blockQ int, agg *stageAgg) func() error {
+		pOpt := opt
+		pOpt.Parallelism = 1
+		pOpt.BlockQ = blockQ
+		return func() error {
+			_, stats, errs := dep.server.SearchBatchBlockedStats(dep.tokens, k, pOpt, 0)
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			for _, st := range stats {
+				agg.filter += st.FilterTime
+				agg.refine += st.RefineTime
+			}
+			agg.queries += len(stats)
+			return nil
+		}
+	}
 	singleSec := &section{name: "single", run: singleRun}
 	batchSec := &section{name: "batch", run: batchRun(workers)}
 	sections := []*section{singleSec, batchSec}
+	multiQs := []int{1, 8, 32}
+	multiAt := make(map[int]*section, len(multiQs))
+	multiAgg := make(map[int]*stageAgg, len(multiQs))
+	multiRecall := make(map[int]float64, len(multiQs))
+	gtK := data.GroundTruth(k)
+	for _, q := range multiQs {
+		agg := &stageAgg{}
+		var run func() error
+		if q <= 1 {
+			run = batchStatsRun(1, agg)
+		} else {
+			run = blockedStatsRun(q, agg)
+		}
+		s := &section{name: fmt.Sprintf("multiq-%d", q), run: run}
+		multiAt[q] = s
+		multiAgg[q] = agg
+		sections = append(sections, s)
+		// Correctness capture per group size (and pool warm-up for the
+		// blocked scratch before the timed rounds).
+		mqOpt := opt
+		mqOpt.BlockQ = q
+		var res [][]int
+		if q <= 1 {
+			res, err = dep.server.SearchBatch(dep.tokens, k, mqOpt, 1)
+		} else {
+			res, err = dep.server.SearchBatchBlocked(dep.tokens, k, mqOpt, 1)
+		}
+		if err != nil {
+			return err
+		}
+		multiRecall[q] = dataset.MeanRecall(res, gtK)
+	}
 	concurrentAt := make(map[int]*section, len(sweep))
 	concurrentAgg := make(map[int]*stageAgg, len(sweep))
 	for _, par := range sweep {
@@ -406,6 +493,23 @@ func SearchPerf(cfg Config) error {
 	rep.Sharded.PipelinedStreams = pipelineStreams
 	rep.Sharded.BatchQPS = qps(shardedBatch)
 	rep.Sharded.Recall = dataset.MeanRecall(shardedGot, gt)
+	for _, q := range multiQs {
+		agg := multiAgg[q]
+		pt := MultiQueryPoint{
+			Q:      q,
+			QPS:    qps(multiAt[q]),
+			Recall: multiRecall[q],
+		}
+		if agg.queries > 0 {
+			pt.FilterMicro = float64(agg.filter.Nanoseconds()) / float64(agg.queries) / 1e3
+			pt.RefineMicro = float64(agg.refine.Nanoseconds()) / float64(agg.queries) / 1e3
+		}
+		rep.MultiQuery.Points = append(rep.MultiQuery.Points, pt)
+	}
+	rep.Kernels, err = collectKernelBench(dep)
+	if err != nil {
+		return err
+	}
 
 	cfg.printf("%-22s %s (n=%d d=%d, %d queries, k=%d, backend=%s)\n",
 		"corpus", rep.Config.Dataset, rep.Config.N, rep.Config.Dim, nq, k, rep.Config.Backend)
@@ -421,6 +525,13 @@ func SearchPerf(cfg Config) error {
 	cfg.printf("%-22s %.0f qps lockstep / %.0f qps %d-stream pipelined / %.0f qps batch across %d shards (divided effort), recall %.3f\n",
 		"scatter-gather", rep.Sharded.QPS, rep.Sharded.PipelinedQPS, rep.Sharded.PipelinedStreams,
 		rep.Sharded.BatchQPS, rep.Sharded.Shards, rep.Sharded.Recall)
+	for _, pt := range rep.MultiQuery.Points {
+		cfg.printf("%-22s %.0f qps at Q=%d (filter %.0fµs + refine %.0fµs per query), recall %.3f\n",
+			"multi-query", pt.QPS, pt.Q, pt.FilterMicro, pt.RefineMicro, pt.Recall)
+	}
+	for _, kp := range rep.Kernels {
+		cfg.printf("%-22s %-22s %-8s %.0f ns/op\n", "kernel", kp.Kernel, kp.Variant, kp.NsPerOp)
+	}
 
 	if cfg.JSONOut != "" {
 		blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -441,11 +552,102 @@ func SearchPerf(cfg Config) error {
 	return nil
 }
 
+// collectKernelBench measures every dispatched distance kernel under every
+// linked variant against the run's own corpus: the vec pair and block
+// kernels over the plaintext vectors, the DCE pair and block kernels over
+// the deployment's ciphertext store with a real trapdoor. Variants are
+// forced through vec.SetKernel/dce.SetKernel and restored afterwards.
+func collectKernelBench(dep *deployment) ([]KernelPoint, error) {
+	store := dep.server.Database().DCE
+	tok := dep.tokens[0]
+	rows := len(dep.data.Train)
+	if rows > 256 {
+		rows = 256
+	}
+	ds := vec.DatasetFromSlices(dep.data.Train[:rows])
+	q := dep.data.Queries[0]
+	ids := make([]int32, 64)
+	for i := range ids {
+		ids[i] = int32((i * 37) % rows)
+	}
+	dst := make([]float64, len(ids))
+	row := ds.At(1)
+
+	var pq dce.PreparedQuery
+	if err := store.PrepareQuery(&pq, tok.Trapdoor.Q); err != nil {
+		return nil, err
+	}
+	pq.SetPivot(0)
+	zdst := make([]float64, len(ids))
+
+	var sink float64
+	workloads := []struct {
+		name string
+		fn   func()
+	}{
+		{"vec.sq_dist", func() { sink += vec.SqDist(q, row) }},
+		{"vec.sq_dist_block", func() { ds.SqDistBlock(dst, q, ids) }},
+		{"dce.dist_comp", func() { sink += pq.CompWithPivot(1) }},
+		{"dce.dist_comp_block", func() { zdst = pq.DistanceCompBlock(zdst[:0], ids) }},
+	}
+
+	prevVec, prevDCE := vec.ActiveKernel(), dce.ActiveKernel()
+	defer func() {
+		vec.SetKernel(prevVec)
+		dce.SetKernel(prevDCE)
+	}()
+	var points []KernelPoint
+	for _, variant := range vec.KernelVariants() {
+		if err := vec.SetKernel(variant); err != nil {
+			return nil, err
+		}
+		if err := dce.SetKernel(variant); err != nil {
+			return nil, err
+		}
+		for _, w := range workloads {
+			points = append(points, KernelPoint{Kernel: w.name, Variant: variant, NsPerOp: timeKernel(w.fn)})
+		}
+	}
+	runtime.KeepAlive(sink)
+	return points, nil
+}
+
+// timeKernel measures f's steady-state ns/op: iterations are scaled until
+// a sample spans a few milliseconds, and the best of three samples is
+// taken — the minimum discards scheduler preemptions, which only ever add
+// time.
+func timeKernel(f func()) float64 {
+	f() // warm caches and any lazy buffers
+	best := math.Inf(1)
+	for attempt := 0; attempt < 3; attempt++ {
+		iters := 64
+		for {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			elapsed := time.Since(start)
+			if elapsed >= 5*time.Millisecond {
+				if ns := float64(elapsed.Nanoseconds()) / float64(iters); ns < best {
+					best = ns
+				}
+				break
+			}
+			iters *= 8
+		}
+	}
+	return best
+}
+
 // gateAgainstBaseline compares the fresh single-stream qps against a
 // committed profile and fails on a drop beyond the tolerance. The gate is
 // deliberately loose (default 25%): CI hosts jitter by tens of percent
 // between runs, and a flaky gate trains people to ignore it — only a drop
 // no plausible host variance explains should turn the job red.
+//
+// When the baseline carries a kernels section, every (kernel, variant)
+// pair is gated independently at the same tolerance, so a regression in
+// one kernel's assembly cannot hide inside an aggregate qps number.
 func gateAgainstBaseline(cfg Config, rep *SearchPerfReport) error {
 	blob, err := os.ReadFile(cfg.Baseline)
 	if err != nil {
@@ -468,6 +670,28 @@ func gateAgainstBaseline(cfg Config, rep *SearchPerfReport) error {
 	if ratio < 1-tol {
 		return fmt.Errorf("bench: single-stream qps regressed beyond tolerance: fresh %.0f vs committed %.0f (%.0f%% drop > %.0f%% allowed)",
 			rep.Single.QPS, base.Single.QPS, (1-ratio)*100, tol*100)
+	}
+	if len(base.Kernels) > 0 {
+		fresh := make(map[string]float64, len(rep.Kernels))
+		for _, kp := range rep.Kernels {
+			fresh[kp.Kernel+"/"+kp.Variant] = kp.NsPerOp
+		}
+		for _, bk := range base.Kernels {
+			key := bk.Kernel + "/" + bk.Variant
+			got, ok := fresh[key]
+			if !ok || bk.NsPerOp <= 0 {
+				// A variant the current host cannot run (e.g. the baseline
+				// was generated on an AVX2 machine) is skipped, not failed.
+				continue
+			}
+			kratio := got / bk.NsPerOp
+			cfg.printf("%-22s %-30s %.0f ns/op fresh vs %.0f committed (%.2fx)\n",
+				"kernel gate", key, got, bk.NsPerOp, kratio)
+			if kratio > 1+tol {
+				return fmt.Errorf("bench: kernel %s regressed beyond tolerance: fresh %.0f ns/op vs committed %.0f (%.0f%% slower > %.0f%% allowed)",
+					key, got, bk.NsPerOp, (kratio-1)*100, tol*100)
+			}
+		}
 	}
 	return nil
 }

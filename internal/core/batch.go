@@ -123,6 +123,21 @@ func (s *Server) searchShardBatch(toks []*QueryToken, k int, opt SearchOptions, 
 	}
 	results := make([]ShardResult, len(toks))
 	errs := make([]error, len(toks))
+	if opt.BlockQ > 1 && opt.Refine == RefineDCE {
+		// Query-blocked path: groups of BlockQ queries share each gathered
+		// candidate block during refine (see blocked.go). The group executor
+		// fills ShardResult slots directly.
+		for i := range results {
+			results[i].views = views
+		}
+		s.runBlockedGroups(toks, k, opt, parallelism, make([][]int, len(toks)), nil, errs, results)
+		for i := range results {
+			if errs[i] != nil {
+				results[i] = ShardResult{}
+			}
+		}
+		return results, errs
+	}
 	forEachQuery(len(toks), opt.parallelism(parallelism), func() func(int) {
 		return func(i int) {
 			var ids []int
@@ -163,6 +178,12 @@ func (s *Server) searchBatch(toks []*QueryToken, k int, opt SearchOptions, paral
 	var stats []SearchStats
 	if wantStats {
 		stats = make([]SearchStats, len(toks))
+	}
+	if opt.BlockQ > 1 && opt.Refine == RefineDCE {
+		// Query-blocked path: groups of BlockQ queries share each gathered
+		// candidate block during refine (see blocked.go).
+		s.runBlockedGroups(toks, k, opt, parallelism, results, stats, errs, nil)
+		return results, stats, errs
 	}
 	forEachQuery(len(toks), opt.parallelism(parallelism), func() func(int) {
 		var buf []int

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"ppanns/internal/dce"
+	"ppanns/internal/resultheap"
+)
+
+// Multi-query blocked batch execution.
+//
+// The per-query batch executor (batch.go) runs each query's refine phase
+// independently, so every query streams the candidate ciphertext records
+// through the cache on its own. The blocked executor instead processes the
+// batch in groups of Q trapdoor-prepared queries and makes the group share
+// each gathered candidate block: the refine tile walks the group's
+// candidate ids in ascending arena order, chunk by chunk, evaluating every
+// group member's comparisons against a chunk's records while those records
+// are cache-hot — a Q×N distance tile per arena pass instead of Q separate
+// passes.
+//
+// The refine itself stays Algorithm 2's bounded max-heap selection and is
+// bit-identical to the sequential path (up to float64 rounding of exactly
+// tied distances): each query seeds its heap with the first k candidates
+// exactly as the sequential offers would, takes the resulting heap top as
+// its pivot, and the tile computes Z_{pivot, cand} for every remaining
+// candidate in one blocked kernel pass. A candidate with Z ≤ 0 is no
+// closer than the pivot; since the sequential heap's top only ever gets
+// closer after seeding, that candidate would have been rejected by its
+// sequential offer too, so dropping it is exact. Survivors are offered in
+// the original filter order, which reproduces the sequential heap's
+// decisions (the admission test re-compares against the live top).
+
+// defaultBlockQ is the group size SearchBatchBlocked uses when the options
+// don't set one. Large enough that candidate chunks are reused several
+// times per pass, small enough that a group's heaps and trapdoors stay
+// cache-resident.
+const defaultBlockQ = 8
+
+// blockedChunkIDs is the number of distinct candidate records per tile
+// chunk. At the paper's dimensions a record is ~6.5KB, so a chunk is
+// ~200KB — sized for the L2 the group's queries share it through.
+const blockedChunkIDs = 32
+
+// refineTriple is one (candidate id, group member, candidate position)
+// entry of the group tile, sorted by id so the tile walks the arena in
+// ascending address order.
+type refineTriple struct {
+	id  int32
+	qi  int32
+	pos int32
+}
+
+// blockedQuery is the per-query state of one group member, pooled via
+// blockedScratch.
+type blockedQuery struct {
+	items    []resultheap.Item
+	cands    []int
+	ops      []float64 // PrecomputeRefine operand arena
+	ztail    []float64 // tile results indexed by candidate position
+	chunkIDs []int32   // this query's ids within the current chunk
+	chunkPos []int32   // candidate positions parallel to chunkIDs
+	chunkZ   []float64 // blocked kernel output for the current chunk
+	sorted   []int
+	heap     resultheap.CompareHeap
+	pq       dce.PreparedQuery
+	cmp      dceComparator
+	tail     int // first candidate position not consumed by heap seeding
+	live     bool
+	st       SearchStats
+	err      error
+}
+
+// blockedScratch is the pooled working set of one group execution.
+type blockedScratch struct {
+	qs      []blockedQuery
+	triples []refineTriple
+	touched []int32 // group members with entries in the current chunk
+}
+
+var blockedPool = sync.Pool{New: func() any { return new(blockedScratch) }}
+
+func getBlockedScratch(n int) *blockedScratch {
+	gs := blockedPool.Get().(*blockedScratch)
+	if cap(gs.qs) < n {
+		gs.qs = make([]blockedQuery, n)
+	} else {
+		gs.qs = gs.qs[:n]
+	}
+	return gs
+}
+
+func putBlockedScratch(gs *blockedScratch) {
+	for i := range gs.qs {
+		q := &gs.qs[i]
+		q.pq.Reset()
+		q.cmp = dceComparator{}
+		q.live = false
+		q.err = nil
+		q.st = SearchStats{}
+	}
+	blockedPool.Put(gs)
+}
+
+// SearchBatchBlocked is SearchBatch with multi-query blocking: queries are
+// processed in groups of opt.BlockQ (default 8) whose DCE refine phases
+// share each gathered candidate block. Results are ordered like
+// SearchBatch's and identical to it up to float64 rounding of exactly tied
+// distances. Non-DCE refine modes gain nothing from sharing ciphertext
+// blocks and fall back to the per-query executor.
+func (s *Server) SearchBatchBlocked(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, error) {
+	results, _, errs := s.searchBatchBlocked(toks, k, opt, parallelism, false)
+	var failed []QueryError
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, QueryError{Query: i, Err: err})
+		}
+	}
+	if len(failed) > 0 {
+		return results, &BatchError{Failed: failed}
+	}
+	return results, nil
+}
+
+// SearchBatchBlockedStats is SearchBatchBlocked returning the raw
+// per-query error slice plus per-query SearchStats. The tile pass is group
+// work, so its time is attributed evenly across the group members it
+// served; per-query RefineTime is therefore an attribution, not an
+// isolated measurement.
+func (s *Server) SearchBatchBlockedStats(toks []*QueryToken, k int, opt SearchOptions, parallelism int) ([][]int, []SearchStats, []error) {
+	return s.searchBatchBlocked(toks, k, opt, parallelism, true)
+}
+
+func (s *Server) searchBatchBlocked(toks []*QueryToken, k int, opt SearchOptions, parallelism int, wantStats bool) ([][]int, []SearchStats, []error) {
+	if len(toks) == 0 {
+		return nil, nil, nil
+	}
+	if opt.BlockQ <= 1 {
+		opt.BlockQ = defaultBlockQ
+	}
+	if opt.Refine != RefineDCE {
+		return s.searchBatch(toks, k, opt, parallelism, wantStats)
+	}
+	results := make([][]int, len(toks))
+	errs := make([]error, len(toks))
+	var stats []SearchStats
+	if wantStats {
+		stats = make([]SearchStats, len(toks))
+	}
+	s.runBlockedGroups(toks, k, opt, parallelism, results, stats, errs, nil)
+	return results, stats, errs
+}
+
+// runBlockedGroups dispatches the batch to searchGroupBlocked in groups of
+// opt.BlockQ, scheduling whole groups across the worker pool. stats and
+// mms may be nil.
+func (s *Server) runBlockedGroups(toks []*QueryToken, k int, opt SearchOptions, parallelism int, results [][]int, stats []SearchStats, errs []error, mms []ShardResult) {
+	blockQ := opt.BlockQ
+	nGroups := (len(toks) + blockQ - 1) / blockQ
+	forEachQuery(nGroups, opt.parallelism(parallelism), func() func(int) {
+		return func(g int) {
+			lo := g * blockQ
+			hi := min(lo+blockQ, len(toks))
+			var sslice []SearchStats
+			if stats != nil {
+				sslice = stats[lo:hi]
+			}
+			var mslice []ShardResult
+			if mms != nil {
+				mslice = mms[lo:hi]
+			}
+			s.searchGroupBlocked(toks[lo:hi], k, opt, results[lo:hi], sslice, errs[lo:hi], mslice)
+		}
+	})
+}
+
+// searchGroupBlocked answers one group of queries against a single
+// snapshot. results/errs (and stats/mms when non-nil) are parallel to
+// toks. Per-query validation mirrors searchInto's checks and error
+// messages exactly, so a batch mixing good and bad tokens reports the same
+// errors through either executor.
+func (s *Server) searchGroupBlocked(toks []*QueryToken, k int, opt SearchOptions, results [][]int, stats []SearchStats, errs []error, mms []ShardResult) {
+	sp := s.snap.Load()
+	sp.readers.Add(1)
+	defer sp.readers.Add(-1)
+	edb := sp.edb
+
+	gs := getBlockedScratch(len(toks))
+	defer putBlockedScratch(gs)
+
+	kPrime := opt.kPrime(k)
+	if kPrime < k {
+		kPrime = k
+	}
+
+	// Phase 1 — per-query validation, filter, heap seeding and pivot
+	// selection. Seeding offers the first min(k, |cands|) positions exactly
+	// like the sequential refine, so the pivot (the heap top after seeding)
+	// matches the sequential heap's state when the tail offers begin.
+	for i, tok := range toks {
+		q := &gs.qs[i]
+		q.st = SearchStats{Epoch: sp.epoch}
+		q.err = nil
+		q.live = false
+		if tok == nil || tok.SAP == nil {
+			q.err = fmt.Errorf("core: query token missing SAP ciphertext")
+			continue
+		}
+		if k <= 0 {
+			q.err = fmt.Errorf("core: non-positive k %d", k)
+			continue
+		}
+		if len(tok.SAP) != edb.Dim {
+			q.err = fmt.Errorf("core: query token has dim %d, want %d", len(tok.SAP), edb.Dim)
+			continue
+		}
+		start := time.Now()
+		q.items = edb.Index.SearchInto(q.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
+		q.st.FilterTime = time.Since(start)
+		q.st.Candidates = len(q.items)
+		if len(q.items) == 0 {
+			continue // success with an empty result, like searchInto
+		}
+		if tok.Trapdoor == nil {
+			q.err = fmt.Errorf("core: token lacks DCE trapdoor for refine")
+			continue
+		}
+		start = time.Now()
+		if err := edb.DCE.PrepareQuery(&q.pq, tok.Trapdoor.Q); err != nil {
+			q.err = fmt.Errorf("core: %w", err)
+			continue
+		}
+		q.cands = q.cands[:0]
+		for _, it := range q.items {
+			q.cands = append(q.cands, it.ID)
+		}
+		bad := false
+		for _, id := range q.cands {
+			if !edb.DCE.Has(id) {
+				q.err = fmt.Errorf("core: filter index returned id %d with no DCE ciphertext", id)
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		q.cmp = dceComparator{pq: &q.pq, cands: q.cands}
+		if opt.PrecomputeRefine {
+			q.ops = edb.DCE.ScaleOperands(q.ops, q.cands, tok.Trapdoor.Q)
+			q.cmp.ops, q.cmp.ctDim = q.ops, edb.DCE.CtDim()
+		}
+		bound := k
+		if bound > len(q.cands) {
+			bound = len(q.cands)
+		}
+		q.heap.Reset(bound, &q.cmp)
+		for pos := 0; pos < bound; pos++ {
+			q.heap.Offer(pos)
+		}
+		q.tail = bound
+		if len(q.cands) > bound {
+			q.pq.SetPivot(q.cands[q.heap.Top()])
+			if cap(q.ztail) < len(q.cands) {
+				q.ztail = make([]float64, len(q.cands))
+			} else {
+				q.ztail = q.ztail[:len(q.cands)]
+			}
+		}
+		q.live = true
+		q.st.RefineTime = time.Since(start)
+	}
+
+	// Phase 2 — the group tile: every live query's tail candidates, sorted
+	// by id so the pass walks the ciphertext arena in ascending order, cut
+	// into chunks of blockedChunkIDs distinct records. Each chunk's records
+	// are evaluated for every group member that wants them while the
+	// records are cache-hot; results land in per-query ztail slots.
+	gs.triples = gs.triples[:0]
+	tiled := 0
+	for qi := range gs.qs {
+		q := &gs.qs[qi]
+		if !q.live || q.tail >= len(q.cands) {
+			continue
+		}
+		tiled++
+		for pos := q.tail; pos < len(q.cands); pos++ {
+			gs.triples = append(gs.triples, refineTriple{id: int32(q.cands[pos]), qi: int32(qi), pos: int32(pos)})
+		}
+	}
+	if len(gs.triples) > 0 {
+		tileStart := time.Now()
+		slices.SortFunc(gs.triples, func(a, b refineTriple) int {
+			if a.id != b.id {
+				return int(a.id) - int(b.id)
+			}
+			if a.qi != b.qi {
+				return int(a.qi) - int(b.qi)
+			}
+			return int(a.pos) - int(b.pos)
+		})
+		for start := 0; start < len(gs.triples); {
+			end := start + 1
+			distinct := 1
+			for end < len(gs.triples) {
+				if gs.triples[end].id != gs.triples[end-1].id {
+					if distinct == blockedChunkIDs {
+						break
+					}
+					distinct++
+				}
+				end++
+			}
+			gs.touched = gs.touched[:0]
+			for _, tr := range gs.triples[start:end] {
+				q := &gs.qs[tr.qi]
+				if len(q.chunkIDs) == 0 {
+					gs.touched = append(gs.touched, tr.qi)
+				}
+				q.chunkIDs = append(q.chunkIDs, tr.id)
+				q.chunkPos = append(q.chunkPos, tr.pos)
+			}
+			for _, qi := range gs.touched {
+				q := &gs.qs[qi]
+				q.chunkZ = q.pq.DistanceCompBlock(q.chunkZ[:0], q.chunkIDs)
+				for t, pos := range q.chunkPos {
+					q.ztail[pos] = q.chunkZ[t]
+				}
+				q.chunkIDs = q.chunkIDs[:0]
+				q.chunkPos = q.chunkPos[:0]
+			}
+			start = end
+		}
+		// The tile serves the whole group at once; attribute its wall time
+		// evenly across the queries it evaluated.
+		share := time.Since(tileStart) / time.Duration(tiled)
+		for qi := range gs.qs {
+			q := &gs.qs[qi]
+			if q.live && q.tail < len(q.cands) {
+				q.st.RefineTime += share
+			}
+		}
+	}
+
+	// Phase 3 — per-query admission and drain. A tail candidate with
+	// Z_{pivot, cand} ≤ 0 is dropped (its sequential offer would have been
+	// rejected — see the package comment); survivors are offered in the
+	// original filter order against the live heap top, exactly the
+	// sequential decision sequence.
+	for i := range toks {
+		q := &gs.qs[i]
+		if q.err != nil {
+			errs[i] = q.err
+			if stats != nil {
+				stats[i] = q.st
+			}
+			if mms != nil {
+				mms[i] = ShardResult{}
+			}
+			continue
+		}
+		if !q.live {
+			results[i] = nil
+			if stats != nil {
+				stats[i] = q.st
+			}
+			if mms != nil {
+				mms[i].IDs = make([]int, 0, k)
+			}
+			continue
+		}
+		start := time.Now()
+		tailN := len(q.cands) - q.tail
+		for pos := q.tail; pos < len(q.cands); pos++ {
+			if q.ztail[pos] > 0 {
+				q.heap.Offer(pos)
+			}
+		}
+		q.sorted = q.heap.SortedInto(q.sorted)
+		res := make([]int, 0, k)
+		for _, pos := range q.sorted {
+			res = append(res, q.cands[pos])
+		}
+		q.st.Comparisons = q.heap.Comparisons() + tailN
+		q.st.RefineTime += time.Since(start)
+		results[i] = res
+		if stats != nil {
+			stats[i] = q.st
+		}
+		if mms != nil {
+			mm := &mms[i]
+			mm.IDs = res
+			mm.CtDim = edb.DCE.CtDim()
+			if mm.views {
+				mm.Store = edb.DCE
+			} else {
+				mm.Recs = make([][]float64, len(res))
+				for j, id := range res {
+					mm.Recs[j] = append([]float64(nil), edb.DCE.Record(id)...)
+				}
+			}
+		}
+	}
+}

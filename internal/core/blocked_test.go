@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// blockedWorld builds a deployment sized so that k' candidate lists
+// overlap across queries — the regime the blocked tile's chunk sharing is
+// meant for.
+func blockedWorld(t *testing.T, seed uint64) (*testWorld, []*QueryToken) {
+	t.Helper()
+	data := clustered(seed, 1200, 12, 6)
+	w := newWorld(t, Params{Dim: 12, Beta: 0.5, Seed: seed}, data)
+	queries := makeQueries(seed+1, data, 33, 0.3)
+	toks := make([]*QueryToken, len(queries))
+	for i, q := range queries {
+		tok, err := w.user.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks[i] = tok
+	}
+	return w, toks
+}
+
+func assertSameBatches(t *testing.T, got, want [][]int, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s query %d: got %v, want %v", label, i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s query %d rank %d: got %d, want %d", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestSearchBatchBlockedMatchesSequential pins the blocked executor's core
+// contract: for every group size and either comparator flavor, the blocked
+// refine returns exactly the per-query executor's results in exactly its
+// order.
+func TestSearchBatchBlockedMatchesSequential(t *testing.T) {
+	w, toks := blockedWorld(t, 71)
+	for _, pre := range []bool{false, true} {
+		opt := SearchOptions{RatioK: 8, EfSearch: 80, PrecomputeRefine: pre}
+		want, err := w.server.SearchBatch(toks, 5, opt, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, blockQ := range []int{2, 3, 8, 32, 100} {
+			opt.BlockQ = blockQ
+			got, err := w.server.SearchBatchBlocked(toks, 5, opt, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameBatches(t, got, want, "blocked")
+			// BlockQ inside the options must route the plain batch
+			// executors through the blocked path too (that is how the
+			// option reaches remote servers and shards).
+			got2, err := w.server.SearchBatch(toks, 5, opt, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameBatches(t, got2, want, "SearchBatch+BlockQ")
+		}
+	}
+}
+
+// TestSearchBatchBlockedEdgeShapes covers the degenerate group shapes: k
+// larger than the candidate pool (no tile at all), k=1 (pivot is the sole
+// seed), and a batch smaller than one group.
+func TestSearchBatchBlockedEdgeShapes(t *testing.T) {
+	w, toks := blockedWorld(t, 73)
+	small := toks[:3]
+	for _, k := range []int{1, 5, 5000} {
+		opt := SearchOptions{RatioK: 4, EfSearch: 64, BlockQ: 8}
+		want, err := w.server.SearchBatch(small, k, SearchOptions{RatioK: 4, EfSearch: 64}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.server.SearchBatchBlocked(small, k, opt, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBatches(t, got, want, "blocked small batch")
+	}
+	// Duplicate tokens in one group: maximal chunk sharing, identical rows.
+	dup := []*QueryToken{toks[0], toks[0], toks[0], toks[1]}
+	want, err := w.server.SearchBatch(dup, 7, SearchOptions{RatioK: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.server.SearchBatchBlocked(dup, 7, SearchOptions{RatioK: 8, BlockQ: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBatches(t, got, want, "duplicate tokens")
+}
+
+// TestSearchBatchBlockedPartialFailure mirrors the per-query executor's
+// failure semantics: bad tokens fail with the same errors in the same
+// slots while the rest of their group still answers.
+func TestSearchBatchBlockedPartialFailure(t *testing.T) {
+	w, toks := blockedWorld(t, 75)
+	bad, err := w.user.QueryFilterOnly(w.data[9]) // lacks the DCE trapdoor
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := []*QueryToken{toks[0], bad, toks[1], nil, toks[2]}
+	results, batchErr := w.server.SearchBatchBlocked(mixed, 5, SearchOptions{RatioK: 8, BlockQ: 4}, 2)
+	var be *BatchError
+	if !errors.As(batchErr, &be) {
+		t.Fatalf("batch error has type %T, want *BatchError", batchErr)
+	}
+	if len(be.Failed) != 2 || be.Failed[0].Query != 1 || be.Failed[1].Query != 3 {
+		t.Fatalf("failed set = %+v, want queries 1 and 3", be.Failed)
+	}
+	seq, _ := w.server.SearchBatchErrs(mixed, 5, SearchOptions{RatioK: 8}, 2)
+	for _, i := range []int{0, 2, 4} {
+		if len(results[i]) != 5 {
+			t.Fatalf("good query %d lost its results: %v", i, results[i])
+		}
+		for j := range results[i] {
+			if results[i][j] != seq[i][j] {
+				t.Fatalf("good query %d differs from sequential: %v vs %v", i, results[i], seq[i])
+			}
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if results[i] != nil {
+			t.Fatalf("failed query %d has non-nil results %v", i, results[i])
+		}
+	}
+	// Same error texts as the sequential validation chain.
+	_, seqErrs := w.server.SearchBatchErrs(mixed, 5, SearchOptions{RatioK: 8}, 1)
+	_, _, blkErrs := w.server.SearchBatchBlockedStats(mixed, 5, SearchOptions{RatioK: 8, BlockQ: 4}, 1)
+	for i := range mixed {
+		switch {
+		case seqErrs[i] == nil && blkErrs[i] == nil:
+		case seqErrs[i] != nil && blkErrs[i] != nil && seqErrs[i].Error() == blkErrs[i].Error():
+		default:
+			t.Fatalf("query %d: blocked err %v, sequential err %v", i, blkErrs[i], seqErrs[i])
+		}
+	}
+}
+
+// TestSearchBatchBlockedStats checks the per-query accounting: epoch and
+// candidate counts match the sequential stats, stage times are populated,
+// and the comparison count stays within the sequential path's bound (the
+// tile prunes with one comparison per tail candidate, then only survivors
+// pay heap comparisons).
+func TestSearchBatchBlockedStats(t *testing.T) {
+	w, toks := blockedWorld(t, 77)
+	opt := SearchOptions{RatioK: 8, EfSearch: 80}
+	_, seqStats, _ := w.server.SearchBatchStats(toks, 5, opt, 1)
+	opt.BlockQ = 8
+	_, stats, errs := w.server.SearchBatchBlockedStats(toks, 5, opt, 1)
+	for i := range toks {
+		if errs[i] != nil {
+			t.Fatalf("query %d failed: %v", i, errs[i])
+		}
+		st, want := stats[i], seqStats[i]
+		if st.Epoch != want.Epoch || st.Candidates != want.Candidates {
+			t.Fatalf("query %d: stats %+v vs sequential %+v", i, st, want)
+		}
+		if st.FilterTime <= 0 || st.RefineTime <= 0 {
+			t.Fatalf("query %d: unpopulated stage times %+v", i, st)
+		}
+		if st.Comparisons <= 0 {
+			t.Fatalf("query %d: no comparisons recorded", i)
+		}
+		// Tile pruning can only remove heap work relative to offering every
+		// candidate; candidates + admitted heap comparisons never exceeds
+		// the sequential count plus the seeded prefix's heap work.
+		if st.Comparisons > 2*want.Comparisons+want.Candidates {
+			t.Fatalf("query %d: blocked comparisons %d vs sequential %d", i, st.Comparisons, want.Comparisons)
+		}
+	}
+}
+
+// TestSearchShardBatchBlockedMatchesSequential pins the scatter-gather
+// surface: with BlockQ set, both the copying and the view-returning shard
+// batch run the blocked path and return the same ids and merge material as
+// the per-query path.
+func TestSearchShardBatchBlockedMatchesSequential(t *testing.T) {
+	w, toks := blockedWorld(t, 79)
+	opt := SearchOptions{RatioK: 8, EfSearch: 80}
+	wantRes, wantErrs := w.server.SearchShardBatch(toks, 5, opt, 2)
+	opt.BlockQ = 8
+	gotRes, gotErrs := w.server.SearchShardBatch(toks, 5, opt, 2)
+	gotViews, _ := w.server.SearchShardBatchView(toks, 5, opt, 2)
+	for i := range toks {
+		if wantErrs[i] != nil || gotErrs[i] != nil {
+			t.Fatalf("query %d: errs %v / %v", i, wantErrs[i], gotErrs[i])
+		}
+		want, got := wantRes[i], gotRes[i]
+		if len(got.IDs) != len(want.IDs) {
+			t.Fatalf("query %d: ids %v vs %v", i, got.IDs, want.IDs)
+		}
+		for j := range want.IDs {
+			if got.IDs[j] != want.IDs[j] {
+				t.Fatalf("query %d rank %d: %d vs %d", i, j, got.IDs[j], want.IDs[j])
+			}
+		}
+		if got.CtDim != want.CtDim || len(got.Recs) != len(want.Recs) {
+			t.Fatalf("query %d: merge material shape %d/%d vs %d/%d", i, got.CtDim, len(got.Recs), want.CtDim, len(want.Recs))
+		}
+		for j := range want.Recs {
+			for c := range want.Recs[j] {
+				if got.Recs[j][c] != want.Recs[j][c] {
+					t.Fatalf("query %d rec %d component %d differs", i, j, c)
+				}
+			}
+		}
+		if gotViews[i].Store == nil || gotViews[i].Recs != nil {
+			t.Fatalf("query %d: view result should borrow the store, got %+v", i, gotViews[i])
+		}
+	}
+}
+
+// TestSearchBatchBlockedSteadyStateAllocs: once the scratch pool is warm,
+// the blocked path allocates only each query's returned id slice (plus the
+// batch's result/err slices), like the per-query executor.
+func TestSearchBatchBlockedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	w, toks := blockedWorld(t, 81)
+	opt := SearchOptions{RatioK: 8, EfSearch: 80, BlockQ: 8}
+	run := func() {
+		if _, err := w.server.SearchBatchBlocked(toks, 5, opt, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm pools
+	perBatch := testing.AllocsPerRun(20, run)
+	// Result slices (one per query) + batch bookkeeping; anything beyond
+	// ~2 allocs per query means scratch is leaking out of the pool.
+	if limit := float64(2*len(toks) + 8); perBatch > limit {
+		t.Fatalf("blocked batch allocates %.0f per run, want <= %.0f", perBatch, limit)
+	}
+}

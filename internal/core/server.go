@@ -68,6 +68,13 @@ type SearchOptions struct {
 	// the scatter-gather coordinator forwards it to every shard. An
 	// explicit parallelism argument on the batch methods overrides it.
 	Parallelism int
+	// BlockQ groups the batch executors' queries into blocks of this many
+	// trapdoor-prepared queries that share each gathered candidate block
+	// during the DCE refine phase (see SearchBatchBlocked). 0 or 1 keeps
+	// the per-query path. Like Parallelism it rides inside the options, so
+	// remote batch calls and the scatter-gather coordinator's per-shard
+	// batch ops pick up query blocking with no wire change.
+	BlockQ int
 }
 
 func (s SearchOptions) kPrime(k int) int {

@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package dce
+
+// Non-amd64 builds dispatch only the portable scalar reference; a NEON
+// variant registers itself here when one lands.

@@ -1,0 +1,334 @@
+package dce
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/simd"
+	"ppanns/internal/vec"
+)
+
+// kernelTestDims covers every loop shape of the comparison kernels: pure
+// tail, full groups, group+tail, and the even ctDims real stores produce
+// (ctDim = 2·padDim+16 is always even), plus odd sizes for robustness.
+var kernelTestDims = []int{1, 3, 7, 8, 9, 15, 16, 17, 48, 63, 64, 100, 208, 401, 960}
+
+// dceULPDiff mirrors internal/vec's ULP metric; every linked variant
+// reproduces the scalar summation order and must match at 0 ULP.
+func dceULPDiff(a, b float64) uint64 {
+	ai, bi := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	if ai < 0 {
+		ai = math.MinInt64 - ai
+	}
+	if bi < 0 {
+		bi = math.MinInt64 - bi
+	}
+	if ai > bi {
+		return uint64(ai - bi)
+	}
+	return uint64(bi - ai)
+}
+
+func dceRandFloats(r *rng.Rand, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (r.Float64() - 0.5) * scale
+	}
+	return out
+}
+
+// TestDCEKernelVariantsBitIdentical compares every linked variant's three
+// kernels against the scalar references across all loop shapes, unaligned
+// slice offsets, and a padded arena with shuffled, duplicated ids.
+func TestDCEKernelVariantsBitIdentical(t *testing.T) {
+	r := rng.NewSeeded(431)
+	for _, k := range kernelVariants {
+		if k.name == simd.Scalar {
+			continue
+		}
+		t.Run(k.name, func(t *testing.T) {
+			for _, d := range kernelTestDims {
+				for off := 0; off < 4; off++ {
+					o1 := dceRandFloats(r, d+off, 20)[off:]
+					o2 := dceRandFloats(r, d+off, 20)[off:]
+					p3 := dceRandFloats(r, d+off, 20)[off:]
+					p4 := dceRandFloats(r, d+off, 20)[off:]
+					q := dceRandFloats(r, d+off, 20)[off:]
+					want := distCompScalar(o1, o2, p3, p4, q)
+					if got := k.distComp(o1, o2, p3, p4, q); dceULPDiff(got, want) > 0 {
+						t.Fatalf("distComp d=%d off=%d: %v vs scalar %v", d, off, got, want)
+					}
+					wantS := scaledCompScalar(o1, o2, p3, p4)
+					if got := k.scaledComp(o1, o2, p3, p4); dceULPDiff(got, wantS) > 0 {
+						t.Fatalf("scaledComp d=%d off=%d: %v vs scalar %v", d, off, got, wantS)
+					}
+				}
+				// Block form over a padded arena laid out like the store:
+				// records of [P1|P2|P3|P4] at a 64-byte-padded stride.
+				stride := vec.PadStride(4 * d)
+				rows := 11
+				arena := vec.AlignedFloats(stride * rows)
+				for i := range arena {
+					arena[i] = (r.Float64() - 0.5) * 20
+				}
+				o1 := dceRandFloats(r, d, 20)
+				o2 := dceRandFloats(r, d, 20)
+				q := dceRandFloats(r, d, 20)
+				ids := []int32{0, 10, 4, 4, 7, 1, 10, 0, 3}
+				want := make([]float64, len(ids))
+				got := make([]float64, len(ids))
+				distCompBlockScalar(want, arena, stride, d, o1, o2, q, ids)
+				k.distCompBlock(got, arena, stride, d, o1, o2, q, ids)
+				for j := range ids {
+					if dceULPDiff(got[j], want[j]) > 0 {
+						t.Fatalf("distCompBlock d=%d id=%d: %v vs scalar %v", d, ids[j], got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDCEKernelDispatchPublicSurface forces each variant through SetKernel
+// and drives the public comparison surface — DistanceCompQ, the prepared
+// pair and pivot paths, DistanceCompBlock, and the precomputed-operand
+// ScaledComp — asserting bit-identical results across variants.
+func TestDCEKernelDispatchPublicSurface(t *testing.T) {
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	_, store, _, _, tq := storeWorld(t, 13, 9)
+	cands := []int{0, 5, 2, 8, 2, 7}
+	type obs struct {
+		pair, pivot, scaled float64
+		block               []float64
+	}
+	observe := func() obs {
+		var pq PreparedQuery
+		if err := store.PrepareQuery(&pq, tq.Q); err != nil {
+			t.Fatal(err)
+		}
+		pq.SetPivot(3)
+		ids := make([]int32, len(cands))
+		for i, id := range cands {
+			ids[i] = int32(id)
+		}
+		ops := store.ScaleOperands(nil, cands, tq.Q)
+		st := 2 * store.CtDim()
+		return obs{
+			pair:   store.DistanceCompQ(1, 6, tq.Q),
+			pivot:  pq.CompWithPivot(5),
+			scaled: store.ScaledComp(ops[0:st], cands[1]),
+			block:  pq.DistanceCompBlock(nil, ids),
+		}
+	}
+	if err := SetKernel(simd.Scalar); err != nil {
+		t.Fatal(err)
+	}
+	want := observe()
+	// The blocked path must agree with per-pair calls on the same variant.
+	var pq PreparedQuery
+	if err := store.PrepareQuery(&pq, tq.Q); err != nil {
+		t.Fatal(err)
+	}
+	pq.SetPivot(3)
+	for j, id := range cands {
+		if want.block[j] != pq.Comp(3, id) {
+			t.Fatalf("scalar block[%d] %v != pair %v", j, want.block[j], pq.Comp(3, id))
+		}
+	}
+	for _, name := range KernelVariants() {
+		if err := SetKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		got := observe()
+		if got.pair != want.pair || got.pivot != want.pivot || got.scaled != want.scaled {
+			t.Fatalf("%s: pair/pivot/scaled %v/%v/%v, want %v/%v/%v",
+				name, got.pair, got.pivot, got.scaled, want.pair, want.pivot, want.scaled)
+		}
+		for j := range want.block {
+			if got.block[j] != want.block[j] {
+				t.Fatalf("%s: block[%d] = %v, want %v", name, j, got.block[j], want.block[j])
+			}
+		}
+	}
+	if err := SetKernel("no-such-kernel"); err == nil {
+		t.Fatal("SetKernel accepted an unknown variant")
+	}
+}
+
+// TestStoreArenaAlignment pins the layout satellite: the record stride is
+// padded to a 64-byte boundary, the arena base is cache-line aligned, so
+// every record starts on a cache line; and the padding stays out of the
+// wire format (Raw returns the compact logical layout).
+func TestStoreArenaAlignment(t *testing.T) {
+	for _, dim := range []int{3, 6, 13, 96} {
+		r := rng.NewSeeded(uint64(433 + dim))
+		k, err := KeyGen(r, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := NewCiphertextStore(k.CiphertextDim(), 3)
+		for i := 0; i < 5; i++ {
+			store.Append(k.Encrypt(rng.Gaussian(r, nil, dim)))
+		}
+		if store.Stride()%8 != 0 {
+			t.Fatalf("dim %d: stride %d not a multiple of 8 floats", dim, store.Stride())
+		}
+		if store.Stride() != vec.PadStride(4*store.CtDim()) {
+			t.Fatalf("dim %d: stride %d, want %d", dim, store.Stride(), vec.PadStride(4*store.CtDim()))
+		}
+		for id := 0; id < store.Len(); id++ {
+			if !vec.Aligned(store.Record(id)) {
+				t.Fatalf("dim %d: record %d base not 64-byte aligned", dim, id)
+			}
+		}
+		// The compact wire layout is stride-free: exactly 4·ctDim floats per
+		// record, round-tripping through StoreFromRaw bit-for-bit.
+		raw := store.Raw()
+		if len(raw) != 4*store.CtDim()*store.Len() {
+			t.Fatalf("dim %d: Raw len %d, want %d", dim, len(raw), 4*store.CtDim()*store.Len())
+		}
+		back, err := StoreFromRaw(store.CtDim(), append([]float64(nil), raw...), append([]bool(nil), store.LiveMask()...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < store.Len(); id++ {
+			a, b := store.Record(id), back.Record(id)
+			for c := range a {
+				if a[c] != b[c] {
+					t.Fatalf("dim %d: record %d differs after raw round trip", dim, id)
+				}
+			}
+		}
+	}
+}
+
+// TestDCEKernelRegistryShape mirrors internal/vec's registry invariants.
+func TestDCEKernelRegistryShape(t *testing.T) {
+	names := KernelVariants()
+	if len(names) == 0 || names[0] != simd.Scalar {
+		t.Fatalf("variants = %v, want scalar first", names)
+	}
+	if simd.HasAVX2() {
+		found := false
+		for _, n := range names {
+			found = found || n == simd.AVX2
+		}
+		if !found {
+			t.Fatal("CPU supports AVX2 but the variant is not registered")
+		}
+	}
+}
+
+// TestDCESetKernelConcurrent flips dispatch under concurrent comparisons;
+// exists for the -race build.
+func TestDCESetKernelConcurrent(t *testing.T) {
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	_, store, _, _, tq := storeWorld(t, 8, 4)
+	want := store.DistanceCompQ(0, 3, tq.Q)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := store.DistanceCompQ(0, 3, tq.Q); got != want {
+					panic(fmt.Sprintf("dispatch produced %v, want %v", got, want))
+				}
+			}
+		}()
+	}
+	variants := KernelVariants()
+	for i := 0; i < 200; i++ {
+		if err := SetKernel(variants[i%len(variants)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkDistCompKernels measures the pair kernel per variant at the
+// paper's padded-SIFT ctDim and a small dimension.
+func BenchmarkDistCompKernels(b *testing.B) {
+	r := rng.NewSeeded(437)
+	for _, d := range []int{96, 208} {
+		o1 := dceRandFloats(r, d, 20)
+		o2 := dceRandFloats(r, d, 20)
+		p3 := dceRandFloats(r, d, 20)
+		p4 := dceRandFloats(r, d, 20)
+		q := dceRandFloats(r, d, 20)
+		for _, k := range kernelVariants {
+			b.Run(fmt.Sprintf("%s/d=%d", k.name, d), func(b *testing.B) {
+				b.ReportAllocs()
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += k.distComp(o1, o2, p3, p4, q)
+				}
+				_ = sink
+			})
+		}
+	}
+}
+
+// BenchmarkDistCompBlockKernels measures the blocked kernel per variant
+// over a padded arena at the refine phase's typical candidate-list size.
+func BenchmarkDistCompBlockKernels(b *testing.B) {
+	r := rng.NewSeeded(439)
+	for _, d := range []int{96, 208} {
+		stride := vec.PadStride(4 * d)
+		const rows = 256
+		arena := vec.AlignedFloats(stride * rows)
+		for i := range arena {
+			arena[i] = r.Float64()
+		}
+		o1 := dceRandFloats(r, d, 20)
+		o2 := dceRandFloats(r, d, 20)
+		q := dceRandFloats(r, d, 20)
+		ids := make([]int32, 64)
+		for i := range ids {
+			ids[i] = int32((i * 37) % rows)
+		}
+		dst := make([]float64, len(ids))
+		for _, k := range kernelVariants {
+			b.Run(fmt.Sprintf("%s/d=%d", k.name, d), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(ids) * 2 * d * 8))
+				for i := 0; i < b.N; i++ {
+					k.distCompBlock(dst, arena, stride, d, o1, o2, q, ids)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScaledCompKernels measures the precomputed-operand kernel per
+// variant.
+func BenchmarkScaledCompKernels(b *testing.B) {
+	r := rng.NewSeeded(441)
+	const d = 208
+	s1 := dceRandFloats(r, d, 20)
+	s2 := dceRandFloats(r, d, 20)
+	p3 := dceRandFloats(r, d, 20)
+	p4 := dceRandFloats(r, d, 20)
+	for _, k := range kernelVariants {
+		b.Run(fmt.Sprintf("%s/d=%d", k.name, d), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += k.scaledComp(s1, s2, p3, p4)
+			}
+			_ = sink
+		})
+	}
+}

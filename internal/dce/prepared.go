@@ -77,12 +77,14 @@ func (pq *PreparedQuery) CompWithPivot(p int) float64 {
 }
 
 // DistanceCompBlock evaluates dst[j] = Z_{pivot, ids[j], q} for every id in
-// one pass over the arena, reusing dst's capacity. Each element runs the
-// same four-wide unrolled kernel as the scalar path, so results are
-// bit-identical to per-id DistanceCompQ calls; the blocked form amortizes
-// the pivot setup and keeps the trapdoor and pivot operands hot across the
-// whole candidate list — the shape a DCE-walked neighbor evaluation wants
-// (one kernel call per hop instead of one per neighbor).
+// one pass over the arena, reusing dst's capacity. The whole block runs
+// inside one dispatched kernel call — every variant matches the scalar
+// reference element-for-element, so results are bit-identical to per-id
+// DistanceCompQ calls; the blocked form amortizes the pivot setup and
+// keeps the trapdoor and pivot operands hot (in YMM registers on the AVX2
+// variant) across the whole candidate list — the shape the blocked refine
+// tile and a DCE-walked neighbor evaluation want (one kernel call per
+// gathered list instead of one per neighbor).
 func (pq *PreparedQuery) DistanceCompBlock(dst []float64, ids []int32) []float64 {
 	if pq.pivot < 0 {
 		panic("dce: DistanceCompBlock without SetPivot")
@@ -93,12 +95,6 @@ func (pq *PreparedQuery) DistanceCompBlock(dst []float64, ids []int32) []float64
 		dst = dst[:len(ids)]
 	}
 	s := pq.store
-	d := s.ctDim
-	st := s.stride()
-	o1, o2, q := pq.o1, pq.o2, pq.q
-	for j, id := range ids {
-		p34 := s.arena[int(id)*st+2*d : (int(id)+1)*st]
-		dst[j] = distCompKernel(o1, o2, p34[:d], p34[d:], q)
-	}
+	activeKernels.Load().distCompBlock(dst, s.arena, s.strideF, s.ctDim, pq.o1, pq.o2, pq.q, ids)
 	return dst
 }

@@ -1,6 +1,10 @@
 package dce
 
-import "fmt"
+import (
+	"fmt"
+
+	"ppanns/internal/vec"
+)
 
 // CiphertextStore is a flat-arena backing for DCE ciphertexts. Instead of
 // four separately allocated component slices behind a pointer per point,
@@ -19,12 +23,24 @@ import "fmt"
 // reused. All views are slices into the arena: cheap, copy-free, and
 // invalidated by the next Append (callers must not retain them across
 // mutations).
+//
+// The arena base is 64-byte aligned and the record stride is 4·ctDim
+// rounded up to a cache-line multiple (pad floats stay zero), so every
+// record — and, since ctDim is even for every real DCE key, every
+// component — starts on a cache-line boundary and SIMD loads never split a
+// line at a record edge. The padding is purely an in-memory layout: Raw and
+// StoreFromRaw speak the compact 4·ctDim-per-record representation, which
+// keeps the PPANNSD4 on-disk bytes identical to the pre-padding format.
 type CiphertextStore struct {
-	ctDim int
-	arena []float64 // n records of 4·ctDim floats each
-	live  []bool
-	liveN int
+	ctDim   int
+	strideF int // record stride in float64s: PadStride(4·ctDim)
+	arena   []float64
+	live    []bool
+	liveN   int
 }
+
+// recordStride is the in-memory record stride for a component length.
+func recordStride(ctDim int) int { return vec.PadStride(4 * ctDim) }
 
 // NewCiphertextStore returns an empty store for ciphertexts of component
 // length ctDim, with capacity preallocated for capHint records.
@@ -35,10 +51,12 @@ func NewCiphertextStore(ctDim, capHint int) *CiphertextStore {
 	if capHint < 0 {
 		capHint = 0
 	}
+	st := recordStride(ctDim)
 	return &CiphertextStore{
-		ctDim: ctDim,
-		arena: make([]float64, 0, 4*ctDim*capHint),
-		live:  make([]bool, 0, capHint),
+		ctDim:   ctDim,
+		strideF: st,
+		arena:   vec.AlignedFloats(st * capHint)[:0],
+		live:    make([]bool, 0, capHint),
 	}
 }
 
@@ -52,11 +70,13 @@ func NewCiphertextStoreN(ctDim, n int) *CiphertextStore {
 	if n < 0 {
 		panic(fmt.Sprintf("dce: negative store size %d", n))
 	}
+	st := recordStride(ctDim)
 	s := &CiphertextStore{
-		ctDim: ctDim,
-		arena: make([]float64, 4*ctDim*n),
-		live:  make([]bool, n),
-		liveN: n,
+		ctDim:   ctDim,
+		strideF: st,
+		arena:   vec.AlignedFloats(st * n),
+		live:    make([]bool, n),
+		liveN:   n,
 	}
 	for i := range s.live {
 		s.live[i] = true
@@ -64,10 +84,12 @@ func NewCiphertextStoreN(ctDim, n int) *CiphertextStore {
 	return s
 }
 
-// StoreFromRaw wraps an existing flat arena (taking ownership) as a store.
-// len(live) is the record count; len(arena) must equal 4·ctDim·len(live).
-// Records with live[i] == false are tombstones (their floats should be
-// zero, as Delete leaves them).
+// StoreFromRaw builds a store from a compact flat arena (4·ctDim floats
+// per record, as Raw returns). len(live) is the record count; len(arena)
+// must equal 4·ctDim·len(live). Records with live[i] == false are
+// tombstones (their floats should be zero, as Delete leaves them). The
+// records are repacked into an aligned padded arena, so the input is not
+// retained.
 func StoreFromRaw(ctDim int, arena []float64, live []bool) (*CiphertextStore, error) {
 	if ctDim <= 0 {
 		return nil, fmt.Errorf("dce: non-positive ciphertext dimension %d", ctDim)
@@ -75,7 +97,13 @@ func StoreFromRaw(ctDim int, arena []float64, live []bool) (*CiphertextStore, er
 	if len(arena) != 4*ctDim*len(live) {
 		return nil, fmt.Errorf("dce: arena length %d does not match %d records of dim %d", len(arena), len(live), ctDim)
 	}
-	s := &CiphertextStore{ctDim: ctDim, arena: arena, live: live}
+	st := recordStride(ctDim)
+	rec := 4 * ctDim
+	packed := vec.AlignedFloats(st * len(live))
+	for i := range live {
+		copy(packed[i*st:i*st+rec], arena[i*rec:(i+1)*rec])
+	}
+	s := &CiphertextStore{ctDim: ctDim, strideF: st, arena: packed, live: live}
 	for _, l := range live {
 		if l {
 			s.liveN++
@@ -98,27 +126,32 @@ func (s *CiphertextStore) Has(id int) bool {
 	return id >= 0 && id < len(s.live) && s.live[id]
 }
 
-func (s *CiphertextStore) stride() int { return 4 * s.ctDim }
+// stride returns the in-memory record stride in float64s (≥ 4·ctDim; the
+// excess is cache-line padding).
+func (s *CiphertextStore) stride() int { return s.strideF }
 
-// Record returns the full mutable record [P1|P2|P3|P4] of id as a view
-// into the arena.
+// Stride is the exported form of stride, for the alignment tests.
+func (s *CiphertextStore) Stride() int { return s.strideF }
+
+// Record returns the full mutable logical record [P1|P2|P3|P4] of id
+// (4·CtDim floats, pad excluded) as a view into the arena.
 func (s *CiphertextStore) Record(id int) []float64 {
-	st := s.stride()
-	return s.arena[id*st : (id+1)*st : (id+1)*st]
+	base := id * s.strideF
+	return s.arena[base : base+4*s.ctDim : base+4*s.ctDim]
 }
 
 // O12 returns the [P1|P2] half of id's record — the operands a point
 // contributes when it is the "o" side of DistanceComp.
 func (s *CiphertextStore) O12(id int) []float64 {
-	st := s.stride()
-	return s.arena[id*st : id*st+2*s.ctDim]
+	base := id * s.strideF
+	return s.arena[base : base+2*s.ctDim]
 }
 
 // P34 returns the [P3|P4] half of id's record — the operands a point
 // contributes when it is the "p" side of DistanceComp.
 func (s *CiphertextStore) P34(id int) []float64 {
-	st := s.stride()
-	return s.arena[id*st+2*s.ctDim : (id+1)*st]
+	base := id*s.strideF + 2*s.ctDim
+	return s.arena[base : base+2*s.ctDim]
 }
 
 // View adapts record id to the pointer Ciphertext API without copying: the
@@ -138,6 +171,25 @@ func (s *CiphertextStore) View(id int) Ciphertext {
 	}
 }
 
+// grow ensures arena capacity for records more records, reallocating
+// aligned storage when needed (append would lose the 64-byte base
+// alignment). Published snapshots sharing the old arena are unaffected: a
+// reallocation gives this store a private copy, and an in-place extension
+// only writes past every published snapshot's length.
+func (s *CiphertextStore) grow(records int) {
+	need := len(s.arena) + records*s.strideF
+	if need <= cap(s.arena) {
+		return
+	}
+	newCap := 2 * cap(s.arena)
+	if newCap < need {
+		newCap = need
+	}
+	na := vec.AlignedFloats(newCap)[:len(s.arena)]
+	copy(na, s.arena)
+	s.arena = na
+}
+
 // Append copies ct into a fresh record and returns its id. Component
 // lengths must equal CtDim.
 func (s *CiphertextStore) Append(ct *Ciphertext) int {
@@ -146,10 +198,17 @@ func (s *CiphertextStore) Append(ct *Ciphertext) int {
 		panic(fmt.Sprintf("dce: appending ciphertext with component lengths %d/%d/%d/%d to store of dim %d",
 			len(ct.P1), len(ct.P2), len(ct.P3), len(ct.P4), d))
 	}
-	s.arena = append(s.arena, ct.P1...)
-	s.arena = append(s.arena, ct.P2...)
-	s.arena = append(s.arena, ct.P3...)
-	s.arena = append(s.arena, ct.P4...)
+	s.grow(1)
+	base := len(s.arena)
+	s.arena = s.arena[:base+s.strideF]
+	rec := s.arena[base:]
+	copy(rec[0*d:], ct.P1)
+	copy(rec[1*d:], ct.P2)
+	copy(rec[2*d:], ct.P3)
+	copy(rec[3*d:], ct.P4)
+	for i := 4 * d; i < s.strideF; i++ {
+		rec[i] = 0
+	}
 	s.live = append(s.live, true)
 	s.liveN++
 	return len(s.live) - 1
@@ -165,10 +224,11 @@ func (s *CiphertextStore) Append(ct *Ciphertext) int {
 // receiver and the clone.
 func (s *CiphertextStore) Snapshot() *CiphertextStore {
 	return &CiphertextStore{
-		ctDim: s.ctDim,
-		arena: s.arena,
-		live:  append([]bool(nil), s.live...),
-		liveN: s.liveN,
+		ctDim:   s.ctDim,
+		strideF: s.strideF,
+		arena:   s.arena,
+		live:    append([]bool(nil), s.live...),
+		liveN:   s.liveN,
 	}
 }
 
@@ -200,9 +260,23 @@ func (s *CiphertextStore) Delete(id int) {
 	s.liveN--
 }
 
-// Raw exposes the flat arena (Len()·4·CtDim floats; tombstoned records are
-// zero), used by the bulk serialization path. Callers must not resize it.
-func (s *CiphertextStore) Raw() []float64 { return s.arena }
+// Raw returns the compact flat arena representation (Len()·4·CtDim floats,
+// no record padding; Delete-zeroed records are zero), the layout the bulk
+// serialization path writes. When records are padded in memory this is a
+// copy; when 4·ctDim is already a cache-line multiple (every even ctDim,
+// i.e. every real DCE key) it is the backing arena itself, which callers
+// must not resize.
+func (s *CiphertextStore) Raw() []float64 {
+	rec := 4 * s.ctDim
+	if s.strideF == rec {
+		return s.arena
+	}
+	out := make([]float64, s.Len()*rec)
+	for i := 0; i < s.Len(); i++ {
+		copy(out[i*rec:], s.Record(i))
+	}
+	return out
+}
 
 // LiveMask exposes the per-record liveness flags, used by the bulk
 // serialization path. Callers must not modify it.
@@ -274,45 +348,15 @@ func DistanceCompHalves(o12, p34, q []float64) float64 {
 	return distCompKernel(o12[:d], o12[d:], p34[:d], p34[d:], q)
 }
 
-// distCompKernel computes Σᵢ (o1ᵢ·p3ᵢ − o2ᵢ·p4ᵢ)·qᵢ, unrolled four-wide
-// with independent accumulators so the FMAs pipeline.
+// distCompKernel computes Σᵢ (o1ᵢ·p3ᵢ − o2ᵢ·p4ᵢ)·qᵢ through the active
+// kernel variant; every variant is bit-identical to the scalar reference
+// in kernels.go.
 func distCompKernel(o1, o2, p3, p4, q []float64) float64 {
-	n := len(q)
-	o1 = o1[:n]
-	o2 = o2[:n]
-	p3 = p3[:n]
-	p4 = p4[:n]
-	var z0, z1, z2, z3 float64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		z0 += (o1[i]*p3[i] - o2[i]*p4[i]) * q[i]
-		z1 += (o1[i+1]*p3[i+1] - o2[i+1]*p4[i+1]) * q[i+1]
-		z2 += (o1[i+2]*p3[i+2] - o2[i+2]*p4[i+2]) * q[i+2]
-		z3 += (o1[i+3]*p3[i+3] - o2[i+3]*p4[i+3]) * q[i+3]
-	}
-	for ; i < n; i++ {
-		z0 += (o1[i]*p3[i] - o2[i]*p4[i]) * q[i]
-	}
-	return (z0 + z1) + (z2 + z3)
+	return activeKernels.Load().distComp(o1, o2, p3, p4, q)
 }
 
-// scaledCompKernel computes Σᵢ s1ᵢ·p3ᵢ − Σᵢ s2ᵢ·p4ᵢ with the same
-// unrolling as distCompKernel.
+// scaledCompKernel computes Σᵢ s1ᵢ·p3ᵢ − Σᵢ s2ᵢ·p4ᵢ through the active
+// kernel variant.
 func scaledCompKernel(s1, s2, p3, p4 []float64) float64 {
-	n := len(s1)
-	s2 = s2[:n]
-	p3 = p3[:n]
-	p4 = p4[:n]
-	var z0, z1, z2, z3 float64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		z0 += s1[i]*p3[i] - s2[i]*p4[i]
-		z1 += s1[i+1]*p3[i+1] - s2[i+1]*p4[i+1]
-		z2 += s1[i+2]*p3[i+2] - s2[i+2]*p4[i+2]
-		z3 += s1[i+3]*p3[i+3] - s2[i+3]*p4[i+3]
-	}
-	for ; i < n; i++ {
-		z0 += s1[i]*p3[i] - s2[i]*p4[i]
-	}
-	return (z0 + z1) + (z2 + z3)
+	return activeKernels.Load().scaledComp(s1, s2, p3, p4)
 }

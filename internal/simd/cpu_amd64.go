@@ -1,0 +1,40 @@
+//go:build amd64
+
+package simd
+
+// cpuid executes CPUID with the given leaf and subleaf (implemented in
+// cpu_amd64.s).
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 — the OS-enabled state mask
+// (implemented in cpu_amd64.s).
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2 = detectAVX2()
+
+// detectAVX2 performs the full usability check, not just the instruction
+// bit: AVX2 kernels touch YMM registers, which the OS must have opted into
+// saving (OSXSAVE + XCR0 bits 1..2) or the first context switch corrupts
+// them.
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27 // OS uses XSAVE/XRSTOR
+		avxBit     = 1 << 28 // AVX instruction set
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	const ymmState = 0x6 // XMM (bit 1) and YMM (bit 2) state enabled
+	if xcr0&ymmState != ymmState {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,76 @@
+// Package simd detects the CPU vector features the dispatched distance
+// kernels can use and resolves the PPANNS_KERNEL override.
+//
+// The package deliberately owns no kernels itself: internal/vec and
+// internal/dce each keep a dispatch table of their own kernel variants and
+// consult this package once, at init, to pick the active entry. That keeps
+// feature detection (one CPUID dance, one environment read) in one place
+// while the kernels stay next to the scalar references they must match
+// bit-for-bit.
+//
+// Detection is written against raw CPUID/XGETBV (no external cpu-feature
+// dependency): AVX2 is reported only when the instruction set is present
+// AND the operating system has enabled YMM state saving, so a kernel
+// selected here can never fault on a context switch.
+package simd
+
+import (
+	"os"
+	"strings"
+)
+
+// Kernel variant names shared by every dispatch table. Packages register
+// their variants under these names so the PPANNS_KERNEL override, the test
+// forcing hooks and the bench reports all speak one vocabulary.
+const (
+	Scalar = "scalar"
+	AVX2   = "avx2"
+)
+
+// HasAVX2 reports whether AVX2 kernels are safe to run: the CPU advertises
+// AVX2 and the OS saves YMM state across context switches.
+func HasAVX2() bool { return hasAVX2 }
+
+// Available lists the kernel variant names usable on this machine, best
+// last. The scalar reference is always available.
+func Available() []string {
+	out := []string{Scalar}
+	if hasAVX2 {
+		out = append(out, AVX2)
+	}
+	return out
+}
+
+// Best returns the fastest available variant name.
+func Best() string {
+	if hasAVX2 {
+		return AVX2
+	}
+	return Scalar
+}
+
+// Override returns the normalized PPANNS_KERNEL environment value ("" when
+// unset). "scalar" forces the reference kernels everywhere; any other value
+// names a SIMD variant to prefer.
+func Override() string {
+	return strings.ToLower(strings.TrimSpace(os.Getenv("PPANNS_KERNEL")))
+}
+
+// Pick resolves the variant a dispatch table should activate at init:
+// the PPANNS_KERNEL override when it names an available variant, the best
+// available one when unset. An override naming an unavailable or unknown
+// variant degrades to scalar — the escape hatch must never select a kernel
+// the machine cannot run.
+func Pick() string {
+	switch o := Override(); o {
+	case "":
+		return Best()
+	case AVX2:
+		if hasAVX2 {
+			return AVX2
+		}
+		return Scalar
+	default:
+		return Scalar
+	}
+}

@@ -1,0 +1,62 @@
+package simd
+
+import (
+	"os"
+	"slices"
+	"testing"
+)
+
+func TestAvailableAlwaysIncludesScalar(t *testing.T) {
+	av := Available()
+	if len(av) == 0 || av[0] != Scalar {
+		t.Fatalf("Available() = %v, want scalar first", av)
+	}
+	if HasAVX2() != slices.Contains(av, AVX2) {
+		t.Fatalf("HasAVX2() = %v inconsistent with Available() = %v", HasAVX2(), av)
+	}
+	if !slices.Contains(av, Best()) {
+		t.Fatalf("Best() = %q not in Available() = %v", Best(), av)
+	}
+}
+
+func TestPickHonorsOverride(t *testing.T) {
+	setenv := func(v string) {
+		t.Helper()
+		if err := os.Setenv("PPANNS_KERNEL", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, had := os.LookupEnv("PPANNS_KERNEL")
+	t.Cleanup(func() {
+		if had {
+			os.Setenv("PPANNS_KERNEL", old)
+		} else {
+			os.Unsetenv("PPANNS_KERNEL")
+		}
+	})
+
+	setenv("")
+	if got := Pick(); got != Best() {
+		t.Fatalf("Pick() with empty override = %q, want Best() = %q", got, Best())
+	}
+	setenv("scalar")
+	if got := Pick(); got != Scalar {
+		t.Fatalf("Pick() with scalar override = %q", got)
+	}
+	setenv(" SCALAR ")
+	if got := Pick(); got != Scalar {
+		t.Fatalf("Pick() should normalize case/space, got %q", got)
+	}
+	setenv("avx2")
+	want := Scalar
+	if HasAVX2() {
+		want = AVX2
+	}
+	if got := Pick(); got != want {
+		t.Fatalf("Pick() with avx2 override = %q, want %q", got, want)
+	}
+	setenv("no-such-kernel")
+	if got := Pick(); got != Scalar {
+		t.Fatalf("Pick() with unknown override = %q, want scalar fallback", got)
+	}
+}

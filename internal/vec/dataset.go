@@ -3,10 +3,16 @@ package vec
 import "fmt"
 
 // Dataset stores n vectors of fixed dimension dim in a single flat backing
-// array. Row i is the half-open slice data[i*dim : (i+1)*dim].
+// array. Rows are padded to a cache-line multiple (stride = PadStride(dim)
+// float64s) and the arena base is 64-byte aligned, so row i starts exactly
+// at data[i*stride] on a cache-line boundary and a SIMD kernel's vector
+// loads never split a line across rows. The pad floats are always zero and
+// never leave the package: At, Raw and the serialization paths all speak
+// the compact dim-length representation.
 type Dataset struct {
-	dim  int
-	data []float64
+	dim    int
+	stride int // row stride in float64s: PadStride(dim)
+	data   []float64
 }
 
 // NewDataset returns an empty dataset of the given dimension with capacity
@@ -15,7 +21,11 @@ func NewDataset(dim, capHint int) *Dataset {
 	if dim <= 0 {
 		panic(fmt.Sprintf("vec: non-positive dataset dimension %d", dim))
 	}
-	return &Dataset{dim: dim, data: make([]float64, 0, dim*capHint)}
+	if capHint < 0 {
+		capHint = 0
+	}
+	stride := PadStride(dim)
+	return &Dataset{dim: dim, stride: stride, data: AlignedFloats(stride * capHint)[:0]}
 }
 
 // DatasetFromSlices builds a dataset by copying the given vectors, which must
@@ -34,13 +44,34 @@ func DatasetFromSlices(vectors [][]float64) *Dataset {
 // Dim returns the vector dimension.
 func (d *Dataset) Dim() int { return d.dim }
 
+// Stride returns the in-memory row stride in float64s (Dim rounded up to a
+// cache line). The kernel dispatch and the alignment tests use it; row
+// addressing outside this package should go through At.
+func (d *Dataset) Stride() int { return d.stride }
+
 // Len returns the number of vectors stored.
-func (d *Dataset) Len() int { return len(d.data) / d.dim }
+func (d *Dataset) Len() int { return len(d.data) / d.stride }
 
 // At returns vector i as a slice view into the backing array. The caller
 // must not grow it; writes alter the dataset.
 func (d *Dataset) At(i int) []float64 {
-	return d.data[i*d.dim : (i+1)*d.dim : (i+1)*d.dim]
+	return d.data[i*d.stride : i*d.stride+d.dim : i*d.stride+d.dim]
+}
+
+// grow ensures capacity for rows more rows, reallocating aligned storage
+// when needed (append would lose the 64-byte base alignment).
+func (d *Dataset) grow(rows int) {
+	need := len(d.data) + rows*d.stride
+	if need <= cap(d.data) {
+		return
+	}
+	newCap := 2 * cap(d.data)
+	if newCap < need {
+		newCap = need
+	}
+	nd := AlignedFloats(newCap)[:len(d.data)]
+	copy(nd, d.data)
+	d.data = nd
 }
 
 // Append copies v into the dataset and returns its index.
@@ -48,26 +79,38 @@ func (d *Dataset) Append(v []float64) int {
 	if len(v) != d.dim {
 		panic(fmt.Sprintf("vec: appending %d-dim vector to %d-dim dataset", len(v), d.dim))
 	}
-	d.data = append(d.data, v...)
-	return d.Len() - 1
+	d.grow(1)
+	n := d.Len()
+	d.data = d.data[:len(d.data)+d.stride]
+	row := d.data[n*d.stride:]
+	copy(row, v)
+	for i := d.dim; i < d.stride; i++ {
+		row[i] = 0
+	}
+	return n
 }
 
 // AppendZero appends an all-zero vector and returns both its index and a
 // writable view of the new row, avoiding a copy when the caller fills it in
 // place.
 func (d *Dataset) AppendZero() (int, []float64) {
+	d.grow(1)
 	n := d.Len()
-	d.data = append(d.data, make([]float64, d.dim)...)
+	d.data = d.data[:len(d.data)+d.stride]
+	row := d.data[n*d.stride:]
+	for i := range row {
+		row[i] = 0
+	}
 	return n, d.At(n)
 }
 
 // SqDistBlock computes dst[j] = SqDist(q, At(ids[j])) for every id in one
 // pass over the flat backing array, reusing dst's capacity. Results are
-// bit-identical to per-row SqDist calls (the same kernel evaluates both);
-// the win is structural: one call evaluates a whole gathered neighbor or
-// candidate list, the row addressing stays inside this loop where the
-// compiler hoists the dimension, and q stays hot in registers/L1 across
-// rows. Graph hops and inverted-list scans are the intended callers.
+// bit-identical to per-row SqDist calls (every dispatched variant matches
+// the scalar reference's element order); the win is structural: one call
+// evaluates a whole gathered neighbor or candidate list, the row
+// addressing stays inside the kernel, and q stays hot in registers/L1
+// across rows. Graph hops and inverted-list scans are the intended callers.
 func (d *Dataset) SqDistBlock(dst []float64, q []float64, ids []int32) []float64 {
 	if len(q) != d.dim {
 		panic(fmt.Sprintf("vec: block sqdist of %d-dim query on %d-dim dataset", len(q), d.dim))
@@ -77,11 +120,7 @@ func (d *Dataset) SqDistBlock(dst []float64, q []float64, ids []int32) []float64
 	} else {
 		dst = dst[:len(ids)]
 	}
-	dim := d.dim
-	for j, id := range ids {
-		row := d.data[int(id)*dim : int(id)*dim+dim]
-		dst[j] = sqDistKernel(q, row)
-	}
+	activeKernels.Load().sqDistBlock(dst, d.data, d.stride, d.dim, q, ids)
 	return dst
 }
 
@@ -113,17 +152,33 @@ func (d *Dataset) Slices() [][]float64 {
 	return out
 }
 
-// Clone returns a deep copy of the dataset.
+// Clone returns a deep copy of the dataset (aligned like every dataset).
 func (d *Dataset) Clone() *Dataset {
-	return &Dataset{dim: d.dim, data: append([]float64(nil), d.data...)}
+	nd := AlignedFloats(len(d.data))
+	copy(nd, d.data)
+	return &Dataset{dim: d.dim, stride: d.stride, data: nd}
 }
 
-// Raw exposes the flat backing array (length Len()*Dim()), used by the
-// serialization code.
-func (d *Dataset) Raw() []float64 { return d.data }
+// Raw returns the compact flat representation (length Len()*Dim(), no row
+// padding), the layout the serialization code writes. When rows are padded
+// in memory this is a copy; when dim is already a cache-line multiple it is
+// the backing array itself.
+func (d *Dataset) Raw() []float64 {
+	if d.stride == d.dim {
+		return d.data
+	}
+	n := d.Len()
+	out := make([]float64, n*d.dim)
+	for i := 0; i < n; i++ {
+		copy(out[i*d.dim:], d.At(i))
+	}
+	return out
+}
 
-// DatasetFromRaw wraps an existing flat array (taking ownership) as a
-// dataset. len(raw) must be a multiple of dim.
+// DatasetFromRaw builds a dataset from a compact flat array (row i at
+// raw[i*dim:(i+1)*dim], as Raw returns). len(raw) must be a multiple of
+// dim. The data is repacked into an aligned padded arena, so the input is
+// not retained.
 func DatasetFromRaw(dim int, raw []float64) (*Dataset, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("vec: non-positive dimension %d", dim)
@@ -131,5 +186,11 @@ func DatasetFromRaw(dim int, raw []float64) (*Dataset, error) {
 	if len(raw)%dim != 0 {
 		return nil, fmt.Errorf("vec: raw length %d is not a multiple of dim %d", len(raw), dim)
 	}
-	return &Dataset{dim: dim, data: raw}, nil
+	n := len(raw) / dim
+	stride := PadStride(dim)
+	data := AlignedFloats(n * stride)
+	for i := 0; i < n; i++ {
+		copy(data[i*stride:i*stride+dim], raw[i*dim:(i+1)*dim])
+	}
+	return &Dataset{dim: dim, stride: stride, data: data}, nil
 }

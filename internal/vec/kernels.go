@@ -1,0 +1,147 @@
+package vec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ppanns/internal/simd"
+)
+
+// kernelTable is one dispatch variant of the vec distance kernels. Every
+// variant MUST evaluate element-for-element in the same order as the scalar
+// reference below: eight independent accumulator lanes (lane = i mod 8), a
+// sequential remainder folded into lane 0, and the reduce8 combination
+// tree. That makes every variant bit-identical to the reference — callers
+// that freeze distances into graphs or compare results across machines
+// never observe a dispatch-dependent float.
+type kernelTable struct {
+	name   string
+	sqDist func(a, b []float64) float64
+	// sqDistBlock computes dst[j] = sqDist(q, row(ids[j])) over a flat
+	// arena with the given row stride (in float64s) and logical row length
+	// dim. dst is pre-sized to len(ids) by the caller.
+	sqDistBlock func(dst, data []float64, stride, dim int, q []float64, ids []int32)
+}
+
+var scalarKernelTable = kernelTable{
+	name:        simd.Scalar,
+	sqDist:      sqDistScalar,
+	sqDistBlock: sqDistBlockScalar,
+}
+
+// kernelVariants holds every variant linked into this binary, scalar first.
+// Arch-specific files append to it via registerKernel in a package-level
+// var initializer, which Go runs before any init() function — so the
+// selection in init() below always sees the full set.
+var kernelVariants = []*kernelTable{&scalarKernelTable}
+
+func registerKernel(k *kernelTable) struct{} {
+	kernelVariants = append(kernelVariants, k)
+	return struct{}{}
+}
+
+// activeKernels is the dispatch pointer every SqDist/SqDistBlock call loads.
+// An atomic pointer (a plain MOV on amd64) rather than a func var, so tests
+// and benchmarks can force a variant at runtime without racing concurrent
+// searches; every variant computes bit-identical results, so a mid-search
+// swap is observationally safe.
+var activeKernels atomic.Pointer[kernelTable]
+
+func init() {
+	if err := SetKernel(simd.Pick()); err != nil {
+		activeKernels.Store(&scalarKernelTable)
+	}
+}
+
+// KernelVariants lists the kernel variant names linked into this binary and
+// usable on this machine, scalar first.
+func KernelVariants() []string {
+	out := make([]string, len(kernelVariants))
+	for i, k := range kernelVariants {
+		out[i] = k.name
+	}
+	return out
+}
+
+// ActiveKernel returns the name of the currently dispatched variant.
+func ActiveKernel() string { return activeKernels.Load().name }
+
+// SetKernel activates the named kernel variant for every subsequent vec
+// distance call. It is the runtime form of the PPANNS_KERNEL environment
+// override; tests and the per-kernel benchmarks use it to pin a variant.
+func SetKernel(name string) error {
+	for _, k := range kernelVariants {
+		if k.name == name {
+			activeKernels.Store(k)
+			return nil
+		}
+	}
+	return fmt.Errorf("vec: unknown or unavailable kernel %q (have %v)", name, KernelVariants())
+}
+
+// reduce8 combines the eight accumulator lanes with the fixed association
+// every variant reproduces: the two four-lane halves are added pairwise
+// (t_i = s_i + s_{i+4}; AVX2's single VADDPD of its two accumulator
+// registers), then folded (t0+t2)+(t1+t3) (the 128-bit extract/unpack
+// ladder). Changing this order changes results by an ULP or two — keep the
+// assembly and this function in lockstep.
+func reduce8(s0, s1, s2, s3, s4, s5, s6, s7 float64) float64 {
+	t0 := s0 + s4
+	t1 := s1 + s5
+	t2 := s2 + s6
+	t3 := s3 + s7
+	return (t0 + t2) + (t1 + t3)
+}
+
+// sqDistTail is the one scalar remainder loop shared by every squared-
+// distance path (it used to be duplicated between SqDist and SqDistBlock):
+// elements i..len(a)-1 fold sequentially into the lane-0 accumulator. The
+// AVX2 assembly reproduces exactly this loop on its lane-0 scalar register,
+// so variants cannot drift on odd dimensions.
+func sqDistTail(s0 float64, a, b []float64, i int) float64 {
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0
+}
+
+// sqDistScalar is the reference squared-distance kernel: eight-wide
+// unrolling with independent accumulators so the floating-point add chains
+// pipeline (and so the lane structure matches a two-register AVX2 loop
+// bit-for-bit).
+func sqDistScalar(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		d4 := a[i+4] - b[i+4]
+		d5 := a[i+5] - b[i+5]
+		d6 := a[i+6] - b[i+6]
+		d7 := a[i+7] - b[i+7]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+		s4 += d4 * d4
+		s5 += d5 * d5
+		s6 += d6 * d6
+		s7 += d7 * d7
+	}
+	s0 = sqDistTail(s0, a, b, i)
+	return reduce8(s0, s1, s2, s3, s4, s5, s6, s7)
+}
+
+// sqDistBlockScalar evaluates the block through the pair reference, so the
+// scalar pair and block paths cannot diverge by construction.
+func sqDistBlockScalar(dst, data []float64, stride, dim int, q []float64, ids []int32) {
+	for j, id := range ids {
+		row := data[int(id)*stride : int(id)*stride+dim]
+		dst[j] = sqDistScalar(q, row)
+	}
+}

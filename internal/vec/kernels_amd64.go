@@ -1,0 +1,28 @@
+//go:build amd64
+
+package vec
+
+import "ppanns/internal/simd"
+
+// The assembly kernels replicate the scalar reference lane-for-lane (see
+// kernels.go): two YMM accumulators carry lanes 0..3 and 4..7, the
+// remainder folds into lane 0 with scalar VEX ops, and the reduction runs
+// the reduce8 tree. No FMA — fused rounding would break bit-identity with
+// the reference.
+
+//go:noescape
+func sqDistPairAVX2(a, b []float64) float64
+
+//go:noescape
+func sqDistBlockAVX2(dst, data []float64, stride, dim int, q []float64, ids []int32)
+
+var _ = func() struct{} {
+	if !simd.HasAVX2() {
+		return struct{}{}
+	}
+	return registerKernel(&kernelTable{
+		name:        simd.AVX2,
+		sqDist:      sqDistPairAVX2,
+		sqDistBlock: sqDistBlockAVX2,
+	})
+}()

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package vec
+
+// Non-amd64 builds dispatch only the portable scalar reference; a NEON
+// variant registers itself here when one lands. The dispatch table, the
+// PPANNS_KERNEL override and the equivalence suite all apply unchanged.

@@ -26,11 +26,12 @@ func Dot(a, b []float64) float64 {
 }
 
 // SqDist returns the squared Euclidean distance between a and b, the
-// distance the paper's dist(p,q) denotes. The loop is unrolled four-wide
-// with independent accumulators so the floating-point add chain pipelines
-// instead of serializing on one register; proximity-graph search evaluates
-// this kernel thousands of times per query, making its add-latency chain
-// the dominant term of the filter phase.
+// distance the paper's dist(p,q) denotes. The call dispatches to the
+// active kernel variant (see kernels.go): the scalar reference unrolls
+// eight-wide with independent accumulators so the floating-point add chain
+// pipelines, and the SIMD variants reproduce its lane structure exactly —
+// proximity-graph search evaluates this kernel thousands of times per
+// query, making it the dominant term of the filter phase.
 func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: sqdist of mismatched lengths %d and %d", len(a), len(b)))
@@ -40,28 +41,11 @@ func SqDist(a, b []float64) float64 {
 
 // sqDistKernel is the bounds-check-hoisted body of SqDist. Every caller
 // that must produce bit-identical distances (the blocked Dataset scan, the
-// frozen-view graph walks) goes through this single kernel, so the
-// accumulator association is identical everywhere by construction.
+// frozen-view graph walks) goes through the one dispatched kernel table,
+// and every variant in that table reproduces the scalar reference's
+// element order, so distances are identical everywhere by construction.
 func sqDistKernel(a, b []float64) float64 {
-	n := len(a)
-	b = b[:n]
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		d0 := a[i] - b[i]
-		d1 := a[i+1] - b[i+1]
-		d2 := a[i+2] - b[i+2]
-		d3 := a[i+3] - b[i+3]
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
-	}
-	for ; i < n; i++ {
-		d := a[i] - b[i]
-		s0 += d * d
-	}
-	return (s0 + s1) + (s2 + s3)
+	return activeKernels.Load().sqDist(a, b)
 }
 
 // Dist returns the Euclidean distance between a and b.
