@@ -6,6 +6,7 @@
 //	ppanns-dbtool split   -db db.ppanns -shards 4 [-out shard-]
 //	ppanns-dbtool serve   -db db.ppanns -addr :7070
 //	ppanns-dbtool query   -key user.key -queries q.fvecs -addr host:7070 [-k 10] [-ratio 16]
+//	ppanns-dbtool query   -key user.key -queries q.fvecs -addrs "a:7070,b:7070;c:7070,d:7070" [-hedge 2ms] [-partial]
 //
 // gen writes synthetic corpora in the standard fvecs format (or use real
 // Sift1M/Gist/Glove/Deep files); encrypt plays the data owner; split
@@ -14,12 +15,19 @@
 // internal/shard); serve hosts an encrypted database; query plays the
 // user.
 //
+// query's -addrs flag accepts a replicated topology: stripes separated by
+// ';', replica addresses of one stripe separated by ','. Every replica of
+// a stripe must serve the same shard file. Reads fan out with failover
+// (and hedging, with -hedge); -partial returns best-effort results when a
+// whole stripe is down instead of failing the query.
+//
 // encrypt's -index flag selects the filter-index backend (hnsw, nsg, ivf,
 // or lsh); the choice is stored in the database file, and serve/query
 // report it.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -31,6 +39,7 @@ import (
 	"ppanns/internal/bench"
 	"ppanns/internal/core"
 	"ppanns/internal/dataset"
+	"ppanns/internal/shard"
 	"ppanns/internal/transport"
 	"ppanns/internal/vec"
 )
@@ -269,9 +278,12 @@ func runQuery(args []string) error {
 	keyIn := fs.String("key", "user.key", "user key file")
 	queriesIn := fs.String("queries", "", "query fvecs file (required)")
 	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	addrs := fs.String("addrs", "", `replicated topology: stripes split by ';', replicas by ',' (overrides -addr)`)
 	k := fs.Int("k", 10, "neighbors per query")
 	ratio := fs.Int("ratio", 16, "Ratio_k (k' = ratio·k)")
 	limit := fs.Int("limit", 10, "max queries to run (0 = all)")
+	hedge := fs.Duration("hedge", 0, "with -addrs: hedge reads to a sibling replica after this budget (0 = off)")
+	partial := fs.Bool("partial", false, "with -addrs: return best-effort results when a whole stripe is down")
 	fs.Parse(args)
 	if *queriesIn == "" {
 		return fmt.Errorf("query: -queries is required")
@@ -294,6 +306,11 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	if *addrs != "" {
+		return queryReplicated(user, qs, *addrs, *k, *ratio, *hedge, *partial)
+	}
+
 	client, err := transport.Dial(*addr)
 	if err != nil {
 		return err
@@ -314,6 +331,63 @@ func runQuery(args []string) error {
 			return err
 		}
 		fmt.Printf("query %d: %v\n", i, ids)
+	}
+	return nil
+}
+
+// queryReplicated runs the query workload against a replicated shard
+// topology: each stripe's replicas fan out with breaker-guarded failover,
+// optional hedging, and optional best-effort partial results.
+func queryReplicated(user *ppanns.User, qs *vec.Dataset, addrs string, k, ratio int, hedge time.Duration, partial bool) error {
+	var sets [][]shard.Shard
+	var closers []*shard.Remote
+	defer func() {
+		for _, r := range closers {
+			r.Close()
+		}
+	}()
+	for s, stripe := range strings.Split(addrs, ";") {
+		var replicas []shard.Shard
+		for _, a := range strings.Split(stripe, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			rm := shard.NewRemote(a, transport.DialOptions{DialTimeout: 5 * time.Second})
+			closers = append(closers, rm)
+			replicas = append(replicas, rm)
+		}
+		if len(replicas) == 0 {
+			return fmt.Errorf("query: stripe %d of -addrs has no replica addresses", s)
+		}
+		sets = append(sets, replicas)
+	}
+	coord, err := shard.NewReplicated(sets, shard.Options{HedgeAfter: hedge, AllowPartial: partial})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replicated topology: %d stripes, %d vectors total\n", coord.Shards(), coord.Len())
+
+	for i := 0; i < qs.Len(); i++ {
+		tok, err := user.Query(qs.At(i))
+		if err != nil {
+			return err
+		}
+		ids, err := coord.Search(tok, k, core.SearchOptions{RatioK: ratio})
+		var pe *shard.PartialError
+		switch {
+		case errors.As(err, &pe):
+			fmt.Printf("query %d (partial, stripes %v down): %v\n", i, pe.Stripes, ids)
+		case err != nil:
+			return err
+		default:
+			fmt.Printf("query %d: %v\n", i, ids)
+		}
+	}
+	for _, h := range coord.Health() {
+		if h.State != shard.BreakerClosed {
+			fmt.Printf("health: stripe %d replica %d breaker %s\n", h.Stripe, h.Replica, h.State)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@
 //
 //	go run ./examples/clientserver                 # demo: all roles, localhost
 //	go run ./examples/clientserver -mode sharded -shards 3   # scatter-gather tier
+//	go run ./examples/clientserver -mode replicated -shards 2   # RF=2 failover tier
 //	go run ./examples/clientserver -mode server -addr :7070
 //	go run ./examples/clientserver -mode client -addr host:7070 -keyfile user.key
 //
@@ -17,6 +18,11 @@
 // coordinator fans every query out and merges the per-shard top-k — then
 // checks the merged answers against an unsharded server on the same
 // vectors.
+//
+// Replicated mode runs every stripe twice (RF=2, each replica on its own
+// socket), then kills one replica of every stripe mid-workload: queries
+// keep succeeding with identical results, the dead replicas' circuit
+// breakers open, and when the replicas come back the breakers re-close.
 package main
 
 import (
@@ -37,7 +43,7 @@ import (
 )
 
 var (
-	mode    = flag.String("mode", "demo", "demo | sharded | server | client")
+	mode    = flag.String("mode", "demo", "demo | sharded | replicated | server | client")
 	addr    = flag.String("addr", "127.0.0.1:7070", "listen/dial address")
 	keyfile = flag.String("keyfile", "user.key", "user key file (written by server, read by client)")
 	n       = flag.Int("n", 4000, "database size (server/demo)")
@@ -51,6 +57,8 @@ func main() {
 		demo()
 	case "sharded":
 		sharded(*shards)
+	case "replicated":
+		replicated(*shards)
 	case "server":
 		runServer(*addr, *keyfile)
 	case "client":
@@ -251,6 +259,181 @@ func sharded(nShards int) {
 	s, local := shard.Mapping{Shards: nShards}.Locate(gid)
 	fmt.Printf("inserted duplicate of vector 0 as global id %d → shard %d local %d; coordinator now tracks %d vectors\n",
 		gid, s, local, coord.Len())
+}
+
+// replica is one killable shard server: kill() severs its listener and
+// every open connection (a crash, as seen from the network); restart()
+// brings the same server back on the same address.
+type replica struct {
+	srv  *ppanns.Server
+	addr string
+
+	mu    sync.Mutex
+	l     net.Listener
+	conns []net.Conn
+}
+
+func startReplica(srv *ppanns.Server) *replica {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := &replica{srv: srv, addr: l.Addr().String()}
+	r.serveOn(l)
+	return r
+}
+
+func (r *replica) serveOn(l net.Listener) {
+	r.mu.Lock()
+	r.l = l
+	r.mu.Unlock()
+	go transport.Serve(&trackingListener{Listener: l, r: r}, r.srv)
+}
+
+func (r *replica) kill() {
+	r.mu.Lock()
+	l := r.l
+	r.l = nil
+	conns := r.conns
+	r.conns = nil
+	r.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (r *replica) restart() {
+	l, err := net.Listen("tcp", r.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.serveOn(l)
+}
+
+// trackingListener records accepted connections so kill can sever them.
+type trackingListener struct {
+	net.Listener
+	r *replica
+}
+
+func (t *trackingListener) Accept() (net.Conn, error) {
+	conn, err := t.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	t.r.mu.Lock()
+	t.r.conns = append(t.r.conns, conn)
+	t.r.mu.Unlock()
+	return conn, nil
+}
+
+// replicated deploys every stripe at RF=2 over TCP, then walks the
+// failure lifecycle: kill one replica of each stripe mid-workload (zero
+// failed queries, identical results, breakers open), bring them back
+// (breakers re-close), and show a hedged read beating a slow replica.
+func replicated(nStripes int) {
+	const rf = 2
+	data, owner, edb, unsharded := buildWorld()
+
+	// Each replica of a stripe is an independent server over the same
+	// striped part; Split is deterministic for a fixed seed.
+	sets := make([][]shard.Shard, nStripes)
+	replicas := make([][]*replica, nStripes)
+	for s := range sets {
+		sets[s] = make([]shard.Shard, rf)
+		replicas[s] = make([]*replica, rf)
+	}
+	for rIdx := 0; rIdx < rf; rIdx++ {
+		parts, err := edb.Split(nStripes, ppanns.IndexOptions{Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for s, p := range parts {
+			srv, err := ppanns.NewServer(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := startReplica(srv)
+			replicas[s][rIdx] = rep
+			rm := shard.NewRemote(rep.addr, transport.DialOptions{DialTimeout: 5 * time.Second})
+			defer rm.Close()
+			sets[s][rIdx] = rm
+			fmt.Printf("stripe %d replica %d: %d encrypted vectors on %s\n", s, rIdx, srv.Len(), rep.addr)
+		}
+	}
+	coord, err := shard.NewReplicated(sets, shard.Options{
+		Breaker: shard.BreakerOptions{Threshold: 3, Backoff: 20 * time.Millisecond, MaxBackoff: 200 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replicated coordinator: %d stripes × %d replicas, %d vectors total\n",
+		coord.Shards(), rf, coord.Len())
+
+	user, err := ppanns.NewUser(owner.UserKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.SearchOptions{RatioK: 16, EfSearch: 160}
+	toks := make([]*core.QueryToken, len(data.Queries))
+	for i, q := range data.Queries {
+		if toks[i], err = user.Query(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	run := func(phase string) {
+		agree := 0
+		for i, tok := range toks {
+			ids, err := coord.Search(tok, 10, opt)
+			if err != nil {
+				log.Fatalf("%s: query %d failed: %v", phase, i, err)
+			}
+			want, err := unsharded.Search(tok, 10, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if equalIDs(ids, want) {
+				agree++
+			}
+		}
+		fmt.Printf("%s: %d/%d queries succeeded, %d identical to unsharded\n",
+			phase, len(toks), len(toks), agree)
+	}
+	openBreakers := func() int {
+		open := 0
+		for _, h := range coord.Health() {
+			if h.State != shard.BreakerClosed {
+				open++
+			}
+		}
+		return open
+	}
+
+	run("all replicas up")
+
+	// Crash replica 0 of every stripe: failover keeps every query alive.
+	for s := range replicas {
+		replicas[s][0].kill()
+	}
+	run("replica 0 of every stripe killed")
+	fmt.Printf("breakers open after the crash workload: %d of %d\n", openBreakers(), nStripes*rf)
+
+	// The replicas come back: half-open probes readmit them.
+	for s := range replicas {
+		replicas[s][0].restart()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for openBreakers() > 0 && time.Now().Before(deadline) {
+		if _, err := coord.Search(toks[0], 10, opt); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("breakers open after the replicas returned: %d\n", openBreakers())
+	run("after recovery")
 }
 
 // equalIDs reports whether two result lists match exactly, order included.

@@ -91,6 +91,30 @@ type SearchPerfReport struct {
 		BatchQPS         float64 `json:"batch_qps"`
 		Recall           float64 `json:"recall"`
 	} `json:"sharded"`
+	// Replicated profiles the replica tier (internal/shard ReplicaSet):
+	// RF=2 read throughput against an RF=1 baseline over the same stripes,
+	// and hedged-read tail latency with one deliberately slow replica per
+	// stripe — the straggler scenario Options.HedgeAfter exists for.
+	Replicated struct {
+		Stripes int `json:"stripes"`
+		RF      int `json:"rf"`
+		// QPS/P50Micros drive one sequential query stream through the RF=2
+		// coordinator; RF1QPS is the same stream through an RF=1
+		// coordinator over identical stripes, so the delta is the cost of
+		// the replica fan-out machinery alone.
+		QPS       float64 `json:"qps"`
+		P50Micros float64 `json:"p50_us"`
+		RF1QPS    float64 `json:"rf1_qps"`
+		Recall    float64 `json:"recall"`
+		// The hedged-read scenario: replica 0 of every stripe delays each
+		// search by SlowReplicaMicros; the hedged coordinator fires a
+		// sibling attempt after HedgeAfterMicros. UnhedgedP99Micros is the
+		// tail the straggler inflicts, HedgedP99Micros what hedging leaves.
+		HedgeAfterMicros  float64 `json:"hedge_after_us"`
+		SlowReplicaMicros float64 `json:"slow_replica_us"`
+		UnhedgedP99Micros float64 `json:"unhedged_p99_us"`
+		HedgedP99Micros   float64 `json:"hedged_p99_us"`
+	} `json:"replicated"`
 	// MultiQuery profiles the query-blocked batch executor
 	// (SearchBatchBlocked) at parallelism 1 across group sizes, so the
 	// profile shows what sharing gathered candidate blocks across Q
@@ -510,6 +534,9 @@ func SearchPerf(cfg Config) error {
 	if err != nil {
 		return err
 	}
+	if err := collectReplicatedBench(dep, cfg.Seed, k, opt, gt, &rep); err != nil {
+		return err
+	}
 
 	cfg.printf("%-22s %s (n=%d d=%d, %d queries, k=%d, backend=%s)\n",
 		"corpus", rep.Config.Dataset, rep.Config.N, rep.Config.Dim, nq, k, rep.Config.Backend)
@@ -532,6 +559,12 @@ func SearchPerf(cfg Config) error {
 	for _, kp := range rep.Kernels {
 		cfg.printf("%-22s %-22s %-8s %.0f ns/op\n", "kernel", kp.Kernel, kp.Variant, kp.NsPerOp)
 	}
+	cfg.printf("%-22s %.0f qps RF=%d vs %.0f qps RF=1 (%d stripes, p50 %.0fµs, recall %.3f)\n",
+		"replicated", rep.Replicated.QPS, rep.Replicated.RF, rep.Replicated.RF1QPS,
+		rep.Replicated.Stripes, rep.Replicated.P50Micros, rep.Replicated.Recall)
+	cfg.printf("%-22s p99 %.0fµs hedged vs %.0fµs unhedged (hedge after %.0fµs, one %.0fµs-slow replica per stripe)\n",
+		"hedged reads", rep.Replicated.HedgedP99Micros, rep.Replicated.UnhedgedP99Micros,
+		rep.Replicated.HedgeAfterMicros, rep.Replicated.SlowReplicaMicros)
 
 	if cfg.JSONOut != "" {
 		blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -549,6 +582,154 @@ func SearchPerf(cfg Config) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// collectReplicatedBench profiles the replica tier against the run's own
+// corpus. The RF=2 vs RF=1 pair isolates what the replica fan-out
+// machinery costs on reads (same stripes, same full-effort search, only
+// the replica count differs); the hedged pair shows what HedgeAfter buys
+// against a straggler replica. Latency passes run with the collector off,
+// like every other latency section of this profile.
+func collectReplicatedBench(dep *deployment, seed uint64, k int, opt core.SearchOptions, gt [][]int, rep *SearchPerfReport) error {
+	const nStripes = 2
+	const rf = 2
+	// The straggler scenario's magnitudes are chosen to dominate timer
+	// wake-up jitter (small virtualized hosts fire a sub-millisecond timer
+	// milliseconds late), so the hedged-vs-unhedged delta measures the
+	// mechanism rather than the host's timer granularity.
+	const hedgeAfter = time.Millisecond
+	const slowDelay = 25 * time.Millisecond
+
+	newSets := func(replicas int) ([][]shard.Shard, [][]*shard.Faulty, error) {
+		sets := make([][]shard.Shard, nStripes)
+		faults := make([][]*shard.Faulty, nStripes)
+		for s := range sets {
+			sets[s] = make([]shard.Shard, replicas)
+			faults[s] = make([]*shard.Faulty, replicas)
+		}
+		for r := 0; r < replicas; r++ {
+			parts, err := dep.edb.Split(nStripes, index.Options{Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			for s, p := range parts {
+				srv, err := core.NewServer(p)
+				if err != nil {
+					return nil, nil, err
+				}
+				f := shard.NewFaulty(shard.Local{Srv: srv}, seed+uint64(10*s+r))
+				sets[s][r] = f
+				faults[s][r] = f
+			}
+		}
+		return sets, faults, nil
+	}
+	rf1Sets, _, err := newSets(1)
+	if err != nil {
+		return err
+	}
+	rf1, err := shard.NewReplicated(rf1Sets, shard.Options{})
+	if err != nil {
+		return err
+	}
+	rf2Sets, rf2Faults, err := newSets(rf)
+	if err != nil {
+		return err
+	}
+	rf2, err := shard.NewReplicated(rf2Sets, shard.Options{})
+	if err != nil {
+		return err
+	}
+	hedged, err := shard.NewReplicated(rf2Sets, shard.Options{HedgeAfter: hedgeAfter})
+	if err != nil {
+		return err
+	}
+
+	toks := dep.tokens
+	nq := len(toks)
+	runAll := func(c *shard.Coordinator) ([][]int, []time.Duration, error) {
+		lat := make([]time.Duration, nq)
+		got := make([][]int, nq)
+		for i, tok := range toks {
+			start := time.Now()
+			ids, err := c.Search(tok, k, opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			lat[i] = time.Since(start)
+			got[i] = ids
+		}
+		return got, lat, nil
+	}
+	pctlDur := func(lat []time.Duration, p float64) float64 {
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		return float64(sorted[int(p*float64(len(sorted)-1))].Nanoseconds()) / 1e3
+	}
+
+	// Warm up both tiers (and capture RF=2 correctness) before timing.
+	if _, _, err := runAll(rf1); err != nil {
+		return err
+	}
+	got2, _, err := runAll(rf2)
+	if err != nil {
+		return err
+	}
+
+	runtime.GC()
+	prevGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prevGC)
+
+	const rounds = 3
+	var rf1Elapsed, rf2Elapsed time.Duration
+	var rf2Lat []time.Duration
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if _, _, err := runAll(rf1); err != nil {
+			return err
+		}
+		rf1Elapsed += time.Since(start)
+		start = time.Now()
+		_, lat, err := runAll(rf2)
+		if err != nil {
+			return err
+		}
+		rf2Elapsed += time.Since(start)
+		rf2Lat = append(rf2Lat, lat...)
+	}
+	rep.Replicated.Stripes = nStripes
+	rep.Replicated.RF = rf
+	rep.Replicated.QPS = float64(rounds*nq) / rf2Elapsed.Seconds()
+	rep.Replicated.RF1QPS = float64(rounds*nq) / rf1Elapsed.Seconds()
+	rep.Replicated.P50Micros = pctlDur(rf2Lat, 0.50)
+	rep.Replicated.Recall = dataset.MeanRecall(got2, gt)
+
+	// The straggler scenario: replica 0 of every stripe stalls each search
+	// by slowDelay, so the round-robin start lands on it for about half the
+	// queries — an unhedged p99 of slowDelay-plus, which the hedged
+	// coordinator caps at roughly hedgeAfter plus one fast search.
+	for s := range rf2Faults {
+		rf2Faults[s][0].Set("search", shard.FaultSpec{Delay: slowDelay})
+	}
+	if _, _, err := runAll(hedged); err != nil { // warm the hedge path
+		return err
+	}
+	_, unhedgedLat, err := runAll(rf2)
+	if err != nil {
+		return err
+	}
+	_, hedgedLat, err := runAll(hedged)
+	if err != nil {
+		return err
+	}
+	for s := range rf2Faults {
+		rf2Faults[s][0].Set("search", shard.FaultSpec{})
+	}
+	rep.Replicated.HedgeAfterMicros = float64(hedgeAfter.Microseconds())
+	rep.Replicated.SlowReplicaMicros = float64(slowDelay.Microseconds())
+	rep.Replicated.UnhedgedP99Micros = pctlDur(unhedgedLat, 0.99)
+	rep.Replicated.HedgedP99Micros = pctlDur(hedgedLat, 0.99)
 	return nil
 }
 

@@ -141,10 +141,12 @@ func (s *Server) searchShardBatch(toks []*QueryToken, k int, opt SearchOptions, 
 	forEachQuery(len(toks), opt.parallelism(parallelism), func() func(int) {
 		return func(i int) {
 			var ids []int
+			var st SearchStats
 			results[i].views = views
-			ids, _, errs[i] = s.searchInto(make([]int, 0, k), toks[i], k, opt, &results[i])
+			ids, st, errs[i] = s.searchInto(make([]int, 0, k), toks[i], k, opt, &results[i])
 			if errs[i] == nil {
 				results[i].IDs = ids
+				results[i].Epoch = st.Epoch
 			} else {
 				results[i] = ShardResult{}
 			}

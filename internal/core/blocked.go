@@ -369,6 +369,7 @@ func (s *Server) searchGroupBlocked(toks []*QueryToken, k int, opt SearchOptions
 			}
 			if mms != nil {
 				mms[i].IDs = make([]int, 0, k)
+				mms[i].Epoch = q.st.Epoch
 			}
 			continue
 		}
@@ -393,6 +394,7 @@ func (s *Server) searchGroupBlocked(toks []*QueryToken, k int, opt SearchOptions
 		if mms != nil {
 			mm := &mms[i]
 			mm.IDs = res
+			mm.Epoch = q.st.Epoch
 			mm.CtDim = edb.DCE.CtDim()
 			if mm.views {
 				mm.Store = edb.DCE

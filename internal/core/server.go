@@ -256,6 +256,11 @@ func (s *Server) SearchWithStats(tok *QueryToken, k int, opt SearchOptions) ([]i
 type ShardResult struct {
 	// IDs are the result ids, closest first (server-local positions).
 	IDs []int
+	// Epoch is the publication count of the snapshot that served the
+	// query (see SearchStats.Epoch). The replicated shard tier uses it
+	// for read-your-writes consistency: a replica answering below the
+	// coordinator's write floor is stale and the read fails over.
+	Epoch uint64
 	// Dists holds the filter-phase SAP distances parallel to IDs, the
 	// merge key when no refine runs (RefineNone only).
 	Dists []float64
@@ -304,11 +309,12 @@ func (s *Server) SearchShardView(tok *QueryToken, k int, opt SearchOptions) (Sha
 func (s *Server) searchShard(tok *QueryToken, k int, opt SearchOptions, views bool) (ShardResult, error) {
 	res := ShardResult{views: views}
 	dst := make([]int, 0, k) // exact-size result buffer: one allocation, no append growth
-	ids, _, err := s.searchInto(dst, tok, k, opt, &res)
+	ids, st, err := s.searchInto(dst, tok, k, opt, &res)
 	if err != nil {
 		return ShardResult{}, err
 	}
 	res.IDs = ids
+	res.Epoch = st.Epoch
 	return res, nil
 }
 

@@ -1,8 +1,10 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ppanns/internal/ame"
 	"ppanns/internal/core"
@@ -29,16 +31,97 @@ type Options struct {
 	// longer guaranteed bit-identical to an unsharded server on exact
 	// ties (the default, full-effort mode keeps that guarantee).
 	DivideEffort bool
+	// HedgeAfter, when positive on a replicated coordinator, arms hedged
+	// reads: if a stripe's first replica has not answered within this
+	// budget, a second attempt fires at a sibling and the first response
+	// wins (the loser is cancelled without poisoning its connection). Set
+	// it near the stripe's p99 latency so only genuine stragglers pay the
+	// duplicate work. Zero disables hedging.
+	HedgeAfter time.Duration
+	// AllowPartial turns a dead stripe (every replica failed) from a
+	// query-fatal ShardError into graceful degradation: Search/SearchBatch
+	// merge the surviving stripes' answers and return them alongside a
+	// *PartialError naming the dead stripes, so the caller chooses between
+	// best-effort results and strict completeness.
+	AllowPartial bool
+	// Breaker tunes the per-replica circuit breakers (zero = defaults;
+	// see BreakerOptions).
+	Breaker BreakerOptions
 }
 
+// PartialError reports that a search answered without every stripe: the
+// returned ids are the correctly merged top-k of the stripes that did
+// answer (AllowPartial mode). Each dead stripe's ids are simply absent
+// from the candidate pool — a stripe holds a 1/N slice of the database,
+// so the results are still valid neighbors, just possibly not the global
+// top-k.
+type PartialError struct {
+	// Stripes are the dead stripe indices, ascending; Errs are their
+	// failures, parallel.
+	Stripes []int
+	Errs    []error
+	// Failed lists per-query failures that were not stripe deaths
+	// (SearchBatch only): malformed tokens, merge mismatches.
+	Failed []core.QueryError
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("shard: partial results: %d stripes dead (first: stripe %d: %v)",
+		len(e.Stripes), e.Stripes[0], e.Errs[0])
+}
+
+// Unwrap exposes the stripe failures to errors.Is/As.
+func (e *PartialError) Unwrap() []error { return e.Errs }
+
+// ErrDegradedWrite is the sentinel a *DegradedWriteError matches with
+// errors.Is: the write was applied by at least one replica (and counts —
+// reads route around the replicas that missed it via the epoch floor) but
+// not by all of them, so the stripe is running with reduced redundancy
+// until the divergent replicas are rebuilt.
+var ErrDegradedWrite = errors.New("shard: write applied by only some replicas")
+
+// DegradedWriteError carries the per-replica outcomes of a partially
+// applied write. The operation itself succeeded — Insert still returns the
+// assigned global id — and consistency holds (stale replicas fail the
+// epoch floor check and reads fail over), but durability is degraded:
+// losing the replicas that applied the write loses it.
+type DegradedWriteError struct {
+	Op       string // "insert" or "delete"
+	Stripe   int
+	Outcomes []WriteOutcome // one per replica; nil Err = applied
+}
+
+func (e *DegradedWriteError) Error() string {
+	applied, failed := 0, 0
+	var first error
+	for _, o := range e.Outcomes {
+		if o.Err == nil {
+			applied++
+		} else {
+			failed++
+			if first == nil {
+				first = fmt.Errorf("replica %d: %v", o.Replica, o.Err)
+			}
+		}
+	}
+	return fmt.Sprintf("shard: %s on stripe %d applied by %d of %d replicas (%v)",
+		e.Op, e.Stripe, applied, applied+failed, first)
+}
+
+// Is matches ErrDegradedWrite, so errors.Is(err, ErrDegradedWrite)
+// identifies partial writes without unpacking the outcomes.
+func (e *DegradedWriteError) Is(target error) bool { return target == ErrDegradedWrite }
+
 // Coordinator is the scatter-gather head of a sharded deployment: it owns
-// the global id space, fans queries out to every shard concurrently, and
-// merges shard-local answers into global ones. Searches may run
-// concurrently with each other and with updates; updates serialize on the
-// coordinator (shard servers themselves publish snapshots, so their reads
-// never block either way).
+// the global id space, fans queries out to every stripe concurrently, and
+// merges shard-local answers into global ones. Each stripe is a
+// ReplicaSet — one replica in the plain sharded topology, several in a
+// replicated one, where reads fail over between siblings and writes fan
+// to all of them. Searches may run concurrently with each other and with
+// updates; updates serialize on the coordinator (shard servers themselves
+// publish snapshots, so their reads never block either way).
 type Coordinator struct {
-	shards  []Shard
+	stripes []*ReplicaSet
 	m       Mapping
 	opts    Options
 	backend string
@@ -56,32 +139,96 @@ func NewCoordinator(shards []Shard) (*Coordinator, error) {
 	return NewCoordinatorWith(shards, Options{})
 }
 
-// NewCoordinatorWith is NewCoordinator with explicit Options, validating
-// that the shards form a striped partition of one deployment: same backend
-// and dimension everywhere, and per-shard record counts matching
-// Mapping.Count — a mismatched set would silently remap ids to the wrong
-// vectors.
+// NewCoordinatorWith is NewCoordinator with explicit Options: the
+// unreplicated special case (every stripe a single replica) of
+// NewReplicated.
 func NewCoordinatorWith(shards []Shard, opts Options) (*Coordinator, error) {
-	if len(shards) == 0 {
+	stripes := make([][]Shard, len(shards))
+	for s, sh := range shards {
+		stripes[s] = []Shard{sh}
+	}
+	return NewReplicated(stripes, opts)
+}
+
+// NewReplicated wires a coordinator over replicated stripes: stripes[s]
+// lists the interchangeable replicas serving stripe s. It validates that
+// the stripes form a striped partition of one deployment — same backend
+// and dimension everywhere, every reachable replica of a stripe holding
+// the same record count, and per-stripe counts matching Mapping.Count —
+// since a mismatched set would silently remap ids to the wrong vectors.
+// Each stripe's read-your-writes floor starts at the highest epoch among
+// its replicas, so a replica joining behind its siblings is routed around
+// until it catches up.
+//
+// A replica that cannot answer Info at construction does not fail the
+// wiring as long as a sibling can — the whole point of replication is
+// serving through a dead replica, and that includes coming up while one
+// is down. The unreachable replica starts with its breaker tripped and is
+// probed back in once it returns. Only a stripe with NO reachable replica
+// is a construction error.
+func NewReplicated(stripes [][]Shard, opts Options) (*Coordinator, error) {
+	if len(stripes) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least one shard")
 	}
-	c := &Coordinator{shards: shards, m: Mapping{Shards: len(shards)}, opts: opts, insert: true, delete: true}
-	lens := make([]int, len(shards))
-	for s, sh := range shards {
-		info, err := sh.Info()
-		if err != nil {
-			return nil, &ShardError{Shard: s, Err: err}
+	c := &Coordinator{
+		stripes: make([]*ReplicaSet, len(stripes)),
+		m:       Mapping{Shards: len(stripes)},
+		opts:    opts,
+		insert:  true,
+		delete:  true,
+	}
+	lens := make([]int, len(stripes))
+	haveRef := false
+	for s, reps := range stripes {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("shard: stripe %d has no replicas", s)
 		}
-		lens[s] = info.N
-		c.total += info.N
-		if s == 0 {
-			c.backend, c.dim = info.Backend, info.Dim
-		} else if info.Backend != c.backend || info.Dim != c.dim {
-			return nil, fmt.Errorf("shard: shard %d runs %s/dim %d, shard 0 %s/dim %d",
-				s, info.Backend, info.Dim, c.backend, c.dim)
+		var floor uint64
+		stripeUp := false
+		var down []int
+		var downErrs []error
+		for r, sh := range reps {
+			info, err := sh.Info()
+			if err != nil {
+				if len(reps) == 1 {
+					return nil, &ShardError{Shard: s, Err: err}
+				}
+				down = append(down, r)
+				downErrs = append(downErrs, fmt.Errorf("replica %d: %w", r, err))
+				continue
+			}
+			if !haveRef {
+				c.backend, c.dim = info.Backend, info.Dim
+				haveRef = true
+			} else if info.Backend != c.backend || info.Dim != c.dim {
+				return nil, fmt.Errorf("shard: shard %d runs %s/dim %d, shard 0 %s/dim %d",
+					s, info.Backend, info.Dim, c.backend, c.dim)
+			}
+			if !stripeUp {
+				lens[s] = info.N
+				c.total += info.N
+				stripeUp = true
+			} else if info.N != lens[s] {
+				return nil, fmt.Errorf("shard: stripe %d replica %d holds %d records, its siblings hold %d — replicas must be identical copies",
+					s, r, info.N, lens[s])
+			}
+			if info.Epoch > floor {
+				floor = info.Epoch
+			}
+			c.insert = c.insert && info.DynamicInsert
+			c.delete = c.delete && info.DynamicDelete
 		}
-		c.insert = c.insert && info.DynamicInsert
-		c.delete = c.delete && info.DynamicDelete
+		if !stripeUp {
+			return nil, &ShardError{Shard: s, Err: fmt.Errorf("no replica reachable: %w", errors.Join(downErrs...))}
+		}
+		rs := newReplicaSet(reps, opts.Breaker, floor)
+		now := time.Now()
+		for _, r := range down {
+			for i := 0; i < rs.breakers[r].opts.Threshold; i++ {
+				rs.breakers[r].failure(now)
+			}
+		}
+		c.stripes[s] = rs
 	}
 	for s, n := range lens {
 		if want := c.m.Count(s, c.total); n != want {
@@ -92,8 +239,32 @@ func NewCoordinatorWith(shards []Shard, opts Options) (*Coordinator, error) {
 	return c, nil
 }
 
-// Shards returns the shard count.
-func (c *Coordinator) Shards() int { return len(c.shards) }
+// Shards returns the stripe count.
+func (c *Coordinator) Shards() int { return len(c.stripes) }
+
+// ReplicaHealth is one replica's health as the coordinator sees it:
+// breaker state plus the consecutive-failure count accumulated toward the
+// next trip.
+type ReplicaHealth struct {
+	Stripe  int
+	Replica int
+	State   BreakerState
+	Fails   int
+}
+
+// Health snapshots every replica's breaker, stripe-major. A dead replica
+// shows open (then half-open as probes fire) and re-closes once a probe
+// succeeds after it returns.
+func (c *Coordinator) Health() []ReplicaHealth {
+	var out []ReplicaHealth
+	for s, rs := range c.stripes {
+		for r, b := range rs.breakers {
+			state, fails := b.snapshot()
+			out = append(out, ReplicaHealth{Stripe: s, Replica: r, State: state, Fails: fails})
+		}
+	}
+	return out
+}
 
 // Len returns the global record count, tombstones included.
 func (c *Coordinator) Len() int {
@@ -113,7 +284,7 @@ func (c *Coordinator) Backend() string { return c.backend }
 // divide-effort mode.
 func (c *Coordinator) shardOpt(k int, opt core.SearchOptions) core.SearchOptions {
 	if c.opts.DivideEffort {
-		return opt.Partition(len(c.shards), k)
+		return opt.Partition(len(c.stripes), k)
 	}
 	return opt
 }
@@ -161,32 +332,58 @@ func putScratch(sc *searchScratch) {
 	scratchPool.Put(sc)
 }
 
-// Search answers a k-ANNS query across all shards: one concurrent
-// scatter, then a comparator-driven merge of the shard-local top-k sets
-// into the global top-k, returned as global ids closest-first. A dead or
-// failing shard surfaces as a *ShardError — never a hang, and never a
+// Search answers a k-ANNS query across all stripes: one concurrent
+// scatter (each stripe picks a healthy replica, failing over and
+// optionally hedging; see ReplicaSet.search), then a comparator-driven
+// merge of the shard-local top-k sets into the global top-k, returned as
+// global ids closest-first. A dead stripe — every replica failed —
+// surfaces as a *ShardError, or, with Options.AllowPartial, degrades
+// gracefully: the surviving stripes' merged answer is returned alongside
+// a *PartialError naming the dead ones. Never a hang, and never a
 // silently partial answer.
 func (c *Coordinator) Search(tok *core.QueryToken, k int, opt core.SearchOptions) ([]int, error) {
 	sc := scratchPool.Get().(*searchScratch)
 	defer putScratch(sc)
-	sc.shards(len(c.shards))
+	sc.shards(len(c.stripes))
 	results := sc.results
 	sOpt := c.shardOpt(k, opt)
 	var wg sync.WaitGroup
-	for s, sh := range c.shards {
+	for s, rs := range c.stripes {
 		wg.Add(1)
-		go func(s int, sh Shard) {
+		go func(s int, rs *ReplicaSet) {
 			defer wg.Done()
-			results[s], sc.errs[s] = sh.SearchShard(tok, k, sOpt)
-		}(s, sh)
+			results[s], sc.errs[s] = rs.search(tok, k, sOpt, c.opts.HedgeAfter)
+		}(s, rs)
 	}
 	wg.Wait()
+	var dead []int
+	var deadErrs []error
 	for s, err := range sc.errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !c.opts.AllowPartial {
 			return nil, &ShardError{Shard: s, Err: err}
 		}
+		dead = append(dead, s)
+		deadErrs = append(deadErrs, err)
+		// Keep the slot (stripe indexing feeds the Global remap); an
+		// empty result contributes nothing to the merge.
+		results[s] = core.ShardResult{}
 	}
-	return c.merge(tok, k, opt.Refine, results, sc)
+	if len(dead) == len(c.stripes) {
+		// Nothing survived; partial results would be empty, which is
+		// indistinguishable from "no neighbors". Fail loudly instead.
+		return nil, &ShardError{Shard: dead[0], Err: deadErrs[0]}
+	}
+	ids, err := c.merge(tok, k, opt.Refine, results, sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(dead) > 0 {
+		return ids, &PartialError{Stripes: dead, Errs: deadErrs}
+	}
+	return ids, nil
 }
 
 // SearchBatch answers a whole batch across all shards with one
@@ -199,31 +396,51 @@ func (c *Coordinator) SearchBatch(toks []*core.QueryToken, k int, opt core.Searc
 	if len(toks) == 0 {
 		return nil, nil
 	}
-	perShard := make([][]core.ShardResult, len(c.shards))
-	perShardErrs := make([][]error, len(c.shards))
-	shardErrs := make([]error, len(c.shards))
+	perShard := make([][]core.ShardResult, len(c.stripes))
+	perShardErrs := make([][]error, len(c.stripes))
+	shardErrs := make([]error, len(c.stripes))
 	sOpt := c.shardOpt(k, opt)
 	var wg sync.WaitGroup
-	for s, sh := range c.shards {
+	for s, rs := range c.stripes {
 		wg.Add(1)
-		go func(s int, sh Shard) {
+		go func(s int, rs *ReplicaSet) {
 			defer wg.Done()
-			perShard[s], perShardErrs[s], shardErrs[s] = sh.SearchShardBatch(toks, k, sOpt)
-		}(s, sh)
+			perShard[s], perShardErrs[s], shardErrs[s] = rs.searchBatch(toks, k, sOpt)
+		}(s, rs)
 	}
 	wg.Wait()
+
+	var dead []int
+	var deadErrs []error
+	if c.opts.AllowPartial {
+		for s, err := range shardErrs {
+			if err != nil {
+				dead = append(dead, s)
+				deadErrs = append(deadErrs, err)
+			}
+		}
+		if len(dead) == len(c.stripes) {
+			return nil, &ShardError{Shard: dead[0], Err: deadErrs[0]}
+		}
+	}
 
 	results := make([][]int, len(toks))
 	var failed []core.QueryError
 	sc := scratchPool.Get().(*searchScratch)
 	defer putScratch(sc)
-	sc.shards(len(c.shards))
+	sc.shards(len(c.stripes))
 	gather := sc.results
 	for q := range toks {
 		var qErr error
-		for s := range c.shards {
+		for s := range c.stripes {
 			switch {
 			case shardErrs[s] != nil:
+				if c.opts.AllowPartial {
+					// Dead stripe in partial mode: contribute nothing,
+					// keep the slot for stripe-indexed Global remapping.
+					gather[s] = core.ShardResult{}
+					continue
+				}
 				qErr = &ShardError{Shard: s, Err: shardErrs[s]}
 			case perShardErrs[s][q] != nil:
 				qErr = &ShardError{Shard: s, Err: perShardErrs[s][q]}
@@ -239,6 +456,9 @@ func (c *Coordinator) SearchBatch(toks []*core.QueryToken, k int, opt core.Searc
 		if qErr != nil {
 			failed = append(failed, core.QueryError{Query: q, Err: qErr})
 		}
+	}
+	if len(dead) > 0 {
+		return results, &PartialError{Stripes: dead, Errs: deadErrs, Failed: failed}
 	}
 	if len(failed) > 0 {
 		return results, &core.BatchError{Failed: failed}
@@ -411,11 +631,19 @@ func (c *Coordinator) merge(tok *core.QueryToken, k int, mode core.RefineMode, r
 	return ids, nil
 }
 
-// Insert routes one encrypted vector to the shard the next global id
-// belongs to and returns that global id. The striped-growth invariant is
-// verified against the local id the shard actually assigned: a mismatch
-// means the shard was mutated outside the coordinator, and the error says
-// so rather than silently corrupting the global id space.
+// Insert routes one encrypted vector to the stripe the next global id
+// belongs to — every replica of it — and returns that global id. The
+// striped-growth invariant is verified against the local id each replica
+// actually assigned: a mismatch means the replica was mutated outside the
+// coordinator, and the error says so rather than silently corrupting the
+// global id space.
+//
+// The write counts once any replica applied it: the id is assigned, the
+// stripe's epoch floor advances (so reads never see a pre-write snapshot
+// from a replica that missed it), and replicas that failed are reported in
+// a *DegradedWriteError — the write survived, but with reduced redundancy.
+// Only when every replica fails is the insert void: no id is consumed and
+// the *ShardError carries the first cause.
 func (c *Coordinator) Insert(p *core.InsertPayload) (int, error) {
 	if !c.insert {
 		return 0, fmt.Errorf("shard: %s shards do not support inserts", c.backend)
@@ -424,18 +652,22 @@ func (c *Coordinator) Insert(p *core.InsertPayload) (int, error) {
 	defer c.mu.Unlock()
 	gid := c.total
 	s, local := c.m.Locate(gid)
-	got, err := c.shards[s].Insert(p)
-	if err != nil {
-		return 0, &ShardError{Shard: s, Err: err}
-	}
-	if got != local {
-		return 0, &ShardError{Shard: s, Err: fmt.Errorf("shard: insert landed at local id %d, want %d — shard mutated outside the coordinator", got, local)}
+	outcomes, ok := c.stripes[s].insert(p, local)
+	if ok == 0 {
+		return 0, &ShardError{Shard: s, Err: firstOutcomeErr(outcomes)}
 	}
 	c.total++
+	if ok < len(outcomes) {
+		return gid, &DegradedWriteError{Op: "insert", Stripe: s, Outcomes: outcomes}
+	}
 	return gid, nil
 }
 
-// Delete tombstones a global id on its owning shard.
+// Delete tombstones a global id on every replica of its owning stripe,
+// with the same degraded-write contract as Insert: one applying replica
+// makes the delete count (and advances the epoch floor, routing reads
+// around replicas that would resurrect the id), partial application
+// returns a *DegradedWriteError, total failure a *ShardError.
 func (c *Coordinator) Delete(gid int) error {
 	if !c.delete {
 		return fmt.Errorf("shard: %s shards do not support deletes", c.backend)
@@ -446,8 +678,22 @@ func (c *Coordinator) Delete(gid int) error {
 		return fmt.Errorf("shard: delete of unknown global id %d", gid)
 	}
 	s, local := c.m.Locate(gid)
-	if err := c.shards[s].Delete(local); err != nil {
-		return &ShardError{Shard: s, Err: err}
+	outcomes, ok := c.stripes[s].delete(local)
+	if ok == 0 {
+		return &ShardError{Shard: s, Err: firstOutcomeErr(outcomes)}
+	}
+	if ok < len(outcomes) {
+		return &DegradedWriteError{Op: "delete", Stripe: s, Outcomes: outcomes}
 	}
 	return nil
+}
+
+// firstOutcomeErr returns the first failure among write outcomes.
+func firstOutcomeErr(outcomes []WriteOutcome) error {
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return fmt.Errorf("shard: no outcome error")
 }

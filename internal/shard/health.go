@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the lifecycle position of one replica's circuit breaker.
+type BreakerState int
+
+const (
+	// BreakerClosed: the replica is healthy; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the replica crossed the consecutive-failure threshold;
+	// requests are diverted to siblings until the backoff expires.
+	BreakerOpen
+	// BreakerHalfOpen: the backoff expired and a single probe request is
+	// allowed through; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions tunes the per-replica circuit breakers of a replicated
+// coordinator. The zero value means defaults, not "no breaking".
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (default 3). Successes reset the count, so sporadic failures under
+	// load never open it — only a replica that fails every request does.
+	Threshold int
+	// Backoff is how long the breaker stays open after first tripping
+	// (default 50ms). Each re-trip from half-open doubles it, so a
+	// replica that stays dead is probed ever less often.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 5s), bounding how long a
+	// revived replica waits before its half-open probe readmits it.
+	MaxBackoff time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// breaker is one replica's health tracker: a consecutive-failure circuit
+// breaker with exponential-backoff re-probing. It only diverts traffic —
+// the replica set may still force a request through a fully-open stripe
+// rather than refuse to try at all, and the breaker simply records the
+// outcome.
+type breaker struct {
+	opts BreakerOptions
+
+	mu      sync.Mutex
+	state   BreakerState
+	fails   int           // consecutive failures while closed
+	backoff time.Duration // current open duration (doubles per re-trip)
+	retryAt time.Time     // when an open breaker half-opens
+	probing bool          // a half-open probe is in flight
+}
+
+func newBreaker(opts BreakerOptions) *breaker {
+	return &breaker{opts: opts.withDefaults()}
+}
+
+// allow reports whether a request may be sent to this replica now. An open
+// breaker past its backoff admits exactly one probe (half-open); further
+// requests are refused until the probe resolves.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Before(b.retryAt) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// success records a request the replica answered: the breaker closes and
+// every counter resets, whatever state it was in.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.backoff = 0
+	b.probing = false
+}
+
+// failure records a request the replica failed. A failed half-open probe
+// re-trips with doubled backoff; while closed, the consecutive-failure
+// count trips at the threshold; while open, stragglers from attempts
+// admitted earlier change nothing.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.trip(now)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.opts.Threshold {
+			b.trip(now)
+		}
+	}
+}
+
+// trip opens the breaker, doubling the backoff up to the cap. Caller holds
+// b.mu.
+func (b *breaker) trip(now time.Time) {
+	if b.backoff == 0 {
+		b.backoff = b.opts.Backoff
+	} else {
+		b.backoff *= 2
+		if b.backoff > b.opts.MaxBackoff {
+			b.backoff = b.opts.MaxBackoff
+		}
+	}
+	b.state = BreakerOpen
+	b.retryAt = now.Add(b.backoff)
+}
+
+// snapshot returns the current state and consecutive-failure count.
+func (b *breaker) snapshot() (BreakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails
+}

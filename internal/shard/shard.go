@@ -113,6 +113,7 @@ func (l Local) Info() (transport.Info, error) {
 		Live:          db.Live(),
 		Dim:           db.Dim,
 		Proto:         transport.ProtoVersion,
+		Epoch:         l.Srv.Epoch(),
 	}, nil
 }
 

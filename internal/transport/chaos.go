@@ -1,0 +1,84 @@
+// Chaos is the transport-level fault injector: a net.Listener wrapper
+// that perturbs accepted connections with latency spikes, read stalls and
+// connection drops, driven by a seeded RNG so every chaos run is
+// reproducible from its seed. It complements shard.Faulty (which injects
+// application-level failures above the wire): Chaos breaks the wire
+// itself, which is what exercises the client's poisoning, deadline and
+// redial machinery.
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"ppanns/internal/rng"
+)
+
+// ChaosOptions configures the fault mix of a Chaos listener. All rates are
+// probabilities in [0, 1], evaluated independently per socket read on the
+// server side (reads carry requests, so faulting them perturbs whole
+// calls). The zero value injects nothing.
+type ChaosOptions struct {
+	// Seed makes the fault sequence deterministic: the i-th accepted
+	// connection draws from rng.NewSeeded(Seed + i).
+	Seed uint64
+	// DelayRate is the probability a read stalls for Delay first — a slow
+	// replica / GC pause / saturated NIC.
+	DelayRate float64
+	// Delay is the injected stall (default 2ms when DelayRate > 0).
+	Delay time.Duration
+	// DropRate is the probability a read kills the connection instead — a
+	// crashed replica or cut link. The peer sees an abrupt close.
+	DropRate float64
+}
+
+// Chaos wraps l so every accepted connection misbehaves per opts.
+func Chaos(l net.Listener, opts ChaosOptions) net.Listener {
+	if opts.DelayRate > 0 && opts.Delay == 0 {
+		opts.Delay = 2 * time.Millisecond
+	}
+	return &chaosListener{Listener: l, opts: opts}
+}
+
+type chaosListener struct {
+	net.Listener
+	opts  ChaosOptions
+	conns uint64 // accepted so far; per-conn seed offset
+	mu    sync.Mutex
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	seed := l.opts.Seed + l.conns
+	l.conns++
+	l.mu.Unlock()
+	return &chaosConn{Conn: conn, opts: l.opts, rng: rng.NewSeeded(seed)}, nil
+}
+
+// chaosConn perturbs the read side of one connection. The RNG is guarded
+// by a mutex because while the serving read loop is single-goroutine, the
+// race detector must stay clean if a future caller reads concurrently.
+type chaosConn struct {
+	net.Conn
+	opts ChaosOptions
+	mu   sync.Mutex
+	rng  *rng.Rand
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	roll := c.rng.Float64()
+	c.mu.Unlock()
+	switch {
+	case roll < c.opts.DropRate:
+		c.Conn.Close()
+	case roll < c.opts.DropRate+c.opts.DelayRate:
+		time.Sleep(c.opts.Delay)
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,306 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+)
+
+// withHandleHook installs a test hook into the server's request handler
+// and removes it when the test ends. Hooks let these tests manufacture
+// handler panics and stalls that no well-formed request can cause.
+func withHandleHook(t *testing.T, h func(*request)) {
+	t.Helper()
+	testHandleHook.Store(&h)
+	t.Cleanup(func() { testHandleHook.Store(nil) })
+}
+
+// TestHandlerPanicRecovered pins the blast radius of a handler panic: the
+// panicking request gets an error response, and the connection — with
+// every other request multiplexed on it — survives.
+func TestHandlerPanicRecovered(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	withHandleHook(t, func(req *request) {
+		if req.Op == "search" {
+			panic("injected handler panic")
+		}
+	})
+	tok, err := user.Query(d.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Search(tok, 5, core.SearchOptions{})
+	if err == nil {
+		t.Fatal("search against a panicking handler returned no error")
+	}
+	if !strings.Contains(err.Error(), "internal error") {
+		t.Fatalf("panic surfaced as %v, want an internal-error response", err)
+	}
+
+	// The connection must still be healthy: ops the hook ignores work, and
+	// once the hook is gone the same search succeeds on the same client.
+	if n, err := client.Len(); err != nil || n != 600 {
+		t.Fatalf("Len after handler panic = %d, %v; the connection did not survive", n, err)
+	}
+	testHandleHook.Store(nil)
+	ids, err := client.Search(tok, 5, core.SearchOptions{})
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("search after hook removal = %v, %v", ids, err)
+	}
+	if client.Broken() != nil {
+		t.Fatalf("client poisoned by a recovered panic: %v", client.Broken())
+	}
+}
+
+// TestCancelAbandonsCall pins per-request cancellation: a caller that
+// gives up on a stalled request gets ErrAbandoned promptly, and the
+// multiplexed stream keeps working for everyone else — the straggler's
+// eventual response is dropped by seq, not misdelivered.
+func TestCancelAbandonsCall(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const stall = 300 * time.Millisecond
+	withHandleHook(t, func(req *request) {
+		if req.Op == "search" {
+			time.Sleep(stall)
+		}
+	})
+	tok, err := user.Query(d.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	_, err = client.SearchShardCancel(cancel, tok, 5, core.SearchOptions{})
+	if !errors.Is(err, ErrAbandoned) {
+		t.Fatalf("cancelled call err = %v, want ErrAbandoned", err)
+	}
+	if elapsed := time.Since(start); elapsed >= stall {
+		t.Fatalf("cancelled call took %v, the cancel did not release the caller", elapsed)
+	}
+
+	// Other traffic on the same stream is unaffected, including after the
+	// stalled handler finally responds.
+	if n, err := client.Len(); err != nil || n != 600 {
+		t.Fatalf("Len during abandoned call = %d, %v", n, err)
+	}
+	time.Sleep(stall + 50*time.Millisecond)
+	if client.Broken() != nil {
+		t.Fatalf("client poisoned by the straggler response: %v", client.Broken())
+	}
+	testHandleHook.Store(nil)
+	res, err := client.SearchShardCancel(nil, tok, 5, core.SearchOptions{})
+	if err != nil || len(res.IDs) != 5 {
+		t.Fatalf("search after abandon = %v, %v", res.IDs, err)
+	}
+}
+
+// TestCancelRaceNeverPoisons hammers the abandon/response race: cancels
+// firing right around response arrival must always yield either the real
+// result or ErrAbandoned, and never wedge or poison the client.
+func TestCancelRaceNeverPoisons(t *testing.T) {
+	_, user, d, addr := startWorld(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	tok, err := user.Query(d.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iters := 50
+	if os.Getenv("PPANNS_CHAOS") == "1" {
+		iters = 500
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < iters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cancel := make(chan struct{})
+			go func() {
+				// Spread the cancel across the request's lifetime.
+				time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+				close(cancel)
+			}()
+			res, err := client.SearchShardCancel(cancel, tok, 5, core.SearchOptions{})
+			if err == nil {
+				if len(res.IDs) != 5 {
+					t.Errorf("iter %d: short result %v", i, res.IDs)
+				}
+			} else if !errors.Is(err, ErrAbandoned) {
+				t.Errorf("iter %d: err = %v, want nil or ErrAbandoned", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if client.Broken() != nil {
+		t.Fatalf("client poisoned by cancel races: %v", client.Broken())
+	}
+	if n, err := client.Len(); err != nil || n != 600 {
+		t.Fatalf("Len after cancel storm = %d, %v", n, err)
+	}
+}
+
+// TestAbandonAgainstLegacyServerPoisons pins the one case where abandoning
+// is unsafe: against a v1 (Seq-0 FIFO) server, request/response pairing
+// cannot be trusted after an abandon, so the next legacy response must
+// poison the client instead of being misdelivered to the wrong caller.
+func TestAbandonAgainstLegacyServerPoisons(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	release := make(chan struct{})
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		n := 0
+		for {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			n++
+			if n == 1 {
+				// Stall the first response until the caller has abandoned.
+				<-release
+			}
+			// v1 shape: no Seq echoed.
+			if err := enc.Encode(&response{N: n}); err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := client.SearchShardCancel(cancel, nil, 5, core.SearchOptions{}); !errors.Is(err, ErrAbandoned) {
+		t.Fatalf("cancelled call err = %v, want ErrAbandoned", err)
+	}
+	close(release)
+
+	// The straggler Seq-0 response cannot be re-paired: the client must
+	// poison itself rather than hand it to a later caller.
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Broken() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("client accepted a legacy response after an abandon without poisoning")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := client.Len(); !errors.Is(err, ErrClientBroken) {
+		t.Fatalf("Len on poisoned client err = %v, want ErrClientBroken", err)
+	}
+}
+
+// TestChaosWireRedialLoop runs a client workload against a server behind a
+// hostile wire (seeded random delays and connection drops): calls may fail
+// when the wire snaps, but a fresh dial always recovers, answers are never
+// corrupted, and most of the workload lands.
+func TestChaosWireRedialLoop(t *testing.T) {
+	d := startChaosServer(t, ChaosOptions{Seed: 42, DelayRate: 0.15, Delay: 500 * time.Microsecond, DropRate: 0.04})
+
+	iters := 40
+	if os.Getenv("PPANNS_CHAOS") == "1" {
+		iters = 400
+	}
+	var client *Client
+	t.Cleanup(func() {
+		if client != nil {
+			client.Close()
+		}
+	})
+	ok := 0
+	for i := 0; i < iters; i++ {
+		if client == nil || client.Broken() != nil {
+			if client != nil {
+				client.Close()
+			}
+			c, err := DialWith(d.addr, DialOptions{DialTimeout: 2 * time.Second})
+			if err != nil {
+				continue
+			}
+			client = c
+		}
+		n, err := client.Len()
+		if err != nil {
+			continue
+		}
+		if n != 600 {
+			t.Fatalf("iter %d: wire chaos corrupted an answer: Len = %d, want 600", i, n)
+		}
+		ok++
+	}
+	if ok < iters/2 {
+		t.Fatalf("only %d/%d calls landed; the redial loop is not recovering", ok, iters)
+	}
+}
+
+type chaosWorld struct {
+	addr string
+}
+
+// startChaosServer serves the standard test world behind a Chaos-wrapped
+// listener.
+func startChaosServer(t *testing.T, opts ChaosOptions) *chaosWorld {
+	t.Helper()
+	d := dataset.DeepLike(600, 10, 5)
+	owner, err := core.NewDataOwner(core.Params{Dim: d.Dim, Beta: 0.05, M: 12, EfConstruction: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(d.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(Chaos(l, opts), srv)
+	return &chaosWorld{addr: l.Addr().String()}
+}

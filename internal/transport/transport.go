@@ -40,7 +40,9 @@ import (
 	"log"
 	"net"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppanns/internal/core"
@@ -140,6 +142,10 @@ type Info struct {
 	Live          int
 	Dim           int
 	Proto         int
+	// Epoch is the server's snapshot publication count at the time of the
+	// call. Replica sets seed their read-your-writes floor from it (a
+	// pre-epoch server reports 0, which is also a valid floor).
+	Epoch uint64
 }
 
 // request is the wire envelope for client→server calls.
@@ -170,6 +176,7 @@ type wireResult struct {
 	Dists []float64
 	Recs  [][]float64
 	CtDim int
+	Epoch uint64
 	Err   string
 }
 
@@ -178,10 +185,13 @@ type response struct {
 	// Seq echoes the request's multiplexing id (0 from a v1 server).
 	Seq uint64
 	IDs []int
-	// Dists/Recs/CtDim carry the merge material of a Merge search.
+	// Dists/Recs/CtDim carry the merge material of a Merge search; Epoch
+	// is the snapshot publication count that served it (read-your-writes
+	// staleness checks in the replica tier).
 	Dists []float64
 	Recs  [][]float64
 	CtDim int
+	Epoch uint64
 	// Batch carries per-query results for "searchbatch".
 	Batch []wireResult
 	ID    int
@@ -268,7 +278,7 @@ func serveConn(conn net.Conn, srv *core.Server) {
 		go func(req request) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			resp := handle(srv, &req)
+			resp := handleSafe(srv, &req)
 			resp.Seq = req.Seq
 			wmu.Lock()
 			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
@@ -283,6 +293,30 @@ func serveConn(conn net.Conn, srv *core.Server) {
 	}
 	wg.Wait()
 	conn.Close()
+}
+
+// testHandleHook, when set, runs before every request is handled. Tests
+// use it to inject panics and stalls that no well-formed request can
+// otherwise produce (atomic so serving goroutines race-safely observe a
+// test's store).
+var testHandleHook atomic.Pointer[func(*request)]
+
+// handleSafe is handle behind a recover(): a handler panic — a malformed
+// request tripping an invariant deep in the search stack — becomes an
+// error response on that one request instead of a crashed process or a
+// torn connection. The panic is logged with a stack so the bug stays
+// visible; the connection and every other multiplexed call on it survive.
+func handleSafe(srv *core.Server, req *request) (resp *response) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("transport: panic serving %q: %v\n%s", req.Op, r, debug.Stack())
+			resp = &response{Err: fmt.Sprintf("transport: internal error serving %q: %v", req.Op, r)}
+		}
+	}()
+	if h := testHandleHook.Load(); h != nil {
+		(*h)(req)
+	}
+	return handle(srv, req)
 }
 
 // handle executes one decoded request against the server.
@@ -303,6 +337,7 @@ func handle(srv *core.Server, req *request) *response {
 				resp.Err = err.Error()
 			} else {
 				resp.IDs, resp.Dists, resp.Recs, resp.CtDim = r.IDs, r.Dists, r.Recs, r.CtDim
+				resp.Epoch = r.Epoch
 			}
 		} else {
 			ids, err := srv.Search(req.Token.token(), req.K, req.Opt)
@@ -325,7 +360,7 @@ func handle(srv *core.Server, req *request) *response {
 					resp.Batch[i].Err = errs[i].Error()
 					continue
 				}
-				resp.Batch[i] = wireResult{IDs: rs[i].IDs, Dists: rs[i].Dists, Recs: rs[i].Recs, CtDim: rs[i].CtDim}
+				resp.Batch[i] = wireResult{IDs: rs[i].IDs, Dists: rs[i].Dists, Recs: rs[i].Recs, CtDim: rs[i].CtDim, Epoch: rs[i].Epoch}
 			}
 		} else {
 			results, errs := srv.SearchBatchErrs(toks, req.K, req.Opt, 0)
@@ -366,6 +401,7 @@ func handle(srv *core.Server, req *request) *response {
 			Live:          db.Live(),
 			Dim:           db.Dim,
 			Proto:         ProtoVersion,
+			Epoch:         srv.Epoch(),
 		}
 	default:
 		resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)
@@ -424,6 +460,14 @@ type Client struct {
 	// framing survived intact.
 	broken error
 	closed bool
+	// abandoned records that at least one pending call was abandoned
+	// (hedge loss, caller cancellation). Against a v2 server this is
+	// harmless — the demux drops the late response by its Seq — but a
+	// legacy Seq-0 server's responses are matched FIFO, and once a request
+	// with no waiter is interleaved in that order the pairing can no
+	// longer be trusted: the first Seq-0 response after an abandon poisons
+	// the stream instead of risking mispaired answers.
+	abandoned bool
 }
 
 // Dial connects to a server started with Serve, with no deadlines.
@@ -548,6 +592,15 @@ func (c *Client) demux() {
 		c.mu.Lock()
 		seq := resp.Seq
 		if seq == 0 {
+			if c.abandoned {
+				// A legacy server is answering in FIFO order but an
+				// abandoned request sits somewhere in that order with no
+				// waiter; matching anything after it risks handing a
+				// caller someone else's answer. Unrecoverable — poison.
+				c.mu.Unlock()
+				c.fail(fmt.Errorf("transport: response from a legacy (v1) server after an abandoned call; cannot re-pair the stream"))
+				return
+			}
 			// Legacy server: match the oldest still-pending call,
 			// skipping ids already resolved (timed out, failed).
 			for len(c.fifo) > 0 {
@@ -584,7 +637,38 @@ func (c *Client) demux() {
 	}
 }
 
+// ErrAbandoned is returned by cancellable calls whose cancel channel fired
+// before the response arrived. The call is abandoned locally — the request
+// stays in flight on the server and its response, when it comes, is
+// dropped by Seq — and the client remains healthy for subsequent calls
+// (unless the peer turns out to be a legacy v1 server; see demux).
+var ErrAbandoned = errors.New("transport: call abandoned by caller")
+
+// abandon unregisters a pending call without poisoning the stream. It
+// reports whether the call was still pending: false means the demux (or a
+// failure) already resolved it and the caller should collect the result
+// from its channel instead.
+func (c *Client) abandon(seq uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pending[seq]; !ok {
+		return false
+	}
+	delete(c.pending, seq)
+	c.abandoned = true
+	c.bumpReadDeadline()
+	return true
+}
+
 func (c *Client) roundTrip(req request) (response, error) {
+	return c.roundTripCancel(req, nil)
+}
+
+// roundTripCancel is roundTrip with an optional cancel channel: if cancel
+// is closed before the response arrives the call returns ErrAbandoned
+// without waiting and without poisoning the multiplexed stream (the hedged
+// -read loser path). A nil cancel never fires.
+func (c *Client) roundTripCancel(req request, cancel <-chan struct{}) (response, error) {
 	c.mu.Lock()
 	if c.broken != nil {
 		err := fmt.Errorf("%w (cause: %v)", ErrClientBroken, c.broken)
@@ -638,18 +722,31 @@ func (c *Client) roundTrip(req request) (response, error) {
 	}
 	select {
 	case r := <-ch:
-		if r.err != nil {
-			return response{}, r.err
+		return finishCall(r)
+	case <-cancel:
+		if c.abandon(req.Seq) {
+			return response{}, ErrAbandoned
 		}
-		if r.resp.Err != "" {
-			return response{}, errors.New(r.resp.Err)
-		}
-		return *r.resp, nil
+		// The demux resolved the call in the same instant the cancel
+		// fired; its result (buffered, or the failure fail() delivered)
+		// is moments from the channel — return the real answer.
+		return finishCall(<-ch)
 	case <-timeout:
 		err := fmt.Errorf("transport: call timed out after %v", c.opts.Timeout)
 		c.fail(err)
 		return response{}, err
 	}
+}
+
+// finishCall unwraps a demux delivery into the roundTrip return contract.
+func finishCall(r callResult) (response, error) {
+	if r.err != nil {
+		return response{}, r.err
+	}
+	if r.resp.Err != "" {
+		return response{}, errors.New(r.resp.Err)
+	}
+	return *r.resp, nil
 }
 
 // Search sends an encrypted query token and returns result ids.
@@ -670,15 +767,22 @@ func (c *Client) Search(tok *core.QueryToken, k int, opt core.SearchOptions) ([]
 // material is never carried, so remote shards serve the DCE and
 // filter-only refine modes.
 func (c *Client) SearchShard(tok *core.QueryToken, k int, opt core.SearchOptions) (core.ShardResult, error) {
+	return c.SearchShardCancel(nil, tok, k, opt)
+}
+
+// SearchShardCancel is SearchShard with a cancel channel: closing cancel
+// abandons the call (ErrAbandoned) without poisoning the client, which is
+// how a hedged read discards its loser. A nil cancel never fires.
+func (c *Client) SearchShardCancel(cancel <-chan struct{}, tok *core.QueryToken, k int, opt core.SearchOptions) (core.ShardResult, error) {
 	wt, err := toWireToken(tok)
 	if err != nil {
 		return core.ShardResult{}, err
 	}
-	resp, err := c.roundTrip(request{Op: "search", Token: wt, K: k, Opt: opt, Merge: true})
+	resp, err := c.roundTripCancel(request{Op: "search", Token: wt, K: k, Opt: opt, Merge: true}, cancel)
 	if err != nil {
 		return core.ShardResult{}, err
 	}
-	return core.ShardResult{IDs: resp.IDs, Dists: resp.Dists, Recs: resp.Recs, CtDim: resp.CtDim}, nil
+	return core.ShardResult{IDs: resp.IDs, Dists: resp.Dists, Recs: resp.Recs, CtDim: resp.CtDim, Epoch: resp.Epoch}, nil
 }
 
 // searchBatch is the shared client body of the "searchbatch" op: one round
@@ -709,7 +813,7 @@ func (c *Client) searchBatch(toks []*core.QueryToken, k int, opt core.SearchOpti
 			errs[i] = errors.New(wr.Err)
 			continue
 		}
-		results[i] = core.ShardResult{IDs: wr.IDs, Dists: wr.Dists, Recs: wr.Recs, CtDim: wr.CtDim}
+		results[i] = core.ShardResult{IDs: wr.IDs, Dists: wr.Dists, Recs: wr.Recs, CtDim: wr.CtDim, Epoch: wr.Epoch}
 	}
 	return results, errs, nil
 }
