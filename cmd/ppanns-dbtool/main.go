@@ -4,6 +4,7 @@
 //	ppanns-dbtool gen     -out data.fvecs -dataset sift -n 10000 [-queries q.fvecs -nq 100]
 //	ppanns-dbtool encrypt -in data.fvecs -db db.ppanns -key user.key [-beta 2.5] [-index hnsw]
 //	ppanns-dbtool split   -db db.ppanns -shards 4 [-out shard-]
+//	ppanns-dbtool compact <in.ppanns> <out.ppanns>
 //	ppanns-dbtool serve   -db db.ppanns -addr :7070
 //	ppanns-dbtool query   -key user.key -queries q.fvecs -addr host:7070 [-k 10] [-ratio 16]
 //	ppanns-dbtool query   -key user.key -queries q.fvecs -addrs "a:7070,b:7070;c:7070,d:7070" [-hedge 2ms] [-partial]
@@ -12,8 +13,10 @@
 // Sift1M/Gist/Glove/Deep files); encrypt plays the data owner; split
 // stripes one encrypted database into per-shard database files for a
 // scatter-gather deployment (serve each file on its own machine — see
-// internal/shard); serve hosts an encrypted database; query plays the
-// user.
+// internal/shard); compact rewrites a database file with every tombstoned
+// record dropped and the survivors renumbered densely (ids change — re-split
+// and re-serve afterwards, and discard any ids handed out before); serve
+// hosts an encrypted database; query plays the user.
 //
 // query's -addrs flag accepts a replicated topology: stripes separated by
 // ';', replica addresses of one stripe separated by ','. Every replica of
@@ -56,6 +59,8 @@ func main() {
 		err = runEncrypt(os.Args[2:])
 	case "split":
 		err = runSplit(os.Args[2:])
+	case "compact":
+		err = runCompact(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "query":
@@ -72,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|split|serve|query|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|split|compact|serve|query|info> [flags]")
 	os.Exit(2)
 }
 
@@ -210,6 +215,50 @@ func runSplit(args []string) error {
 	return nil
 }
 
+// runCompact rewrites a database file with every tombstoned record dropped
+// entirely: survivors are renumbered densely to 0..live-1 and the filter
+// index is rebuilt over them, so the output file holds no deletion debt.
+// Because ids change, the output must be treated as a fresh database —
+// re-split for sharded deployments, and discard any ids handed out against
+// the input.
+func runCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compact: usage: ppanns-dbtool compact <in.ppanns> <out.ppanns>")
+	}
+	in, out := fs.Arg(0), fs.Arg(1)
+
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	edb, err := ppanns.LoadEncryptedDatabase(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	total, live := edb.Len(), edb.Live()
+	compacted, err := edb.Compacted()
+	if err != nil {
+		return err
+	}
+	g, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := compacted.Save(g); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s → %s: dropped %d tombstoned of %d records, kept %d (ids renumbered 0..%d)\n",
+		in, out, total-live, total, live, live-1)
+	return nil
+}
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dbIn := fs.String("db", "db.ppanns", "encrypted database file")
@@ -270,6 +319,13 @@ func runInfo(args []string) error {
 	}
 	fmt.Printf("live:       %d\n", info.Live)
 	fmt.Printf("tombstones: %d\n", info.N-info.Live)
+	if info.Proto >= 3 {
+		// v3 servers break the write path down by tier: how much of the
+		// database sits in the uncompacted delta, and how many tombstones
+		// are still pending a compaction fold.
+		fmt.Printf("delta:      %d\n", info.Delta)
+		fmt.Printf("pending:    %d tombstones awaiting compaction\n", info.Tombstones)
+	}
 	return nil
 }
 

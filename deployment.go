@@ -26,7 +26,10 @@ func NewDeployment(p Params, vectors [][]float64) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	server, err := NewServer(edb)
+	server, err := core.NewServerWith(edb, core.ServerOptions{
+		CompactAt:      p.CompactAt,
+		CompactAtBytes: p.CompactAtBytes,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -179,4 +179,13 @@ func TestSearchPerfTiny(t *testing.T) {
 	if rep.Single.AllocsPerOp != 0 {
 		t.Fatalf("steady-state search allocates %.1f objects/op, want 0", rep.Single.AllocsPerOp)
 	}
+	if rep.Mixed.Ops == 0 || rep.Mixed.Writes == 0 || rep.Mixed.FailedQueries != 0 {
+		t.Fatalf("implausible mixed-workload section: %+v", rep.Mixed)
+	}
+	if rep.Mixed.Compactions == 0 {
+		t.Fatalf("mixed workload never compacted: %+v", rep.Mixed)
+	}
+	if rep.Mixed.InsertSpeedup < 10 {
+		t.Fatalf("delta insert only %.1f× faster than clone-and-swap", rep.Mixed.InsertSpeedup)
+	}
 }

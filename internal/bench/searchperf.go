@@ -17,6 +17,7 @@ import (
 	"ppanns/internal/dataset"
 	"ppanns/internal/dce"
 	"ppanns/internal/index"
+	"ppanns/internal/rng"
 	"ppanns/internal/shard"
 	"ppanns/internal/vec"
 )
@@ -123,6 +124,35 @@ type SearchPerfReport struct {
 	MultiQuery struct {
 		Points []MultiQueryPoint `json:"points"`
 	} `json:"multi_query"`
+	// Mixed profiles the LSM-style write path under a sustained 95/5
+	// read/write workload against a dedicated deployment whose background
+	// compactor fires mid-run: steady ops/s, read latency percentiles,
+	// failed-query count (must be zero — reads fail over nothing here, a
+	// failure is a served error), end-state recall against exact KNN over
+	// the live set, compaction count and the largest writer-mutex pause,
+	// plus the delta-insert vs clone-and-swap-insert microbenchmark the
+	// write path's O(1) claim rests on.
+	Mixed struct {
+		Ops           int     `json:"ops"`
+		ReadFraction  float64 `json:"read_fraction"`
+		Writes        int     `json:"writes"`
+		QPS           float64 `json:"qps"`
+		ReadP50Micros float64 `json:"read_p50_us"`
+		ReadP99Micros float64 `json:"read_p99_us"`
+		FailedQueries int     `json:"failed_queries"`
+		Recall        float64 `json:"recall"`
+		// Compactions is the background generation count when the workload
+		// ended; MaxPauseMicros the largest snapshot-swap window (the only
+		// part of a fold that blocks writers) observed across them.
+		Compactions    uint64  `json:"compactions"`
+		MaxPauseMicros float64 `json:"max_compaction_pause_us"`
+		// DeltaInsertMicros is the median latency of a delta-tier insert;
+		// CloneInsertMicros the median of the pre-LSM write path (clone the
+		// frozen index, add into the clone); InsertSpeedup their ratio.
+		DeltaInsertMicros float64 `json:"delta_insert_us"`
+		CloneInsertMicros float64 `json:"clone_insert_us"`
+		InsertSpeedup     float64 `json:"insert_speedup"`
+	} `json:"mixed"`
 	// Kernels holds the per-kernel, per-variant microbenchmark numbers of
 	// the dispatched distance kernels, measured in-process against the
 	// run's own data. The baseline gate compares each (kernel, variant)
@@ -537,6 +567,9 @@ func SearchPerf(cfg Config) error {
 	if err := collectReplicatedBench(dep, cfg.Seed, k, opt, gt, &rep); err != nil {
 		return err
 	}
+	if err := collectMixedBench(cfg, data, k, opt, &rep); err != nil {
+		return err
+	}
 
 	cfg.printf("%-22s %s (n=%d d=%d, %d queries, k=%d, backend=%s)\n",
 		"corpus", rep.Config.Dataset, rep.Config.N, rep.Config.Dim, nq, k, rep.Config.Backend)
@@ -565,6 +598,14 @@ func SearchPerf(cfg Config) error {
 	cfg.printf("%-22s p99 %.0fµs hedged vs %.0fµs unhedged (hedge after %.0fµs, one %.0fµs-slow replica per stripe)\n",
 		"hedged reads", rep.Replicated.HedgedP99Micros, rep.Replicated.UnhedgedP99Micros,
 		rep.Replicated.HedgeAfterMicros, rep.Replicated.SlowReplicaMicros)
+	cfg.printf("%-22s %.0f ops/s sustained at %d/%d read/write, read p50 %.0fµs p99 %.0fµs, %d failed queries, recall %.3f (%d ops, %d writes)\n",
+		"mixed 95/5", rep.Mixed.QPS, int(rep.Mixed.ReadFraction*100), 100-int(rep.Mixed.ReadFraction*100),
+		rep.Mixed.ReadP50Micros, rep.Mixed.ReadP99Micros, rep.Mixed.FailedQueries, rep.Mixed.Recall,
+		rep.Mixed.Ops, rep.Mixed.Writes)
+	cfg.printf("%-22s %d background folds, max swap pause %.0fµs\n",
+		"compaction", rep.Mixed.Compactions, rep.Mixed.MaxPauseMicros)
+	cfg.printf("%-22s delta insert %.0fµs vs clone-and-swap %.0fµs (%.0f× faster)\n",
+		"write path", rep.Mixed.DeltaInsertMicros, rep.Mixed.CloneInsertMicros, rep.Mixed.InsertSpeedup)
 
 	if cfg.JSONOut != "" {
 		blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -733,6 +774,253 @@ func collectReplicatedBench(dep *deployment, seed uint64, k int, opt core.Search
 	return nil
 }
 
+// collectMixedBench profiles the two-tier write path under sustained mixed
+// load. It builds its own deployment (a mutating server must own its
+// ciphertext arena chain — extending a store shared with other sections
+// would corrupt their reads) with a compaction trigger sized so the
+// background compactor folds mid-workload, then drives a single-stream
+// 95/5 read/write mix: every 20th op is a write, alternating deletes of
+// random live ids with inserts of perturbed corpus vectors so the live
+// count stays level. The collector stays ON for this section — sustained
+// serving pays GC like everything else, and the percentiles should say so.
+//
+// Afterwards the end state is checked for exactness (recall vs brute-force
+// KNN over the live plaintexts) and the write path's headline claim is
+// measured directly: median delta insert vs median clone-and-swap insert
+// (the pre-LSM discipline: Clone the frozen index, Add into the clone).
+func collectMixedBench(cfg Config, data *dataset.Data, k int, opt core.SearchOptions, rep *SearchPerfReport) error {
+	const readsPerWrite = 19 // 95/5
+	n := len(data.Train)
+	ops := n / 2
+	if ops < 100 {
+		ops = 100
+	}
+	writes := ops / (readsPerWrite + 1)
+	compactAt := writes / 3
+	if compactAt < 4 {
+		compactAt = 4
+	}
+
+	owner, err := core.NewDataOwner(core.Params{Dim: data.Dim, Beta: 0.3, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	edb, err := owner.EncryptDatabase(data.Train)
+	if err != nil {
+		return err
+	}
+	server, err := core.NewServerWith(edb, core.ServerOptions{CompactAt: compactAt})
+	if err != nil {
+		return err
+	}
+	user, err := core.NewUser(owner.UserKey())
+	if err != nil {
+		return err
+	}
+	toks := make([]*core.QueryToken, len(data.Queries))
+	for i, q := range data.Queries {
+		if toks[i], err = user.Query(q); err != nil {
+			return err
+		}
+	}
+
+	// Pre-generate the insert stream (encryption is client-side work and
+	// must not be charged to the server's write latency) and the live
+	// plaintext map the end-state exactness check needs.
+	r := rng.NewSeeded(cfg.Seed + 9)
+	nInserts := writes/2 + 1 + 64 // workload inserts + the microbench's
+	insertVecs := make([][]float64, nInserts)
+	payloads := make([]*core.InsertPayload, nInserts)
+	for i := range payloads {
+		v := vec.Add(nil, data.Train[r.IntN(n)], rng.GaussianVec(r, data.Dim, 0.3))
+		insertVecs[i] = v
+		if payloads[i], err = owner.EncryptVector(v); err != nil {
+			return err
+		}
+	}
+	plain := append([][]float64(nil), data.Train...)
+	pool := make([]int, n)
+	for id := range pool {
+		pool[id] = id
+	}
+
+	var dst []int
+	for _, tok := range toks { // warm the pooled read path
+		if dst, _, err = server.SearchInto(dst, tok, k, opt); err != nil {
+			return err
+		}
+	}
+
+	readLat := make([]time.Duration, 0, ops)
+	failed := 0
+	nextInsert, deletes := 0, 0
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if i%(readsPerWrite+1) == readsPerWrite {
+			if (nextInsert+deletes)%2 == 0 {
+				pi := r.IntN(len(pool))
+				id := pool[pi]
+				pool[pi] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				if err := server.Delete(id); err != nil {
+					return fmt.Errorf("bench: mixed delete %d: %w", id, err)
+				}
+				plain[id] = nil
+				deletes++
+			} else {
+				id, err := server.Insert(payloads[nextInsert])
+				if err != nil {
+					return fmt.Errorf("bench: mixed insert: %w", err)
+				}
+				if id != len(plain) {
+					return fmt.Errorf("bench: mixed insert assigned id %d, want %d", id, len(plain))
+				}
+				plain = append(plain, insertVecs[nextInsert])
+				pool = append(pool, id)
+				nextInsert++
+			}
+			continue
+		}
+		qStart := time.Now()
+		ids, _, err := server.SearchInto(dst[:0], tok(toks, i), k, opt)
+		if err != nil || len(ids) != k {
+			failed++
+			continue
+		}
+		dst = ids
+		readLat = append(readLat, time.Since(qStart))
+	}
+	elapsed := time.Since(start)
+
+	// End-state exactness: the tiered server (frozen main + delta + pending
+	// tombstones, however compaction left them) against brute-force KNN
+	// over the live plaintexts.
+	gt := make([][]int, len(toks))
+	got := make([][]int, len(toks))
+	for i, q := range data.Queries {
+		gt[i] = exactKNN(q, plain, k)
+		if got[i], err = server.Search(toks[i], k, opt); err != nil {
+			return err
+		}
+	}
+	recall := dataset.MeanRecall(got, gt)
+
+	// The write-path microbenchmark. Delta inserts are the serving tier's
+	// real path; the clone-and-swap side measures what each insert cost
+	// before the delta tier existed: clone the full-size frozen index, add
+	// into the clone. Medians on both sides — a background fold or GC
+	// landing on one sample must not define the headline ratio.
+	deltaN := nInserts - nextInsert
+	if deltaN > 64 {
+		deltaN = 64
+	}
+	deltaLat := make([]time.Duration, 0, deltaN)
+	for i := 0; i < deltaN; i++ {
+		p := payloads[nextInsert+i]
+		t0 := time.Now()
+		if _, err := server.Insert(p); err != nil {
+			return err
+		}
+		deltaLat = append(deltaLat, time.Since(t0))
+	}
+	cloneLat := make([]time.Duration, 0, 8)
+	for i := 0; i < 8; i++ {
+		v := insertVecs[i%len(insertVecs)]
+		t0 := time.Now()
+		c := edb.Index.Clone()
+		if _, err := c.Add(v); err != nil {
+			return err
+		}
+		cloneLat = append(cloneLat, time.Since(t0))
+	}
+	// The compactor runs in the background; give an in-flight fold a
+	// moment to land so the reported generation counts completed folds
+	// (the workload crossed the trigger many deltas ago).
+	cs := server.CompactionStats()
+	settle := time.Now().Add(10 * time.Second)
+	for (cs.Compacting || cs.Generation == 0) && time.Now().Before(settle) {
+		time.Sleep(time.Millisecond)
+		cs = server.CompactionStats()
+	}
+	if cs.LastError != "" {
+		return fmt.Errorf("bench: mixed-workload compaction failed: %s", cs.LastError)
+	}
+
+	medianUS := func(ds []time.Duration) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), ds...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		return float64(sorted[len(sorted)/2].Nanoseconds()) / 1e3
+	}
+	pctlDur := func(lat []time.Duration, p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		return float64(sorted[int(p*float64(len(sorted)-1))].Nanoseconds()) / 1e3
+	}
+
+	rep.Mixed.Ops = ops
+	rep.Mixed.ReadFraction = float64(readsPerWrite) / float64(readsPerWrite+1)
+	rep.Mixed.Writes = nextInsert + deletes
+	rep.Mixed.QPS = float64(ops) / elapsed.Seconds()
+	rep.Mixed.ReadP50Micros = pctlDur(readLat, 0.50)
+	rep.Mixed.ReadP99Micros = pctlDur(readLat, 0.99)
+	rep.Mixed.FailedQueries = failed
+	rep.Mixed.Recall = recall
+	rep.Mixed.Compactions = cs.Generation
+	rep.Mixed.MaxPauseMicros = float64(cs.MaxPause.Nanoseconds()) / 1e3
+	rep.Mixed.DeltaInsertMicros = medianUS(deltaLat)
+	rep.Mixed.CloneInsertMicros = medianUS(cloneLat)
+	if rep.Mixed.DeltaInsertMicros > 0 {
+		rep.Mixed.InsertSpeedup = rep.Mixed.CloneInsertMicros / rep.Mixed.DeltaInsertMicros
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench: mixed workload served %d failed queries of %d ops", failed, ops)
+	}
+	return nil
+}
+
+// tok cycles a query-token set across a longer op stream.
+func tok(toks []*core.QueryToken, i int) *core.QueryToken { return toks[i%len(toks)] }
+
+// exactKNN returns the k live ids nearest q by brute force, closest first,
+// ties broken by id. Nil rows are deleted.
+func exactKNN(q []float64, plain [][]float64, k int) []int {
+	type cand struct {
+		d  float64
+		id int
+	}
+	best := make([]cand, 0, k+1)
+	for id, v := range plain {
+		if v == nil {
+			continue
+		}
+		d := vec.SqDist(q, v)
+		if len(best) == k && d >= best[k-1].d {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && (d < best[pos-1].d || (d == best[pos-1].d && id < best[pos-1].id)) {
+			pos--
+		}
+		best = append(best, cand{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = cand{d: d, id: id}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	ids := make([]int, len(best))
+	for i, c := range best {
+		ids[i] = c.id
+	}
+	return ids
+}
+
 // collectKernelBench measures every dispatched distance kernel under every
 // linked variant against the run's own corpus: the vec pair and block
 // kernels over the plaintext vectors, the DCE pair and block kernels over
@@ -851,6 +1139,36 @@ func gateAgainstBaseline(cfg Config, rep *SearchPerfReport) error {
 	if ratio < 1-tol {
 		return fmt.Errorf("bench: single-stream qps regressed beyond tolerance: fresh %.0f vs committed %.0f (%.0f%% drop > %.0f%% allowed)",
 			rep.Single.QPS, base.Single.QPS, (1-ratio)*100, tol*100)
+	}
+	if base.Mixed.Ops > 0 {
+		// The mixed-workload gate: failed queries and recall regressions are
+		// correctness, gated hard; read p50 and the insert speedup are
+		// performance, gated at the shared tolerance (speedup against an
+		// absolute floor of 10× — the write path's acceptance bar — rather
+		// than the baseline's own ratio, which can be enormous and jittery).
+		if rep.Mixed.FailedQueries > 0 {
+			return fmt.Errorf("bench: mixed workload served %d failed queries, baseline serves none", rep.Mixed.FailedQueries)
+		}
+		if rep.Mixed.Recall+1e-9 < base.Mixed.Recall {
+			return fmt.Errorf("bench: mixed-workload recall regressed: fresh %.4f vs committed %.4f", rep.Mixed.Recall, base.Mixed.Recall)
+		}
+		if base.Mixed.ReadP50Micros > 0 {
+			// Double the usual tolerance: unlike the GC-off latency
+			// sections, the mixed workload runs with GC on and background
+			// compactions folding mid-measurement, so its p50 jitters far
+			// more run-to-run than the steady-state sections.
+			mtol := 2 * tol
+			pr := rep.Mixed.ReadP50Micros / base.Mixed.ReadP50Micros
+			cfg.printf("%-22s read p50 %.0fµs fresh vs %.0fµs committed (%.2fx, gate at %.2fx)\n",
+				"mixed gate", rep.Mixed.ReadP50Micros, base.Mixed.ReadP50Micros, pr, 1+mtol)
+			if pr > 1+mtol {
+				return fmt.Errorf("bench: mixed-workload read p50 regressed beyond tolerance: fresh %.0fµs vs committed %.0fµs (%.0f%% slower > %.0f%% allowed)",
+					rep.Mixed.ReadP50Micros, base.Mixed.ReadP50Micros, (pr-1)*100, mtol*100)
+			}
+		}
+		if rep.Mixed.InsertSpeedup < 10 {
+			return fmt.Errorf("bench: delta insert only %.1f× faster than clone-and-swap, want ≥10×", rep.Mixed.InsertSpeedup)
+		}
 	}
 	if len(base.Kernels) > 0 {
 		fresh := make(map[string]float64, len(rep.Kernels))

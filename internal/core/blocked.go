@@ -58,6 +58,7 @@ type refineTriple struct {
 // blockedScratch.
 type blockedQuery struct {
 	items    []resultheap.Item
+	tier     tierScratch
 	cands    []int
 	ops      []float64 // PrecomputeRefine operand arena
 	ztail    []float64 // tile results indexed by candidate position
@@ -218,7 +219,7 @@ func (s *Server) searchGroupBlocked(toks []*QueryToken, k int, opt SearchOptions
 			continue
 		}
 		start := time.Now()
-		q.items = edb.Index.SearchInto(q.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
+		q.items = sp.filterInto(&q.tier, q.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
 		q.st.FilterTime = time.Since(start)
 		q.st.Candidates = len(q.items)
 		if len(q.items) == 0 {

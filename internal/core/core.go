@@ -67,6 +67,15 @@ type Params struct {
 	// space per vector.
 	WithAME bool
 
+	// CompactAt bounds the serving tier's delta tier: when the delta
+	// record count or the pending tombstone count reaches it, a
+	// background compaction folds them into the main index. 0 selects
+	// core.DefaultCompactAt; negative disables automatic compaction
+	// (Server.Compact only). CompactAtBytes adds an optional byte-based
+	// trigger on the delta footprint.
+	CompactAt      int
+	CompactAtBytes int
+
 	// Seed makes key generation and index construction deterministic when
 	// non-zero (tests and experiments); 0 draws from crypto/rand.
 	Seed uint64

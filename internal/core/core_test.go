@@ -43,7 +43,7 @@ func newWorld(t *testing.T, params Params, data [][]float64) *testWorld {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server, err := NewServer(edb)
+	server, err := NewServerWith(edb, ServerOptions{CompactAt: params.CompactAt, CompactAtBytes: params.CompactAtBytes})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"ppanns/internal/ame"
+	"ppanns/internal/dce"
+)
+
+// Compacted returns an offline-compacted copy of the database: every
+// tombstoned record is dropped entirely and the survivors are renumbered
+// densely to 0..Live()-1 (relative order preserved), with the filter index
+// rebuilt over the surviving SAP ciphertexts under the receiver's build
+// configuration. The receiver is unmodified.
+//
+// Unlike the serving tier's online compaction — which must keep ids stable
+// because shard striping and user-visible ids depend on positions — the
+// offline form renumbers, genuinely shrinking the database. It is therefore
+// only safe on a database at rest (the dbtool compact contract): after
+// compacting, previously handed-out ids are meaningless and any shard
+// striping must be re-derived by re-splitting the compacted file.
+func (e *EncryptedDatabase) Compacted() (*EncryptedDatabase, error) {
+	n := e.DCE.Len()
+	ctDim := e.DCE.CtDim()
+	vecs := make([][]float64, 0, e.DCE.Live())
+	oldIDs := make([]int, 0, e.DCE.Live())
+	for id := 0; id < n; id++ {
+		if !e.DCE.Has(id) {
+			continue
+		}
+		v, ok := e.Index.Vector(id)
+		if !ok {
+			return nil, fmt.Errorf("core: offline compaction: index has no vector for id %d", id)
+		}
+		vecs = append(vecs, v)
+		oldIDs = append(oldIDs, id)
+	}
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("core: offline compaction: database has no live records")
+	}
+	idx, err := e.Index.Rebuild(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("core: offline compaction rebuild: %w", err)
+	}
+	if idx.Len() != len(vecs) {
+		return nil, fmt.Errorf("core: offline compaction rebuild produced %d ids, want %d", idx.Len(), len(vecs))
+	}
+	// Dense repack of the ciphertext arena: record j of the new store is
+	// record oldIDs[j] of the receiver, every slot live.
+	rec := 4 * ctDim
+	arena := make([]float64, len(oldIDs)*rec)
+	live := make([]bool, len(oldIDs))
+	for j, id := range oldIDs {
+		copy(arena[j*rec:(j+1)*rec], e.DCE.Record(id))
+		live[j] = true
+	}
+	store, err := dce.StoreFromRaw(ctDim, arena, live)
+	if err != nil {
+		return nil, fmt.Errorf("core: offline compaction: %w", err)
+	}
+	ne := &EncryptedDatabase{Dim: e.Dim, Backend: e.Backend, Index: idx, DCE: store}
+	if e.AME != nil {
+		ne.AME = make([]*ame.Ciphertext, len(oldIDs))
+		for j, id := range oldIDs {
+			ne.AME[j] = e.AME[id]
+		}
+	}
+	return ne, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOfflineCompactedRenumbers exercises the dbtool-compact primitive:
+// tombstoned records are dropped entirely, survivors are renumbered densely
+// with relative order preserved, the receiver stays untouched, and the
+// compacted database answers queries with the renumbered ids.
+func TestOfflineCompactedRenumbers(t *testing.T) {
+	const n, dim, k = 150, 8, 5
+	data := clustered(131, n, dim, 4)
+	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 131}, data)
+	dead := map[int]bool{3: true, 77: true, 149: true}
+	for id := range dead {
+		if err := w.server.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edb := w.server.Database()
+
+	compacted, err := edb.Compacted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edb.Len() != n || edb.Live() != n-len(dead) {
+		t.Fatalf("Compacted mutated its receiver: %d/%d", edb.Len(), edb.Live())
+	}
+	if compacted.Len() != n-len(dead) || compacted.Live() != n-len(dead) {
+		t.Fatalf("compacted counts = %d/%d, want %d with zero tombstones", compacted.Len(), compacted.Live(), n-len(dead))
+	}
+
+	// newID maps old ids to their dense renumbering (old order preserved).
+	newID := make(map[int]int, n)
+	next := 0
+	for old := 0; old < n; old++ {
+		if dead[old] {
+			continue
+		}
+		newID[old] = next
+		next++
+	}
+	// Record-level identity: every surviving ciphertext moved intact.
+	for old, nw := range newID {
+		want, got := edb.DCE.Record(old), compacted.DCE.Record(nw)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("record of old id %d (new %d) differs at float %d", old, nw, j)
+			}
+		}
+	}
+
+	// Query-level identity at exhaustive k′: the compacted database must
+	// return exactly the renumbered image of the original's results.
+	srv, err := NewServer(compacted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]float64{data[0], data[80], data[149]} {
+		tok := mustToken(t, w, q)
+		want, err := w.server.Search(tok, k, exhaustiveOpt(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := srv.Search(tok, k, exhaustiveOpt(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("result sizes differ: %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != newID[want[i]] {
+				t.Fatalf("rank %d: compacted id %d, want renumbered %d (old %d)", i, got[i], newID[want[i]], want[i])
+			}
+		}
+	}
+
+	// The compacted file round-trips (dense ids satisfy the load-time
+	// index/store cross-check) and is genuinely smaller on disk.
+	var orig, comp bytes.Buffer
+	if err := edb.Save(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := compacted.Save(&comp); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= orig.Len() {
+		t.Fatalf("compacted file (%d bytes) not smaller than original (%d bytes)", comp.Len(), orig.Len())
+	}
+	if _, err := LoadEncryptedDatabase(bytes.NewReader(comp.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error contract: a database with no live records cannot be compacted.
+	all := w.server.Database()
+	empty := &EncryptedDatabase{Dim: dim, Backend: all.Backend, Index: all.Index, DCE: all.DCE.Compacted(func(int) bool { return true })}
+	if _, err := empty.Compacted(); err == nil {
+		t.Fatal("expected error compacting a database with no live records")
+	}
+}

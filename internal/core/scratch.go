@@ -21,10 +21,20 @@ type searchScratch struct {
 	cands  []int
 	sorted []int
 	ops    []float64
+	tier   tierScratch
 	heap   resultheap.CompareHeap
 	pq     dce.PreparedQuery
 	dce    dceComparator
 	ame    ameComparator
+}
+
+// tierScratch is the filter phase's two-tier staging area: the main-tier
+// index results (pre-masking) and the delta-tier scan results, merged by
+// snapshot.filterInto. Pooled alongside the rest of the search scratch so
+// the tiered filter allocates nothing in steady state.
+type tierScratch struct {
+	main  []resultheap.Item
+	delta []resultheap.Item
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}

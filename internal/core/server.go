@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,8 @@ import (
 	"ppanns/internal/ame"
 	"ppanns/internal/dce"
 	"ppanns/internal/index"
+	"ppanns/internal/resultheap"
+	"ppanns/internal/vec"
 )
 
 // RefineMode selects how the server's refine phase compares candidates.
@@ -155,19 +158,158 @@ type SearchStats struct {
 // snapshot is one immutable publication of the encrypted database. The
 // serving tier is copy-on-write: searches load the current snapshot from an
 // atomic pointer and run entirely against it — no lock, no coordination
-// with writers — while mutations build the next snapshot from cheap clones
-// and publish it with a single pointer swap. A snapshot, once published, is
-// never mutated again; in-flight searches therefore always finish on the
-// exact database state they started with, and the garbage collector
-// reclaims superseded snapshots when their last reader drops them.
+// with writers — while mutations assemble the next snapshot and publish it
+// with a single pointer swap. A snapshot, once published, is never mutated
+// again; in-flight searches therefore always finish on the exact database
+// state they started with, and the garbage collector reclaims superseded
+// snapshots when their last reader drops them.
+//
+// # Two tiers
+//
+// The database state is LSM-shaped. Ids [0, frozen) are the main tier,
+// covered by the frozen filter index edb.Index; ids [frozen, edb.Len())
+// are the delta tier, whose SAP ciphertexts live in deltaSAP and are
+// brute-force scanned at query time. The DCE ciphertext store spans both
+// tiers in one arena (main prefix, delta suffix), so the refine phase —
+// and every consumer of DCE records downstream of it — is tier-blind.
+// Pending deletes from either tier sit in tombs until a compaction folds
+// delta and tombstones into a rebuilt main index (see compactOnce).
 type snapshot struct {
-	edb   *EncryptedDatabase
+	edb *EncryptedDatabase
+	// frozen is the main-tier size: edb.Index covers exactly the ids
+	// [0, frozen), all of which are index-live (pending tombstones are
+	// masked at query time, not applied to the index).
+	frozen int
+	// deltaSAP holds the delta tier's SAP ciphertexts: deltaSAP[i] is the
+	// vector of id frozen+i. Appended to under the writer mutex with the
+	// same append-only discipline as the ciphertext arena.
+	deltaSAP [][]float64
+	// tombs is the set of ids deleted since the last compaction, covering
+	// both tiers; nil means none. Never mutated once published — Delete
+	// publishes a fresh set.
+	tombs map[int]struct{}
+	// mainDead counts tombs entries below frozen: how many index-live ids
+	// are pending deletion, i.e. how far the filter phase must over-fetch
+	// so tombstone masking cannot leave the candidate pool short.
+	mainDead int
+	// epoch is the mutation count: incremented by every Insert/Delete,
+	// preserved across compactions (a compaction changes representation,
+	// not content — see Epoch).
 	epoch uint64
+	// gen counts compactions folded into this snapshot.
+	gen uint64
 	// readers counts in-flight searches pinned to this snapshot. The
 	// refcount is not needed for reclamation (the GC handles that); it
 	// exists so tests and operators can observe snapshot drain — e.g.
 	// assert that superseded epochs quiesce instead of leaking searches.
 	readers atomic.Int64
+}
+
+// tombed reports whether id has a pending tombstone.
+func (sp *snapshot) tombed(id int) bool {
+	_, ok := sp.tombs[id]
+	return ok
+}
+
+// clean reports whether the snapshot has no delta tier and no pending
+// tombstones — i.e. edb alone is the complete, consistent database.
+func (sp *snapshot) clean() bool {
+	return len(sp.deltaSAP) == 0 && len(sp.tombs) == 0
+}
+
+// deadAt reports whether id is deleted in this snapshot, in either
+// representation: compacted away in the store, or pending in tombs.
+func (sp *snapshot) deadAt(id int) bool {
+	return !sp.edb.DCE.Has(id) || sp.tombed(id)
+}
+
+// live is the live record count across both tiers.
+func (sp *snapshot) live() int { return sp.edb.DCE.Live() - len(sp.tombs) }
+
+// filterInto runs the filter phase over both tiers: a k′-ANNS on the
+// frozen main index plus an exact scan of the delta segment, tombstones
+// masked, merged closest-first into dst. On a clean snapshot this is
+// exactly the index search. The merge happens on the backends' native
+// filter keys — squared L2 over SAP ciphertexts, which every backend
+// produces — so a merged list is ordered identically to what a single
+// index over both tiers would return.
+func (sp *snapshot) filterInto(ts *tierScratch, dst []resultheap.Item, q []float64, kPrime, ef int) []resultheap.Item {
+	if sp.clean() {
+		return sp.edb.Index.SearchInto(dst, q, kPrime, ef)
+	}
+	// Main tier: over-fetch by the pending main-tier tombstone count so
+	// masking cannot leave the pool short of live candidates.
+	kMain := kPrime + sp.mainDead
+	efMain := ef
+	if efMain < kMain {
+		efMain = kMain
+	}
+	ts.main = sp.edb.Index.SearchInto(ts.main[:0], q, kMain, efMain)
+	if sp.mainDead > 0 {
+		kept := ts.main[:0]
+		for _, it := range ts.main {
+			if !sp.tombed(it.ID) {
+				kept = append(kept, it)
+			}
+		}
+		ts.main = kept
+	}
+	if len(ts.main) > kPrime {
+		ts.main = ts.main[:kPrime]
+	}
+	// Delta tier: exact distances over the (small) mutable segment.
+	// Delta ids can only be dead via tombs — store flags change at
+	// compaction, which empties the delta.
+	ts.delta = ts.delta[:0]
+	for i, v := range sp.deltaSAP {
+		id := sp.frozen + i
+		if sp.tombed(id) {
+			continue
+		}
+		ts.delta = append(ts.delta, resultheap.Item{ID: id, Dist: vec.SqDist(q, v)})
+	}
+	sort.Slice(ts.delta, func(a, b int) bool {
+		if ts.delta[a].Dist != ts.delta[b].Dist {
+			return ts.delta[a].Dist < ts.delta[b].Dist
+		}
+		return ts.delta[a].ID < ts.delta[b].ID
+	})
+	if len(ts.delta) > kPrime {
+		ts.delta = ts.delta[:kPrime]
+	}
+	// Merge, closest first; ties go to the main tier (lower ids — delta
+	// ids are always the larger).
+	dst = dst[:0]
+	i, j := 0, 0
+	for len(dst) < kPrime && (i < len(ts.main) || j < len(ts.delta)) {
+		if j >= len(ts.delta) || (i < len(ts.main) && ts.main[i].Dist <= ts.delta[j].Dist) {
+			dst = append(dst, ts.main[i])
+			i++
+		} else {
+			dst = append(dst, ts.delta[j])
+			j++
+		}
+	}
+	return dst
+}
+
+// DefaultCompactAt is the delta-tier bound used when ServerOptions (or
+// Params.CompactAt) is zero: once the delta or the pending-tombstone set
+// reaches this many entries, a background compaction folds them into the
+// main index.
+const DefaultCompactAt = 1024
+
+// ServerOptions tunes the serving tier's write path.
+type ServerOptions struct {
+	// CompactAt bounds the delta tier: when the delta record count or the
+	// pending tombstone count reaches it, a background goroutine compacts.
+	// 0 selects DefaultCompactAt; negative disables automatic compaction
+	// (Compact must be called manually).
+	CompactAt int
+	// CompactAtBytes additionally triggers compaction when the delta
+	// tier's ciphertext+vector footprint reaches this many bytes
+	// (0 disables the byte trigger).
+	CompactAtBytes int
 }
 
 // Server hosts the encrypted database and answers queries (Figure 1 steps
@@ -177,47 +319,98 @@ type snapshot struct {
 //
 // Reads are lock-free: Search and every accessor load the current snapshot
 // and never block, regardless of concurrent mutations. Insert and Delete
-// serialize among themselves on a writer mutex, clone the affected state
-// (the filter index deep-copies; the ciphertext arena is shared
-// append-only), apply the mutation to the private clone, and publish the
-// result atomically. Writers therefore pay O(n) per mutation — the price
-// of never making a reader wait — and a failed mutation simply discards
-// its clone, leaving the published snapshot untouched: there is no window
-// in which the index and ciphertext store can be observed desynced.
+// serialize among themselves on a writer mutex and are O(delta): an insert
+// appends to the delta tier (ciphertext arena, SAP list), a delete adds a
+// pending tombstone — neither clones the frozen filter index. Writers
+// publish the result atomically; a failed mutation publishes nothing, so
+// there is no window in which the index and ciphertext store can be
+// observed desynced.
+//
+// A background compaction (see Compact) periodically rebuilds the main
+// index with the delta folded in and the tombstones dropped, off the read
+// path: searches keep running on the old snapshot for the whole rebuild,
+// and only the final swap — an O(delta since rebuild started) graft plus a
+// pointer store — runs under the writer mutex.
 type Server struct {
 	snap atomic.Pointer[snapshot]
-	wmu  sync.Mutex // serializes Insert/Delete; never held by readers
+	wmu  sync.Mutex // serializes Insert/Delete and the compaction swap
+
+	// cmu serializes compactions (manual and background); never held by
+	// readers or writers.
+	cmu            sync.Mutex
+	compacting     atomic.Bool
+	compactAt      int
+	compactAtBytes int
+
+	statMu       sync.Mutex
+	lastPause    time.Duration
+	maxPause     time.Duration
+	lastDuration time.Duration
+	lastCompErr  error
 }
 
-// NewServer wraps an encrypted database received from the data owner.
+// NewServer wraps an encrypted database received from the data owner,
+// with default write-path options.
 func NewServer(edb *EncryptedDatabase) (*Server, error) {
+	return NewServerWith(edb, ServerOptions{})
+}
+
+// NewServerWith is NewServer with explicit write-path options.
+func NewServerWith(edb *EncryptedDatabase, o ServerOptions) (*Server, error) {
 	if edb == nil || edb.Index == nil || edb.DCE == nil || edb.DCE.Len() == 0 {
 		return nil, fmt.Errorf("core: incomplete encrypted database")
 	}
-	s := &Server{}
-	s.snap.Store(&snapshot{edb: edb})
+	if o.CompactAt == 0 {
+		o.CompactAt = DefaultCompactAt
+	}
+	s := &Server{compactAt: o.CompactAt, compactAtBytes: o.CompactAtBytes}
+	s.snap.Store(&snapshot{edb: edb, frozen: edb.DCE.Len()})
 	return s, nil
 }
 
-// Database returns the currently published database state — what Save and
-// Split should operate on once a server has applied mutations, since the
-// copy-on-write discipline means the *EncryptedDatabase the server was
-// constructed with no longer reflects them. The returned value is an
-// immutable snapshot: callers may read it freely without locking but must
-// not mutate it (mutating it would tear concurrent searches, exactly what
-// the snapshot discipline exists to prevent).
-func (s *Server) Database() *EncryptedDatabase { return s.snap.Load().edb }
+// Database returns the published database state with the delta tier
+// flushed — what Save and Split should operate on once a server has
+// applied mutations. If the snapshot carries unflushed mutations this
+// compacts first (synchronously), so the returned database always has its
+// index, ciphertext store and AME array mutually consistent. The returned
+// value is immutable: callers may read it freely without locking but must
+// not mutate it. If compaction fails (a backend violating the rebuild
+// contract), the latest consistent pre-failure state is NOT reconstructed;
+// use Flush when the error matters.
+func (s *Server) Database() *EncryptedDatabase {
+	edb, _ := s.Flush()
+	return edb
+}
+
+// Flush compacts until the published snapshot is clean and returns its
+// database. On compaction failure it returns the current (possibly
+// delta-carrying) database along with the error.
+func (s *Server) Flush() (*EncryptedDatabase, error) {
+	for {
+		sp := s.snap.Load()
+		if sp.clean() {
+			return sp.edb, nil
+		}
+		if err := s.Compact(); err != nil {
+			return s.snap.Load().edb, err
+		}
+	}
+}
 
 // Len returns the number of stored vectors (including tombstones).
-func (s *Server) Len() int { return s.Database().Len() }
+func (s *Server) Len() int { return s.snap.Load().edb.DCE.Len() }
 
 // Live returns the number of stored vectors excluding tombstones — the
-// count users actually search over. Len-Live is the tombstone count.
-func (s *Server) Live() int { return s.Database().Live() }
+// count users actually search over, across both tiers. Len-Live is the
+// tombstone count (compacted and pending).
+func (s *Server) Live() int { return s.snap.Load().live() }
 
-// Epoch returns the current snapshot's publication count: 0 for the state
+// Epoch returns the current snapshot's mutation count: 0 for the state
 // the server was constructed with, incremented by every successful Insert
-// or Delete.
+// or Delete. Compactions do NOT advance the epoch: they change the
+// representation, not the content, and the replicated tier's epoch-floor
+// consistency check (shard.ReplicaSet) counts applied writes — a replica
+// that compacted but missed a write must still read as stale.
 func (s *Server) Epoch() uint64 { return s.snap.Load().epoch }
 
 // InFlight returns the number of searches currently running against the
@@ -226,14 +419,26 @@ func (s *Server) Epoch() uint64 { return s.snap.Load().epoch }
 func (s *Server) InFlight() int64 { return s.snap.Load().readers.Load() }
 
 // Dim returns the vector dimension of the hosted database.
-func (s *Server) Dim() int { return s.Database().Dim }
+func (s *Server) Dim() int { return s.snap.Load().edb.Dim }
 
 // Backend returns the registry name of the filter-index backend.
-func (s *Server) Backend() string { return s.Database().Backend }
+func (s *Server) Backend() string { return s.snap.Load().edb.Backend }
 
-// Caps reports the filter index's update capabilities, so clients can
-// learn whether Insert/Delete are available before attempting them.
-func (s *Server) Caps() index.Caps { return s.Database().Index.Caps() }
+// Caps reports the serving tier's update capabilities. The delta tier
+// accepts inserts and deletes on every backend — batch-built backends
+// (NSG) fold them in at the next compaction — so both capabilities are
+// always true; Name still identifies the filter backend.
+func (s *Server) Caps() index.Caps {
+	return index.Caps{
+		Name:          s.snap.Load().edb.Index.Caps().Name,
+		DynamicInsert: true,
+		DynamicDelete: true,
+	}
+}
+
+// Deleted reports whether an external id is tombstoned, in either tier and
+// either representation (compacted away, or pending in the tombstone set).
+func (s *Server) Deleted(pos int) bool { return s.snap.Load().deadAt(pos) }
 
 // Search answers a k-ANNS query (Algorithm 2) and returns external ids
 // ordered closest-first.
@@ -334,7 +539,9 @@ func (s *Server) SearchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 //
 // The whole body runs lock-free against one immutable snapshot: it loads
 // the snapshot pointer once and never observes a concurrent mutation —
-// writers publish whole new snapshots instead of touching this one.
+// writers publish whole new snapshots instead of touching this one. The
+// filter phase searches both tiers (filterInto); the refine phase is
+// tier-blind, because the DCE store spans both tiers in one id space.
 func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions, mm *ShardResult) ([]int, SearchStats, error) {
 	var st SearchStats
 	if tok == nil || tok.SAP == nil {
@@ -362,10 +569,10 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 	sc := getScratch()
 	defer putScratch(sc)
 
-	// Filter phase (Algorithm 2 line 1): k′-ANNS over SAP ciphertexts.
-	// Backends return external ids directly.
+	// Filter phase (Algorithm 2 line 1): k′-ANNS over SAP ciphertexts,
+	// both tiers merged.
 	start := time.Now()
-	sc.items = edb.Index.SearchInto(sc.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
+	sc.items = sp.filterInto(&sc.tier, sc.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
 	st.FilterTime = time.Since(start)
 	st.Candidates = len(sc.items)
 	if len(sc.items) == 0 {
@@ -465,103 +672,331 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 }
 
 // Insert adds one encrypted vector (Section V-D) and returns its external
-// id. Deletion tombstones are not reused; ids grow monotonically. The
-// backend must support dynamic inserts (see Caps).
+// id. Deletion tombstones are not reused; ids grow monotonically. Every
+// backend accepts inserts: they land in the delta tier, not the frozen
+// index, so batch-built backends (NSG) are as insertable as dynamic ones.
 //
-// Insert is copy-on-write: it clones the current snapshot's filter index,
-// inserts into the clone, appends the ciphertexts to a snapshot of the
-// arena store, and publishes the assembled state atomically. Concurrent
-// searches keep running on the previous snapshot throughout and never see
-// a partially applied insert; a failed insert (validation, an unsupported
-// backend, or a backend violating the sequential-id contract) discards the
-// private clone and leaves the published snapshot byte-identical.
+// Insert is O(1)-ish: it appends the DCE ciphertext to the shared arena
+// (past every published snapshot's length), appends the SAP vector to the
+// delta list, and publishes a new snapshot — no index clone, no work
+// proportional to the database size. A failed insert (validation only;
+// nothing else can fail) publishes nothing.
 func (s *Server) Insert(p *InsertPayload) (int, error) {
 	if p == nil || p.SAP == nil || p.DCE == nil {
 		return 0, fmt.Errorf("core: incomplete insert payload")
 	}
 	s.wmu.Lock()
-	defer s.wmu.Unlock()
 	cur := s.snap.Load()
 	edb := cur.edb
 	if len(p.SAP) != edb.Dim {
+		s.wmu.Unlock()
 		return 0, fmt.Errorf("core: insert payload has dim %d, want %d", len(p.SAP), edb.Dim)
 	}
 	if ctDim := edb.DCE.CtDim(); len(p.DCE.P1) != ctDim || len(p.DCE.P2) != ctDim ||
 		len(p.DCE.P3) != ctDim || len(p.DCE.P4) != ctDim {
+		s.wmu.Unlock()
 		return 0, fmt.Errorf("core: insert DCE ciphertext components do not match stored dimension %d", ctDim)
 	}
 	if edb.AME != nil && p.AME == nil {
+		s.wmu.Unlock()
 		return 0, fmt.Errorf("core: database carries AME ciphertexts; payload lacks one")
 	}
-	if !edb.Index.Caps().DynamicInsert {
-		return 0, fmt.Errorf("core: %s backend does not support inserts (%w)", edb.Backend, index.ErrNotSupported)
-	}
-	idx := edb.Index.Clone()
-	pos, err := idx.Add(p.SAP)
-	if err != nil {
-		return 0, fmt.Errorf("core: index insert: %w", err)
-	}
-	// Ids are assigned sequentially by every backend, so the new id must
-	// land exactly at the end of the ciphertext store. A backend violating
-	// that contract costs nothing to undo here: the violation happened on
-	// a private clone that is simply never published.
-	if pos != edb.DCE.Len() {
-		return 0, fmt.Errorf("core: index id %d out of step with database size %d", pos, edb.DCE.Len())
-	}
-	store := edb.DCE.Snapshot()
-	store.Append(p.DCE)
+	pos := edb.DCE.Len()
+	// The arena append writes past every published snapshot's length —
+	// invisible to in-flight readers; likewise the SAP and AME appends.
+	store := edb.DCE.Extend(p.DCE)
+	sap := append([]float64(nil), p.SAP...)
 	var ameCts []*ame.Ciphertext
 	if edb.AME != nil {
-		ameCts = make([]*ame.Ciphertext, len(edb.AME)+1)
-		copy(ameCts, edb.AME)
-		ameCts[len(edb.AME)] = p.AME
+		ameCts = append(edb.AME, p.AME)
 	}
 	s.snap.Store(&snapshot{
 		edb: &EncryptedDatabase{
 			Dim:     edb.Dim,
 			Backend: edb.Backend,
-			Index:   idx,
+			Index:   edb.Index,
 			DCE:     store,
 			AME:     ameCts,
 		},
-		epoch: cur.epoch + 1,
+		frozen:   cur.frozen,
+		deltaSAP: append(cur.deltaSAP, sap),
+		tombs:    cur.tombs,
+		mainDead: cur.mainDead,
+		epoch:    cur.epoch + 1,
+		gen:      cur.gen,
 	})
+	s.wmu.Unlock()
+	s.maybeCompact()
 	return pos, nil
 }
 
-// Delete removes the vector with the given external id (Section V-D): the
-// index tombstones it (graphs additionally repair in-neighbors) and the
-// ciphertext record is dropped from the live set. Server-only — no
-// data-owner participation, as the paper notes. The backend must support
-// dynamic deletes (see Caps).
-//
-// Like Insert, Delete is copy-on-write: the tombstone lands in a private
-// clone and is published atomically, so concurrent searches either see the
-// id fully live or fully gone, never a half-deleted state.
+// Delete removes the vector with the given external id (Section V-D).
+// Server-only — no data-owner participation, as the paper notes. The
+// delete is a pending tombstone: searches mask the id immediately (it is
+// fully gone from the next snapshot's results), and the next compaction
+// drops the ciphertext bytes and repairs the index around it. O(tombs)
+// per call (the pending set is copied), independent of database size.
 func (s *Server) Delete(pos int) error {
 	s.wmu.Lock()
-	defer s.wmu.Unlock()
 	cur := s.snap.Load()
 	edb := cur.edb
 	if pos < 0 || pos >= edb.DCE.Len() {
+		s.wmu.Unlock()
 		return fmt.Errorf("core: delete of unknown id %d", pos)
 	}
-	if !edb.DCE.Has(pos) {
+	if !edb.DCE.Has(pos) || cur.tombed(pos) {
+		s.wmu.Unlock()
 		return fmt.Errorf("core: id %d already deleted", pos)
 	}
-	if !edb.Index.Caps().DynamicDelete {
-		return fmt.Errorf("core: %s backend does not support deletes (%w)", edb.Backend, index.ErrNotSupported)
+	tombs := make(map[int]struct{}, len(cur.tombs)+1)
+	for t := range cur.tombs {
+		tombs[t] = struct{}{}
 	}
-	idx := edb.Index.Clone()
-	if err := idx.Delete(pos); err != nil {
-		return fmt.Errorf("core: index delete: %w", err)
+	tombs[pos] = struct{}{}
+	mainDead := cur.mainDead
+	if pos < cur.frozen {
+		mainDead++
 	}
-	store := edb.DCE.Snapshot()
-	store.Tombstone(pos)
-	ameCts := edb.AME
-	if ameCts != nil {
-		ameCts = append([]*ame.Ciphertext(nil), edb.AME...)
-		ameCts[pos] = nil
+	s.snap.Store(&snapshot{
+		edb:      edb,
+		frozen:   cur.frozen,
+		deltaSAP: cur.deltaSAP,
+		tombs:    tombs,
+		mainDead: mainDead,
+		epoch:    cur.epoch + 1,
+		gen:      cur.gen,
+	})
+	s.wmu.Unlock()
+	s.maybeCompact()
+	return nil
+}
+
+// CompactionStats is a point-in-time view of the write path's two-tier
+// state and compaction history.
+type CompactionStats struct {
+	// Epoch is the snapshot's mutation count (see Server.Epoch).
+	Epoch uint64
+	// Generation counts compactions folded into the snapshot.
+	Generation uint64
+	// Len and Live are the record counts (total / excluding tombstones).
+	Len, Live int
+	// Frozen is the main-tier size (ids covered by the frozen index);
+	// Delta is the delta-tier record count (Len-Frozen); Tombstones is
+	// the pending tombstone count awaiting compaction.
+	Frozen, Delta, Tombstones int
+	// Compacting reports whether a background compaction is running.
+	Compacting bool
+	// LastPause is the writer-blocking swap window of the most recent
+	// compaction — the only part of a compaction that holds the writer
+	// mutex. MaxPause is the largest such window since construction.
+	// LastDuration is the most recent compaction's full wall time,
+	// rebuild included.
+	LastPause, MaxPause, LastDuration time.Duration
+	// LastError is the most recent compaction failure, or "" — a failed
+	// compaction publishes nothing, so the snapshot stays consistent.
+	LastError string
+}
+
+// CompactionStats reports the current two-tier state and compaction
+// history.
+func (s *Server) CompactionStats() CompactionStats {
+	sp := s.snap.Load()
+	cs := CompactionStats{
+		Epoch:      sp.epoch,
+		Generation: sp.gen,
+		Len:        sp.edb.DCE.Len(),
+		Live:       sp.live(),
+		Frozen:     sp.frozen,
+		Delta:      len(sp.deltaSAP),
+		Tombstones: len(sp.tombs),
+		Compacting: s.compacting.Load(),
+	}
+	s.statMu.Lock()
+	cs.LastPause = s.lastPause
+	cs.MaxPause = s.maxPause
+	cs.LastDuration = s.lastDuration
+	if s.lastCompErr != nil {
+		cs.LastError = s.lastCompErr.Error()
+	}
+	s.statMu.Unlock()
+	return cs
+}
+
+// deltaBytes estimates the delta tier's footprint: the padded ciphertext
+// records plus the SAP vectors.
+func (s *Server) deltaBytes(sp *snapshot) int {
+	return len(sp.deltaSAP) * 8 * (sp.edb.DCE.Stride() + sp.edb.Dim)
+}
+
+// overThreshold reports whether the snapshot's pending write state has
+// outgrown the configured compaction triggers.
+func (s *Server) overThreshold(sp *snapshot) bool {
+	if s.compactAt < 0 {
+		return false
+	}
+	if len(sp.deltaSAP) >= s.compactAt || len(sp.tombs) >= s.compactAt {
+		return true
+	}
+	return s.compactAtBytes > 0 && s.deltaBytes(sp) >= s.compactAtBytes
+}
+
+// maybeCompact starts the background compactor if the pending write state
+// has outgrown the triggers and no compaction is already running. Called
+// after every mutation, outside the writer mutex.
+func (s *Server) maybeCompact() {
+	if !s.overThreshold(s.snap.Load()) {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		s.cmu.Lock()
+		defer s.cmu.Unlock()
+		defer s.compacting.Store(false)
+		// Loop: mutations that arrived during a fold may already exceed
+		// the trigger again. A failed compaction stops the loop (the
+		// error is recorded in CompactionStats); the next mutation
+		// re-triggers.
+		for s.overThreshold(s.snap.Load()) {
+			if err := s.compactOnce(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Compact synchronously folds the delta tier and pending tombstones into
+// a rebuilt main index (see compactOnce). Manual control for operators;
+// the background trigger calls the same fold. A no-op on a clean snapshot.
+func (s *Server) Compact() error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.compactOnce()
+}
+
+// compactOnce performs one fold. Caller holds cmu (never wmu).
+//
+// The expensive work — gathering vectors, rebuilding the index, repacking
+// the ciphertext arena — runs against a fixed base snapshot with no locks
+// held, so searches and mutations proceed throughout. Mutations that
+// landed after the base snapshot are grafted onto the rebuilt state in
+// two phases: the bulk of the tail is copied lock-free, then the swap
+// takes the writer mutex to graft whatever landed during the copy
+// (appended records re-enter the new delta tier; new tombstones stay
+// pending) and publishes the result atomically. In-flight readers keep
+// their old snapshots.
+//
+// The epoch is preserved: compaction is not a mutation (see Epoch). The
+// generation counter advances instead.
+func (s *Server) compactOnce() error {
+	err := s.compactFold()
+	s.statMu.Lock()
+	s.lastCompErr = err
+	s.statMu.Unlock()
+	return err
+}
+
+func (s *Server) compactFold() error {
+	start := time.Now()
+	base := s.snap.Load()
+	if base.clean() {
+		return nil
+	}
+	edb := base.edb
+	n := edb.DCE.Len()
+
+	// Gather every position's SAP vector: main tier from the frozen
+	// index (which retains tombstone rows), delta tier from the snapshot.
+	vecs := make([][]float64, n)
+	for g := 0; g < base.frozen; g++ {
+		v, ok := edb.Index.Vector(g)
+		if !ok {
+			return fmt.Errorf("core: compaction: index has no vector for id %d", g)
+		}
+		vecs[g] = v
+	}
+	for i, v := range base.deltaSAP {
+		vecs[base.frozen+i] = v
+	}
+
+	// Rebuild the filter index over both tiers. Dead ids keep their
+	// (re-deleted) slots so the id space never shifts — shard striping
+	// and user-visible ids depend on stable positions.
+	idx, err := edb.Index.Rebuild(vecs)
+	if err != nil {
+		return fmt.Errorf("core: compaction rebuild: %w", err)
+	}
+	if idx.Len() != n {
+		return fmt.Errorf("core: compaction rebuild produced %d ids, want %d", idx.Len(), n)
+	}
+	dead := func(id int) bool { return !edb.DCE.Has(id) || base.tombed(id) }
+	for g := 0; g < n; g++ {
+		if dead(g) {
+			if err := idx.Delete(g); err != nil {
+				return fmt.Errorf("core: compaction: re-deleting id %d: %w", g, err)
+			}
+		}
+	}
+	// Repack the ciphertext arena: tombstoned records' bytes are dropped
+	// (zeroed), and the new arena is private — the old chain keeps
+	// serving in-flight readers.
+	store := edb.DCE.Compacted(dead)
+	if idx.Len() != store.Live() {
+		return fmt.Errorf("core: compaction left index with %d live ids, store with %d", idx.Len(), store.Live())
+	}
+	var ameCts []*ame.Ciphertext
+	if edb.AME != nil {
+		ameCts = make([]*ame.Ciphertext, n)
+		copy(ameCts, edb.AME[:n])
+		for g := range ameCts {
+			if dead(g) {
+				ameCts[g] = nil
+			}
+		}
+	}
+
+	// Pre-graft the bulk of the post-snapshot tail with no locks held.
+	// Records past the base snapshot's length are append-only and
+	// immutable once visible in a published snapshot, so they are safe to
+	// copy here; the locked section below then carries only the handful
+	// of records that land while this loop runs. The reservation pulls
+	// the repacked arena's first regrowth (a full-arena copy — Compacted
+	// allocates it exactly full) out of the writers' critical section.
+	pre := s.snap.Load()
+	preN := pre.edb.DCE.Len()
+	store.Reserve(preN - n + 64)
+	for g := n; g < preN; g++ {
+		store.AppendRecord(pre.edb.DCE.Record(g))
+	}
+
+	// Swap under the writer mutex, grafting everything that happened
+	// after the pre-graft: records appended since become the new delta
+	// tier, tombstones added since stay pending.
+	swapStart := time.Now()
+	s.wmu.Lock()
+	cur := s.snap.Load()
+	curN := cur.edb.DCE.Len()
+	for g := preN; g < curN; g++ {
+		store.AppendRecord(cur.edb.DCE.Record(g))
+	}
+	deltaSAP := append([][]float64(nil), cur.deltaSAP[n-base.frozen:]...)
+	if edb.AME != nil {
+		ameCts = append(ameCts, cur.edb.AME[n:curN]...)
+	}
+	var tombs map[int]struct{}
+	mainDead := 0
+	for t := range cur.tombs {
+		if base.tombed(t) {
+			continue // folded into the rebuilt state
+		}
+		if tombs == nil {
+			tombs = make(map[int]struct{}, len(cur.tombs))
+		}
+		tombs[t] = struct{}{}
+		if t < n {
+			mainDead++
+		}
 	}
 	s.snap.Store(&snapshot{
 		edb: &EncryptedDatabase{
@@ -571,10 +1006,22 @@ func (s *Server) Delete(pos int) error {
 			DCE:     store,
 			AME:     ameCts,
 		},
-		epoch: cur.epoch + 1,
+		frozen:   n,
+		deltaSAP: deltaSAP,
+		tombs:    tombs,
+		mainDead: mainDead,
+		epoch:    cur.epoch, // representation change, not a mutation
+		gen:      cur.gen + 1,
 	})
+	s.wmu.Unlock()
+
+	pause := time.Since(swapStart)
+	s.statMu.Lock()
+	s.lastPause = pause
+	if pause > s.maxPause {
+		s.maxPause = pause
+	}
+	s.lastDuration = time.Since(start)
+	s.statMu.Unlock()
 	return nil
 }
-
-// Deleted reports whether an external id is tombstoned.
-func (s *Server) Deleted(pos int) bool { return !s.Database().DCE.Has(pos) }

@@ -157,65 +157,78 @@ func TestSearchShardMatchesSearch(t *testing.T) {
 	}
 }
 
-// contractBreaker wraps a SecureIndex, returning an out-of-step id from
-// Add — the backend misbehavior the copy-on-write insert must reject
-// without publishing anything. Clone preserves the wrapper so the breaker
-// survives into the writer's private clone, where the violation happens.
+// contractBreaker wraps a SecureIndex, shorting the id space from Rebuild
+// — the backend misbehavior a compaction must reject without publishing
+// anything. Clone preserves the wrapper so the breaker survives snapshot
+// republication.
 type contractBreaker struct {
 	index.SecureIndex
-	addShift int
+	breakRebuild bool
 }
 
-func (b *contractBreaker) Add(v []float64) (int, error) {
-	pos, err := b.SecureIndex.Add(v)
-	return pos + b.addShift, err
+func (b *contractBreaker) Rebuild(vectors [][]float64) (index.SecureIndex, error) {
+	if b.breakRebuild && len(vectors) > 1 {
+		// Drop the last vector: the rebuilt index's id space no longer
+		// matches the ciphertext store.
+		vectors = vectors[:len(vectors)-1]
+	}
+	return b.SecureIndex.Rebuild(vectors)
 }
 
 func (b *contractBreaker) Clone() index.SecureIndex {
-	return &contractBreaker{SecureIndex: b.SecureIndex.Clone(), addShift: b.addShift}
+	return &contractBreaker{SecureIndex: b.SecureIndex.Clone(), breakRebuild: b.breakRebuild}
 }
 
-// TestInsertContractViolationLeavesSnapshotUntouched pins the payoff of
-// copy-on-write mutation: a backend violating the sequential-id contract
-// fails the insert, but the violation happened on a private clone that is
-// simply never published — no rollback, no possible desync, no wedged
-// server. (Under the old in-place mutation scheme this same misbehavior
-// could strand the server in a permanently inconsistent state.)
-func TestInsertContractViolationLeavesSnapshotUntouched(t *testing.T) {
+// TestCompactionContractViolationLeavesSnapshotUntouched pins the payoff
+// of off-path compaction: a backend violating the rebuild id contract
+// fails the compaction, but the violation happened on a private rebuild
+// that is simply never published — no rollback, no possible desync, no
+// wedged server. Searches keep answering from the two-tier snapshot, and
+// once the backend behaves again the same pending delta compacts cleanly.
+func TestCompactionContractViolationLeavesSnapshotUntouched(t *testing.T) {
 	const n, dim = 200, 6
 	data := clustered(34, n, dim, 3)
-	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 34}, data)
-	honest := w.server.Database().Index
-	w.server.Database().Index = &contractBreaker{SecureIndex: honest, addShift: 5}
+	w := newWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 34, CompactAt: -1}, data)
+	breaker := &contractBreaker{SecureIndex: w.server.snap.Load().edb.Index, breakRebuild: true}
+	w.server.snap.Load().edb.Index = breaker
 
 	payload, err := w.owner.EncryptVector(data[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.server.Insert(payload); err == nil || !strings.Contains(err.Error(), "out of step") {
-		t.Fatalf("Insert through a contract-violating backend: err = %v, want out-of-step error", err)
-	}
-	// The published snapshot is byte-identical to before the attempt.
-	if got := w.server.Epoch(); got != 0 {
-		t.Fatalf("failed insert published epoch %d, want 0", got)
-	}
-	if got := w.server.Len(); got != n {
-		t.Fatalf("failed insert changed Len to %d, want %d", got, n)
-	}
-	if _, err := w.server.Search(mustToken(t, w, data[0]), 3, SearchOptions{RatioK: 8}); err != nil {
-		t.Fatalf("Search after failed insert: %v", err)
-	}
-	// The server is not wedged: with the backend behaving again, the next
-	// mutation applies and publishes normally.
-	w.server.Database().Index = honest
 	id, err := w.server.Insert(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if id != n {
-		t.Fatalf("recovered insert landed at id %d, want %d", id, n)
+		t.Fatalf("delta insert landed at id %d, want %d", id, n)
+	}
+	if err := w.server.Compact(); err == nil || !strings.Contains(err.Error(), "compaction") {
+		t.Fatalf("Compact through a contract-violating backend: err = %v, want compaction error", err)
+	}
+	// The published snapshot still carries the delta, consistently: the
+	// insert is searchable, the epoch unchanged, nothing desynced.
+	if got := w.server.Epoch(); got != 1 {
+		t.Fatalf("failed compaction changed epoch to %d, want 1", got)
+	}
+	cs := w.server.CompactionStats()
+	if cs.Generation != 0 || cs.Delta != 1 || cs.LastError == "" {
+		t.Fatalf("failed compaction stats = %+v, want generation 0, delta 1, recorded error", cs)
+	}
+	if _, err := w.server.Search(mustToken(t, w, data[0]), 3, SearchOptions{RatioK: 8}); err != nil {
+		t.Fatalf("Search after failed compaction: %v", err)
+	}
+	// The server is not wedged: with the backend behaving again, the same
+	// pending delta folds cleanly.
+	breaker.breakRebuild = false
+	if err := w.server.Compact(); err != nil {
+		t.Fatalf("Compact after un-breaking the backend: %v", err)
+	}
+	cs = w.server.CompactionStats()
+	if cs.Generation != 1 || cs.Delta != 0 || cs.Frozen != n+1 || cs.LastError != "" {
+		t.Fatalf("recovered compaction stats = %+v, want generation 1, delta 0, frozen %d", cs, n+1)
 	}
 	if got := w.server.Epoch(); got != 1 {
-		t.Fatalf("recovered insert published epoch %d, want 1", got)
+		t.Fatalf("compaction changed epoch to %d, want 1 (epoch counts mutations, not folds)", got)
 	}
 }

@@ -232,6 +232,87 @@ func (s *CiphertextStore) Snapshot() *CiphertextStore {
 	}
 }
 
+// Extend appends ct and returns a new store header covering the extended
+// arena, leaving the receiver's view unchanged: the O(1) append for core's
+// delta tier, where the receiver is a published snapshot. The arena AND the
+// liveness mask backings are shared — the new record is written past the
+// receiver's length, which is safe only under the single-writer append
+// discipline (all Extends on one chain are serialized, published stores are
+// never re-extended from two snapshots, and deletes on the chain never
+// touch store flags). The new record's id is the receiver's Len().
+func (s *CiphertextStore) Extend(ct *Ciphertext) *CiphertextStore {
+	ns := &CiphertextStore{
+		ctDim:   s.ctDim,
+		strideF: s.strideF,
+		arena:   s.arena,
+		live:    s.live,
+		liveN:   s.liveN,
+	}
+	ns.Append(ct)
+	return ns
+}
+
+// AppendRecord appends a full logical record (4·CtDim floats, as Record
+// returns) in place and returns its id. The compaction graft uses it to
+// carry records written after a rebuild's base snapshot into the rebuilt
+// (private) store without round-tripping through Ciphertext views.
+func (s *CiphertextStore) AppendRecord(rec []float64) int {
+	if len(rec) != 4*s.ctDim {
+		panic(fmt.Sprintf("dce: appending record of %d floats to store of dim %d (want %d)",
+			len(rec), s.ctDim, 4*s.ctDim))
+	}
+	s.grow(1)
+	base := len(s.arena)
+	s.arena = s.arena[:base+s.strideF]
+	dst := s.arena[base:]
+	copy(dst, rec)
+	for i := len(rec); i < s.strideF; i++ {
+		dst[i] = 0
+	}
+	s.live = append(s.live, true)
+	s.liveN++
+	return len(s.live) - 1
+}
+
+// Reserve pre-allocates capacity for records more appends, so they cannot
+// trigger a reallocation. Compaction calls it before grafting under the
+// writer mutex: the repacked arena is allocated exactly full, and without
+// the reservation the first graft would double it — a full-arena copy —
+// inside the writers' critical section.
+func (s *CiphertextStore) Reserve(records int) {
+	s.grow(records)
+	if need := len(s.live) + records; need > cap(s.live) {
+		nl := make([]bool, len(s.live), need)
+		copy(nl, s.live)
+		s.live = nl
+	}
+}
+
+// Compacted returns a store with a private arena holding the receiver's
+// records, with every id for which dead(id) reports true (or that is
+// already tombstoned) zeroed and marked dead — the ciphertext bytes are
+// actually dropped, unlike Tombstone. Ids are preserved, not renumbered:
+// dead records keep their (zeroed) slots so the id space stays aligned
+// with the filter index and the shard striping.
+func (s *CiphertextStore) Compacted(dead func(id int) bool) *CiphertextStore {
+	n := s.Len()
+	ns := &CiphertextStore{
+		ctDim:   s.ctDim,
+		strideF: s.strideF,
+		arena:   vec.AlignedFloats(s.strideF * n),
+		live:    make([]bool, n),
+	}
+	for id := 0; id < n; id++ {
+		if !s.live[id] || (dead != nil && dead(id)) {
+			continue
+		}
+		copy(ns.arena[id*ns.strideF:], s.Record(id))
+		ns.live[id] = true
+		ns.liveN++
+	}
+	return ns
+}
+
 // Tombstone marks id dead without touching its record: the snapshot-safe
 // delete for stores whose arena is shared with older snapshots (zeroing, as
 // Delete does, would tear concurrent reads on them). The ciphertext

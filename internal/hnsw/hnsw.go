@@ -142,6 +142,10 @@ func (g *Graph) Len() int {
 // Dim returns the vector dimension.
 func (g *Graph) Dim() int { return g.cfg.Dim }
 
+// Config returns the build configuration (with defaults applied), so
+// callers can construct a fresh graph with the same parameters.
+func (g *Graph) Config() Config { return g.cfg }
+
 // Vector returns the stored vector for id (also valid for deleted ids,
 // whose rows remain as tombstones).
 func (g *Graph) Vector(id int) []float64 {

@@ -137,6 +137,19 @@ func (ix *hnswIndex) Clone() SecureIndex {
 	}
 }
 
+// Rebuild reconstructs a fresh graph over vectors with the receiver's
+// build parameters, through the same parallel build path as the registry
+// Build (so the blocked distance kernels stay engaged).
+func (ix *hnswIndex) Rebuild(vectors [][]float64) (SecureIndex, error) {
+	cfg := ix.g.Config()
+	return buildHNSW(vectors, Options{
+		Dim:            cfg.Dim,
+		Seed:           cfg.Seed,
+		M:              cfg.M,
+		EfConstruction: cfg.EfConstruction,
+	})
+}
+
 func (ix *hnswIndex) Caps() Caps {
 	return Caps{Name: "hnsw", DynamicInsert: true, DynamicDelete: true}
 }

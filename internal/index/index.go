@@ -82,6 +82,14 @@ type SecureIndex interface {
 	// pure copying — no distance computations, no rebuild. Immutable state
 	// (trained quantizers, hash projections) may be shared.
 	Clone() SecureIndex
+	// Rebuild constructs a fresh index of the same backend over vectors,
+	// using the receiver's build configuration (graph parameters, trained
+	// quantizers, hash projections, seed). Ids are assigned 0..len-1 in
+	// vectors order, all live; the receiver is not modified. This is the
+	// compaction primitive: it restores full structure quality (graph
+	// connectivity, list balance) that incremental mutation erodes, and it
+	// works on every backend — including batch-built ones that reject Add.
+	Rebuild(vectors [][]float64) (SecureIndex, error)
 	// Vector returns the stored (SAP-ciphertext) vector of an id, valid
 	// for tombstoned ids too — backends retain tombstone rows, and
 	// partition rebuilds (core.EncryptedDatabase.Split) need every

@@ -71,6 +71,20 @@ func (a *ivfIndex) Vector(id int) ([]float64, bool) {
 
 func (a *ivfIndex) Clone() SecureIndex { return &ivfIndex{ix: a.ix.Clone(), nprobe: a.nprobe} }
 
+// Rebuild repopulates a fresh index sharing the receiver's trained
+// quantizer: assignments are recomputed per vector, but k-means training —
+// the expensive part of a cold build — is not repeated. List balance is
+// restored because tombstoned members are simply absent.
+func (a *ivfIndex) Rebuild(vectors [][]float64) (SecureIndex, error) {
+	fresh := a.ix.Fresh(len(vectors))
+	for i, v := range vectors {
+		if id := fresh.Add(v); id != i {
+			return nil, fmt.Errorf("index: ivf rebuild assigned id %d to vector %d", id, i)
+		}
+	}
+	return &ivfIndex{ix: fresh, nprobe: a.nprobe}, nil
+}
+
 func (a *ivfIndex) Caps() Caps {
 	return Caps{Name: "ivf", DynamicInsert: true, DynamicDelete: true}
 }

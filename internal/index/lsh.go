@@ -235,6 +235,31 @@ func (a *lshIndex) Clone() SecureIndex {
 	}
 }
 
+// Rebuild constructs a fresh table set over vectors with the receiver's
+// configuration. The calibrated quantization width W is retained rather
+// than re-estimated, so the rebuilt tables hash exactly like the original's.
+func (a *lshIndex) Rebuild(vectors [][]float64) (SecureIndex, error) {
+	ix, err := lsh.New(a.cfg)
+	if err != nil {
+		return nil, err
+	}
+	nb := &lshIndex{
+		cfg:     a.cfg,
+		probes:  a.probes,
+		noFlat:  a.noFlat,
+		ix:      ix,
+		data:    vec.NewDataset(a.cfg.Dim, len(vectors)),
+		deleted: make([]bool, 0, len(vectors)),
+	}
+	for _, v := range vectors {
+		id := nb.data.Append(v)
+		nb.deleted = append(nb.deleted, false)
+		ix.Insert(id, v)
+	}
+	nb.live = len(vectors)
+	return nb, nil
+}
+
 func (a *lshIndex) Caps() Caps {
 	return Caps{Name: "lsh", DynamicInsert: true, DynamicDelete: true}
 }

@@ -58,6 +58,21 @@ func (a *nsgIndex) Vector(id int) ([]float64, bool) {
 
 func (a *nsgIndex) Clone() SecureIndex { return &nsgIndex{g: a.g.Clone()} }
 
+// Rebuild batch-builds a fresh NSG over vectors with the receiver's
+// configuration. This is how NSG — which rejects Add — supports the
+// serving tier's delta/compaction write path: inserts accumulate in the
+// delta tier and land here wholesale.
+func (a *nsgIndex) Rebuild(vectors [][]float64) (SecureIndex, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("index: nsg requires a non-empty vector set")
+	}
+	g, err := nsg.Build(vectors, a.g.Config())
+	if err != nil {
+		return nil, err
+	}
+	return &nsgIndex{g: g}, nil
+}
+
 func (a *nsgIndex) Caps() Caps {
 	return Caps{Name: "nsg", DynamicInsert: false, DynamicDelete: true}
 }

@@ -190,6 +190,23 @@ func (ix *Index) Clone() *Index {
 	return cp
 }
 
+// Fresh returns an empty index sharing the receiver's trained quantizer:
+// the rebuild primitive for compaction, which re-populates from scratch
+// (via Rebuild in the adapter layer) without paying for k-means training
+// again. The centroids are immutable, so sharing them is safe.
+func (ix *Index) Fresh(capHint int) *Index {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Index{
+		dim:       ix.dim,
+		centroids: ix.centroids,
+		lists:     make([][]int32, len(ix.lists)),
+		data:      vec.NewDataset(ix.dim, capHint),
+		deleted:   make([]bool, 0, capHint),
+	}
+}
+
 // Add inserts a vector and returns its id.
 func (ix *Index) Add(v []float64) int {
 	if len(v) != ix.dim {

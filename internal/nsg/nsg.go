@@ -376,6 +376,11 @@ func (g *Graph) Len() int {
 // Dim returns the vector dimension.
 func (g *Graph) Dim() int { return g.dim }
 
+// Config returns the build configuration (with defaults applied), so
+// callers can rebuild a graph over a new vector set with the same
+// parameters.
+func (g *Graph) Config() Config { return g.cfg }
+
 // Vector returns the stored vector for id (also valid for deleted ids,
 // whose rows remain as tombstones), or nil for out-of-range ids.
 func (g *Graph) Vector(id int) []float64 {

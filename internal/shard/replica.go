@@ -60,6 +60,12 @@ func newReplicaSet(replicas []Shard, opts BreakerOptions, floor uint64) *Replica
 // replica had errored.
 func (rs *ReplicaSet) searchOne(r int, cancel <-chan struct{}, tok *core.QueryToken, k int, opt core.SearchOptions) (core.ShardResult, error) {
 	sh := rs.replicas[r]
+	// The floor is captured before the read is issued: only writes that
+	// completed before the read started bound it. A write that lands while
+	// the read is in flight is ordered after it and need not be visible —
+	// checking against the post-read floor would brand an up-to-date
+	// replica stale whenever a write races a read.
+	fl := rs.floor.Load()
 	var res core.ShardResult
 	var err error
 	if sc, ok := sh.(searchCanceller); ok && cancel != nil {
@@ -67,10 +73,8 @@ func (rs *ReplicaSet) searchOne(r int, cancel <-chan struct{}, tok *core.QueryTo
 	} else {
 		res, err = sh.SearchShard(tok, k, opt)
 	}
-	if err == nil {
-		if fl := rs.floor.Load(); res.Epoch < fl {
-			err = fmt.Errorf("%w: answered at epoch %d, floor %d", ErrStaleReplica, res.Epoch, fl)
-		}
+	if err == nil && res.Epoch < fl {
+		err = fmt.Errorf("%w: answered at epoch %d, floor %d", ErrStaleReplica, res.Epoch, fl)
 	}
 	return res, err
 }
@@ -199,9 +203,9 @@ func (rs *ReplicaSet) searchBatch(toks []*core.QueryToken, k int, opt core.Searc
 	start := int(rs.rr.Add(1)) % n
 	var errs []error
 	attempt := func(r int) ([]core.ShardResult, []error, error) {
+		fl := rs.floor.Load() // pre-read floor, as in searchOne
 		results, qerrs, err := rs.replicas[r].SearchShardBatch(toks, k, opt)
 		if err == nil {
-			fl := rs.floor.Load()
 			for i := range results {
 				if (qerrs == nil || qerrs[i] == nil) && results[i].Epoch < fl {
 					err = fmt.Errorf("%w: query %d answered at epoch %d, floor %d", ErrStaleReplica, i, results[i].Epoch, fl)

@@ -103,17 +103,19 @@ func (l Local) Delete(local int) error { return l.Srv.Delete(local) }
 // Info reports the wrapped server's backend, capabilities and shape, all
 // read from one snapshot so the counts are never torn across a mutation.
 func (l Local) Info() (transport.Info, error) {
-	db := l.Srv.Database()
-	caps := db.Index.Caps()
+	cs := l.Srv.CompactionStats()
+	caps := l.Srv.Caps()
 	return transport.Info{
-		Backend:       db.Backend,
+		Backend:       caps.Name,
 		DynamicInsert: caps.DynamicInsert,
 		DynamicDelete: caps.DynamicDelete,
-		N:             db.Len(),
-		Live:          db.Live(),
-		Dim:           db.Dim,
+		N:             cs.Len,
+		Live:          cs.Live,
+		Dim:           l.Srv.Dim(),
 		Proto:         transport.ProtoVersion,
-		Epoch:         l.Srv.Epoch(),
+		Epoch:         cs.Epoch,
+		Delta:         cs.Delta,
+		Tombstones:    cs.Tombstones,
 	}, nil
 }
 

@@ -124,8 +124,9 @@ func (wi *wireInsert) payload() *core.InsertPayload {
 // ProtoVersion is the generation this package speaks; servers stamp it on
 // info/len responses so clients can tell a zero-valued field from one a
 // legacy peer simply never sent. In-process Info builders (shard.Local)
-// stamp it too, since they are by definition current.
-const ProtoVersion = 2
+// stamp it too, since they are by definition current. v3 adds the
+// two-tier write-path accounting (Delta, Tombstones).
+const ProtoVersion = 3
 
 // Info describes the server a client is connected to: which filter-index
 // backend it runs, what update operations that backend supports (so
@@ -133,7 +134,8 @@ const ProtoVersion = 2
 // remotely), and its record counts — N includes tombstones, Live does not.
 // Proto is the server's protocol generation: 0 means a pre-v2 server,
 // whose responses carry no Live count (Live then gob-decodes as 0 and
-// must not be read as "everything tombstoned").
+// must not be read as "everything tombstoned"); below 3, the Delta and
+// Tombstones counts are likewise absent, not zero.
 type Info struct {
 	Backend       string
 	DynamicInsert bool
@@ -146,6 +148,11 @@ type Info struct {
 	// call. Replica sets seed their read-your-writes floor from it (a
 	// pre-epoch server reports 0, which is also a valid floor).
 	Epoch uint64
+	// Delta is the server's delta-tier record count and Tombstones its
+	// pending (uncompacted) tombstone count — the write-path bloat an
+	// operator watches to judge compaction health (Proto ≥ 3).
+	Delta      int
+	Tombstones int
 }
 
 // request is the wire envelope for client→server calls.
@@ -384,24 +391,28 @@ func handle(srv *core.Server, req *request) *response {
 			resp.Err = err.Error()
 		}
 	case "len":
-		// One snapshot load for the whole pair, so N and Live can never
-		// be torn across a concurrent mutation.
-		db := srv.Database()
-		resp.N = db.Len()
-		resp.Live = db.Live()
+		// CompactionStats reads one snapshot for all its counts, so N and
+		// Live can never be torn across a concurrent mutation. (Database()
+		// would flush the delta tier — an observability call must not
+		// trigger a compaction.)
+		cs := srv.CompactionStats()
+		resp.N = cs.Len
+		resp.Live = cs.Live
 		resp.Proto = ProtoVersion
 	case "info":
-		db := srv.Database()
-		caps := db.Index.Caps()
+		cs := srv.CompactionStats()
+		caps := srv.Caps()
 		resp.Info = &Info{
-			Backend:       db.Backend,
+			Backend:       caps.Name,
 			DynamicInsert: caps.DynamicInsert,
 			DynamicDelete: caps.DynamicDelete,
-			N:             db.Len(),
-			Live:          db.Live(),
-			Dim:           db.Dim,
+			N:             cs.Len,
+			Live:          cs.Live,
+			Dim:           srv.Dim(),
 			Proto:         ProtoVersion,
-			Epoch:         srv.Epoch(),
+			Epoch:         cs.Epoch,
+			Delta:         cs.Delta,
+			Tombstones:    cs.Tombstones,
 		}
 	default:
 		resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)

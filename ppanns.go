@@ -111,3 +111,17 @@ func NewUser(k *UserKey) (*User, error) { return core.NewUser(k) }
 
 // NewServer wraps an encrypted database received from a data owner.
 func NewServer(edb *EncryptedDatabase) (*Server, error) { return core.NewServer(edb) }
+
+// ServerOptions tunes the serving tier's write path (delta-tier compaction
+// triggers). See Params.CompactAt for the deployment-level knob.
+type ServerOptions = core.ServerOptions
+
+// NewServerWith is NewServer with explicit write-path options.
+func NewServerWith(edb *EncryptedDatabase, o ServerOptions) (*Server, error) {
+	return core.NewServerWith(edb, o)
+}
+
+// CompactionStats reports the serving tier's two-tier write-path state
+// (delta size, pending tombstones, compaction history), as returned by
+// Server.CompactionStats.
+type CompactionStats = core.CompactionStats
