@@ -118,6 +118,7 @@ func runEncrypt(args []string) error {
 	m := fs.Int("m", 16, "HNSW M")
 	efc := fs.Int("efc", 200, "HNSW efConstruction")
 	seed := fs.Uint64("seed", 0, "key seed (0 = crypto random)")
+	pqm := fs.Int("pq", 0, "build the compressed filter tier with this many subquantizers (0 = off)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("encrypt: -in is required")
@@ -143,6 +144,7 @@ func runEncrypt(args []string) error {
 
 	owner, err := ppanns.NewDataOwner(ppanns.Params{
 		Dim: ds.Dim(), Beta: b, Index: *backend, M: *m, EfConstruction: *efc, Seed: *seed,
+		PQ: *pqm > 0, PQM: *pqm,
 	})
 	if err != nil {
 		return err
@@ -326,6 +328,19 @@ func runInfo(args []string) error {
 		fmt.Printf("delta:      %d\n", info.Delta)
 		fmt.Printf("pending:    %d tombstones awaiting compaction\n", info.Tombstones)
 	}
+	if m := info.Memory; info.Proto >= 4 && m != nil {
+		// v4 servers report the per-tier memory footprint, so an operator
+		// can see what each stored point costs and how much of it the
+		// compressed filter tier shaves off.
+		fmt.Printf("memory:     %.0f B/point SAP + %.0f B/point DCE\n", m.SAP, m.DCE)
+		if m.PQCodes > 0 {
+			fmt.Printf("pq tier:    %.1f B/point codes + %.2f B/point codebook (%.0f× under SAP)\n",
+				m.PQCodes, m.PQBook, m.SAP/(m.PQCodes+m.PQBook))
+		} else {
+			fmt.Printf("pq tier:    none\n")
+		}
+		fmt.Printf("delta heap: %d B un-compacted\n", m.DeltaBytes)
+	}
 	return nil
 }
 
@@ -340,9 +355,19 @@ func runQuery(args []string) error {
 	limit := fs.Int("limit", 10, "max queries to run (0 = all)")
 	hedge := fs.Duration("hedge", 0, "with -addrs: hedge reads to a sibling replica after this budget (0 = off)")
 	partial := fs.Bool("partial", false, "with -addrs: return best-effort results when a whole stripe is down")
+	filter := fs.String("filter", "exact", "filter distance provider: exact | pq (pq needs a db built with encrypt -pq)")
 	fs.Parse(args)
 	if *queriesIn == "" {
 		return fmt.Errorf("query: -queries is required")
+	}
+	var fd core.FilterDistMode
+	switch *filter {
+	case "exact":
+		fd = core.FilterExact
+	case "pq":
+		fd = core.FilterPQ
+	default:
+		return fmt.Errorf("query: unknown -filter %q (want exact or pq)", *filter)
 	}
 
 	f, err := os.Open(*keyIn)
@@ -364,7 +389,7 @@ func runQuery(args []string) error {
 	}
 
 	if *addrs != "" {
-		return queryReplicated(user, qs, *addrs, *k, *ratio, *hedge, *partial)
+		return queryReplicated(user, qs, *addrs, *k, *ratio, fd, *hedge, *partial)
 	}
 
 	client, err := transport.Dial(*addr)
@@ -382,7 +407,7 @@ func runQuery(args []string) error {
 		if err != nil {
 			return err
 		}
-		ids, err := client.Search(tok, *k, core.SearchOptions{RatioK: *ratio})
+		ids, err := client.Search(tok, *k, core.SearchOptions{RatioK: *ratio, FilterDist: fd})
 		if err != nil {
 			return err
 		}
@@ -394,7 +419,7 @@ func runQuery(args []string) error {
 // queryReplicated runs the query workload against a replicated shard
 // topology: each stripe's replicas fan out with breaker-guarded failover,
 // optional hedging, and optional best-effort partial results.
-func queryReplicated(user *ppanns.User, qs *vec.Dataset, addrs string, k, ratio int, hedge time.Duration, partial bool) error {
+func queryReplicated(user *ppanns.User, qs *vec.Dataset, addrs string, k, ratio int, fd core.FilterDistMode, hedge time.Duration, partial bool) error {
 	var sets [][]shard.Shard
 	var closers []*shard.Remote
 	defer func() {
@@ -429,7 +454,7 @@ func queryReplicated(user *ppanns.User, qs *vec.Dataset, addrs string, k, ratio 
 		if err != nil {
 			return err
 		}
-		ids, err := coord.Search(tok, k, core.SearchOptions{RatioK: ratio})
+		ids, err := coord.Search(tok, k, core.SearchOptions{RatioK: ratio, FilterDist: fd})
 		var pe *shard.PartialError
 		switch {
 		case errors.As(err, &pe):

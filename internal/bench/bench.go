@@ -95,6 +95,8 @@ func Registry() []Experiment {
 		{"maintain", "Sec. V-D: index maintenance under churn", Maintain},
 		{"indexes", "Sec. V-A ablation: HNSW vs NSG vs IVF vs flat scan as filter backend", Indexes},
 		{"perf", "Search hot-path profile: qps, latency, cost split, allocs (BENCH_search.json)", SearchPerf},
+		{"tune", "PQ tier tuner: cheapest (M, k′) meeting the recall target", Tune},
+		{"scale", "Million-vector compressed filter tier: (M, k′) curve, bytes/point (BENCH_search.json scale section)", Scale},
 	}
 }
 

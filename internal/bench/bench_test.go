@@ -17,7 +17,7 @@ func tinyCfg(buf *bytes.Buffer) Config {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
+	if len(reg) != 15 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	for _, e := range reg {

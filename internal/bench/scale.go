@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+	"ppanns/internal/pq"
+	"ppanns/internal/vec"
+)
+
+// ScaleReport is the committed million-vector profile of the compressed
+// filter tier ("scale" experiment): the per-tier memory footprint, the
+// FilterExact reference point, and the recall/latency curve over (M, k′)
+// under FilterPQ, with the calibrated operating point called out. It lives
+// as the "scale" section of BENCH_search.json, merged into whatever profile
+// the "perf" experiment last wrote.
+type ScaleReport struct {
+	Generated string `json:"generated"`
+	Dataset   string `json:"dataset"`
+	N         int    `json:"n"`
+	Dim       int    `json:"dim"`
+	Queries   int    `json:"queries"`
+	K         int    `json:"k"`
+	Backend   string `json:"backend"`
+	// BytesPerPoint is the serving tier's memory footprint split by tier.
+	// SAP is the padded filter-index vector row, DCE the refine-phase
+	// ciphertext record, PQCodes the compressed code row, PQBook the
+	// codebook amortized across points.
+	BytesPerPoint struct {
+		SAP     float64 `json:"sap"`
+		DCE     float64 `json:"dce"`
+		PQCodes float64 `json:"pq_codes"`
+		PQBook  float64 `json:"pq_book"`
+	} `json:"bytes_per_point"`
+	// TrafficReduction is the filter phase's per-candidate memory-traffic
+	// ratio at the calibrated point: the 8·dim-byte SAP row an exact
+	// candidate distance streams vs the M bytes a PQ lookup touches.
+	TrafficReduction float64 `json:"traffic_reduction"`
+	// RecallFloor is the acceptance bar the calibrated point must clear.
+	RecallFloor float64 `json:"recall_floor"`
+	// Exact is the FilterExact reference at the calibrated k′; Points the
+	// FilterPQ sweep; Calibrated the tuner-chosen operating point.
+	Exact      ScalePoint   `json:"exact"`
+	Points     []ScalePoint `json:"points"`
+	Calibrated ScalePoint   `json:"calibrated"`
+}
+
+// ScalePoint is one operating point of the scale profile. M is 0 on the
+// FilterExact reference row.
+type ScalePoint struct {
+	M            int     `json:"m,omitempty"`
+	KPrime       int     `json:"k_prime"`
+	Recall       float64 `json:"recall"`
+	QPS          float64 `json:"qps"`
+	P50Micros    float64 `json:"p50_us"`
+	FilterMicros float64 `json:"filter_us"`
+}
+
+// scaleRecallFloor is the acceptance bar: the calibrated (M, k′) point must
+// hold Recall@k at or above it, or the experiment fails.
+const scaleRecallFloor = 0.95
+
+// scaleBeta matches the perf profile's DCPE operating point.
+const scaleBeta = 0.3
+
+// Scale ("scale") profiles the compressed filter tier at large n: one
+// deployment (IVF backend — the graph builds don't fit a bench budget at
+// 10⁶ on one core), a (M, k′) recall/latency sweep under FilterPQ against
+// the FilterExact reference, and the per-tier bytes/point breakdown. The
+// committed run uses -n 1000000; CI smokes the same path at -n 100000.
+// Results merge into the "scale" section of the -json profile.
+func Scale(cfg Config) error {
+	cfg = cfg.withDefaults()
+	datas, err := cfg.datasets("deep")
+	if err != nil {
+		return err
+	}
+	data := datas[0]
+	k := cfg.K
+
+	// Calibrate (M, k′) on a bounded proxy before the expensive build; the
+	// full deployment then validates the chosen point at scale.
+	tuned, err := CalibratePQ(data, k, scaleRecallFloor, scaleBeta, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	cfg.printf("%-22s M=%d k′=%d (proxy recall %.3f, target %.2f)\n",
+		"calibrated", tuned.M, tuned.KPrime, tuned.Recall, scaleRecallFloor)
+
+	dep, err := newDeployment(data, core.Params{
+		Dim: data.Dim, Beta: scaleBeta, Seed: cfg.Seed,
+		Index: "ivf", PQ: true, PQM: tuned.M,
+	})
+	if err != nil {
+		return err
+	}
+	gt := data.GroundTruth(k)
+
+	var rep ScaleReport
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Dataset = data.Name
+	rep.N = len(data.Train)
+	rep.Dim = data.Dim
+	rep.Queries = len(dep.tokens)
+	rep.K = k
+	rep.Backend = dep.server.Backend()
+	rep.RecallFloor = scaleRecallFloor
+
+	n := float64(len(data.Train))
+	rep.BytesPerPoint.SAP = float64(8 * vec.PadStride(data.Dim))
+	rep.BytesPerPoint.DCE = float64(8 * dep.edb.DCE.Stride())
+	type tierSize struct{ codes, book float64 }
+	sizeByM := map[int]tierSize{}
+	// The (M, k′) sweep. The codebook retrains per M over the stored SAP
+	// ciphertexts (BuildPQ — the server-side on-demand path), the snapshot
+	// is republished, and every k′ rides the same codes.
+	//
+	// The committed operating point is selected from this measured grid —
+	// the fastest point holding the recall floor at full scale — because
+	// the proxy tuner's bounded-n recall is optimistic at large n (a fixed
+	// k′ covers a shrinking fraction of an ever-more-confusable corpus);
+	// the proxy seeds the build, the deployment decides.
+	ms := []int{8, 16, 32}
+	kPrimes := []int{4 * k, 8 * k, 16 * k, 32 * k}
+	for _, m := range ms {
+		if m > data.Dim {
+			continue
+		}
+		if err := dep.edb.BuildPQ(pq.TrainConfig{M: m, Seed: cfg.Seed ^ 0x4bd}); err != nil {
+			return err
+		}
+		sizeByM[m] = tierSize{
+			codes: float64(dep.edb.PQ.Codes.SizeBytes()) / n,
+			book:  float64(dep.edb.PQ.Book.SizeBytes()) / n,
+		}
+		srv, err := core.NewServer(dep.edb)
+		if err != nil {
+			return err
+		}
+		for _, kp := range kPrimes {
+			opt := core.SearchOptions{
+				KPrime: kp, EfSearch: kp, FilterDist: core.FilterPQ,
+			}
+			pt, err := scalePointOn(srv, dep.tokens, k, opt, gt)
+			if err != nil {
+				return err
+			}
+			pt.M = m
+			rep.Points = append(rep.Points, pt)
+			cfg.printf("%-22s M=%-3d k′=%-4d recall %.3f, %.0f qps, p50 %.0fµs (filter %.0fµs)\n",
+				"pq filter", pt.M, pt.KPrime, pt.Recall, pt.QPS, pt.P50Micros, pt.FilterMicros)
+			if pt.Recall >= scaleRecallFloor &&
+				(rep.Calibrated.KPrime == 0 || pt.QPS > rep.Calibrated.QPS) {
+				rep.Calibrated = pt
+			}
+		}
+	}
+	if rep.Calibrated.KPrime == 0 {
+		return fmt.Errorf("bench: no (M, k′) point held the %.2f recall floor at n=%d", scaleRecallFloor, rep.N)
+	}
+	rep.TrafficReduction = float64(8*data.Dim) / float64(rep.Calibrated.M)
+	rep.BytesPerPoint.PQCodes = sizeByM[rep.Calibrated.M].codes
+	rep.BytesPerPoint.PQBook = sizeByM[rep.Calibrated.M].book
+
+	// The exact reference at the calibrated k′: same backend, same beam,
+	// only the candidate distance provider differs.
+	exactOpt := core.SearchOptions{KPrime: rep.Calibrated.KPrime, EfSearch: rep.Calibrated.KPrime}
+	rep.Exact, err = dep.scalePoint(k, exactOpt, gt)
+	if err != nil {
+		return err
+	}
+	cfg.printf("%-22s k′=%-4d recall %.3f, %.0f qps, p50 %.0fµs (filter %.0fµs)\n",
+		"exact filter", rep.Exact.KPrime, rep.Exact.Recall, rep.Exact.QPS,
+		rep.Exact.P50Micros, rep.Exact.FilterMicros)
+	cfg.printf("%-22s M=%d k′=%d: recall %.3f (floor %.2f), %.0f qps, filter traffic %.0f× reduced\n",
+		"operating point", rep.Calibrated.M, rep.Calibrated.KPrime, rep.Calibrated.Recall,
+		scaleRecallFloor, rep.Calibrated.QPS, rep.TrafficReduction)
+	cfg.printf("%-22s sap %.0f + dce %.0f vs pq %.1f (+%.2f codebook) bytes/point\n",
+		"memory split", rep.BytesPerPoint.SAP, rep.BytesPerPoint.DCE,
+		rep.BytesPerPoint.PQCodes, rep.BytesPerPoint.PQBook)
+
+	if cfg.JSONOut != "" {
+		if err := mergeScaleSection(cfg.JSONOut, &rep); err != nil {
+			return err
+		}
+		cfg.printf("%-22s %s (scale section)\n", "profile written", cfg.JSONOut)
+	}
+	return nil
+}
+
+// scalePoint measures one operating point on the deployment's server.
+func (d *deployment) scalePoint(k int, opt core.SearchOptions, gt [][]int) (ScalePoint, error) {
+	return scalePointOn(d.server, d.tokens, k, opt, gt)
+}
+
+// scalePointOn runs every token once for warm-up/correctness and once
+// timed, GC off, returning the point's recall, throughput and latency.
+func scalePointOn(srv *core.Server, toks []*core.QueryToken, k int, opt core.SearchOptions, gt [][]int) (ScalePoint, error) {
+	got := make([][]int, len(toks))
+	var dst []int
+	for i, tok := range toks {
+		ids, _, err := srv.SearchInto(dst[:0], tok, k, opt)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+		got[i] = append([]int(nil), ids...)
+		dst = ids
+	}
+	lat := make([]time.Duration, len(toks))
+	var filter time.Duration
+	prevGC := debug.SetGCPercent(-1)
+	start := time.Now()
+	for i, tok := range toks {
+		qStart := time.Now()
+		ids, st, err := srv.SearchInto(dst[:0], tok, k, opt)
+		if err != nil {
+			debug.SetGCPercent(prevGC)
+			return ScalePoint{}, err
+		}
+		lat[i] = time.Since(qStart)
+		filter += st.FilterTime
+		dst = ids
+	}
+	elapsed := time.Since(start)
+	debug.SetGCPercent(prevGC)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	nq := len(toks)
+	return ScalePoint{
+		KPrime:       opt.KPrime,
+		Recall:       dataset.MeanRecall(got, gt),
+		QPS:          float64(nq) / elapsed.Seconds(),
+		P50Micros:    float64(lat[nq/2].Nanoseconds()) / 1e3,
+		FilterMicros: float64(filter.Nanoseconds()) / float64(nq) / 1e3,
+	}, nil
+}
+
+// mergeScaleSection writes the scale report into the "scale" section of the
+// profile at path, preserving whatever the "perf" experiment committed there
+// — the two experiments regenerate their own sections independently.
+func mergeScaleSection(path string, sr *ScaleReport) error {
+	var rep SearchPerfReport
+	if blob, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			return fmt.Errorf("bench: parsing existing profile %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("bench: reading profile %s: %w", path, err)
+	}
+	rep.Scale = sr
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Tune ("tune") runs the recall-targeted (M, k′) tuner standalone and
+// prints the chosen operating point per configured dataset.
+func Tune(cfg Config) error {
+	cfg = cfg.withDefaults()
+	datas, err := cfg.datasets("deep")
+	if err != nil {
+		return err
+	}
+	for _, data := range datas {
+		pt, err := CalibratePQ(data, cfg.K, scaleRecallFloor, scaleBeta, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", data.Name, err)
+		}
+		cfg.printf("%-12s M=%-3d k′=%-4d recall %.3f (target %.2f, %.1f bytes/point codes)\n",
+			data.Name, pt.M, pt.KPrime, pt.Recall, scaleRecallFloor, float64(pt.M))
+	}
+	return nil
+}

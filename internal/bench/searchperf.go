@@ -17,6 +17,7 @@ import (
 	"ppanns/internal/dataset"
 	"ppanns/internal/dce"
 	"ppanns/internal/index"
+	"ppanns/internal/pq"
 	"ppanns/internal/rng"
 	"ppanns/internal/shard"
 	"ppanns/internal/vec"
@@ -159,6 +160,10 @@ type SearchPerfReport struct {
 	// pair independently, so an assembly regression in one kernel cannot
 	// hide behind an improvement in another.
 	Kernels []KernelPoint `json:"kernels"`
+	// Scale is the million-vector compressed-filter profile, written by the
+	// "scale" experiment (which merges into this file without touching the
+	// sections above). Nil when the scale run hasn't been committed.
+	Scale *ScaleReport `json:"scale,omitempty"`
 }
 
 // MultiQueryPoint is one group size of the multi-query blocking sweep.
@@ -608,6 +613,15 @@ func SearchPerf(cfg Config) error {
 		"write path", rep.Mixed.DeltaInsertMicros, rep.Mixed.CloneInsertMicros, rep.Mixed.InsertSpeedup)
 
 	if cfg.JSONOut != "" {
+		// The "scale" section belongs to the scale experiment; a perf
+		// rewrite must carry it forward, not drop it (the two experiments
+		// regenerate their own sections independently).
+		if blob, err := os.ReadFile(cfg.JSONOut); err == nil {
+			var old SearchPerfReport
+			if json.Unmarshal(blob, &old) == nil {
+				rep.Scale = old.Scale
+			}
+		}
 		blob, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			return err
@@ -619,7 +633,8 @@ func SearchPerf(cfg Config) error {
 		cfg.printf("%-22s %s\n", "profile written", cfg.JSONOut)
 	}
 	if cfg.Baseline != "" {
-		if err := gateAgainstBaseline(cfg, &rep); err != nil {
+		remeasure := func() ([]KernelPoint, error) { return collectKernelBench(dep) }
+		if err := gateAgainstBaseline(cfg, &rep, remeasure); err != nil {
 			return err
 		}
 	}
@@ -1042,12 +1057,23 @@ func collectKernelBench(dep *deployment) ([]KernelPoint, error) {
 	dst := make([]float64, len(ids))
 	row := ds.At(1)
 
-	var pq dce.PreparedQuery
-	if err := store.PrepareQuery(&pq, tok.Trapdoor.Q); err != nil {
+	var prep dce.PreparedQuery
+	if err := store.PrepareQuery(&prep, tok.Trapdoor.Q); err != nil {
 		return nil, err
 	}
-	pq.SetPivot(0)
+	prep.SetPivot(0)
 	zdst := make([]float64, len(ids))
+
+	// The PQ LUT-scan kernel runs over a store trained on the same corpus
+	// slice, with a query-filled ADT — the filter phase's per-candidate
+	// workload under FilterPQ.
+	pqStore, err := pq.Build(dep.data.Train[:rows], pq.TrainConfig{Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	lut := make([]float64, pqStore.Book.M()*pq.LUTStride)
+	pqStore.Book.FillLUT(lut, q)
+	pqDst := make([]float64, len(ids))
 
 	var sink float64
 	workloads := []struct {
@@ -1056,8 +1082,9 @@ func collectKernelBench(dep *deployment) ([]KernelPoint, error) {
 	}{
 		{"vec.sq_dist", func() { sink += vec.SqDist(q, row) }},
 		{"vec.sq_dist_block", func() { ds.SqDistBlock(dst, q, ids) }},
-		{"dce.dist_comp", func() { sink += pq.CompWithPivot(1) }},
-		{"dce.dist_comp_block", func() { zdst = pq.DistanceCompBlock(zdst[:0], ids) }},
+		{"vec.pq_scan_block", func() { vec.PQScanBlock(pqDst, pqStore.Codes.Raw(), pqStore.Book.M(), lut, ids) }},
+		{"dce.dist_comp", func() { sink += prep.CompWithPivot(1) }},
+		{"dce.dist_comp_block", func() { zdst = prep.DistanceCompBlock(zdst[:0], ids) }},
 	}
 
 	prevVec, prevDCE := vec.ActiveKernel(), dce.ActiveKernel()
@@ -1082,13 +1109,16 @@ func collectKernelBench(dep *deployment) ([]KernelPoint, error) {
 }
 
 // timeKernel measures f's steady-state ns/op: iterations are scaled until
-// a sample spans a few milliseconds, and the best of three samples is
-// taken — the minimum discards scheduler preemptions, which only ever add
-// time.
+// a sample spans a few milliseconds, and the best of five samples is
+// taken — the minimum discards scheduler preemptions and co-tenant noise
+// bursts, which only ever add time. Five samples (rather than three)
+// spread the measurement over a wide enough window that a sustained noise
+// burst rarely covers every sample; the sub-microsecond LUT-scan kernel
+// in particular is bimodal under best-of-three on busy hosts.
 func timeKernel(f func()) float64 {
 	f() // warm caches and any lazy buffers
 	best := math.Inf(1)
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < 5; attempt++ {
 		iters := 64
 		for {
 			start := time.Now()
@@ -1116,8 +1146,13 @@ func timeKernel(f func()) float64 {
 //
 // When the baseline carries a kernels section, every (kernel, variant)
 // pair is gated independently at the same tolerance, so a regression in
-// one kernel's assembly cannot hide inside an aggregate qps number.
-func gateAgainstBaseline(cfg Config, rep *SearchPerfReport) error {
+// one kernel's assembly cannot hide inside an aggregate qps number. A
+// kernel trip is retried: the sub-microsecond kernels are short enough
+// that a multi-second host noise burst can slow every sample of a run,
+// so on failure the kernels are re-measured after a pause and the
+// per-pair minimum gated instead — a real regression is slow in every
+// spaced attempt, a noise burst is not.
+func gateAgainstBaseline(cfg Config, rep *SearchPerfReport, remeasure func() ([]KernelPoint, error)) error {
 	blob, err := os.ReadFile(cfg.Baseline)
 	if err != nil {
 		return fmt.Errorf("bench: reading baseline %s: %w", cfg.Baseline, err)
@@ -1171,26 +1206,76 @@ func gateAgainstBaseline(cfg Config, rep *SearchPerfReport) error {
 		}
 	}
 	if len(base.Kernels) > 0 {
-		fresh := make(map[string]float64, len(rep.Kernels))
-		for _, kp := range rep.Kernels {
-			fresh[kp.Kernel+"/"+kp.Variant] = kp.NsPerOp
+		kernels := rep.Kernels
+		err := gateKernels(cfg, kernels, base.Kernels, tol)
+		for attempt := 0; err != nil && remeasure != nil && attempt < 2; attempt++ {
+			cfg.printf("%-22s %v — re-measuring after a pause\n", "kernel gate retry", err)
+			time.Sleep(5 * time.Second)
+			pts, rerr := remeasure()
+			if rerr != nil {
+				return rerr
+			}
+			kernels = minMergeKernels(kernels, pts)
+			err = gateKernels(cfg, kernels, base.Kernels, tol)
 		}
-		for _, bk := range base.Kernels {
-			key := bk.Kernel + "/" + bk.Variant
-			got, ok := fresh[key]
-			if !ok || bk.NsPerOp <= 0 {
-				// A variant the current host cannot run (e.g. the baseline
-				// was generated on an AVX2 machine) is skipped, not failed.
-				continue
-			}
-			kratio := got / bk.NsPerOp
-			cfg.printf("%-22s %-30s %.0f ns/op fresh vs %.0f committed (%.2fx)\n",
-				"kernel gate", key, got, bk.NsPerOp, kratio)
-			if kratio > 1+tol {
-				return fmt.Errorf("bench: kernel %s regressed beyond tolerance: fresh %.0f ns/op vs committed %.0f (%.0f%% slower > %.0f%% allowed)",
-					key, got, bk.NsPerOp, (kratio-1)*100, tol*100)
-			}
+		if err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// gateKernels checks every baseline (kernel, variant) pair against the
+// fresh measurements at the shared tolerance.
+func gateKernels(cfg Config, freshPts, basePts []KernelPoint, tol float64) error {
+	fresh := make(map[string]float64, len(freshPts))
+	for _, kp := range freshPts {
+		fresh[kp.Kernel+"/"+kp.Variant] = kp.NsPerOp
+	}
+	for _, bk := range basePts {
+		key := bk.Kernel + "/" + bk.Variant
+		got, ok := fresh[key]
+		if !ok || bk.NsPerOp <= 0 {
+			// A variant the current host cannot run (e.g. the baseline
+			// was generated on an AVX2 machine) is skipped, not failed.
+			continue
+		}
+		kratio := got / bk.NsPerOp
+		cfg.printf("%-22s %-30s %.0f ns/op fresh vs %.0f committed (%.2fx)\n",
+			"kernel gate", key, got, bk.NsPerOp, kratio)
+		if kratio > 1+tol {
+			return fmt.Errorf("bench: kernel %s regressed beyond tolerance: fresh %.0f ns/op vs committed %.0f (%.0f%% slower > %.0f%% allowed)",
+				key, got, bk.NsPerOp, (kratio-1)*100, tol*100)
+		}
+	}
+	return nil
+}
+
+// minMergeKernels keeps, per (kernel, variant), the faster of the two
+// measurement sets — noise only ever adds time, so the minimum across
+// spaced attempts is the better estimate of the kernel's true cost.
+func minMergeKernels(a, b []KernelPoint) []KernelPoint {
+	best := make(map[string]float64, len(a))
+	for _, kp := range a {
+		best[kp.Kernel+"/"+kp.Variant] = kp.NsPerOp
+	}
+	merged := append([]KernelPoint(nil), a...)
+	for _, kp := range b {
+		key := kp.Kernel + "/" + kp.Variant
+		prev, ok := best[key]
+		if !ok {
+			merged = append(merged, kp)
+			best[key] = kp.NsPerOp
+			continue
+		}
+		if kp.NsPerOp < prev {
+			best[key] = kp.NsPerOp
+			for i := range merged {
+				if merged[i].Kernel == kp.Kernel && merged[i].Variant == kp.Variant {
+					merged[i].NsPerOp = kp.NsPerOp
+				}
+			}
+		}
+	}
+	return merged
 }

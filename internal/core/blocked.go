@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ppanns/internal/dce"
+	"ppanns/internal/pq"
 	"ppanns/internal/resultheap"
 )
 
@@ -68,6 +69,7 @@ type blockedQuery struct {
 	sorted   []int
 	heap     resultheap.CompareHeap
 	pq       dce.PreparedQuery
+	pqsc     pq.Scanner
 	cmp      dceComparator
 	tail     int // first candidate position not consumed by heap seeding
 	live     bool
@@ -98,6 +100,7 @@ func putBlockedScratch(gs *blockedScratch) {
 	for i := range gs.qs {
 		q := &gs.qs[i]
 		q.pq.Reset()
+		q.pqsc.Reset()
 		q.cmp = dceComparator{}
 		q.live = false
 		q.err = nil
@@ -218,8 +221,20 @@ func (s *Server) searchGroupBlocked(toks []*QueryToken, k int, opt SearchOptions
 			q.err = fmt.Errorf("core: query token has dim %d, want %d", len(tok.SAP), edb.Dim)
 			continue
 		}
+		var psc *pq.Scanner
+		if opt.FilterDist == FilterPQ {
+			if edb.PQ == nil {
+				q.err = fmt.Errorf("core: FilterPQ requested but database carries no PQ store (build with Params.PQ or BuildPQ)")
+				continue
+			}
+			psc = &q.pqsc
+			psc.Prepare(edb.PQ.Book, edb.PQ.Codes, tok.SAP)
+		} else if opt.FilterDist != FilterExact {
+			q.err = fmt.Errorf("core: unknown filter distance mode %d", opt.FilterDist)
+			continue
+		}
 		start := time.Now()
-		q.items = sp.filterInto(&q.tier, q.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
+		q.items = sp.filterInto(&q.tier, q.items[:0], tok.SAP, kPrime, opt.ef(kPrime), psc)
 		q.st.FilterTime = time.Since(start)
 		q.st.Candidates = len(q.items)
 		if len(q.items) == 0 {

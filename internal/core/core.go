@@ -32,6 +32,7 @@ import (
 	"ppanns/internal/dce"
 	"ppanns/internal/dcpe"
 	"ppanns/internal/index"
+	"ppanns/internal/pq"
 	"ppanns/internal/rng"
 )
 
@@ -66,6 +67,13 @@ type Params struct {
 	// can run the HNSW-AME baseline refine (Figure 6). Costly: Θ(d²)
 	// space per vector.
 	WithAME bool
+
+	// PQ attaches the compressed filter tier at encryption time: a
+	// product-quantization codebook over the SAP ciphertexts plus an
+	// M-byte code per vector, enabling SearchOptions.FilterDist=FilterPQ.
+	// PQM overrides the subquantizer count (default 16 = 16 bytes/point).
+	PQ  bool
+	PQM int
 
 	// CompactAt bounds the serving tier's delta tier: when the delta
 	// record count or the pending tombstone count reaches it, a
@@ -166,6 +174,36 @@ type EncryptedDatabase struct {
 	Index   index.SecureIndex
 	DCE     *dce.CiphertextStore
 	AME     []*ame.Ciphertext // nil unless built WithAME
+	// PQ is the compressed filter tier: a product-quantization codebook
+	// plus one M-byte code per position, trained server-side on the SAP
+	// ciphertexts (no new leakage — the codes are a lossy function of data
+	// the server already stores). Nil unless built with Params.PQ, loaded
+	// from a database file carrying a PQ section, or built on demand via
+	// BuildPQ. When present it covers every position [0, Len).
+	PQ *pq.Store
+}
+
+// BuildPQ trains a PQ codebook over the stored SAP ciphertexts and encodes
+// every position, attaching the compressed filter tier to the database.
+// This is the on-demand path for databases built (or saved) without one;
+// cfg zero values select the documented pq defaults. The index must retain
+// a vector for every position ever assigned (all backends do).
+func (e *EncryptedDatabase) BuildPQ(cfg pq.TrainConfig) error {
+	n := e.DCE.Len()
+	vecs := make([][]float64, n)
+	for id := 0; id < n; id++ {
+		v, ok := e.Index.Vector(id)
+		if !ok {
+			return fmt.Errorf("core: building PQ: index has no vector for id %d", id)
+		}
+		vecs[id] = v
+	}
+	store, err := pq.Build(vecs, cfg)
+	if err != nil {
+		return fmt.Errorf("core: building PQ: %w", err)
+	}
+	e.PQ = store
+	return nil
 }
 
 // Len returns the number of vectors in the encrypted database, including

@@ -9,6 +9,7 @@ import (
 	"ppanns/internal/dce"
 	"ppanns/internal/dcpe"
 	"ppanns/internal/index"
+	"ppanns/internal/pq"
 	"ppanns/internal/rng"
 	"ppanns/internal/vec"
 )
@@ -119,13 +120,23 @@ func (o *DataOwner) EncryptDatabase(vectors [][]float64) (*EncryptedDatabase, er
 		return nil, fmt.Errorf("core: building %s index: %w", o.params.Index, err)
 	}
 
-	return &EncryptedDatabase{
+	edb := &EncryptedDatabase{
 		Dim:     o.params.Dim,
 		Backend: o.params.Index,
 		Index:   idx,
 		DCE:     store,
 		AME:     ameCts,
-	}, nil
+	}
+	if o.params.PQ {
+		// Trained on the SAP ciphertexts the server stores anyway; the
+		// owner building it here just saves the server the one-time cost.
+		pqStore, err := pq.Build(sap, pq.TrainConfig{M: o.params.PQM, Seed: o.params.Seed ^ 0x4bd})
+		if err != nil {
+			return nil, fmt.Errorf("core: building PQ tier: %w", err)
+		}
+		edb.PQ = pqStore
+	}
+	return edb, nil
 }
 
 // EncryptVector produces the ciphertext payload for inserting one new

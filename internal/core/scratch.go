@@ -5,6 +5,7 @@ import (
 
 	"ppanns/internal/ame"
 	"ppanns/internal/dce"
+	"ppanns/internal/pq"
 	"ppanns/internal/resultheap"
 )
 
@@ -24,6 +25,7 @@ type searchScratch struct {
 	tier   tierScratch
 	heap   resultheap.CompareHeap
 	pq     dce.PreparedQuery
+	pqsc   pq.Scanner
 	dce    dceComparator
 	ame    ameComparator
 }
@@ -46,6 +48,7 @@ func putScratch(sc *searchScratch) {
 	// pooled scratch never pins another tenant's query material; the flat
 	// buffers are the point of the pool and stay.
 	sc.pq.Reset()
+	sc.pqsc.Reset()
 	sc.dce = dceComparator{}
 	sc.ame = ameComparator{}
 	scratchPool.Put(sc)

@@ -12,6 +12,7 @@ import (
 	"ppanns/internal/dce"
 	"ppanns/internal/dcpe"
 	"ppanns/internal/index"
+	"ppanns/internal/pq"
 )
 
 // UserKey serialization rides on gob: the DCE and SAP keys implement
@@ -62,9 +63,14 @@ func LoadUserKey(r io.Reader) (*UserKey, error) {
 // one CRC-framed record per ciphertext; PPANNSD4 stores the ciphertext
 // arena in bulk — a presence bitmap followed by the flat float array under
 // a single streaming CRC32 — matching the in-memory CiphertextStore so
-// loading is one contiguous read instead of n pointer-chased records.
+// loading is one contiguous read instead of n pointer-chased records;
+// PPANNSD5 appends a PQ-presence flag byte after the arena checksum,
+// followed by the self-framing PQSTORE1 section when the database carries
+// a compressed filter tier. Older files load with PQ absent (rebuild on
+// demand via BuildPQ).
 const (
-	edbMagic       = "PPANNSD4"
+	edbMagic       = "PPANNSD5"
+	edbMagicV4     = "PPANNSD4"
 	edbMagicV3     = "PPANNSD3"
 	edbMagicLegacy = "PPANNSD2"
 )
@@ -144,8 +150,21 @@ func (e *EncryptedDatabase) Save(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, crc); err != nil {
 		return err
 	}
+	// PQ tier: one presence byte, then the self-framing PQSTORE1 section.
+	pqFlag := byte(0)
+	if e.PQ != nil {
+		pqFlag = 1
+	}
+	if err := bw.WriteByte(pqFlag); err != nil {
+		return err
+	}
 	if err := bw.Flush(); err != nil {
 		return err
+	}
+	if e.PQ != nil {
+		if err := e.PQ.Save(w); err != nil {
+			return fmt.Errorf("core: saving PQ tier: %w", err)
+		}
 	}
 	return e.Index.Save(w)
 }
@@ -161,7 +180,7 @@ func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
 	switch string(magic) {
-	case edbMagic, edbMagicV3:
+	case edbMagic, edbMagicV4, edbMagicV3:
 	case edbMagicLegacy:
 		return nil, fmt.Errorf("core: legacy %s database; re-encrypt with this version to add the backend tag", edbMagicLegacy)
 	default:
@@ -190,15 +209,38 @@ func LoadEncryptedDatabase(r io.Reader) (*EncryptedDatabase, error) {
 		return nil, fmt.Errorf("core: implausible header dim=%d n=%d ctDim=%d", dim, n, ctDim)
 	}
 	var store *dce.CiphertextStore
-	if string(magic) == edbMagic {
-		store, err = readArenaBulk(br, n, ctDim)
-	} else {
+	if string(magic) == edbMagicV3 {
 		store, err = readArenaRecords(br, n, ctDim)
+	} else {
+		store, err = readArenaBulk(br, n, ctDim)
 	}
 	if err != nil {
 		return nil, err
 	}
 	e := &EncryptedDatabase{Dim: dim, Backend: backend, DCE: store}
+	if string(magic) == edbMagic {
+		pqFlag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading PQ flag: %w", err)
+		}
+		switch pqFlag {
+		case 0:
+		case 1:
+			pqs, err := pq.Load(br)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading PQ tier: %w", err)
+			}
+			if pqs.Book.Dim() != dim {
+				return nil, fmt.Errorf("core: PQ codebook dimension %d does not match database dimension %d", pqs.Book.Dim(), dim)
+			}
+			if pqs.Codes.Len() != n {
+				return nil, fmt.Errorf("core: PQ code arena holds %d rows, database %d", pqs.Codes.Len(), n)
+			}
+			e.PQ = pqs
+		default:
+			return nil, fmt.Errorf("core: corrupt PQ flag byte %d", pqFlag)
+		}
+	}
 	idx, err := index.Load(backend, br)
 	if err != nil {
 		return nil, fmt.Errorf("core: loading %s index: %w", backend, err)

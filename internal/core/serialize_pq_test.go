@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppanns/internal/pq"
+)
+
+// pqSectionOffset computes where the PQ flag byte sits in a PPANNSD5 blob:
+// right after the arena checksum, before the PQ section / index payload.
+func pqSectionOffset(e *EncryptedDatabase) int {
+	return len(edbMagic) + 1 + len(e.Backend) + 3*8 + // magic, tag, header
+		e.DCE.Len() + // presence bitmap
+		e.DCE.Len()*4*e.DCE.CtDim()*8 + // arena
+		4 // crc
+}
+
+// TestPQDatabaseRoundTrip proves the PPANNSD5 format carries the
+// compressed tier faithfully: codes, codebook provenance and FilterPQ
+// search results all survive a save/load cycle, and a corrupted PQ
+// section fails the load instead of skewing filter distances.
+func TestPQDatabaseRoundTrip(t *testing.T) {
+	data := clustered(81, 400, 8, 4)
+	w := newWorld(t, Params{Dim: 8, Beta: 0.5, Seed: 81, PQ: true, PQM: 4}, data)
+	if err := w.server.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := w.server.Database().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	edb2, err := LoadEncryptedDatabase(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := w.server.Database()
+	if edb2.PQ == nil {
+		t.Fatal("PQ tier lost across round-trip")
+	}
+	if !bytes.Equal(edb2.PQ.Codes.Raw(), orig.PQ.Codes.Raw()) {
+		t.Fatal("PQ codes changed across round-trip")
+	}
+	if edb2.PQ.TrainedOn != orig.PQ.TrainedOn || edb2.PQ.Cfg != orig.PQ.Cfg {
+		t.Fatalf("PQ provenance changed: %d/%+v vs %d/%+v",
+			edb2.PQ.TrainedOn, edb2.PQ.Cfg, orig.PQ.TrainedOn, orig.PQ.Cfg)
+	}
+	server2, err := NewServer(edb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := SearchOptions{RatioK: 12, EfSearch: 150, FilterDist: FilterPQ}
+	for _, q := range makeQueries(82, data, 10, 0.3) {
+		tok, err := w.user.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := w.server.Search(tok, 5, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := server2.Search(tok, 5, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("result counts differ after round-trip: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("FilterPQ results diverge after round-trip: %v vs %v", a, b)
+			}
+		}
+	}
+
+	off := pqSectionOffset(orig)
+	if blob[off] != 1 {
+		t.Fatalf("PQ flag byte at %d is %d, want 1", off, blob[off])
+	}
+	// A flipped byte inside the PQ section must fail the CRC at load.
+	bad := append([]byte(nil), blob...)
+	bad[off+200] ^= 0x20
+	if _, err := LoadEncryptedDatabase(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "PQ") {
+		t.Fatalf("corrupted PQ section loaded: %v", err)
+	}
+	// A corrupt flag byte must be rejected, not treated as a mode.
+	bad = append([]byte(nil), blob...)
+	bad[off] = 7
+	if _, err := LoadEncryptedDatabase(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "PQ flag") {
+		t.Fatalf("corrupt PQ flag accepted: %v", err)
+	}
+}
+
+// TestV4LoadsWithoutPQ proves backward compatibility: a PPANNSD4 file —
+// synthesized byte-exactly by stripping the D5 flag byte from a no-PQ
+// save — loads with PQ absent, searches identically, and accepts an
+// on-demand BuildPQ afterwards.
+func TestV4LoadsWithoutPQ(t *testing.T) {
+	data := clustered(83, 400, 8, 4)
+	w := newWorld(t, Params{Dim: 8, Beta: 0.5, Seed: 83}, data)
+
+	var buf bytes.Buffer
+	if err := w.server.Database().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	off := pqSectionOffset(w.server.Database())
+	if blob[off] != 0 {
+		t.Fatalf("no-PQ save has flag byte %d at %d, want 0", blob[off], off)
+	}
+	v4 := append([]byte(nil), edbMagicV4...)
+	v4 = append(v4, blob[len(edbMagic):off]...)
+	v4 = append(v4, blob[off+1:]...)
+
+	edb2, err := LoadEncryptedDatabase(bytes.NewReader(v4))
+	if err != nil {
+		t.Fatalf("loading synthesized V4 file: %v", err)
+	}
+	if edb2.PQ != nil {
+		t.Fatal("V4 file load conjured a PQ tier")
+	}
+	server2, err := NewServer(edb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := SearchOptions{RatioK: 12, EfSearch: 150}
+	tok, err := w.user.Query(data[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.server.Search(tok, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := server2.Search(tok, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("V4 load changed search results: %v vs %v", a, b)
+		}
+	}
+	// The on-demand rebuild path must light up FilterPQ on the old file.
+	if err := edb2.BuildPQ(pq.TrainConfig{M: 4}); err != nil {
+		t.Fatal(err)
+	}
+	server3, err := NewServer(edb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.FilterDist = FilterPQ
+	if got, err := server3.Search(tok, 5, opt); err != nil || len(got) == 0 {
+		t.Fatalf("FilterPQ after on-demand BuildPQ: %v, %v", got, err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ppanns/internal/ame"
 	"ppanns/internal/dce"
 	"ppanns/internal/index"
+	"ppanns/internal/pq"
 	"ppanns/internal/resultheap"
 	"ppanns/internal/vec"
 )
@@ -44,6 +45,35 @@ func (m RefineMode) String() string {
 	}
 }
 
+// FilterDistMode selects the filter phase's candidate distance provider.
+type FilterDistMode int
+
+const (
+	// FilterExact ranks filter candidates by squared L2 over the stored
+	// SAP ciphertexts (the scheme as published).
+	FilterExact FilterDistMode = iota
+	// FilterPQ ranks filter candidates through the product-quantization
+	// tier: one asymmetric distance table per query, M one-byte lookups
+	// per candidate — the memory traffic of the filter walk drops from
+	// 8·dim to M bytes per candidate. Requires a database built (or
+	// extended) with a PQ store. The refine phase is untouched, so result
+	// exactness is unchanged; quantization error is recovered by a larger
+	// over-fetch k′.
+	FilterPQ
+)
+
+// String names the filter distance mode for reports.
+func (m FilterDistMode) String() string {
+	switch m {
+	case FilterExact:
+		return "exact"
+	case FilterPQ:
+		return "pq"
+	default:
+		return fmt.Sprintf("filterdist(%d)", int(m))
+	}
+}
+
 // SearchOptions tunes one search call.
 type SearchOptions struct {
 	// KPrime is k′, the filter phase's candidate count. Defaults to
@@ -55,6 +85,10 @@ type SearchOptions struct {
 	EfSearch int
 	// Refine selects the comparison scheme (default RefineDCE).
 	Refine RefineMode
+	// FilterDist selects the filter phase's distance provider (default
+	// FilterExact). FilterPQ fails with a wire-safe error when the hosted
+	// database carries no PQ store.
+	FilterDist FilterDistMode
 	// PrecomputeRefine makes the DCE refine phase scale every candidate's
 	// P1/P2 operands by the trapdoor once, up front, so each of the
 	// O(k′ log k) heap comparisons runs a two-multiply kernel instead of
@@ -229,12 +263,17 @@ func (sp *snapshot) live() int { return sp.edb.DCE.Live() - len(sp.tombs) }
 // filterInto runs the filter phase over both tiers: a k′-ANNS on the
 // frozen main index plus an exact scan of the delta segment, tombstones
 // masked, merged closest-first into dst. On a clean snapshot this is
-// exactly the index search. The merge happens on the backends' native
-// filter keys — squared L2 over SAP ciphertexts, which every backend
-// produces — so a merged list is ordered identically to what a single
-// index over both tiers would return.
-func (sp *snapshot) filterInto(ts *tierScratch, dst []resultheap.Item, q []float64, kPrime, ef int) []resultheap.Item {
+// exactly the index search. The merge happens on the filter phase's native
+// keys — squared L2 over SAP ciphertexts, or the PQ scanner's asymmetric
+// distances when one is bound — so a merged list is ordered identically to
+// what a single index over both tiers would return. When psc is non-nil it
+// supplies every candidate distance in both tiers (the code arena spans
+// them in one id space, exactly like the DCE store).
+func (sp *snapshot) filterInto(ts *tierScratch, dst []resultheap.Item, q []float64, kPrime, ef int, psc *pq.Scanner) []resultheap.Item {
 	if sp.clean() {
+		if psc != nil {
+			return sp.edb.Index.SearchIntoDist(dst, q, kPrime, ef, psc)
+		}
 		return sp.edb.Index.SearchInto(dst, q, kPrime, ef)
 	}
 	// Main tier: over-fetch by the pending main-tier tombstone count so
@@ -244,7 +283,11 @@ func (sp *snapshot) filterInto(ts *tierScratch, dst []resultheap.Item, q []float
 	if efMain < kMain {
 		efMain = kMain
 	}
-	ts.main = sp.edb.Index.SearchInto(ts.main[:0], q, kMain, efMain)
+	if psc != nil {
+		ts.main = sp.edb.Index.SearchIntoDist(ts.main[:0], q, kMain, efMain, psc)
+	} else {
+		ts.main = sp.edb.Index.SearchInto(ts.main[:0], q, kMain, efMain)
+	}
 	if sp.mainDead > 0 {
 		kept := ts.main[:0]
 		for _, it := range ts.main {
@@ -266,7 +309,13 @@ func (sp *snapshot) filterInto(ts *tierScratch, dst []resultheap.Item, q []float
 		if sp.tombed(id) {
 			continue
 		}
-		ts.delta = append(ts.delta, resultheap.Item{ID: id, Dist: vec.SqDist(q, v)})
+		var d float64
+		if psc != nil {
+			d = psc.Dist(int32(id)) // inserts are PQ-encoded on arrival
+		} else {
+			d = vec.SqDist(q, v)
+		}
+		ts.delta = append(ts.delta, resultheap.Item{ID: id, Dist: d})
 	}
 	sort.Slice(ts.delta, func(a, b int) bool {
 		if ts.delta[a].Dist != ts.delta[b].Dist {
@@ -570,9 +619,21 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 	defer putScratch(sc)
 
 	// Filter phase (Algorithm 2 line 1): k′-ANNS over SAP ciphertexts,
-	// both tiers merged.
+	// both tiers merged. With FilterPQ the asymmetric distance table is
+	// computed once here; every candidate the walk touches then costs M
+	// byte-indexed lookups instead of a dim-float memory sweep.
+	var psc *pq.Scanner
+	if opt.FilterDist == FilterPQ {
+		if edb.PQ == nil {
+			return dst[:0], st, fmt.Errorf("core: FilterPQ requested but database carries no PQ store (build with Params.PQ or BuildPQ)")
+		}
+		psc = &sc.pqsc
+		psc.Prepare(edb.PQ.Book, edb.PQ.Codes, tok.SAP)
+	} else if opt.FilterDist != FilterExact {
+		return dst[:0], st, fmt.Errorf("core: unknown filter distance mode %d", opt.FilterDist)
+	}
 	start := time.Now()
-	sc.items = sp.filterInto(&sc.tier, sc.items[:0], tok.SAP, kPrime, opt.ef(kPrime))
+	sc.items = sp.filterInto(&sc.tier, sc.items[:0], tok.SAP, kPrime, opt.ef(kPrime), psc)
 	st.FilterTime = time.Since(start)
 	st.Candidates = len(sc.items)
 	if len(sc.items) == 0 {
@@ -703,12 +764,26 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 	}
 	pos := edb.DCE.Len()
 	// The arena append writes past every published snapshot's length —
-	// invisible to in-flight readers; likewise the SAP and AME appends.
+	// invisible to in-flight readers; likewise the SAP, AME and PQ-code
+	// appends.
 	store := edb.DCE.Extend(p.DCE)
 	sap := append([]float64(nil), p.SAP...)
 	var ameCts []*ame.Ciphertext
 	if edb.AME != nil {
 		ameCts = append(edb.AME, p.AME)
+	}
+	var pqStore *pq.Store
+	if edb.PQ != nil {
+		// Encode server-side with the published codebook so the code arena
+		// keeps covering every id; the delta tier then scans codes too.
+		code := make([]byte, edb.PQ.Book.M())
+		edb.PQ.Book.EncodeInto(code, p.SAP)
+		pqStore = &pq.Store{
+			Book:      edb.PQ.Book,
+			Codes:     edb.PQ.Codes.Extend(code),
+			TrainedOn: edb.PQ.TrainedOn,
+			Cfg:       edb.PQ.Cfg,
+		}
 	}
 	s.snap.Store(&snapshot{
 		edb: &EncryptedDatabase{
@@ -717,6 +792,7 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 			Index:   edb.Index,
 			DCE:     store,
 			AME:     ameCts,
+			PQ:      pqStore,
 		},
 		frozen:   cur.frozen,
 		deltaSAP: append(cur.deltaSAP, sap),
@@ -826,6 +902,39 @@ func (s *Server) CompactionStats() CompactionStats {
 // records plus the SAP vectors.
 func (s *Server) deltaBytes(sp *snapshot) int {
 	return len(sp.deltaSAP) * 8 * (sp.edb.DCE.Stride() + sp.edb.Dim)
+}
+
+// MemoryStats is the published snapshot's memory footprint split by
+// serving tier, in bytes per point: the padded SAP vector row the filter
+// phase streams, the DCE ciphertext record the refine phase reads, and —
+// when the compressed tier is attached — the PQ code row plus the codebook
+// amortized across points. DeltaBytes is the absolute un-compacted
+// write-path bloat on top (delta-tier records awaiting the next fold).
+type MemoryStats struct {
+	N          int
+	SAP        float64
+	DCE        float64
+	PQCodes    float64
+	PQBook     float64
+	DeltaBytes int
+}
+
+// MemoryStats reports the per-tier memory breakdown of the current
+// snapshot. All figures read one snapshot, so they are never torn across
+// a concurrent mutation.
+func (s *Server) MemoryStats() MemoryStats {
+	sp := s.snap.Load()
+	m := MemoryStats{
+		N:          sp.edb.DCE.Len(),
+		SAP:        float64(8 * vec.PadStride(sp.edb.Dim)),
+		DCE:        float64(8 * sp.edb.DCE.Stride()),
+		DeltaBytes: s.deltaBytes(sp),
+	}
+	if sp.edb.PQ != nil && m.N > 0 {
+		m.PQCodes = float64(sp.edb.PQ.Codes.SizeBytes()) / float64(m.N)
+		m.PQBook = float64(sp.edb.PQ.Book.SizeBytes()) / float64(m.N)
+	}
+	return m
 }
 
 // overThreshold reports whether the snapshot's pending write state has
@@ -945,6 +1054,45 @@ func (s *Server) compactFold() error {
 	if idx.Len() != store.Live() {
 		return fmt.Errorf("core: compaction left index with %d live ids, store with %d", idx.Len(), store.Live())
 	}
+	// Fold the PQ tier. The codebook is reused (codes just repack, like the
+	// ciphertext arena) until the database has outgrown its training set —
+	// NeedsRetrain's deterministic doubling rule — at which point the whole
+	// tier retrains on the gathered vectors under the retained config.
+	var pqs *pq.Store
+	var pqRetrained bool
+	if edb.PQ != nil {
+		if edb.PQ.NeedsRetrain(n) {
+			rebuilt, err := pq.Build(vecs, edb.PQ.Cfg)
+			if err != nil {
+				return fmt.Errorf("core: compaction PQ retrain: %w", err)
+			}
+			pqs = rebuilt
+			pqRetrained = true
+		} else {
+			pqs = &pq.Store{
+				Book:      edb.PQ.Book,
+				Codes:     edb.PQ.Codes.Compacted(dead),
+				TrainedOn: edb.PQ.TrainedOn,
+				Cfg:       edb.PQ.Cfg,
+			}
+		}
+	}
+	// graftCode carries id g's code into the folded arena: copied from the
+	// serving store when the codebook was reused, re-encoded from the
+	// delta-tier SAP vector when a retrain replaced it (old codes are
+	// meaningless under a new codebook).
+	var codeBuf []byte
+	graftCode := func(from *snapshot, g int) {
+		if !pqRetrained {
+			pqs.Codes.AppendRow(from.edb.PQ.Codes.Row(g))
+			return
+		}
+		if codeBuf == nil {
+			codeBuf = make([]byte, pqs.Book.M())
+		}
+		pqs.Book.EncodeInto(codeBuf, from.deltaSAP[g-base.frozen])
+		pqs.Codes.AppendRow(codeBuf)
+	}
 	var ameCts []*ame.Ciphertext
 	if edb.AME != nil {
 		ameCts = make([]*ame.Ciphertext, n)
@@ -966,8 +1114,14 @@ func (s *Server) compactFold() error {
 	pre := s.snap.Load()
 	preN := pre.edb.DCE.Len()
 	store.Reserve(preN - n + 64)
+	if pqs != nil {
+		pqs.Codes.Reserve(preN - n + 64)
+	}
 	for g := n; g < preN; g++ {
 		store.AppendRecord(pre.edb.DCE.Record(g))
+		if pqs != nil {
+			graftCode(pre, g)
+		}
 	}
 
 	// Swap under the writer mutex, grafting everything that happened
@@ -979,6 +1133,9 @@ func (s *Server) compactFold() error {
 	curN := cur.edb.DCE.Len()
 	for g := preN; g < curN; g++ {
 		store.AppendRecord(cur.edb.DCE.Record(g))
+		if pqs != nil {
+			graftCode(cur, g)
+		}
 	}
 	deltaSAP := append([][]float64(nil), cur.deltaSAP[n-base.frozen:]...)
 	if edb.AME != nil {
@@ -1005,6 +1162,7 @@ func (s *Server) compactFold() error {
 			Index:   idx,
 			DCE:     store,
 			AME:     ameCts,
+			PQ:      pqs,
 		},
 		frozen:   n,
 		deltaSAP: deltaSAP,

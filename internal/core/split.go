@@ -6,6 +6,7 @@ import (
 	"ppanns/internal/ame"
 	"ppanns/internal/dce"
 	"ppanns/internal/index"
+	"ppanns/internal/pq"
 )
 
 // Split partitions the encrypted database into n shard databases by
@@ -17,9 +18,10 @@ import (
 // lands on shard G % n exactly when that shard holds G / n records.
 //
 // Every shard receives a copy of its stripe of the DCE ciphertext arena
-// (and the AME ciphertexts, when present) plus a freshly built filter
-// index over the stripe's SAP vectors, recovered from the source index
-// via SecureIndex.Vector. Tombstoned ids keep their slots — the shard
+// (and the AME ciphertexts and PQ code rows, when present — the PQ
+// codebook is shared, not retrained, since it was fit on the full corpus)
+// plus a freshly built filter index over the stripe's SAP vectors,
+// recovered from the source index via SecureIndex.Vector. Tombstoned ids keep their slots — the shard
 // index is built over every position and the tombstones are re-deleted —
 // so local ids stay dense and the arithmetic mapping never shifts.
 //
@@ -91,6 +93,25 @@ func (e *EncryptedDatabase) Split(n int, opts index.Options) ([]*EncryptedDataba
 			Index:   idx,
 			DCE:     store,
 			AME:     ameCts,
+		}
+
+		// The compressed filter tier shards with the data: the codebook was
+		// trained on the full corpus, so it stays valid for any stripe and
+		// is shared (it is immutable after training); only the code rows are
+		// re-gathered into local-id order, dead rows zeroed like a fold.
+		if e.PQ != nil {
+			m := e.PQ.Book.M()
+			raw := make([]byte, cnt*m)
+			for local := 0; local < cnt; local++ {
+				if g := local*n + s; e.DCE.Has(g) {
+					copy(raw[local*m:(local+1)*m], e.PQ.Codes.Row(g))
+				}
+			}
+			codes, err := pq.StoreFromRaw(m, raw)
+			if err != nil {
+				return nil, fmt.Errorf("core: gathering PQ codes for shard %d: %w", s, err)
+			}
+			shards[s].PQ = &pq.Store{Book: e.PQ.Book, Codes: codes, TrainedOn: e.PQ.TrainedOn, Cfg: e.PQ.Cfg}
 		}
 	}
 	return shards, nil

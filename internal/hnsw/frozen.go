@@ -128,24 +128,14 @@ func (g *Graph) buildFrozenView(cur uint64) *frozenView {
 // the same order.
 func (g *Graph) frozenDescend(ctx *searchCtx, v *frozenView, q []float64, ep int, epDist float64, layer int) (int, float64) {
 	lay := &v.layers[layer]
-	dist := g.cfg.Distance
 	for {
 		improved := false
 		nbrs := lay.neighbors(ep)
-		if g.blockDist {
-			ctx.dists = g.data.SqDistBlock(ctx.dists, q, nbrs)
-			for j, nb := range nbrs {
-				if d := ctx.dists[j]; d < epDist {
-					epDist, ep = d, int(nb)
-					improved = true
-				}
-			}
-		} else {
-			for _, nb := range nbrs {
-				if d := dist(q, g.data.At(int(nb))); d < epDist {
-					epDist, ep = d, int(nb)
-					improved = true
-				}
+		dists := g.hopDists(ctx, q, nbrs)
+		for j, nb := range nbrs {
+			if d := dists[j]; d < epDist {
+				epDist, ep = d, int(nb)
+				improved = true
 			}
 		}
 		if !improved {
@@ -162,7 +152,6 @@ func (g *Graph) frozenDescend(ctx *searchCtx, v *frozenView, q []float64, ep int
 func (g *Graph) frozenSearchLayer(ctx *searchCtx, v *frozenView, q []float64, ep int, epDist float64, ef, layer int, allow func(int) bool) *resultheap.MaxDistHeap {
 	offs, nbrs := v.layers[layer].offs, v.layers[layer].nbrs
 	deleted := v.deleted
-	dist := g.cfg.Distance
 	cand, res := ctx.cand, ctx.res
 	cand.Reset()
 	res.Reset()
@@ -183,19 +172,7 @@ func (g *Graph) frozenSearchLayer(ctx *searchCtx, v *frozenView, q []float64, ep
 				gather = append(gather, nb)
 			}
 		}
-		if g.blockDist {
-			ctx.dists = g.data.SqDistBlock(ctx.dists, q, gather)
-		} else {
-			if cap(ctx.dists) < len(gather) {
-				ctx.dists = make([]float64, len(gather))
-			} else {
-				ctx.dists = ctx.dists[:len(gather)]
-			}
-			for j, nb := range gather {
-				ctx.dists[j] = dist(q, g.data.At(int(nb)))
-			}
-		}
-		dists := ctx.dists
+		dists := g.hopDists(ctx, q, gather)
 		if allow == nil {
 			for j, nb := range gather {
 				id := int(nb)

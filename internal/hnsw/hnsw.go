@@ -223,6 +223,10 @@ type searchCtx struct {
 	buf   []int32
 	dists []float64 // blocked-kernel output, parallel to the gathered buf
 	items []resultheap.Item
+	// sc, when non-nil, supplies every candidate distance of this search
+	// (SearchIntoDist — the PQ filter path). Ids passed to it are graph
+	// ids. Build and repair searches always run with sc nil.
+	sc vec.BlockScanner
 }
 
 func (g *Graph) getCtx(n int) *searchCtx {
@@ -233,9 +237,44 @@ func (g *Graph) getCtx(n int) *searchCtx {
 			res:  resultheap.NewMaxDistHeap(64),
 		}
 	}
+	c.sc = nil
 	c.vis.Grow(n)
 	c.vis.Next()
 	return c
+}
+
+// pairDist is the single-candidate distance of this search: the bound
+// scanner when one is active, else the configured metric over the stored
+// vector.
+func (g *Graph) pairDist(ctx *searchCtx, q []float64, id int) float64 {
+	if ctx.sc != nil {
+		return ctx.sc.Dist(int32(id))
+	}
+	return g.cfg.Distance(q, g.data.At(id))
+}
+
+// hopDists fills ctx.dists with each gathered id's distance to the query:
+// the bound scanner's blocked LUT scan when one is active, the blocked
+// arena kernel for the default metric, or per-neighbor DistanceFunc calls.
+func (g *Graph) hopDists(ctx *searchCtx, q []float64, ids []int32) []float64 {
+	if ctx.sc == nil && g.blockDist {
+		ctx.dists = g.data.SqDistBlock(ctx.dists, q, ids)
+		return ctx.dists
+	}
+	if cap(ctx.dists) < len(ids) {
+		ctx.dists = make([]float64, len(ids))
+	} else {
+		ctx.dists = ctx.dists[:len(ids)]
+	}
+	if ctx.sc != nil {
+		ctx.sc.DistBlock(ctx.dists, ids)
+	} else {
+		dist := g.cfg.Distance
+		for j, nb := range ids {
+			ctx.dists[j] = dist(q, g.data.At(int(nb)))
+		}
+	}
+	return ctx.dists
 }
 
 func (c *searchCtx) next() { c.vis.Next() }
@@ -258,13 +297,12 @@ func (g *Graph) copyNeighbors(buf []int32, id, layer int) []int32 {
 // greedyDescend walks one layer greedily towards q, returning the closest
 // node found and its distance. Caller must hold at least the read lock.
 func (g *Graph) greedyDescend(ctx *searchCtx, q []float64, ep int, epDist float64, layer int) (int, float64) {
-	dist := g.cfg.Distance
 	buf := ctx.buf
 	for {
 		improved := false
 		buf = g.copyNeighbors(buf, ep, layer)
 		for _, nb := range buf {
-			d := dist(q, g.data.At(int(nb)))
+			d := g.pairDist(ctx, q, int(nb))
 			if d < epDist {
 				epDist, ep = d, int(nb)
 				improved = true
@@ -286,7 +324,6 @@ func (g *Graph) greedyDescend(ctx *searchCtx, q []float64, ep int, epDist float6
 // searchLayer call on the same ctx. Caller must hold at least the read
 // lock.
 func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64, ef, layer int, liveOnly bool, allow func(int) bool) *resultheap.MaxDistHeap {
-	dist := g.cfg.Distance
 	cand, res := ctx.cand, ctx.res
 	cand.Reset()
 	res.Reset()
@@ -307,7 +344,7 @@ func (g *Graph) searchLayer(ctx *searchCtx, q []float64, ep int, epDist float64,
 			if ctx.seen(id) {
 				continue
 			}
-			d := dist(q, g.data.At(id))
+			d := g.pairDist(ctx, q, id)
 			if res.Len() < ef || d < res.Top().Dist {
 				cand.Push(id, d)
 				if (!liveOnly || !g.nodes[id].deleted) && (allow == nil || allow(id)) {
@@ -493,23 +530,32 @@ func sortItems(items []resultheap.Item) {
 // q, closest first, exploring with beam width ef (ef is raised to k when
 // smaller). It is the HNSW search of the paper's filter phase.
 func (g *Graph) Search(q []float64, k, ef int) []resultheap.Item {
-	return g.searchInto(nil, q, k, ef, nil)
+	return g.searchInto(nil, q, k, ef, nil, nil)
 }
 
 // SearchInto is Search appending the results into dst (reusing its
 // capacity). With a recycled dst the whole search is allocation-free after
 // the context pool has warmed up.
 func (g *Graph) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
-	return g.searchInto(dst, q, k, ef, nil)
+	return g.searchInto(dst, q, k, ef, nil, nil)
 }
 
 // SearchFiltered is Search restricted to ids accepted by allow (nil accepts
 // all). Deleted nodes are always excluded.
 func (g *Graph) SearchFiltered(q []float64, k, ef int, allow func(int) bool) []resultheap.Item {
-	return g.searchInto(nil, q, k, ef, allow)
+	return g.searchInto(nil, q, k, ef, allow, nil)
 }
 
-func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, allow func(int) bool) []resultheap.Item {
+// SearchIntoDist is SearchInto with every candidate distance supplied by sc
+// instead of computed from the stored vectors — the compressed (PQ) filter
+// path. Traversal order, heap admission and result ranking all run on the
+// scanner's distances; the graph structure is walked unchanged. Ids passed
+// to sc are graph ids.
+func (g *Graph) SearchIntoDist(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
+	return g.searchInto(dst, q, k, ef, nil, sc)
+}
+
+func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, allow func(int) bool, sc vec.BlockScanner) []resultheap.Item {
 	if len(q) != g.cfg.Dim {
 		panic(fmt.Sprintf("hnsw: searching %d-dim query in %d-dim graph", len(q), g.cfg.Dim))
 	}
@@ -522,7 +568,11 @@ func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, allow 
 		return dst[:0]
 	}
 	ctx := g.getCtx(len(g.nodes))
-	defer g.ctxPool.Put(ctx)
+	ctx.sc = sc
+	defer func() {
+		ctx.sc = nil // don't pin the scanner's arenas through the pool
+		g.ctxPool.Put(ctx)
+	}()
 
 	var res *resultheap.MaxDistHeap
 	if v := g.frozenViewFor(); v != nil {
@@ -530,7 +580,7 @@ func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, allow 
 		// copies, one blocked distance call per hop. Order-identical to the
 		// locked path below.
 		ep := v.entry
-		epDist := g.cfg.Distance(q, g.data.At(ep))
+		epDist := g.pairDist(ctx, q, ep)
 		for l := v.maxLevel; l > 0; l-- {
 			ep, epDist = g.frozenDescend(ctx, v, q, ep, epDist, l)
 		}
@@ -538,7 +588,7 @@ func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, allow 
 		res = g.frozenSearchLayer(ctx, v, q, ep, epDist, ef, 0, allow)
 	} else {
 		ep := g.entry
-		epDist := g.cfg.Distance(q, g.data.At(ep))
+		epDist := g.pairDist(ctx, q, ep)
 		for l := g.maxLevel; l > 0; l-- {
 			ep, epDist = g.greedyDescend(ctx, q, ep, epDist, l)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"ppanns/internal/hnsw"
 	"ppanns/internal/resultheap"
+	"ppanns/internal/vec"
 )
 
 func init() {
@@ -27,6 +28,8 @@ type hnswIndex struct {
 	mu      sync.RWMutex
 	pos2gid []int32
 	gid2pos []int32
+
+	scPool sync.Pool // *gidScanner
 }
 
 func buildHNSW(vectors [][]float64, opts Options) (SecureIndex, error) {
@@ -94,6 +97,48 @@ func (ix *hnswIndex) Search(q []float64, k, ef int) []resultheap.Item {
 
 func (ix *hnswIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
 	dst = ix.g.SearchInto(dst, q, k, ef)
+	ix.mu.RLock()
+	for i := range dst {
+		dst[i].ID = int(ix.gid2pos[dst[i].ID])
+	}
+	ix.mu.RUnlock()
+	return dst
+}
+
+// gidScanner adapts a position-keyed scanner to the graph's internal id
+// space: ids the graph asks about are translated gid→position before the
+// wrapped scanner is consulted. Pooled per query; the translation buffer is
+// retained so a warm search allocates nothing.
+type gidScanner struct {
+	sc      vec.BlockScanner
+	gid2pos []int32
+	buf     []int32
+}
+
+func (s *gidScanner) Dist(id int32) float64 { return s.sc.Dist(s.gid2pos[id]) }
+
+func (s *gidScanner) DistBlock(dst []float64, ids []int32) {
+	if cap(s.buf) < len(ids) {
+		s.buf = make([]int32, len(ids))
+	}
+	buf := s.buf[:len(ids)]
+	for j, id := range ids {
+		buf[j] = s.gid2pos[id]
+	}
+	s.sc.DistBlock(dst, buf)
+}
+
+func (ix *hnswIndex) SearchIntoDist(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
+	gs, _ := ix.scPool.Get().(*gidScanner)
+	if gs == nil {
+		gs = &gidScanner{}
+	}
+	ix.mu.RLock()
+	gs.sc, gs.gid2pos = sc, ix.gid2pos
+	ix.mu.RUnlock()
+	dst = ix.g.SearchIntoDist(dst, q, k, ef, gs)
+	gs.sc, gs.gid2pos = nil, nil // don't pin the arenas through the pool
+	ix.scPool.Put(gs)
 	ix.mu.RLock()
 	for i := range dst {
 		dst[i].ID = int(ix.gid2pos[dst[i].ID])

@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"ppanns/internal/resultheap"
+	"ppanns/internal/vec"
 )
 
 // ErrNotSupported is wrapped by backends rejecting an operation their
@@ -73,6 +74,15 @@ type SecureIndex interface {
 	// steady-state callers avoid per-query result allocation. Backends
 	// without a pooled internal search path may still allocate scratch.
 	SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item
+	// SearchIntoDist is SearchInto with every candidate distance supplied
+	// by sc instead of computed from the stored vectors — the compressed
+	// (PQ) filter hook. Structural navigation that is not a candidate
+	// distance (IVF centroid probing, LSH bucket hashing, HNSW/NSG graph
+	// topology) still uses q exactly; every candidate the backend ranks is
+	// scored through sc. Ids passed to sc are external ids (vector
+	// positions), including tombstoned ones traversal routes through, so
+	// the scanner's code arena must cover every position ever assigned.
+	SearchIntoDist(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item
 	// Delete tombstones an id. Backends without dynamic delete return an
 	// error wrapping ErrNotSupported.
 	Delete(id int) error

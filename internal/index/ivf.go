@@ -7,6 +7,7 @@ import (
 
 	"ppanns/internal/ivf"
 	"ppanns/internal/resultheap"
+	"ppanns/internal/vec"
 )
 
 func init() {
@@ -58,6 +59,10 @@ func (a *ivfIndex) Search(q []float64, k, ef int) []resultheap.Item {
 
 func (a *ivfIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
 	return a.ix.SearchInto(dst, q, k, a.probesFor(ef))
+}
+
+func (a *ivfIndex) SearchIntoDist(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
+	return a.ix.SearchIntoDist(dst, q, k, a.probesFor(ef), sc)
 }
 
 func (a *ivfIndex) Delete(id int) error { return a.ix.Delete(id) }

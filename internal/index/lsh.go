@@ -156,6 +156,17 @@ func (a *lshIndex) Search(q []float64, k, ef int) []resultheap.Item {
 }
 
 func (a *lshIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
+	return a.searchInto(dst, q, k, ef, nil)
+}
+
+func (a *lshIndex) SearchIntoDist(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
+	return a.searchInto(dst, q, k, ef, sc)
+}
+
+// searchInto collects the multi-probe candidate union (hashing q exactly)
+// and ranks it — through sc when one is bound (the compressed filter path),
+// else with the blocked distance kernel over the vector arena.
+func (a *lshIndex) searchInto(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
 	ctx, _ := a.ctxPool.Get().(*lshCtx)
 	if ctx == nil {
 		ctx = &lshCtx{res: resultheap.NewMaxDistHeap(k + 1)}
@@ -166,7 +177,7 @@ func (a *lshIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []r
 	defer a.mu.RUnlock()
 	res := ctx.res
 	res.Reset()
-	if a.noFlat {
+	if a.noFlat && sc == nil {
 		// Scalar reference scan, kept for the blocked-path conformance test.
 		for _, id := range ctx.cands {
 			if a.deleted[id] {
@@ -181,7 +192,16 @@ func (a *lshIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []r
 				gather = append(gather, id)
 			}
 		}
-		ctx.dists = a.data.SqDistBlock(ctx.dists, q, gather)
+		if sc != nil {
+			if cap(ctx.dists) < len(gather) {
+				ctx.dists = make([]float64, len(gather))
+			} else {
+				ctx.dists = ctx.dists[:len(gather)]
+			}
+			sc.DistBlock(ctx.dists, gather)
+		} else {
+			ctx.dists = a.data.SqDistBlock(ctx.dists, q, gather)
+		}
 		for j, id := range gather {
 			res.PushBounded(int(id), ctx.dists[j], k)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"ppanns/internal/nsg"
 	"ppanns/internal/resultheap"
+	"ppanns/internal/vec"
 )
 
 func init() {
@@ -45,6 +46,10 @@ func (a *nsgIndex) Search(q []float64, k, ef int) []resultheap.Item {
 
 func (a *nsgIndex) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
 	return a.g.SearchInto(dst, q, k, ef)
+}
+
+func (a *nsgIndex) SearchIntoDist(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
+	return a.g.SearchIntoDist(dst, q, k, ef, sc)
 }
 
 func (a *nsgIndex) Delete(id int) error { return a.g.Delete(id) }

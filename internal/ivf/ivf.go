@@ -249,6 +249,19 @@ func (ix *Index) Search(q []float64, k, nprobe int) []resultheap.Item {
 // distance call over the flattened member arena, so a warm search with a
 // recycled dst allocates nothing.
 func (ix *Index) SearchInto(dst []resultheap.Item, q []float64, k, nprobe int) []resultheap.Item {
+	return ix.searchInto(dst, q, k, nprobe, nil)
+}
+
+// SearchIntoDist is SearchInto with member distances supplied by sc instead
+// of computed from the stored vectors — the compressed (PQ) filter path.
+// Coarse-quantizer probing still scores centroids against q exactly; every
+// list member is ranked through sc. Ids passed to sc are vector positions
+// (IVF ids are positions).
+func (ix *Index) SearchIntoDist(dst []resultheap.Item, q []float64, k, nprobe int, sc vec.BlockScanner) []resultheap.Item {
+	return ix.searchInto(dst, q, k, nprobe, sc)
+}
+
+func (ix *Index) searchInto(dst []resultheap.Item, q []float64, k, nprobe int, sc vec.BlockScanner) []resultheap.Item {
 	if len(q) != ix.dim {
 		panic(fmt.Sprintf("ivf: querying %d-dim vector in %d-dim index", len(q), ix.dim))
 	}
@@ -284,7 +297,16 @@ func (ix *Index) SearchInto(dst []resultheap.Item, q []float64, k, nprobe int) [
 				gather = append(gather, id)
 			}
 		}
-		ctx.dists = ix.data.SqDistBlock(ctx.dists, q, gather)
+		if sc != nil {
+			if cap(ctx.dists) < len(gather) {
+				ctx.dists = make([]float64, len(gather))
+			} else {
+				ctx.dists = ctx.dists[:len(gather)]
+			}
+			sc.DistBlock(ctx.dists, gather)
+		} else {
+			ctx.dists = ix.data.SqDistBlock(ctx.dists, q, gather)
+		}
 		for j, id := range gather {
 			res.PushBounded(int(id), ctx.dists[j], k)
 		}

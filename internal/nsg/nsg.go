@@ -451,6 +451,17 @@ func (g *Graph) Search(q []float64, k, ef int) []resultheap.Item {
 // pooled, and the beam walks the CSR adjacency view with one blocked
 // distance call per hop.
 func (g *Graph) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resultheap.Item {
+	return g.searchInto(dst, q, k, ef, nil)
+}
+
+// SearchIntoDist is SearchInto with every candidate distance supplied by sc
+// instead of computed from the stored vectors — the compressed (PQ) filter
+// path. Ids passed to sc are vector positions (NSG ids are positions).
+func (g *Graph) SearchIntoDist(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
+	return g.searchInto(dst, q, k, ef, sc)
+}
+
+func (g *Graph) searchInto(dst []resultheap.Item, q []float64, k, ef int, sc vec.BlockScanner) []resultheap.Item {
 	if len(q) != g.dim {
 		panic(fmt.Sprintf("nsg: querying %d-dim vector in %d-dim graph", len(q), g.dim))
 	}
@@ -478,7 +489,12 @@ func (g *Graph) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resu
 	cand, res := ctx.cand, ctx.res
 	cand.Reset()
 	res.Reset()
-	d0 := vec.SqDist(q, g.data.At(g.nav))
+	var d0 float64
+	if sc != nil {
+		d0 = sc.Dist(int32(g.nav))
+	} else {
+		d0 = vec.SqDist(q, g.data.At(g.nav))
+	}
 	ctx.vis.Seen(g.nav)
 	cand.Push(g.nav, d0)
 	if !g.deleted[g.nav] {
@@ -502,7 +518,16 @@ func (g *Graph) SearchInto(dst []resultheap.Item, q []float64, k, ef int) []resu
 				gather = append(gather, nb)
 			}
 		}
-		ctx.dists = g.data.SqDistBlock(ctx.dists, q, gather)
+		if sc != nil {
+			if cap(ctx.dists) < len(gather) {
+				ctx.dists = make([]float64, len(gather))
+			} else {
+				ctx.dists = ctx.dists[:len(gather)]
+			}
+			sc.DistBlock(ctx.dists, gather)
+		} else {
+			ctx.dists = g.data.SqDistBlock(ctx.dists, q, gather)
+		}
 		dists := ctx.dists
 		for j, nb := range gather {
 			id := int(nb)

@@ -1,0 +1,49 @@
+package pq
+
+// Store pairs a trained codebook with the code arena it encoded — the unit
+// the serving tier carries per snapshot and the serialization layer
+// persists alongside the ciphertext arena.
+type Store struct {
+	Book  *Codebook
+	Codes *CodeStore
+	// TrainedOn is the corpus size the codebook was trained against. The
+	// compactor's deterministic retrain rule keys off it: once the database
+	// has outgrown the training corpus 2×, the codebook is refit; below
+	// that it is reused and only the codes are folded.
+	TrainedOn int
+	// Cfg is the training configuration (with defaults resolved), retained
+	// so retrains reproduce the original training economics and seed.
+	Cfg TrainConfig
+}
+
+// Build trains a codebook on vectors and encodes all of them: the one-call
+// construction the data owner (and the on-demand rebuild path for old
+// database files) uses.
+func Build(vectors [][]float64, cfg TrainConfig) (*Store, error) {
+	book, err := Train(vectors, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		Book:      book,
+		Codes:     book.EncodeAll(vectors),
+		TrainedOn: len(vectors),
+		Cfg:       cfg.withDefaults(len(vectors)),
+	}, nil
+}
+
+// NeedsRetrain reports whether the deterministic retrain rule fires for a
+// corpus that has grown to n points.
+func (s *Store) NeedsRetrain(n int) bool {
+	return s.TrainedOn > 0 && n >= 2*s.TrainedOn
+}
+
+// Snapshot returns a header clone for snapshot publication (shared arena,
+// shared codebook — both immutable once published).
+func (s *Store) Snapshot() *Store {
+	return &Store{Book: s.Book, Codes: s.Codes.Snapshot(), TrainedOn: s.TrainedOn, Cfg: s.Cfg}
+}
+
+// SizeBytes returns the total in-memory footprint: centroid tables plus
+// the code arena.
+func (s *Store) SizeBytes() int { return s.Book.SizeBytes() + s.Codes.SizeBytes() }

@@ -1,0 +1,128 @@
+package pq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary persistence of a Store: a fixed header, the flat centroid blocks,
+// then the code arena, with one streaming CRC32 over centroids and codes so
+// storage corruption surfaces at load time instead of as silently skewed
+// filter distances. The section is self-framing (fixed magic, lengths
+// derivable from the header), so container formats can embed it and keep
+// reading their own payloads after it.
+
+const storeMagic = "PQSTORE1"
+
+// Save writes the store in the PQSTORE1 format.
+func (s *Store) Save(w io.Writer) error {
+	if s == nil || s.Book == nil || s.Codes == nil {
+		return fmt.Errorf("pq: saving incomplete store")
+	}
+	if s.Codes.M() != s.Book.M() {
+		return fmt.Errorf("pq: code width %d does not match codebook M %d", s.Codes.M(), s.Book.M())
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return err
+	}
+	head := []int64{
+		int64(s.Book.Dim()), int64(s.Book.M()), int64(s.Book.K()),
+		int64(s.Codes.Len()), int64(s.TrainedOn),
+		int64(s.Cfg.M), int64(s.Cfg.K), int64(s.Cfg.MaxSample),
+		int64(s.Cfg.Iters), int64(s.Cfg.Seed),
+	}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var crc uint32
+	buf := make([]byte, 8)
+	for _, block := range s.Book.Centroids() {
+		for _, f := range block {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(f))
+			crc = crc32.Update(crc, crc32.IEEETable, buf)
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	codes := s.Codes.Raw()
+	crc = crc32.Update(crc, crc32.IEEETable, codes)
+	if _, err := bw.Write(codes); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a store written by Save. The reader is consumed exactly to the
+// end of the PQ section.
+func Load(r io.Reader) (*Store, error) {
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("pq: reading magic: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("pq: bad magic %q", magic)
+	}
+	head := make([]int64, 10)
+	for i := range head {
+		if err := binary.Read(r, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("pq: reading header: %w", err)
+		}
+	}
+	dim, m, k := int(head[0]), int(head[1]), int(head[2])
+	n, trainedOn := int(head[3]), int(head[4])
+	if dim <= 0 || m <= 0 || m > dim || k <= 0 || k > LUTStride || n < 0 || trainedOn < 0 {
+		return nil, fmt.Errorf("pq: implausible header dim=%d m=%d k=%d n=%d", dim, m, k, n)
+	}
+	cfg := TrainConfig{
+		M: int(head[5]), K: int(head[6]), MaxSample: int(head[7]),
+		Iters: int(head[8]), Seed: uint64(head[9]),
+	}
+	// Rebuild the subspace layout to know each centroid block's width.
+	layout := newCodebook(dim, m, k)
+	var crc uint32
+	buf := make([]byte, 8)
+	cents := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		block := make([]float64, k*layout.width[j])
+		for i := range block {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("pq: reading centroids: %w", err)
+			}
+			crc = crc32.Update(crc, crc32.IEEETable, buf)
+			block[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		cents[j] = block
+	}
+	codes := make([]byte, n*m)
+	if _, err := io.ReadFull(r, codes); err != nil {
+		return nil, fmt.Errorf("pq: reading codes: %w", err)
+	}
+	crc = crc32.Update(crc, crc32.IEEETable, codes)
+	var stored uint32
+	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("pq: reading checksum: %w", err)
+	}
+	if crc != stored {
+		return nil, fmt.Errorf("pq: store corrupted (crc %08x, want %08x)", crc, stored)
+	}
+	book, err := CodebookFromCentroids(dim, m, k, cents)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := StoreFromRaw(m, codes)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Book: book, Codes: cs, TrainedOn: trainedOn, Cfg: cfg}, nil
+}

@@ -1,0 +1,259 @@
+// Package pq implements product quantization for the filter phase: the
+// SAP-space vectors are split into M subspaces, each subspace is vector-
+// quantized to at most 256 centroids (internal/kmeans), and every point is
+// stored as M one-byte centroid codes instead of dim float64s. At query
+// time one asymmetric distance table (ADT) is computed from the prepared
+// query — lut[m][c] = ‖q_m − centroid_{m,c}‖² — after which a candidate's
+// approximate squared distance is M table lookups, independent of dim.
+//
+// The quantizer is trained on the SAP ciphertexts, not the plaintexts:
+// everything the server learns from the codes is a lossy function of data
+// it already stores, so the compressed tier adds no leakage beyond the
+// DCPE encryption the filter phase already rests on. Exact ordering is
+// still owed to the DCE refine phase — PQ distances only steer the filter
+// walk, so a larger over-fetch k′ recovers what the quantization loses.
+package pq
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ppanns/internal/kmeans"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+// LUTStride is the per-subspace stride of every ADT, fixed at 256 (the
+// code range of one byte) regardless of the trained centroid count, so the
+// scan kernel's index arithmetic — lut[m·256 + code] — never depends on K.
+const LUTStride = 256
+
+// TrainConfig parameterizes codebook training.
+type TrainConfig struct {
+	// M is the number of subquantizers (bytes per encoded point). It must
+	// divide into dim sensibly: 1 ≤ M ≤ dim. Default 16.
+	M int
+	// K is the number of centroids per subspace, at most 256 (one byte of
+	// code). Defaults to 256, clamped to the training-set size.
+	K int
+	// MaxSample bounds the training set: corpora larger than this are
+	// subsampled (seeded) before clustering, which loses nothing at PQ's
+	// granularity and keeps million-vector training in seconds. Default
+	// 8192.
+	MaxSample int
+	// Iters bounds the Lloyd iterations per subspace (default 8 — PQ
+	// codebooks converge fast and the encode pass dominates anyway).
+	Iters int
+	// Seed drives subsampling and k-means++ seeding.
+	Seed uint64
+}
+
+func (c TrainConfig) withDefaults(n int) TrainConfig {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.K <= 0 || c.K > LUTStride {
+		c.K = LUTStride
+	}
+	if c.MaxSample <= 0 {
+		c.MaxSample = 8192
+	}
+	if c.Iters <= 0 {
+		c.Iters = 8
+	}
+	if c.K > n {
+		c.K = n
+	}
+	return c
+}
+
+// Codebook holds the trained per-subspace centroids. Subspace m covers
+// vector elements [off[m], off[m]+width[m]); when M does not divide dim the
+// first dim%M subspaces are one element wider.
+type Codebook struct {
+	dim   int
+	m     int
+	k     int
+	off   []int // subspace start offsets, len m
+	width []int // subspace widths, len m
+	// cents[m] is subspace m's flat centroid block: k rows of width[m]
+	// float64s.
+	cents [][]float64
+}
+
+// Train fits a codebook to the given vectors (typically the SAP
+// ciphertexts of the corpus).
+func Train(vectors [][]float64, cfg TrainConfig) (*Codebook, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("pq: empty training set")
+	}
+	dim := len(vectors[0])
+	cfg = cfg.withDefaults(len(vectors))
+	if cfg.M > dim {
+		return nil, fmt.Errorf("pq: M=%d exceeds dim=%d", cfg.M, dim)
+	}
+
+	sample := vectors
+	if len(sample) > cfg.MaxSample {
+		r := rng.NewSeeded(cfg.Seed ^ 0x9a7c)
+		sample = make([][]float64, cfg.MaxSample)
+		for i := range sample {
+			sample[i] = vectors[r.IntN(len(vectors))]
+		}
+	}
+
+	cb := newCodebook(dim, cfg.M, cfg.K)
+	sub := make([][]float64, len(sample))
+	for m := 0; m < cfg.M; m++ {
+		o, w := cb.off[m], cb.width[m]
+		for i, v := range sample {
+			sub[i] = v[o : o+w]
+		}
+		res, err := kmeans.Fit(sub, kmeans.Config{
+			K: cfg.K, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m)*0x9e37,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pq: subspace %d: %w", m, err)
+		}
+		flat := make([]float64, cfg.K*w)
+		for c, cent := range res.Centroids {
+			copy(flat[c*w:], cent)
+		}
+		cb.cents[m] = flat
+	}
+	return cb, nil
+}
+
+// newCodebook lays out the subspace split for dim and m.
+func newCodebook(dim, m, k int) *Codebook {
+	cb := &Codebook{
+		dim:   dim,
+		m:     m,
+		k:     k,
+		off:   make([]int, m),
+		width: make([]int, m),
+		cents: make([][]float64, m),
+	}
+	base, rem := dim/m, dim%m
+	off := 0
+	for j := 0; j < m; j++ {
+		w := base
+		if j < rem {
+			w++
+		}
+		cb.off[j] = off
+		cb.width[j] = w
+		off += w
+	}
+	return cb
+}
+
+// CodebookFromCentroids reassembles a codebook from its serialized parts:
+// cents[m] must hold k rows of the subspace-m width (the layout Centroids
+// returns).
+func CodebookFromCentroids(dim, m, k int, cents [][]float64) (*Codebook, error) {
+	if m <= 0 || m > dim || k <= 0 || k > LUTStride {
+		return nil, fmt.Errorf("pq: invalid codebook shape dim=%d m=%d k=%d", dim, m, k)
+	}
+	if len(cents) != m {
+		return nil, fmt.Errorf("pq: %d centroid blocks for m=%d", len(cents), m)
+	}
+	cb := newCodebook(dim, m, k)
+	for j := 0; j < m; j++ {
+		if len(cents[j]) != k*cb.width[j] {
+			return nil, fmt.Errorf("pq: subspace %d centroid block has %d floats, want %d",
+				j, len(cents[j]), k*cb.width[j])
+		}
+		cb.cents[j] = cents[j]
+	}
+	return cb, nil
+}
+
+// Dim returns the full vector dimension the codebook was trained on.
+func (cb *Codebook) Dim() int { return cb.dim }
+
+// M returns the number of subquantizers (bytes per encoded point).
+func (cb *Codebook) M() int { return cb.m }
+
+// K returns the number of centroids per subspace.
+func (cb *Codebook) K() int { return cb.k }
+
+// Centroids exposes the flat per-subspace centroid blocks (k rows of the
+// subspace width each) for serialization. Callers must not modify them.
+func (cb *Codebook) Centroids() [][]float64 { return cb.cents }
+
+// SizeBytes returns the in-memory footprint of the centroid tables.
+func (cb *Codebook) SizeBytes() int {
+	total := 0
+	for _, c := range cb.cents {
+		total += 8 * len(c)
+	}
+	return total
+}
+
+// EncodeInto quantizes v into dst (len M, one centroid code per
+// subspace).
+func (cb *Codebook) EncodeInto(dst []byte, v []float64) {
+	if len(v) != cb.dim {
+		panic(fmt.Sprintf("pq: encoding %d-dim vector with %d-dim codebook", len(v), cb.dim))
+	}
+	for j := 0; j < cb.m; j++ {
+		o, w := cb.off[j], cb.width[j]
+		sub := v[o : o+w]
+		flat := cb.cents[j]
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < cb.k; c++ {
+			if d := vec.SqDist(sub, flat[c*w:c*w+w]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		dst[j] = byte(best)
+	}
+}
+
+// EncodeAll encodes every vector into a fresh code store, parallel across
+// GOMAXPROCS workers (encoding a million points is the expensive half of a
+// PQ build).
+func (cb *Codebook) EncodeAll(vectors [][]float64) *CodeStore {
+	cs := NewCodeStoreN(cb.m, len(vectors))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(vectors) {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(vectors); i += workers {
+				cb.EncodeInto(cs.Row(i), vectors[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return cs
+}
+
+// FillLUT writes the asymmetric distance table for query q into lut
+// (M·LUTStride float64s): lut[m·256+c] = ‖q_m − centroid_{m,c}‖². Entries
+// past the trained K are never referenced by any code and are left
+// untouched.
+func (cb *Codebook) FillLUT(lut []float64, q []float64) {
+	if len(q) != cb.dim {
+		panic(fmt.Sprintf("pq: %d-dim query against %d-dim codebook", len(q), cb.dim))
+	}
+	if len(lut) < cb.m*LUTStride {
+		panic(fmt.Sprintf("pq: LUT of %d floats, want %d", len(lut), cb.m*LUTStride))
+	}
+	for j := 0; j < cb.m; j++ {
+		o, w := cb.off[j], cb.width[j]
+		sub := q[o : o+w]
+		flat := cb.cents[j]
+		row := lut[j*LUTStride:]
+		for c := 0; c < cb.k; c++ {
+			row[c] = vec.SqDist(sub, flat[c*w:c*w+w])
+		}
+	}
+}

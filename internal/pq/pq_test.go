@@ -1,0 +1,252 @@
+package pq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+)
+
+func randVecs(seed uint64, n, dim int) [][]float64 {
+	r := rng.NewSeeded(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = rng.GaussianVec(r, dim, 3)
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+	if _, err := Train(randVecs(1, 50, 4), TrainConfig{M: 8}); err == nil {
+		t.Fatal("expected error for M > dim")
+	}
+}
+
+func TestSubspaceLayout(t *testing.T) {
+	// dim=10, M=4: widths must be 3,3,2,2 and cover [0,10) contiguously.
+	cb := newCodebook(10, 4, 16)
+	wantW := []int{3, 3, 2, 2}
+	off := 0
+	for j := 0; j < 4; j++ {
+		if cb.width[j] != wantW[j] || cb.off[j] != off {
+			t.Fatalf("subspace %d: off=%d width=%d, want off=%d width=%d",
+				j, cb.off[j], cb.width[j], off, wantW[j])
+		}
+		off += cb.width[j]
+	}
+	if off != 10 {
+		t.Fatalf("subspaces cover %d dims, want 10", off)
+	}
+}
+
+// TestEncodeNearestCentroid checks the encoder invariant: every emitted
+// code is the argmin centroid of its subspace.
+func TestEncodeNearestCentroid(t *testing.T) {
+	const n, dim = 300, 10
+	vecs := randVecs(2, n, dim)
+	store, err := Build(vecs, TrainConfig{M: 4, K: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := store.Book
+	for id := 0; id < n; id++ {
+		row := store.Codes.Row(id)
+		for j := 0; j < cb.M(); j++ {
+			o, w := cb.off[j], cb.width[j]
+			sub := vecs[id][o : o+w]
+			flat := cb.cents[j]
+			got := vec.SqDist(sub, flat[int(row[j])*w:int(row[j])*w+w])
+			for c := 0; c < cb.K(); c++ {
+				if d := vec.SqDist(sub, flat[c*w:c*w+w]); d < got-1e-12 {
+					t.Fatalf("point %d subspace %d: code %d at %g but centroid %d at %g",
+						id, j, row[j], got, c, d)
+				}
+			}
+		}
+	}
+}
+
+// TestScannerADTConsistency checks the asymmetric-distance contract: for
+// every candidate, Scanner.Dist, Scanner.DistBlock (the dispatched kernel)
+// and the explicit sum of subspace distances to the assigned centroids all
+// agree bit-for-bit.
+func TestScannerADTConsistency(t *testing.T) {
+	const n, dim = 400, 13 // 13 % M != 0 exercises the ragged layout
+	vecs := randVecs(3, n, dim)
+	store, err := Build(vecs, TrainConfig{M: 4, K: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := store.Book
+	queries := randVecs(4, 10, dim)
+
+	var sc Scanner
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	blk := make([]float64, n)
+	for _, q := range queries {
+		sc.Prepare(cb, store.Codes, q)
+		sc.DistBlock(blk, ids)
+		for id := 0; id < n; id++ {
+			row := store.Codes.Row(id)
+			var want float64
+			for j := 0; j < cb.M(); j++ {
+				o, w := cb.off[j], cb.width[j]
+				c := int(row[j])
+				want += vec.SqDist(q[o:o+w], cb.cents[j][c*w:c*w+w])
+			}
+			if got := sc.Dist(int32(id)); got != want {
+				t.Fatalf("Dist(%d) = %g, want %g", id, got, want)
+			}
+			if blk[id] != want {
+				t.Fatalf("DistBlock[%d] = %g, want %g", id, blk[id], want)
+			}
+		}
+	}
+}
+
+// TestBuildDeterminism: same corpus + seed must yield identical codebooks
+// and codes (the compactor's retrain rule depends on it).
+func TestBuildDeterminism(t *testing.T) {
+	vecs := randVecs(5, 500, 8)
+	a, err := Build(vecs, TrainConfig{M: 4, K: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(vecs, TrainConfig{M: 4, K: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Codes.Raw(), b.Codes.Raw()) {
+		t.Fatal("same seed produced different codes")
+	}
+	for j, block := range a.Book.Centroids() {
+		other := b.Book.Centroids()[j]
+		for i := range block {
+			if block[i] != other[i] {
+				t.Fatalf("subspace %d centroid float %d differs", j, i)
+			}
+		}
+	}
+}
+
+func TestCodeStoreSnapshotDiscipline(t *testing.T) {
+	s := NewCodeStore(2, 4)
+	s.AppendRow([]byte{1, 2})
+	s.AppendRow([]byte{3, 4})
+	pub := s.Snapshot()
+
+	// Extend must not change any published view's length or rows.
+	ext := pub.Extend([]byte{5, 6})
+	if pub.Len() != 2 || s.Len() != 2 || ext.Len() != 3 {
+		t.Fatalf("lengths after Extend: pub=%d s=%d ext=%d", pub.Len(), s.Len(), ext.Len())
+	}
+	if !bytes.Equal(ext.Row(2), []byte{5, 6}) || !bytes.Equal(pub.Row(1), []byte{3, 4}) {
+		t.Fatalf("rows corrupted after Extend: ext.Row(2)=%v pub.Row(1)=%v", ext.Row(2), pub.Row(1))
+	}
+
+	// Compacted zeroes dead ids in a private arena, preserving ids.
+	comp := ext.Compacted(func(id int) bool { return id == 1 })
+	if comp.Len() != 3 {
+		t.Fatalf("Compacted len = %d, want 3", comp.Len())
+	}
+	if !bytes.Equal(comp.Row(0), []byte{1, 2}) || !bytes.Equal(comp.Row(1), []byte{0, 0}) ||
+		!bytes.Equal(comp.Row(2), []byte{5, 6}) {
+		t.Fatalf("Compacted rows wrong: %v %v %v", comp.Row(0), comp.Row(1), comp.Row(2))
+	}
+	// ...and must not share backing with the source.
+	comp.Row(0)[0] = 99
+	if ext.Row(0)[0] != 1 {
+		t.Fatal("Compacted shares its arena with the source")
+	}
+}
+
+func TestStoreFromRawValidation(t *testing.T) {
+	if _, err := StoreFromRaw(0, nil); err == nil {
+		t.Fatal("expected error for non-positive width")
+	}
+	if _, err := StoreFromRaw(4, make([]byte, 7)); err == nil {
+		t.Fatal("expected error for ragged arena")
+	}
+	cs, err := StoreFromRaw(2, []byte{1, 2, 3, 4})
+	if err != nil || cs.Len() != 2 {
+		t.Fatalf("StoreFromRaw: %v, len %d", err, cs.Len())
+	}
+}
+
+func TestNeedsRetrain(t *testing.T) {
+	s := &Store{TrainedOn: 100}
+	for n, want := range map[int]bool{100: false, 199: false, 200: true, 500: true} {
+		if got := s.NeedsRetrain(n); got != want {
+			t.Fatalf("NeedsRetrain(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if (&Store{}).NeedsRetrain(1000) {
+		t.Fatal("zero-valued store must never request a retrain")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	vecs := randVecs(6, 350, 9)
+	orig, err := Build(vecs, TrainConfig{M: 3, K: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	got, err := Load(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Book.Dim() != 9 || got.Book.M() != 3 || got.Book.K() != 32 {
+		t.Fatalf("loaded shape dim=%d m=%d k=%d", got.Book.Dim(), got.Book.M(), got.Book.K())
+	}
+	if got.TrainedOn != orig.TrainedOn || got.Cfg != orig.Cfg {
+		t.Fatalf("loaded provenance %+v / %+v, want %+v / %+v",
+			got.TrainedOn, got.Cfg, orig.TrainedOn, orig.Cfg)
+	}
+	if !bytes.Equal(got.Codes.Raw(), orig.Codes.Raw()) {
+		t.Fatal("codes changed across round-trip")
+	}
+	for j, block := range orig.Book.Centroids() {
+		other := got.Book.Centroids()[j]
+		for i := range block {
+			if block[i] != other[i] {
+				t.Fatalf("subspace %d centroid float %d changed across round-trip", j, i)
+			}
+		}
+	}
+
+	// One flipped code byte must surface as a CRC failure, not skewed
+	// distances.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-10] ^= 0x40
+	if _, err := Load(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corrupted store loaded: %v", err)
+	}
+	// Truncation and garbage must error cleanly.
+	if _, err := Load(bytes.NewReader(blob[:len(blob)/2])); err == nil {
+		t.Fatal("truncated store loaded")
+	}
+	if _, err := Load(strings.NewReader("NOTAPQST0RE")); err == nil {
+		t.Fatal("garbage magic loaded")
+	}
+}
+
+func TestSaveIncompleteStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Store{}).Save(&buf); err == nil {
+		t.Fatal("expected error saving incomplete store")
+	}
+}

@@ -1,0 +1,56 @@
+package pq
+
+import "ppanns/internal/vec"
+
+// Scanner is the per-query PQ distance provider: Prepare computes the
+// asymmetric distance table once from the (prepared, SAP-space) query,
+// after which Dist/DistBlock answer candidate distances from the code
+// arena in M table lookups per point. It implements vec.BlockScanner.
+//
+// A Scanner is pooled alongside the other per-query scratch: the LUT
+// buffer is retained across queries, so steady-state Prepare allocates
+// nothing once the pool is warm. One Scanner serves one query at a time.
+type Scanner struct {
+	book  *Codebook
+	codes []byte // flat arena view captured at Prepare
+	m     int
+	lut   []float64
+}
+
+// Prepare binds the scanner to a codebook + code store and fills the ADT
+// for query q (a SAP-space vector of the codebook's dimension).
+func (s *Scanner) Prepare(book *Codebook, store *CodeStore, q []float64) {
+	s.book = book
+	s.codes = store.Raw()
+	s.m = book.M()
+	if need := s.m * LUTStride; cap(s.lut) < need {
+		s.lut = make([]float64, need)
+	} else {
+		s.lut = s.lut[:need]
+	}
+	book.FillLUT(s.lut, q)
+}
+
+// Reset drops the store binding (keeping the LUT buffer) so a pooled
+// scanner does not pin a snapshot's arenas alive between queries.
+func (s *Scanner) Reset() {
+	s.book = nil
+	s.codes = nil
+}
+
+// Dist returns the approximate squared distance of id to the prepared
+// query: M sequential lookups, the same order the block kernel uses.
+func (s *Scanner) Dist(id int32) float64 {
+	base := int(id) * s.m
+	var d float64
+	for i := 0; i < s.m; i++ {
+		d += s.lut[i*LUTStride+int(s.codes[base+i])]
+	}
+	return d
+}
+
+// DistBlock writes the approximate distance of each id into dst[i]
+// (pre-sized by the caller) through the dispatched LUT-scan kernel.
+func (s *Scanner) DistBlock(dst []float64, ids []int32) {
+	vec.PQScanBlock(dst, s.codes, s.m, s.lut, ids)
+}

@@ -105,6 +105,7 @@ func (l Local) Delete(local int) error { return l.Srv.Delete(local) }
 func (l Local) Info() (transport.Info, error) {
 	cs := l.Srv.CompactionStats()
 	caps := l.Srv.Caps()
+	ms := l.Srv.MemoryStats()
 	return transport.Info{
 		Backend:       caps.Name,
 		DynamicInsert: caps.DynamicInsert,
@@ -116,6 +117,7 @@ func (l Local) Info() (transport.Info, error) {
 		Epoch:         cs.Epoch,
 		Delta:         cs.Delta,
 		Tombstones:    cs.Tombstones,
+		Memory:        &ms,
 	}, nil
 }
 

@@ -125,8 +125,9 @@ func (wi *wireInsert) payload() *core.InsertPayload {
 // info/len responses so clients can tell a zero-valued field from one a
 // legacy peer simply never sent. In-process Info builders (shard.Local)
 // stamp it too, since they are by definition current. v3 adds the
-// two-tier write-path accounting (Delta, Tombstones).
-const ProtoVersion = 3
+// two-tier write-path accounting (Delta, Tombstones); v4 the per-tier
+// memory breakdown (Memory).
+const ProtoVersion = 4
 
 // Info describes the server a client is connected to: which filter-index
 // backend it runs, what update operations that backend supports (so
@@ -153,6 +154,9 @@ type Info struct {
 	// operator watches to judge compaction health (Proto ≥ 3).
 	Delta      int
 	Tombstones int
+	// Memory is the server's per-tier memory breakdown in bytes per point
+	// (Proto ≥ 4; nil from older servers, never zero-valued).
+	Memory *core.MemoryStats
 }
 
 // request is the wire envelope for client→server calls.
@@ -402,6 +406,7 @@ func handle(srv *core.Server, req *request) *response {
 	case "info":
 		cs := srv.CompactionStats()
 		caps := srv.Caps()
+		ms := srv.MemoryStats()
 		resp.Info = &Info{
 			Backend:       caps.Name,
 			DynamicInsert: caps.DynamicInsert,
@@ -413,6 +418,7 @@ func handle(srv *core.Server, req *request) *response {
 			Epoch:         cs.Epoch,
 			Delta:         cs.Delta,
 			Tombstones:    cs.Tombstones,
+			Memory:        &ms,
 		}
 	default:
 		resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)

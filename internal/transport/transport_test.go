@@ -185,6 +185,12 @@ func TestInfoOverTCP(t *testing.T) {
 	if info.N != 600 || info.Dim != d.Dim {
 		t.Fatalf("N/Dim = %d/%d, want 600/%d", info.N, info.Dim, d.Dim)
 	}
+	if info.Proto < 4 || info.Memory == nil {
+		t.Fatalf("proto %d server sent no memory breakdown: %+v", info.Proto, info)
+	}
+	if info.Memory.N != 600 || info.Memory.SAP <= 0 || info.Memory.DCE <= 0 {
+		t.Fatalf("implausible memory breakdown: %+v", *info.Memory)
+	}
 }
 
 func TestDialFailure(t *testing.T) {

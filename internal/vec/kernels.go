@@ -21,12 +21,17 @@ type kernelTable struct {
 	// arena with the given row stride (in float64s) and logical row length
 	// dim. dst is pre-sized to len(ids) by the caller.
 	sqDistBlock func(dst, data []float64, stride, dim int, q []float64, ids []int32)
+	// pqScanBlock computes dst[j] = Σ_i lut[i·256 + codes[ids[j]·m + i]] —
+	// the PQ asymmetric-distance-table scan (see scanner.go). dst is
+	// pre-sized; codes carries the pq gather slack.
+	pqScanBlock func(dst []float64, codes []byte, m int, lut []float64, ids []int32)
 }
 
 var scalarKernelTable = kernelTable{
 	name:        simd.Scalar,
 	sqDist:      sqDistScalar,
 	sqDistBlock: sqDistBlockScalar,
+	pqScanBlock: pqScanBlockScalar,
 }
 
 // kernelVariants holds every variant linked into this binary, scalar first.

@@ -16,6 +16,9 @@ func sqDistPairAVX2(a, b []float64) float64
 //go:noescape
 func sqDistBlockAVX2(dst, data []float64, stride, dim int, q []float64, ids []int32)
 
+//go:noescape
+func pqScanBlockAVX2(dst []float64, codes []byte, m int, lut []float64, ids []int32)
+
 var _ = func() struct{} {
 	if !simd.HasAVX2() {
 		return struct{}{}
@@ -24,5 +27,6 @@ var _ = func() struct{} {
 		name:        simd.AVX2,
 		sqDist:      sqDistPairAVX2,
 		sqDistBlock: sqDistBlockAVX2,
+		pqScanBlock: pqScanBlockAVX2,
 	})
 }()

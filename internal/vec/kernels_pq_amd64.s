@@ -1,0 +1,102 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 PQ LUT-scan kernel. The scalar reference (scanner.go) accumulates
+// each point's M table lookups sequentially in subspace order. This
+// variant processes four points at once — one per 64-bit lane of the Y0
+// accumulator — but each lane still sums sequentially over the subspaces,
+// so the per-point addition order (and therefore every bit of the result)
+// matches the reference exactly. There is no reduction tree: nothing is
+// ever combined across lanes.
+//
+// Per subspace i the four code bytes live at codes[id·m + i]: a VPGATHERDD
+// over dword loads at base codes+i with indices id·m, masked to the low
+// byte (the gather reads up to three bytes past the last code — the pq
+// arena's gather slack guarantees those bytes are mapped). The four LUT
+// values are then a VGATHERQPD from the subspace's 256-entry row.
+//
+// Gather masks are consumed by the instruction, so the all-ones constant
+// lives in Y13 and is copied to a working register before every gather.
+//
+// Constants: Y13 = all-ones, X14 = m broadcast (dword), X15 = 0xFF
+// broadcast (dword).
+
+// func pqScanBlockAVX2(dst []float64, codes []byte, m int, lut []float64, ids []int32)
+TEXT ·pqScanBlockAVX2(SB), NOSPLIT, $0-104
+	MOVQ         dst_base+0(FP), R14
+	MOVQ         codes_base+24(FP), R15
+	MOVQ         m+48(FP), R11
+	MOVQ         lut_base+56(FP), R9
+	MOVQ         ids_base+80(FP), R12
+	MOVQ         ids_len+88(FP), R13
+	VPCMPEQD     Y13, Y13, Y13
+	VPCMPEQD     X15, X15, X15
+	VPSRLD       $24, X15, X15
+	VPBROADCASTD m+48(FP), X14
+	XORQ         R10, R10           // point index
+	MOVQ         R13, AX
+	SUBQ         $4, AX             // last index with a full 4-point group
+
+quadloop:
+	CMPQ     R10, AX
+	JG       rem
+	VMOVDQU  (R12)(R10*4), X4       // four ids
+	VPMULLD  X14, X4, X4            // byte offsets id·m
+	VXORPD   Y0, Y0, Y0
+	MOVQ     R15, DI                // &codes[i]
+	MOVQ     R9, BX                 // &lut[i·256]
+	XORQ     CX, CX                 // subspace i
+
+quadsub:
+	CMPQ       CX, R11
+	JGE        quadstore
+	VMOVDQA    X13, X5
+	VPGATHERDD X5, (DI)(X4*1), X6   // dword loads at codes[i + id·m]
+	VPAND      X15, X6, X6          // keep the code byte
+	VPMOVZXDQ  X6, Y6
+	VMOVDQA    Y13, Y5
+	VGATHERQPD Y5, (BX)(Y6*8), Y8   // lut[i·256 + code]
+	VADDPD     Y8, Y0, Y0
+	INCQ       DI
+	ADDQ       $2048, BX            // next 256-entry LUT row
+	INCQ       CX
+	JMP        quadsub
+
+quadstore:
+	VMOVUPD Y0, (R14)
+	ADDQ    $32, R14
+	ADDQ    $4, R10
+	JMP     quadloop
+
+// Remainder points one at a time: the same sequential per-point sum with
+// scalar loads.
+rem:
+	CMPQ    R10, R13
+	JGE     done
+	MOVLQSX (R12)(R10*4), DI
+	IMULQ   R11, DI
+	ADDQ    R15, DI                 // &codes[id·m]
+	MOVQ    R9, BX
+	VXORPD  X0, X0, X0
+	XORQ    CX, CX
+
+remsub:
+	CMPQ    CX, R11
+	JGE     remstore
+	MOVBLZX (DI)(CX*1), DX
+	VMOVSD  (BX)(DX*8), X6
+	VADDSD  X6, X0, X0
+	ADDQ    $2048, BX
+	INCQ    CX
+	JMP     remsub
+
+remstore:
+	VMOVSD X0, (R14)
+	ADDQ   $8, R14
+	INCQ   R10
+	JMP    rem
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,89 @@
+package vec
+
+import (
+	"fmt"
+	"testing"
+
+	"ppanns/internal/rng"
+	"ppanns/internal/simd"
+)
+
+// pqTestMs exercises every loop shape of the LUT scan: one subspace, the
+// common 8/16 widths, odd widths, and a wide code.
+var pqTestMs = []int{1, 2, 3, 4, 7, 8, 13, 16, 24, 32, 48, 96}
+
+// pqTestCodes builds a code arena of n rows with the gather slack the
+// AVX2 variant's dword code loads require.
+func pqTestCodes(r *rng.Rand, n, m, k int) []byte {
+	codes := make([]byte, n*m, n*m+8)
+	for i := range codes {
+		codes[i] = byte(r.IntN(k))
+	}
+	return codes
+}
+
+// TestPQScanKernelVariantsBitIdentical compares every linked variant's LUT
+// scan against the scalar reference across code widths, id-set shapes
+// (including the 4-lane remainder cases), duplicated and shuffled ids, and
+// partial-K LUTs.
+func TestPQScanKernelVariantsBitIdentical(t *testing.T) {
+	r := rng.NewSeeded(977)
+	for _, kv := range kernelVariants {
+		if kv.name == simd.Scalar {
+			continue
+		}
+		t.Run(kv.name, func(t *testing.T) {
+			for _, m := range pqTestMs {
+				for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 64, 257} {
+					for _, k := range []int{1, 3, 256} {
+						codes := pqTestCodes(r, n, m, k)
+						lut := randFloats(r, m*256, 2e3)
+						ids := make([]int32, 0, 2*n)
+						for i := 0; i < n; i++ {
+							ids = append(ids, int32(i))
+						}
+						// Shuffle with duplicates, keeping the last row in
+						// play so the over-read lands at the arena's true
+						// end.
+						for i := 0; i < n/2; i++ {
+							ids = append(ids, int32(r.IntN(n)))
+						}
+						ids = append(ids, int32(n-1))
+						r.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+						want := make([]float64, len(ids))
+						got := make([]float64, len(ids))
+						pqScanBlockScalar(want, codes, m, lut, ids)
+						kv.pqScanBlock(got, codes, m, lut, ids)
+						for j := range want {
+							if d := ulpDiff(got[j], want[j]); d > kernelULPTolerance {
+								t.Fatalf("m=%d n=%d k=%d id=%d: %v vs scalar %v (%d ULP)",
+									m, n, k, ids[j], got[j], want[j], d)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPQScanBlockKernels benchmarks the LUT scan per linked variant
+// at a realistic shape: 64-id blocks over a 100k-point arena at M=16.
+func BenchmarkPQScanBlockKernels(b *testing.B) {
+	r := rng.NewSeeded(31)
+	const n, m = 100000, 16
+	codes := pqTestCodes(r, n, m, 256)
+	lut := randFloats(r, m*256, 2e3)
+	ids := make([]int32, 64)
+	for i := range ids {
+		ids[i] = int32(r.IntN(n))
+	}
+	dst := make([]float64, len(ids))
+	for _, kv := range kernelVariants {
+		b.Run(fmt.Sprintf("variant=%s", kv.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kv.pqScanBlock(dst, codes, m, lut, ids)
+			}
+		})
+	}
+}

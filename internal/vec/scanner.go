@@ -1,0 +1,45 @@
+package vec
+
+// BlockScanner supplies candidate distances for a filter-phase search from
+// something other than the index's own stored vectors — in practice a
+// per-query PQ asymmetric distance table over the compressed code arena
+// (internal/pq.Scanner). It is defined here, at the bottom of the import
+// graph, so every index backend can accept one without importing pq.
+//
+// Ids are in the coordinate space of whoever calls the scanner; adapters
+// that renumber (the hnsw gid↔position remap) must wrap the scanner with
+// the translation. Implementations must be safe for concurrent use only in
+// the sense that distinct Scanner values may run on distinct goroutines;
+// one value serves one query at a time.
+type BlockScanner interface {
+	// DistBlock writes the distance of each id to the prepared query into
+	// dst[i] (pre-sized to len(ids) by the caller).
+	DistBlock(dst []float64, ids []int32)
+	// Dist returns the distance of a single id to the prepared query.
+	Dist(id int32) float64
+}
+
+// PQScanBlock computes dst[j] = Σ_m lut[m·256 + codes[ids[j]·m + m]] — the
+// blocked PQ LUT scan — through the active kernel variant. Every variant
+// accumulates each point's M lookups sequentially in subspace order, so
+// results are bit-identical across variants. codes must carry the pq
+// package's gather slack (the AVX2 variant reads up to three bytes past
+// the final referenced code).
+func PQScanBlock(dst []float64, codes []byte, m int, lut []float64, ids []int32) {
+	activeKernels.Load().pqScanBlock(dst, codes, m, lut, ids)
+}
+
+// pqScanBlockScalar is the reference LUT-scan kernel: one sequential
+// accumulation per point, in subspace order. The AVX2 variant processes
+// four points in independent register lanes but sums each lane in exactly
+// this order, so the two cannot drift.
+func pqScanBlockScalar(dst []float64, codes []byte, m int, lut []float64, ids []int32) {
+	for j, id := range ids {
+		base := int(id) * m
+		var s float64
+		for i := 0; i < m; i++ {
+			s += lut[i*256+int(codes[base+i])]
+		}
+		dst[j] = s
+	}
+}

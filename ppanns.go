@@ -40,6 +40,7 @@ package ppanns
 import (
 	"ppanns/internal/core"
 	"ppanns/internal/index"
+	"ppanns/internal/pq"
 )
 
 // Params configures a deployment. See core.Params for field documentation;
@@ -66,6 +67,31 @@ type SearchOptions = core.SearchOptions
 // SearchStats reports a query's cost split between the filter and refine
 // phases, the candidate count, and the number of secure comparisons.
 type SearchStats = core.SearchStats
+
+// FilterDistMode selects the filter phase's distance provider (see
+// SearchOptions.FilterDist).
+type FilterDistMode = core.FilterDistMode
+
+// Filter distance modes: exact SAP distances over the DCPE ciphertexts
+// (the default), or the product-quantized compressed tier — M table
+// lookups per candidate instead of a d-dimensional scan. FilterPQ
+// requires a database built with Params.PQ or upgraded via
+// EncryptedDatabase.BuildPQ, and pairs with an over-fetched
+// SearchOptions.KPrime to absorb the quantization error; the refine
+// phase stays exact either way.
+const (
+	FilterExact = core.FilterExact
+	FilterPQ    = core.FilterPQ
+)
+
+// PQConfig configures codebook training for the compressed filter tier:
+// M subquantizers (must divide into Dim reasonably; ≤256 centroids each),
+// sampling and iteration budgets, and the training seed. The zero value
+// of every field selects a sensible default. Used with
+// EncryptedDatabase.BuildPQ to add a PQ tier to an existing database —
+// e.g. one loaded from an older file format; Params.PQ/PQM build the
+// tier at encryption time instead.
+type PQConfig = pq.TrainConfig
 
 // RefineMode selects the refine-phase comparison scheme.
 type RefineMode = core.RefineMode
