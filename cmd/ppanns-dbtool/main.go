@@ -5,9 +5,11 @@
 //	ppanns-dbtool encrypt -in data.fvecs -db db.ppanns -key user.key [-beta 2.5] [-index hnsw]
 //	ppanns-dbtool split   -db db.ppanns -shards 4 [-out shard-]
 //	ppanns-dbtool compact <in.ppanns> <out.ppanns>
-//	ppanns-dbtool serve   -db db.ppanns -addr :7070
+//	ppanns-dbtool serve   -db db.ppanns -addr :7070 [-wal wal/ -wal-sync every=1]
 //	ppanns-dbtool query   -key user.key -queries q.fvecs -addr host:7070 [-k 10] [-ratio 16]
 //	ppanns-dbtool query   -key user.key -queries q.fvecs -addrs "a:7070,b:7070;c:7070,d:7070" [-hedge 2ms] [-partial]
+//	ppanns-dbtool recover <waldir> <out.ppanns>
+//	ppanns-dbtool info    [-addr host:7070 | -wal waldir]
 //
 // gen writes synthetic corpora in the standard fvecs format (or use real
 // Sift1M/Gist/Glove/Deep files); encrypt plays the data owner; split
@@ -27,14 +29,24 @@
 // encrypt's -index flag selects the filter-index backend (hnsw, nsg, ivf,
 // or lsh); the choice is stored in the database file, and serve/query
 // report it.
+//
+// serve's -wal flag attaches a write-ahead log: every acknowledged
+// Insert/Delete is logged (durable per -wal-sync) and survives a crash.
+// A restart with the same -wal directory recovers automatically; recover
+// replays a directory offline into a standalone database file, and
+// info -wal inspects one without a running server. All file outputs are
+// written atomically (temp + fsync + rename), so a crash mid-write never
+// corrupts an existing file.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,6 +57,7 @@ import (
 	"ppanns/internal/shard"
 	"ppanns/internal/transport"
 	"ppanns/internal/vec"
+	"ppanns/internal/wal"
 )
 
 func main() {
@@ -67,6 +80,8 @@ func main() {
 		err = runQuery(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
+	case "recover":
+		err = runRecover(os.Args[2:])
 	default:
 		usage()
 	}
@@ -77,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|split|compact|serve|query|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ppanns-dbtool <gen|encrypt|split|compact|serve|query|info|recover> [flags]")
 	os.Exit(2)
 }
 
@@ -153,20 +168,12 @@ func runEncrypt(args []string) error {
 	if err != nil {
 		return err
 	}
-	dbF, err := os.Create(*dbOut)
-	if err != nil {
+	if err := wal.WriteFileAtomic(*dbOut, edb.Save); err != nil {
 		return err
 	}
-	defer dbF.Close()
-	if err := edb.Save(dbF); err != nil {
-		return err
-	}
-	keyF, err := os.Create(*keyOut)
-	if err != nil {
-		return err
-	}
-	defer keyF.Close()
-	if err := ppanns.SaveUserKey(keyF, owner.UserKey()); err != nil {
+	if err := wal.WriteFileAtomic(*keyOut, func(w io.Writer) error {
+		return ppanns.SaveUserKey(w, owner.UserKey())
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("encrypted database (%s index) → %s, user key → %s\n", *backend, *dbOut, *keyOut)
@@ -198,15 +205,7 @@ func runSplit(args []string) error {
 	}
 	for s, p := range parts {
 		out := fmt.Sprintf("%s%d.ppanns", *outPrefix, s)
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		if err := p.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := wal.WriteFileAtomic(out, p.Save); err != nil {
 			return err
 		}
 		fmt.Printf("shard %d: %d vectors (%d live, %s index) → %s\n",
@@ -245,15 +244,7 @@ func runCompact(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	if err := compacted.Save(g); err != nil {
-		g.Close()
-		return err
-	}
-	if err := g.Close(); err != nil {
+	if err := wal.WriteFileAtomic(out, compacted.Save); err != nil {
 		return err
 	}
 	fmt.Printf("compacted %s → %s: dropped %d tombstoned of %d records, kept %d (ids renumbered 0..%d)\n",
@@ -261,24 +252,78 @@ func runCompact(args []string) error {
 	return nil
 }
 
+// parseSyncPolicy maps the -wal-sync flag onto a wal.SyncPolicy:
+// "every=N" (N=1 syncs each ack; N>1 every N-th record), "interval=<dur>"
+// (timer-driven), or "os" (OS-buffered, no explicit fsync).
+func parseSyncPolicy(s string) (wal.SyncPolicy, error) {
+	switch {
+	case s == "os" || s == "os-buffered":
+		return wal.SyncPolicy{}, nil
+	case strings.HasPrefix(s, "every="):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "every="))
+		if err != nil || n < 1 {
+			return wal.SyncPolicy{}, fmt.Errorf("bad sync policy %q: want every=N with N ≥ 1", s)
+		}
+		return wal.SyncPolicy{Every: n}, nil
+	case strings.HasPrefix(s, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval="))
+		if err != nil || d <= 0 {
+			return wal.SyncPolicy{}, fmt.Errorf("bad sync policy %q: want interval=<duration>", s)
+		}
+		return wal.SyncPolicy{Interval: d}, nil
+	}
+	return wal.SyncPolicy{}, fmt.Errorf("unknown sync policy %q (want every=N, interval=<dur>, or os)", s)
+}
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dbIn := fs.String("db", "db.ppanns", "encrypted database file")
 	addr := fs.String("addr", ":7070", "listen address")
+	walDir := fs.String("wal", "", "write-ahead-log directory: makes writes durable and recovers acknowledged writes on restart")
+	walSync := fs.String("wal-sync", "every=1", "WAL sync policy: every=N | interval=<dur> | os")
 	fs.Parse(args)
 
-	f, err := os.Open(*dbIn)
-	if err != nil {
-		return err
-	}
-	edb, err := ppanns.LoadEncryptedDatabase(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-	server, err := ppanns.NewServer(edb)
-	if err != nil {
-		return err
+	var server *ppanns.Server
+	if *walDir != "" {
+		pol, err := parseSyncPolicy(*walSync)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		opts := ppanns.ServerOptions{WALDir: *walDir, WALSync: pol}
+		// An already-populated directory is authoritative — recover from
+		// it; a fresh one is seeded from the -db file.
+		if rec, err := wal.Inspect(*walDir); err == nil && (rec.Records > 0 || len(rec.Barriers) > 0) {
+			srv, stats, err := ppanns.OpenServer(*walDir, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("recovered from %s: checkpoint %s (epoch %d) + %d replayed records → epoch %d\n",
+				*walDir, stats.Checkpoint, stats.CheckpointEpoch, stats.Replayed, stats.Epoch)
+			if stats.Truncated != "" {
+				fmt.Printf("warning: repaired torn log tail: %s (%d bytes dropped)\n", stats.Truncated, stats.TruncatedBytes)
+			}
+			server = srv
+		} else {
+			edb, err := loadDatabase(*dbIn)
+			if err != nil {
+				return err
+			}
+			server, err = ppanns.NewServerWith(edb, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("write-ahead log at %s (sync %s)\n", *walDir, pol)
+		}
+		defer server.Close()
+	} else {
+		edb, err := loadDatabase(*dbIn)
+		if err != nil {
+			return err
+		}
+		server, err = ppanns.NewServer(edb)
+		if err != nil {
+			return err
+		}
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -288,6 +333,47 @@ func runServe(args []string) error {
 	return transport.Serve(l, server)
 }
 
+func loadDatabase(path string) (*ppanns.EncryptedDatabase, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ppanns.LoadEncryptedDatabase(f)
+}
+
+// runRecover replays a WAL directory offline — newest usable checkpoint
+// plus every acknowledged record after it — and writes the recovered
+// database atomically to the output path. The directory itself is also
+// healed: the torn tail is repaired and a fresh checkpoint recorded.
+func runRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("recover: usage: ppanns-dbtool recover <waldir> <out.ppanns>")
+	}
+	dir, out := fs.Arg(0), fs.Arg(1)
+
+	srv, stats, err := core.OpenServer(dir, core.ServerOptions{CompactAt: -1})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("checkpoint:  %s (epoch %d, generation %d)\n", stats.Checkpoint, stats.CheckpointEpoch, stats.CheckpointGen)
+	fmt.Printf("replayed:    %d records → epoch %d\n", stats.Replayed, stats.Epoch)
+	if stats.Truncated != "" {
+		fmt.Printf("repaired:    %s (%d bytes, %d segments dropped)\n", stats.Truncated, stats.TruncatedBytes, stats.DroppedSegments)
+	}
+	if stats.SkippedCheckpoints > 0 {
+		fmt.Printf("warning:     %d unusable checkpoint(s) skipped\n", stats.SkippedCheckpoints)
+	}
+	if err := srv.SaveTo(out); err != nil {
+		return err
+	}
+	fmt.Printf("recovered database → %s: %d records (%d live)\n", out, srv.Len(), srv.Live())
+	return nil
+}
+
 // runInfo dials a serving instance and prints what the transport info op
 // reports: backend, capabilities, dimension, and the record counts — total
 // (tombstones included) and live — so operators can see deletion debt at a
@@ -295,8 +381,30 @@ func runServe(args []string) error {
 func runInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	walDir := fs.String("wal", "", "inspect a WAL directory offline instead of dialing a server")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-call deadline (0 = wait forever)")
 	fs.Parse(args)
+
+	if *walDir != "" {
+		rec, err := wal.Inspect(*walDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wal dir:    %s\n", *walDir)
+		fmt.Printf("segments:   %d (%d bytes)\n", rec.Segments, rec.Bytes)
+		fmt.Printf("records:    %d valid (checkpoint barriers included)\n", rec.Records)
+		if rec.Truncated != "" {
+			fmt.Printf("torn tail:  %s (%d bytes after it unrecoverable; recovery will repair)\n", rec.Truncated, rec.TruncatedBytes)
+		}
+		if len(rec.Barriers) == 0 {
+			fmt.Printf("checkpoint: none — not recoverable without one\n")
+			return nil
+		}
+		b := rec.Barriers[len(rec.Barriers)-1]
+		fmt.Printf("checkpoint: %s (epoch %d, generation %d, %d records; %d total)\n",
+			b.Name, b.Epoch, b.Gen, b.Records, len(rec.Barriers))
+		return nil
+	}
 
 	client, err := transport.DialWith(*addr, transport.DialOptions{
 		DialTimeout: *timeout,
@@ -340,6 +448,19 @@ func runInfo(args []string) error {
 			fmt.Printf("pq tier:    none\n")
 		}
 		fmt.Printf("delta heap: %d B un-compacted\n", m.DeltaBytes)
+	}
+	if info.Proto >= 5 {
+		// v5 servers summarize their write-ahead log; nil means the
+		// server runs without one (acknowledged writes are volatile).
+		if w := info.WAL; w != nil {
+			fmt.Printf("wal:        %s — %d segments, %d B, sync %s\n", w.Dir, w.Segments, w.Bytes, w.Policy)
+			fmt.Printf("wal acked:  %d appended, %d synced durable\n", w.Appended, w.Synced)
+			if w.Checkpoint != "" {
+				fmt.Printf("wal ckpt:   %s (epoch %d, generation %d)\n", w.Checkpoint, w.CheckpointEpoch, w.CheckpointGen)
+			}
+		} else {
+			fmt.Printf("wal:        none (writes are not durable across restarts)\n")
+		}
 	}
 	return nil
 }
@@ -474,10 +595,7 @@ func queryReplicated(user *ppanns.User, qs *vec.Dataset, addrs string, k, ratio 
 }
 
 func writeFvecs(path string, vectors [][]float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return vec.WriteFvecs(f, vec.DatasetFromSlices(vectors))
+	return wal.WriteFileAtomic(path, func(w io.Writer) error {
+		return vec.WriteFvecs(w, vec.DatasetFromSlices(vectors))
+	})
 }

@@ -97,6 +97,7 @@ func Registry() []Experiment {
 		{"perf", "Search hot-path profile: qps, latency, cost split, allocs (BENCH_search.json)", SearchPerf},
 		{"tune", "PQ tier tuner: cheapest (M, k′) meeting the recall target", Tune},
 		{"scale", "Million-vector compressed filter tier: (M, k′) curve, bytes/point (BENCH_search.json scale section)", Scale},
+		{"durability", "WAL sync-policy cost and zero-loss recovery check (BENCH_search.json durability section)", Durability},
 	}
 }
 

@@ -1,0 +1,334 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ppanns/internal/core"
+	"ppanns/internal/dataset"
+	"ppanns/internal/rng"
+	"ppanns/internal/vec"
+	"ppanns/internal/wal"
+)
+
+// DurabilityReport is the committed write-ahead-log cost profile (the
+// "durability" section of BENCH_search.json): the mixed 95/5 workload from
+// the perf profile re-run with a WAL attached at each sync policy, plus a
+// no-WAL reference. Every WAL-attached run is closed and recovered with
+// OpenServer afterwards and its acknowledged-write loss — acknowledged
+// mutations minus the recovered epoch — is asserted zero before the numbers
+// are written. Mutating this section by hand defeats its purpose; re-run
+// `ppanns-bench -exp durability -json BENCH_search.json`.
+type DurabilityReport struct {
+	Generated string `json:"generated"`
+	Dataset   string `json:"dataset"`
+	N         int    `json:"n"`
+	Dim       int    `json:"dim"`
+	K         int    `json:"k"`
+	Backend   string `json:"backend"`
+	// Ops is the total operation count per run; Writes the mutation share
+	// (ReadFraction reads, alternating insert/delete for the rest).
+	Ops          int     `json:"ops"`
+	Writes       int     `json:"writes"`
+	ReadFraction float64 `json:"read_fraction"`
+	// Reference is the same workload with no WAL attached — the write
+	// path's floor, against which the policy overheads are measured.
+	Reference DurabilityPoint `json:"reference"`
+	// Policies is ordered weakest to strongest guarantee: os-buffered,
+	// interval, every=8, every=1.
+	Policies []DurabilityPoint `json:"policies"`
+	// SyncEvery1WriteOverheadX is the per-write latency multiple of the
+	// strongest policy (fsync before every ack) over the no-WAL reference:
+	// write p50 at every=1 divided by write p50 with no WAL.
+	SyncEvery1WriteOverheadX float64 `json:"sync_every1_write_overhead_x"`
+	// SyncEvery1OpsOverheadPct is the mixed-throughput cost of every=1 vs
+	// the no-WAL reference, in percent (reads amortize the write stalls).
+	SyncEvery1OpsOverheadPct float64 `json:"sync_every1_ops_overhead_pct"`
+}
+
+// DurabilityPoint is one sync policy's measured cost and recovery outcome.
+type DurabilityPoint struct {
+	// Policy is the wal.SyncPolicy spelling ("every=1", "interval=100ms",
+	// "os-buffered") or "none" on the no-WAL reference row.
+	Policy string `json:"policy"`
+	// OpsPerSec is the sustained mixed throughput (reads and writes).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Write latencies cover the full acked path: log append (+ fsync per
+	// policy) and index publish.
+	WriteP50Micros float64 `json:"write_p50_us"`
+	WriteP99Micros float64 `json:"write_p99_us"`
+	ReadP50Micros  float64 `json:"read_p50_us"`
+	// WALSegments/WALBytes describe the log at close (reference: zero).
+	WALSegments int   `json:"wal_segments,omitempty"`
+	WALBytes    int64 `json:"wal_bytes,omitempty"`
+	// AckedWrites is the number of acknowledged mutations; RecoveredEpoch
+	// what OpenServer restored (Replayed of them from the log tail, the
+	// rest from the newest checkpoint). AckedWriteLoss is their
+	// difference, asserted zero for every WAL policy.
+	AckedWrites    int    `json:"acked_writes"`
+	RecoveredEpoch uint64 `json:"recovered_epoch,omitempty"`
+	Replayed       int    `json:"replayed,omitempty"`
+	AckedWriteLoss int    `json:"acked_write_loss"`
+}
+
+// Durability runs the WAL sync-policy sweep: the mixed 95/5 read/write
+// workload at each policy, each WAL-attached run closed and recovered to
+// prove zero acknowledged-write loss, the every=1 overhead quantified
+// against the no-WAL floor.
+func Durability(cfg Config) error {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	if !cfg.Full && n > 2000 {
+		// fsync cost per write is corpus-size independent; keep the
+		// default sweep (five full deployments) in seconds.
+		n = 2000
+	}
+	data := dataset.SIFTLike(n, cfg.Queries, cfg.Seed)
+	k := cfg.K
+	opt := core.SearchOptions{RatioK: 8}
+
+	var rep DurabilityReport
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Dataset = data.Name
+	rep.N = len(data.Train)
+	rep.Dim = data.Dim
+	rep.K = k
+	rep.ReadFraction = 0.95
+
+	policies := []wal.SyncPolicy{
+		{}, // os-buffered
+		{Interval: 100 * time.Millisecond},
+		{Every: 8},
+		{Every: 1},
+	}
+	ref, err := durabilityRun(cfg, data, k, opt, nil, &rep)
+	if err != nil {
+		return err
+	}
+	rep.Reference = ref
+	cfg.printf("%-22s %.0f ops/s, write p50 %.0fµs p99 %.0fµs\n",
+		"no wal (reference)", ref.OpsPerSec, ref.WriteP50Micros, ref.WriteP99Micros)
+	for i := range policies {
+		pt, err := durabilityRun(cfg, data, k, opt, &policies[i], &rep)
+		if err != nil {
+			return err
+		}
+		rep.Policies = append(rep.Policies, pt)
+		cfg.printf("%-22s %.0f ops/s, write p50 %.0fµs p99 %.0fµs, recovered epoch %d/%d acked (loss %d)\n",
+			pt.Policy, pt.OpsPerSec, pt.WriteP50Micros, pt.WriteP99Micros,
+			pt.RecoveredEpoch, pt.AckedWrites, pt.AckedWriteLoss)
+	}
+
+	every1 := rep.Policies[len(rep.Policies)-1]
+	if ref.WriteP50Micros > 0 {
+		rep.SyncEvery1WriteOverheadX = every1.WriteP50Micros / ref.WriteP50Micros
+	}
+	if ref.OpsPerSec > 0 {
+		rep.SyncEvery1OpsOverheadPct = 100 * (1 - every1.OpsPerSec/ref.OpsPerSec)
+	}
+	cfg.printf("%-22s write p50 %.1f× the no-WAL floor, mixed throughput -%.1f%%\n",
+		"every=1 overhead", rep.SyncEvery1WriteOverheadX, rep.SyncEvery1OpsOverheadPct)
+
+	if cfg.JSONOut != "" {
+		if err := mergeDurabilitySection(cfg.JSONOut, &rep); err != nil {
+			return err
+		}
+		cfg.printf("%-22s %s (durability section)\n", "profile written", cfg.JSONOut)
+	}
+	return nil
+}
+
+// durabilityRun drives one mixed 95/5 run: every 20th operation mutates
+// (alternating insert and delete), the rest search. A nil policy runs the
+// no-WAL reference; otherwise the server logs to a fresh temp directory,
+// is closed after the workload, and recovered with OpenServer to verify
+// that every acknowledged mutation survived.
+func durabilityRun(cfg Config, data *dataset.Data, k int, opt core.SearchOptions, policy *wal.SyncPolicy, rep *DurabilityReport) (DurabilityPoint, error) {
+	const readsPerWrite = 19 // 95/5
+	var pt DurabilityPoint
+	n := len(data.Train)
+	ops := n
+	if ops < 400 {
+		ops = 400
+	}
+	writes := ops / (readsPerWrite + 1)
+	compactAt := writes / 3
+	if compactAt < 4 {
+		compactAt = 4
+	}
+
+	owner, err := core.NewDataOwner(core.Params{Dim: data.Dim, Beta: 0.3, Seed: cfg.Seed})
+	if err != nil {
+		return pt, err
+	}
+	edb, err := owner.EncryptDatabase(data.Train)
+	if err != nil {
+		return pt, err
+	}
+	sopts := core.ServerOptions{CompactAt: compactAt}
+	var walDir string
+	if policy != nil {
+		pt.Policy = policy.String()
+		if walDir, err = os.MkdirTemp("", "ppanns-bench-wal-*"); err != nil {
+			return pt, err
+		}
+		defer os.RemoveAll(walDir)
+		sopts.WALDir = walDir
+		sopts.WALSync = *policy
+	} else {
+		pt.Policy = "none"
+	}
+	server, err := core.NewServerWith(edb, sopts)
+	if err != nil {
+		return pt, err
+	}
+	user, err := core.NewUser(owner.UserKey())
+	if err != nil {
+		return pt, err
+	}
+	toks := make([]*core.QueryToken, len(data.Queries))
+	for i, q := range data.Queries {
+		if toks[i], err = user.Query(q); err != nil {
+			return pt, err
+		}
+	}
+
+	// Pre-encrypt the insert stream: encryption is owner-side work and
+	// must not be charged to the server's write latency.
+	r := rng.NewSeeded(cfg.Seed + 31)
+	payloads := make([]*core.InsertPayload, writes/2+1)
+	for i := range payloads {
+		v := vec.Add(nil, data.Train[r.IntN(n)], rng.GaussianVec(r, data.Dim, 0.3))
+		if payloads[i], err = owner.EncryptVector(v); err != nil {
+			return pt, err
+		}
+	}
+	pool := make([]int, n)
+	for id := range pool {
+		pool[id] = id
+	}
+
+	var dst []int
+	for _, t := range toks { // warm the pooled read path
+		if dst, _, err = server.SearchInto(dst, t, k, opt); err != nil {
+			return pt, err
+		}
+	}
+
+	readLat := make([]time.Duration, 0, ops)
+	writeLat := make([]time.Duration, 0, writes)
+	nextInsert, mutations := 0, 0
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if i%(readsPerWrite+1) == readsPerWrite {
+			wStart := time.Now()
+			if mutations%2 == 0 {
+				if _, err := server.Insert(payloads[nextInsert]); err != nil {
+					return pt, fmt.Errorf("bench: durability insert: %w", err)
+				}
+				nextInsert++
+			} else {
+				pi := r.IntN(len(pool))
+				id := pool[pi]
+				pool[pi] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				if err := server.Delete(id); err != nil {
+					return pt, fmt.Errorf("bench: durability delete %d: %w", id, err)
+				}
+			}
+			writeLat = append(writeLat, time.Since(wStart))
+			mutations++
+			continue
+		}
+		qStart := time.Now()
+		ids, _, err := server.SearchInto(dst[:0], tok(toks, i), k, opt)
+		if err != nil {
+			return pt, fmt.Errorf("bench: durability read: %w", err)
+		}
+		dst = ids
+		readLat = append(readLat, time.Since(qStart))
+	}
+	elapsed := time.Since(start)
+
+	pt.OpsPerSec = float64(ops) / elapsed.Seconds()
+	pt.WriteP50Micros = durabilityPctl(writeLat, 0.50)
+	pt.WriteP99Micros = durabilityPctl(writeLat, 0.99)
+	pt.ReadP50Micros = durabilityPctl(readLat, 0.50)
+	pt.AckedWrites = mutations
+	if rep.Backend == "" {
+		rep.Backend = server.Backend()
+		rep.Ops = ops
+		rep.Writes = mutations
+	}
+
+	if policy == nil {
+		return pt, nil
+	}
+
+	// Close and recover: every acknowledged mutation must be restored —
+	// epoch is the mutation ledger, so recovered epoch below the acked
+	// count is lost writes. A clean close makes even os-buffered runs
+	// recoverable in full; the crash-injection tests in internal/core
+	// cover the SIGKILL case.
+	preClose := server.CompactionStats()
+	if st := server.WALStats(); st != nil {
+		pt.WALSegments = st.Segments
+		pt.WALBytes = st.Bytes
+	}
+	if err := server.Close(); err != nil {
+		return pt, err
+	}
+	recovered, rstats, err := core.OpenServer(walDir, core.ServerOptions{CompactAt: -1})
+	if err != nil {
+		return pt, fmt.Errorf("bench: recovering %s run: %w", pt.Policy, err)
+	}
+	defer recovered.Close()
+	pt.RecoveredEpoch = recovered.Epoch()
+	pt.Replayed = rstats.Replayed
+	pt.AckedWriteLoss = mutations - int(pt.RecoveredEpoch)
+	if pt.AckedWriteLoss != 0 {
+		return pt, fmt.Errorf("bench: %s lost %d acknowledged writes (epoch %d, acked %d)",
+			pt.Policy, pt.AckedWriteLoss, pt.RecoveredEpoch, mutations)
+	}
+	if recovered.Len() != preClose.Len || recovered.Live() != preClose.Live {
+		return pt, fmt.Errorf("bench: %s recovered to %d/%d records, want %d/%d",
+			pt.Policy, recovered.Len(), recovered.Live(), preClose.Len, preClose.Live)
+	}
+	return pt, nil
+}
+
+func durabilityPctl(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return float64(s[idx].Microseconds())
+}
+
+// mergeDurabilitySection writes the durability report into its section of
+// the profile, preserving every other experiment's numbers.
+func mergeDurabilitySection(path string, dr *DurabilityReport) error {
+	var rep SearchPerfReport
+	if blob, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			return fmt.Errorf("bench: parsing existing profile %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("bench: reading profile %s: %w", path, err)
+	}
+	rep.Durability = dr
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -164,6 +164,10 @@ type SearchPerfReport struct {
 	// "scale" experiment (which merges into this file without touching the
 	// sections above). Nil when the scale run hasn't been committed.
 	Scale *ScaleReport `json:"scale,omitempty"`
+	// Durability is the WAL sync-policy cost profile, written by the
+	// "durability" experiment (same merge discipline as Scale). Nil when
+	// the durability run hasn't been committed.
+	Durability *DurabilityReport `json:"durability,omitempty"`
 }
 
 // MultiQueryPoint is one group size of the multi-query blocking sweep.
@@ -613,13 +617,14 @@ func SearchPerf(cfg Config) error {
 		"write path", rep.Mixed.DeltaInsertMicros, rep.Mixed.CloneInsertMicros, rep.Mixed.InsertSpeedup)
 
 	if cfg.JSONOut != "" {
-		// The "scale" section belongs to the scale experiment; a perf
-		// rewrite must carry it forward, not drop it (the two experiments
-		// regenerate their own sections independently).
+		// The "scale" and "durability" sections belong to their own
+		// experiments; a perf rewrite must carry them forward, not drop
+		// them (the experiments regenerate their sections independently).
 		if blob, err := os.ReadFile(cfg.JSONOut); err == nil {
 			var old SearchPerfReport
 			if json.Unmarshal(blob, &old) == nil {
 				rep.Scale = old.Scale
+				rep.Durability = old.Durability
 			}
 		}
 		blob, err := json.MarshalIndent(&rep, "", "  ")

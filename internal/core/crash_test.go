@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"ppanns/internal/index"
+	"ppanns/internal/rng"
+	"ppanns/internal/wal"
+)
+
+// The crash-durability suite proves the WAL's acknowledgment contract the
+// only honest way: a real child process is SIGKILLed mid-churn — mid
+// group commit, mid background compaction, mid checkpoint — and the
+// parent recovers the directory and checks every acknowledged write
+// survived, bit-identically.
+//
+// Determinism makes the oracle cheap. All owner-side randomness (DCPE
+// perturbation, DCE keys, PQ training) derives from Params.Seed, so the
+// parent rebuilds a never-crashed mirror by replaying the same scripted
+// op stream in-process: the i-th EncryptVector call yields the same
+// ciphertext in both processes, and with the recovered epoch E known,
+// "apply the first E ops" reconstructs exactly the state the child had
+// acknowledged.
+
+const (
+	crashSeed    = 311
+	crashDim     = 8
+	crashBase    = 150
+	crashWorkEnv = "PPANNS_CRASH_DIR"
+	crashBackEnv = "PPANNS_CRASH_BACKEND"
+)
+
+func crashParams(backend string) Params {
+	return Params{Dim: crashDim, Beta: 0.3, Seed: crashSeed, Index: backend, PQ: true, PQM: 4}
+}
+
+// crashScript is the deterministic op stream shared by the child and the
+// parent's mirror: ~2/3 inserts of seeded-random vectors, ~1/3 deletes of
+// a seeded-random live id. Its state depends only on how many ops have
+// been taken, never on server behavior.
+type crashScript struct {
+	r    *rng.Rand
+	live []int
+	next int
+	m    int
+}
+
+func newCrashScript() *crashScript {
+	cs := &crashScript{r: rng.NewSeeded(crashSeed + 1), next: crashBase}
+	cs.live = make([]int, crashBase)
+	for i := range cs.live {
+		cs.live[i] = i
+	}
+	return cs
+}
+
+// op returns the next scripted mutation: a vector to insert, or (nil, id)
+// to delete.
+func (cs *crashScript) op() ([]float64, int) {
+	defer func() { cs.m++ }()
+	if cs.m%3 != 2 {
+		cs.live = append(cs.live, cs.next)
+		cs.next++
+		return rng.GaussianVec(cs.r, crashDim, 8), 0
+	}
+	pick := cs.r.IntN(len(cs.live))
+	id := cs.live[pick]
+	cs.live[pick] = cs.live[len(cs.live)-1]
+	cs.live = cs.live[:len(cs.live)-1]
+	return nil, id
+}
+
+// TestWALCrashChild is the victim process: it churns a WAL-attached
+// server with SyncEvery=1 and a tiny compaction trigger (so checkpoints
+// race the kill), printing "ack <epoch>" after each acknowledged write,
+// until the parent kills it. It skips unless spawned by the parent.
+func TestWALCrashChild(t *testing.T) {
+	dir := os.Getenv(crashWorkEnv)
+	if dir == "" {
+		t.Skip("crash child: spawned only by TestWALCrashDurability")
+	}
+	backend := os.Getenv(crashBackEnv)
+	data := clustered(crashSeed+2, crashBase, crashDim, 5)
+	w := newWALWorld(t, crashParams(backend), data, ServerOptions{
+		WALDir:    dir,
+		WALSync:   wal.SyncPolicy{Every: 1},
+		CompactAt: 16,
+	})
+	cs := newCrashScript()
+	out := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(out, "ready")
+	out.Flush()
+	for m := 0; m < 1_000_000; m++ {
+		vec, id := cs.op()
+		if vec != nil {
+			payload, err := w.owner.EncryptVector(vec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.server.Insert(payload); err != nil {
+				t.Fatalf("op %d (insert): %v", m, err)
+			}
+		} else if err := w.server.Delete(id); err != nil {
+			t.Fatalf("op %d (delete %d): %v", m, id, err)
+		}
+		// The ack line leaves this process only after Insert/Delete
+		// returned, i.e. after the record is fsync-durable: any line the
+		// parent reads is a write that must survive the kill.
+		fmt.Fprintf(out, "ack %d\n", m+1)
+		out.Flush()
+	}
+}
+
+// TestWALCrashDurability SIGKILLs a churning child at an arbitrary point
+// and asserts (a) zero acknowledged-write loss — the recovered epoch
+// covers every ack the parent observed — and (b) bit-identity: the
+// recovered server matches a never-crashed mirror in content and in
+// search results under both FilterExact and FilterPQ, on every backend.
+func TestWALCrashDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test skipped in -short mode")
+	}
+	for bi, name := range index.Names() {
+		name, bi := name, bi
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			// Vary the kill point per backend so the crash lands in
+			// different phases (mid-delta, mid-fold, just past a
+			// checkpoint).
+			killAfter := 37 + bi*11
+
+			cmd := exec.Command(os.Args[0], "-test.run=^TestWALCrashChild$", "-test.count=1")
+			cmd.Env = append(os.Environ(), crashWorkEnv+"="+dir, crashBackEnv+"="+name)
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			stdout, err := cmd.StdoutPipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			timer := time.AfterFunc(2*time.Minute, func() { cmd.Process.Kill() })
+
+			acked := 0
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				if !strings.HasPrefix(sc.Text(), "ack ") {
+					continue
+				}
+				acked++
+				if acked == killAfter {
+					if err := cmd.Process.Kill(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			cmd.Wait() // killed: error expected
+			timer.Stop()
+			if acked < killAfter {
+				t.Fatalf("child died after %d acks (wanted to kill at %d); stderr:\n%s", acked, killAfter, stderr.String())
+			}
+
+			opts := ServerOptions{WALDir: dir, WALSync: wal.SyncPolicy{Every: 1}, CompactAt: -1}
+			rec, stats, err := OpenServer(dir, opts)
+			if err != nil {
+				t.Fatalf("recovery failed: %v (stats %+v)", err, stats)
+			}
+			defer rec.Close()
+			epoch := rec.Epoch()
+			if epoch < uint64(acked) {
+				t.Fatalf("acknowledged-write loss: recovered epoch %d < %d acks observed", epoch, acked)
+			}
+			t.Logf("killed at %d acks; recovered epoch %d from %s (+%d replayed, torn tail: %q)",
+				acked, epoch, stats.Checkpoint, stats.Replayed, stats.Truncated)
+
+			// Never-crashed mirror: same seed, same script, first E ops.
+			data := clustered(crashSeed+2, crashBase, crashDim, 5)
+			mw := newWorld(t, crashParams(name), data)
+			cs := newCrashScript()
+			for m := uint64(0); m < epoch; m++ {
+				vec, id := cs.op()
+				if vec != nil {
+					payload, err := mw.owner.EncryptVector(vec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := mw.server.Insert(payload); err != nil {
+						t.Fatal(err)
+					}
+				} else if err := mw.server.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rec.Len() != mw.server.Len() || rec.Live() != mw.server.Live() {
+				t.Fatalf("recovered Len/Live = %d/%d, mirror %d/%d",
+					rec.Len(), rec.Live(), mw.server.Len(), mw.server.Live())
+			}
+			sameStores(t, "recovered vs mirror", mw.server, rec)
+
+			toks := make([]*QueryToken, 4)
+			for i := range toks {
+				toks[i] = mustToken(t, mw, data[i*17])
+			}
+			total := rec.Len()
+			sameResults(t, "recovered vs mirror",
+				searchAll(t, mw.server, toks, 10, total), searchAll(t, rec, toks, 10, total))
+			pqOpt := exhaustiveOpt(total)
+			pqOpt.FilterDist = FilterPQ
+			for i, tok := range toks {
+				a, err := mw.server.Search(tok, 10, pqOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := rec.Search(tok, 10, pqOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, fmt.Sprintf("recovered vs mirror (FilterPQ, query %d)", i), [][]int{a}, [][]int{b})
+			}
+		})
+	}
+}

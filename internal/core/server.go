@@ -14,6 +14,7 @@ import (
 	"ppanns/internal/pq"
 	"ppanns/internal/resultheap"
 	"ppanns/internal/vec"
+	"ppanns/internal/wal"
 )
 
 // RefineMode selects how the server's refine phase compares candidates.
@@ -359,6 +360,25 @@ type ServerOptions struct {
 	// tier's ciphertext+vector footprint reaches this many bytes
 	// (0 disables the byte trigger).
 	CompactAtBytes int
+	// WALDir, when non-empty, makes the write path durable: every
+	// Insert/Delete is appended to a write-ahead log in this directory
+	// before it is acknowledged, and every compaction (or Flush) persists
+	// an atomic checkpoint snapshot there. NewServerWith requires a fresh
+	// (empty) directory and seeds it with an initial checkpoint; a
+	// directory holding an existing log is recovered with OpenServer
+	// instead. Databases carrying AME ciphertexts (a benchmark-only tier
+	// that is never persisted) are rejected.
+	WALDir string
+	// WALSync selects the durability policy of the acknowledgment (see
+	// wal.SyncPolicy): fsync every write (Every: 1, group-committed),
+	// every Nth write, on a background interval, or OS-buffered (zero
+	// value).
+	WALSync wal.SyncPolicy
+	// WALSegmentBytes caps a log segment before rotation; 0 selects the
+	// wal package default (16 MiB).
+	WALSegmentBytes int64
+	// walFS overrides the log's filesystem, for fault-injection tests.
+	walFS wal.FS
 }
 
 // Server hosts the encrypted database and answers queries (Figure 1 steps
@@ -396,6 +416,13 @@ type Server struct {
 	maxPause     time.Duration
 	lastDuration time.Duration
 	lastCompErr  error
+
+	// wal, when non-nil, is the attached write-ahead log: mutations
+	// append under wmu (so log order equals epoch order) and group-commit
+	// after publishing; compactions checkpoint through it. walPolicy is
+	// retained for stats.
+	wal       *wal.Log
+	walPolicy wal.SyncPolicy
 }
 
 // NewServer wraps an encrypted database received from the data owner,
@@ -414,6 +441,11 @@ func NewServerWith(edb *EncryptedDatabase, o ServerOptions) (*Server, error) {
 	}
 	s := &Server{compactAt: o.CompactAt, compactAtBytes: o.CompactAtBytes}
 	s.snap.Store(&snapshot{edb: edb, frozen: edb.DCE.Len()})
+	if o.WALDir != "" {
+		if err := s.attachWAL(edb, o); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -740,8 +772,15 @@ func (s *Server) searchInto(dst []int, tok *QueryToken, k int, opt SearchOptions
 // Insert is O(1)-ish: it appends the DCE ciphertext to the shared arena
 // (past every published snapshot's length), appends the SAP vector to the
 // delta list, and publishes a new snapshot — no index clone, no work
-// proportional to the database size. A failed insert (validation only;
-// nothing else can fail) publishes nothing.
+// proportional to the database size. A failed insert (validation, or a WAL
+// append failure) publishes nothing.
+//
+// With a WAL attached the insert is append-then-ack: the encrypted payload
+// (SAP + DCE record + PQ code row) is logged before the snapshot publishes,
+// and the call returns only once the record is durable per the configured
+// sync policy. A non-nil error alongside a valid id means the insert is
+// applied in memory but its durability is unknown (a failed fsync poisons
+// the log; subsequent writes fail fast).
 func (s *Server) Insert(p *InsertPayload) (int, error) {
 	if p == nil || p.SAP == nil || p.DCE == nil {
 		return 0, fmt.Errorf("core: incomplete insert payload")
@@ -762,22 +801,53 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 		s.wmu.Unlock()
 		return 0, fmt.Errorf("core: database carries AME ciphertexts; payload lacks one")
 	}
+	var code []byte
+	if edb.PQ != nil {
+		// Encode server-side with the published codebook so the code arena
+		// keeps covering every id; the delta tier then scans codes too.
+		code = make([]byte, edb.PQ.Book.M())
+		edb.PQ.Book.EncodeInto(code, p.SAP)
+	}
+	var lsn uint64
+	if s.wal != nil {
+		payload := appendInsertPayload(nil, uint64(edb.DCE.Len()), p.SAP, p.DCE, code)
+		var werr error
+		lsn, werr = s.wal.Append(wal.KindInsert, cur.epoch+1, payload)
+		if werr != nil {
+			s.wmu.Unlock()
+			return 0, fmt.Errorf("core: wal append: %w", werr)
+		}
+	}
+	pos := s.publishInsert(cur, p.SAP, p.DCE, p.AME, code)
+	s.wmu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.Commit(lsn); err != nil {
+			return pos, fmt.Errorf("core: wal commit: %w", err)
+		}
+	}
+	s.maybeCompact()
+	return pos, nil
+}
+
+// publishInsert appends a validated insert to the delta tier and publishes
+// the next snapshot, returning the new id. code is the PQ row to append
+// (nil when the database carries no PQ tier — replay passes the logged row
+// here so recovered code arenas are byte-identical). Caller holds wmu and
+// has validated dimensions against cur.
+func (s *Server) publishInsert(cur *snapshot, sapIn []float64, ct *dce.Ciphertext, ameCt *ame.Ciphertext, code []byte) int {
+	edb := cur.edb
 	pos := edb.DCE.Len()
 	// The arena append writes past every published snapshot's length —
 	// invisible to in-flight readers; likewise the SAP, AME and PQ-code
 	// appends.
-	store := edb.DCE.Extend(p.DCE)
-	sap := append([]float64(nil), p.SAP...)
+	store := edb.DCE.Extend(ct)
+	sap := append([]float64(nil), sapIn...)
 	var ameCts []*ame.Ciphertext
 	if edb.AME != nil {
-		ameCts = append(edb.AME, p.AME)
+		ameCts = append(edb.AME, ameCt)
 	}
 	var pqStore *pq.Store
 	if edb.PQ != nil {
-		// Encode server-side with the published codebook so the code arena
-		// keeps covering every id; the delta tier then scans codes too.
-		code := make([]byte, edb.PQ.Book.M())
-		edb.PQ.Book.EncodeInto(code, p.SAP)
 		pqStore = &pq.Store{
 			Book:      edb.PQ.Book,
 			Codes:     edb.PQ.Codes.Extend(code),
@@ -801,9 +871,7 @@ func (s *Server) Insert(p *InsertPayload) (int, error) {
 		epoch:    cur.epoch + 1,
 		gen:      cur.gen,
 	})
-	s.wmu.Unlock()
-	s.maybeCompact()
-	return pos, nil
+	return pos
 }
 
 // Delete removes the vector with the given external id (Section V-D).
@@ -824,6 +892,29 @@ func (s *Server) Delete(pos int) error {
 		s.wmu.Unlock()
 		return fmt.Errorf("core: id %d already deleted", pos)
 	}
+	var lsn uint64
+	if s.wal != nil {
+		var werr error
+		lsn, werr = s.wal.Append(wal.KindDelete, cur.epoch+1, appendDeletePayload(nil, uint64(pos)))
+		if werr != nil {
+			s.wmu.Unlock()
+			return fmt.Errorf("core: wal append: %w", werr)
+		}
+	}
+	s.publishDelete(cur, pos)
+	s.wmu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.Commit(lsn); err != nil {
+			return fmt.Errorf("core: wal commit: %w", err)
+		}
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// publishDelete records a validated tombstone and publishes the next
+// snapshot. Caller holds wmu and has checked pos is live in cur.
+func (s *Server) publishDelete(cur *snapshot, pos int) {
 	tombs := make(map[int]struct{}, len(cur.tombs)+1)
 	for t := range cur.tombs {
 		tombs[t] = struct{}{}
@@ -834,7 +925,7 @@ func (s *Server) Delete(pos int) error {
 		mainDead++
 	}
 	s.snap.Store(&snapshot{
-		edb:      edb,
+		edb:      cur.edb,
 		frozen:   cur.frozen,
 		deltaSAP: cur.deltaSAP,
 		tombs:    tombs,
@@ -842,9 +933,6 @@ func (s *Server) Delete(pos int) error {
 		epoch:    cur.epoch + 1,
 		gen:      cur.gen,
 	})
-	s.wmu.Unlock()
-	s.maybeCompact()
-	return nil
 }
 
 // CompactionStats is a point-in-time view of the write path's two-tier
@@ -1104,6 +1192,31 @@ func (s *Server) compactFold() error {
 		}
 	}
 
+	// Capture the checkpoint state before any grafting: the folded index,
+	// arena and code store correspond exactly to the base snapshot's
+	// content (epoch base.epoch). The COW snapshots share the arenas;
+	// grafts below only append past their lengths, so the capture stays
+	// bit-stable while the checkpoint file is written after the swap.
+	var ckptEDB *EncryptedDatabase
+	if s.wal != nil {
+		var ckptPQ *pq.Store
+		if pqs != nil {
+			ckptPQ = &pq.Store{
+				Book:      pqs.Book,
+				Codes:     pqs.Codes.Snapshot(),
+				TrainedOn: pqs.TrainedOn,
+				Cfg:       pqs.Cfg,
+			}
+		}
+		ckptEDB = &EncryptedDatabase{
+			Dim:     edb.Dim,
+			Backend: edb.Backend,
+			Index:   idx,
+			DCE:     store.Snapshot(),
+			PQ:      ckptPQ,
+		}
+	}
+
 	// Pre-graft the bulk of the post-snapshot tail with no locks held.
 	// Records past the base snapshot's length are append-only and
 	// immutable once visible in a published snapshot, so they are safe to
@@ -1181,5 +1294,16 @@ func (s *Server) compactFold() error {
 	}
 	s.lastDuration = time.Since(start)
 	s.statMu.Unlock()
+
+	// Persist the fold as the log's new recovery base. The fold itself is
+	// already published — a checkpoint failure doesn't undo it, it means
+	// recovery still starts from the previous checkpoint (and the error
+	// surfaces through Compact/Flush/CompactionStats; a failed fsync also
+	// poisons the log, failing subsequent writes fast).
+	if s.wal != nil {
+		if err := s.walCheckpoint(ckptEDB, base.epoch, base.gen+1); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,0 +1,565 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppanns/internal/index"
+	"ppanns/internal/rng"
+	"ppanns/internal/wal"
+)
+
+// newWALWorld mirrors newWorld but attaches a write-ahead log to the
+// server. AME is never enabled (the WAL rejects it — see attachWAL).
+func newWALWorld(t *testing.T, params Params, data [][]float64, opts ServerOptions) *testWorld {
+	t.Helper()
+	owner, err := NewDataOwner(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := NewUser(owner.UserKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServerWith(edb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testWorld{data: data, owner: owner, user: user, server: server}
+}
+
+// churnWAL applies a deterministic insert/delete script and returns the
+// surviving live ids.
+func churnWAL(t *testing.T, w *testWorld, dim, mutations int, seed uint64) []int {
+	t.Helper()
+	r := rng.NewSeeded(seed)
+	liveIDs := make([]int, w.server.Len())
+	for i := range liveIDs {
+		liveIDs[i] = i
+	}
+	for m := 0; m < mutations; m++ {
+		if m%3 != 2 {
+			payload, err := w.owner.EncryptVector(rng.GaussianVec(r, dim, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := w.server.Insert(payload)
+			if err != nil {
+				t.Fatalf("mutation %d (insert): %v", m, err)
+			}
+			liveIDs = append(liveIDs, id)
+		} else {
+			pick := r.IntN(len(liveIDs))
+			if err := w.server.Delete(liveIDs[pick]); err != nil {
+				t.Fatalf("mutation %d (delete %d): %v", m, liveIDs[pick], err)
+			}
+			liveIDs[pick] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+		}
+	}
+	return liveIDs
+}
+
+// sameStores asserts two servers hold bit-identical ciphertext content and
+// PQ code rows for every live id, tolerating different physical layouts:
+// one side may have compacted a tombstone away while the other still
+// carries it as a pending tombstone over a live store slot, so liveness is
+// compared through Deleted() (both tiers), not the store flags.
+func sameStores(t *testing.T, label string, a, b *Server) {
+	t.Helper()
+	sa, sb := a.snap.Load().edb, b.snap.Load().edb
+	if sa.DCE.Len() != sb.DCE.Len() {
+		t.Fatalf("%s: store lengths differ: %d vs %d", label, sa.DCE.Len(), sb.DCE.Len())
+	}
+	for id := 0; id < sa.DCE.Len(); id++ {
+		if a.Deleted(id) != b.Deleted(id) {
+			t.Fatalf("%s: id %d deleted=%v vs deleted=%v", label, id, a.Deleted(id), b.Deleted(id))
+		}
+		if a.Deleted(id) {
+			continue
+		}
+		ra, rb := sa.DCE.Record(id), sb.DCE.Record(id)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("%s: id %d ciphertext float %d differs", label, id, j)
+			}
+		}
+		if (sa.PQ != nil) != (sb.PQ != nil) {
+			t.Fatalf("%s: PQ tier presence differs", label)
+		}
+		if sa.PQ != nil {
+			ca, cb := sa.PQ.Codes.Row(id), sb.PQ.Codes.Row(id)
+			if len(ca) != len(cb) {
+				t.Fatalf("%s: id %d PQ code widths differ: %d vs %d", label, id, len(ca), len(cb))
+			}
+			for j := range ca {
+				if ca[j] != cb[j] {
+					t.Fatalf("%s: id %d PQ code byte %d differs: %#x vs %#x", label, id, j, ca[j], cb[j])
+				}
+			}
+		}
+	}
+}
+
+// TestWALRecoveryConformance is the tentpole conformance test: on every
+// backend, a WAL-attached server is churned (with mid-churn background
+// compactions writing checkpoints), closed, and recovered with OpenServer.
+// The recovered server must be bit-identical to the never-crashed one —
+// same epoch and generation floor, same ciphertext and PQ-code content,
+// and identical search results at exhaustive k′ under both FilterExact
+// and FilterPQ.
+func TestWALRecoveryConformance(t *testing.T) {
+	const (
+		n, dim    = 200, 8
+		k         = 10
+		mutations = 90
+	)
+	base := clustered(211, n, dim, 5)
+	for _, name := range index.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			params := Params{Dim: dim, Beta: 0.3, Seed: 211, Index: name, PQ: true, PQM: 4}
+			opts := ServerOptions{
+				WALDir:  dir,
+				WALSync: wal.SyncPolicy{Every: 1},
+				// Small trigger so background folds — and their
+				// checkpoints — fire mid-churn.
+				CompactAt: 32,
+			}
+			w := newWALWorld(t, params, base, opts)
+			churnWAL(t, w, dim, mutations, 212)
+
+			toks := make([]*QueryToken, 5)
+			for i := range toks {
+				toks[i] = mustToken(t, w, base[i*13])
+			}
+			total := w.server.Len()
+			wantEpoch := w.server.Epoch()
+			wantGen := w.server.CompactionStats().Generation
+			want := searchAll(t, w.server, toks, k, total)
+			pqOpt := exhaustiveOpt(total)
+			pqOpt.FilterDist = FilterPQ
+			wantPQ := make([][]int, len(toks))
+			for i, tok := range toks {
+				ids, err := w.server.Search(tok, k, pqOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantPQ[i] = ids
+			}
+			if err := w.server.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rec, stats, err := OpenServer(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			if stats.Truncated != "" {
+				t.Fatalf("clean close reported a torn tail: %+v", stats)
+			}
+			if rec.Epoch() != wantEpoch {
+				t.Fatalf("recovered epoch = %d, want %d (acked-write loss)", rec.Epoch(), wantEpoch)
+			}
+			if got := rec.CompactionStats().Generation; got < stats.CheckpointGen {
+				t.Fatalf("recovered generation %d below checkpoint generation %d", got, stats.CheckpointGen)
+			}
+			if stats.CheckpointEpoch+uint64(stats.Replayed) != wantEpoch {
+				t.Fatalf("checkpoint epoch %d + replayed %d != epoch %d", stats.CheckpointEpoch, stats.Replayed, wantEpoch)
+			}
+			if rec.Len() != total || rec.Live() != w.server.Live() {
+				t.Fatalf("recovered Len/Live = %d/%d, want %d/%d", rec.Len(), rec.Live(), total, w.server.Live())
+			}
+			sameStores(t, "recovered vs original", w.server, rec)
+			sameResults(t, "recovered vs original", want, searchAll(t, rec, toks, k, total))
+			gotPQ := make([][]int, len(toks))
+			for i, tok := range toks {
+				ids, err := rec.Search(tok, k, pqOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotPQ[i] = ids
+			}
+			sameResults(t, "recovered vs original (FilterPQ)", wantPQ, gotPQ)
+			if wantGen > 0 && stats.CheckpointGen == 0 {
+				t.Fatalf("background folds ran (gen %d) but recovery anchored on gen 0", wantGen)
+			}
+
+			// The recovered server keeps logging: a further mutation and a
+			// second recovery must agree too.
+			payload, err := w.owner.EncryptVector(base[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rec.Insert(payload); err != nil {
+				t.Fatal(err)
+			}
+			want2 := searchAll(t, rec, toks, k, total+1)
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rec2, _, err := OpenServer(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec2.Close()
+			if rec2.Epoch() != wantEpoch+1 {
+				t.Fatalf("second recovery epoch = %d, want %d", rec2.Epoch(), wantEpoch+1)
+			}
+			sameResults(t, "second recovery", want2, searchAll(t, rec2, toks, k, total+1))
+		})
+	}
+}
+
+// TestWALStatsReporting pins the WALStats surface: nil without a WAL,
+// populated with the policy and checkpoint identity with one.
+func TestWALStatsReporting(t *testing.T) {
+	data := clustered(221, 80, 6, 3)
+	plain := newWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 221}, data)
+	if plain.server.WALStats() != nil {
+		t.Fatal("WALStats non-nil on a server without a WAL")
+	}
+	dir := t.TempDir()
+	opts := ServerOptions{WALDir: dir, WALSync: wal.SyncPolicy{Every: 1}, CompactAt: -1}
+	w := newWALWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 221}, data, opts)
+	defer w.server.Close()
+	churnWAL(t, w, 6, 9, 222)
+	st := w.server.WALStats()
+	if st == nil {
+		t.Fatal("WALStats nil on a WAL-attached server")
+	}
+	if st.Dir != dir || st.Policy != "every=1" {
+		t.Fatalf("stats dir/policy = %q/%q, want %q/every=1", st.Dir, st.Policy, dir)
+	}
+	// 9 mutations plus the initial checkpoint's barrier record.
+	if st.Appended != 10 || st.Synced != 10 {
+		t.Fatalf("stats appended/synced = %d/%d, want 10/10", st.Appended, st.Synced)
+	}
+	if st.Checkpoint == "" || st.CheckpointEpoch != 0 || st.Segments == 0 || st.Bytes == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+// TestOpenServerEmptyDir: recovery from a directory that never held a
+// server is a distinct, actionable error.
+func TestOpenServerEmptyDir(t *testing.T) {
+	_, _, err := OpenServer(t.TempDir(), ServerOptions{})
+	if err == nil {
+		t.Fatal("expected error for empty WAL dir")
+	}
+	if !strings.Contains(err.Error(), "NewServerWith") {
+		t.Fatalf("error does not point at NewServerWith: %v", err)
+	}
+}
+
+// TestOpenServerCheckpointNoTail: a checkpoint with no mutation records
+// after it recovers with zero replay.
+func TestOpenServerCheckpointNoTail(t *testing.T) {
+	const n, dim, k = 120, 6, 8
+	data := clustered(231, n, dim, 3)
+	dir := t.TempDir()
+	opts := ServerOptions{WALDir: dir, WALSync: wal.SyncPolicy{Every: 1}, CompactAt: -1}
+	w := newWALWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 231}, data, opts)
+	churnWAL(t, w, dim, 6, 232)
+	// Flush folds the delta and writes a checkpoint; nothing follows it.
+	if _, err := w.server.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	toks := []*QueryToken{mustToken(t, w, data[0]), mustToken(t, w, data[50])}
+	want := searchAll(t, w.server, toks, k, w.server.Len())
+	wantEpoch := w.server.Epoch()
+	if err := w.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, stats, err := OpenServer(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if stats.Replayed != 0 {
+		t.Fatalf("replayed %d records over a post-flush checkpoint, want 0", stats.Replayed)
+	}
+	if stats.CheckpointEpoch != wantEpoch || rec.Epoch() != wantEpoch {
+		t.Fatalf("epochs: checkpoint %d, recovered %d, want %d", stats.CheckpointEpoch, rec.Epoch(), wantEpoch)
+	}
+	sameResults(t, "checkpoint-only recovery", want, searchAll(t, rec, toks, k, rec.Len()))
+}
+
+// TestOpenServerTailWithoutCheckpoint: log records with no checkpoint to
+// anchor them must refuse recovery loudly — serving a partial state would
+// silently drop acknowledged writes.
+func TestOpenServerTailWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	lg, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := lg.Append(wal.KindDelete, 1, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenServer(dir, ServerOptions{})
+	if err == nil {
+		t.Fatal("expected error for log tail without checkpoint")
+	}
+	if !strings.Contains(err.Error(), "no usable checkpoint") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Same refusal when the checkpoint files have been lost from an
+	// otherwise healthy directory.
+	dir2 := t.TempDir()
+	data := clustered(241, 60, 6, 3)
+	opts := ServerOptions{WALDir: dir2, WALSync: wal.SyncPolicy{Every: 1}, CompactAt: -1}
+	w := newWALWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 241}, data, opts)
+	churnWAL(t, w, 6, 6, 242)
+	if err := w.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir2, "checkpoint-*"))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoint files found: %v %v", ckpts, err)
+	}
+	for _, c := range ckpts {
+		if err := os.Remove(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stats, err := OpenServer(dir2, opts)
+	if err == nil {
+		t.Fatal("expected error after deleting checkpoint files")
+	}
+	if stats.SkippedCheckpoints == 0 {
+		t.Fatalf("missing checkpoints not counted: %+v", stats)
+	}
+}
+
+// TestOpenServerDoubleReplayIdempotence: recovering twice in a row — with
+// no writes in between — must land on the same epoch and results, proving
+// replay applies each record exactly once per recovery.
+func TestOpenServerDoubleReplayIdempotence(t *testing.T) {
+	const n, dim, k = 150, 8, 8
+	data := clustered(251, n, dim, 4)
+	dir := t.TempDir()
+	opts := ServerOptions{WALDir: dir, WALSync: wal.SyncPolicy{Every: 1}, CompactAt: -1}
+	w := newWALWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 251}, data, opts)
+	churnWAL(t, w, dim, 30, 252)
+	toks := []*QueryToken{mustToken(t, w, data[3]), mustToken(t, w, data[77])}
+	total := w.server.Len()
+	want := searchAll(t, w.server, toks, k, total)
+	if err := w.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec1, stats1, err := OpenServer(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "first replay", want, searchAll(t, rec1, toks, k, total))
+	if err := rec1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, stats2, err := OpenServer(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	if stats1.Replayed != 30 || stats2.Replayed != stats1.Replayed {
+		t.Fatalf("replay counts = %d then %d, want 30 both times", stats1.Replayed, stats2.Replayed)
+	}
+	if rec2.Epoch() != rec1.Epoch() {
+		t.Fatalf("epochs diverged across replays: %d vs %d", rec1.Epoch(), rec2.Epoch())
+	}
+	sameResults(t, "second replay", want, searchAll(t, rec2, toks, k, total))
+}
+
+// TestOpenServerCorruptTailRecord: a CRC-corrupt record is truncated, the
+// repair is reported, and the server serves the surviving prefix. A
+// subsequent recovery finds a clean log.
+func TestOpenServerCorruptTailRecord(t *testing.T) {
+	const n, dim, inserts = 120, 6, 8
+	data := clustered(261, n, dim, 3)
+	dir := t.TempDir()
+	opts := ServerOptions{WALDir: dir, WALSync: wal.SyncPolicy{Every: 1}, CompactAt: -1}
+	w := newWALWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 261}, data, opts)
+	r := rng.NewSeeded(262)
+	for i := 0; i < inserts; i++ {
+		payload, err := w.owner.EncryptVector(rng.GaussianVec(r, dim, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.server.Insert(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the last record's CRC trailer.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	seg := segs[len(segs)-1]
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xff
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, stats, err := OpenServer(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated == "" || stats.TruncatedBytes == 0 {
+		t.Fatalf("corruption not reported: %+v", stats)
+	}
+	if got, want := rec.Epoch(), uint64(inserts-1); got != want {
+		t.Fatalf("recovered epoch = %d, want %d (exactly the corrupt record dropped)", got, want)
+	}
+	if rec.Len() != n+inserts-1 {
+		t.Fatalf("recovered Len = %d, want %d", rec.Len(), n+inserts-1)
+	}
+	// The survivor still serves.
+	tok := mustToken(t, &testWorld{user: w.user}, data[0])
+	if _, err := rec.Search(tok, 5, exhaustiveOpt(rec.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, stats2, err := OpenServer(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	if stats2.Truncated != "" {
+		t.Fatalf("repair did not stick: %+v", stats2)
+	}
+	if rec2.Epoch() != uint64(inserts-1) {
+		t.Fatalf("second recovery epoch = %d, want %d", rec2.Epoch(), inserts-1)
+	}
+}
+
+// TestFlushSurfacesCheckpointSyncError is the regression test for
+// satellite 2: a checkpoint whose snapshot fsync fails must propagate the
+// error out of Flush/Compact and into CompactionStats, and the poisoned
+// log must fail subsequent writes fast rather than acknowledge them.
+func TestFlushSurfacesCheckpointSyncError(t *testing.T) {
+	const n, dim, inserts = 100, 6, 5
+	data := clustered(271, n, dim, 3)
+	scenario := func(t *testing.T, failSyncAt int) (*testWorld, *wal.Injector, error) {
+		t.Helper()
+		inj := &wal.Injector{KillAfterBytes: -1, FailSyncAt: failSyncAt}
+		opts := ServerOptions{
+			WALDir:    t.TempDir(),
+			WALSync:   wal.SyncPolicy{Every: 1},
+			CompactAt: -1,
+			walFS:     wal.NewFaultyFS(inj),
+		}
+		w := newWALWorld(t, Params{Dim: dim, Beta: 0.3, Seed: 271}, data, opts)
+		r := rng.NewSeeded(272)
+		for i := 0; i < inserts; i++ {
+			payload, err := w.owner.EncryptVector(rng.GaussianVec(r, dim, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.server.Insert(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, err := w.server.Flush()
+		return w, inj, err
+	}
+
+	// Fault-free run measures where Flush's checkpoint syncs land.
+	clean, inj, err := scenario(t, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncsThroughFlush := inj.Syncs()
+	preFlushSyncs := 2 + inserts // initial checkpoint (snapshot + barrier) and one per insert
+	if syncsThroughFlush <= preFlushSyncs {
+		t.Fatalf("flush performed no syncs? %d total, %d before", syncsThroughFlush, preFlushSyncs)
+	}
+	clean.server.Close()
+
+	// Same scenario with the first Flush-era sync failing.
+	w, _, err := scenario(t, preFlushSyncs+1)
+	if err == nil {
+		t.Fatal("Flush swallowed the checkpoint sync error")
+	}
+	if !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("Flush error does not wrap the injected fault: %v", err)
+	}
+	if cs := w.server.CompactionStats(); cs.LastError == "" {
+		t.Fatalf("checkpoint failure not recorded in CompactionStats: %+v", cs)
+	}
+	// The injector is dead: further writes must fail, not silently ack.
+	payload, err := w.owner.EncryptVector(data[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.server.Insert(payload); err == nil {
+		t.Fatal("insert acknowledged on a failed log")
+	}
+}
+
+// TestWALRejectsAMEAndExistingLog pins the two construction-time
+// refusals: AME databases cannot be made durable (the tier is never
+// persisted), and NewServerWith must not silently clobber a directory
+// that already holds a recoverable log.
+func TestWALRejectsAMEAndExistingLog(t *testing.T) {
+	data := clustered(281, 60, 6, 3)
+	owner, err := NewDataOwner(Params{Dim: 6, Beta: 0.3, Seed: 281, WithAME: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb, err := owner.EncryptDatabase(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServerWith(edb, ServerOptions{WALDir: t.TempDir()}); err == nil {
+		t.Fatal("expected error for WAL over an AME database")
+	}
+
+	dir := t.TempDir()
+	opts := ServerOptions{WALDir: dir, WALSync: wal.SyncPolicy{Every: 1}, CompactAt: -1}
+	w := newWALWorld(t, Params{Dim: 6, Beta: 0.3, Seed: 282}, data, opts)
+	if err := w.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	owner2, err := NewDataOwner(Params{Dim: 6, Beta: 0.3, Seed: 283})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb2, err := owner2.EncryptDatabase(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServerWith(edb2, opts); err == nil {
+		t.Fatal("expected error for NewServerWith over an existing log")
+	} else if !strings.Contains(err.Error(), "OpenServer") {
+		t.Fatalf("error does not point at OpenServer: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package dce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Frame helpers for the write-ahead log: length-prefixed little-endian
+// encodings of float vectors and full ciphertext records, so a WAL insert
+// payload can carry the SAP vector and the DCE ciphertext without gob's
+// per-record reflection or allocation. The format is deliberately dumb —
+// [count u32][float64 × count] — because the surrounding WAL record frame
+// already provides integrity (CRC32C) and typing.
+
+// AppendFloatsFrame appends a length-prefixed float64 slice to dst.
+func AppendFloatsFrame(dst []byte, v []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// ParseFloatsFrame decodes a frame written by AppendFloatsFrame, returning
+// the vector (freshly allocated) and the remaining bytes.
+func ParseFloatsFrame(b []byte) ([]float64, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("dce: float frame truncated at count")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < 8*n {
+		return nil, nil, fmt.Errorf("dce: float frame holds %d bytes, want %d", len(b), 8*n)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v, b[8*n:], nil
+}
+
+// AppendCiphertextFrame appends ct as one length-prefixed [P1|P2|P3|P4]
+// record (4·ctDim floats). Component lengths must match.
+func AppendCiphertextFrame(dst []byte, ct *Ciphertext) []byte {
+	d := len(ct.P1)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(4*d))
+	for _, comp := range [4][]float64{ct.P1, ct.P2, ct.P3, ct.P4} {
+		for _, x := range comp {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+		}
+	}
+	return dst
+}
+
+// ParseCiphertextFrame decodes a frame written by AppendCiphertextFrame.
+// The returned ciphertext owns its components (views into one fresh
+// record allocation) and is safe to retain.
+func ParseCiphertextFrame(b []byte) (Ciphertext, []byte, error) {
+	rec, rest, err := ParseFloatsFrame(b)
+	if err != nil {
+		return Ciphertext{}, nil, err
+	}
+	if len(rec)%4 != 0 || len(rec) == 0 {
+		return Ciphertext{}, nil, fmt.Errorf("dce: ciphertext frame of %d floats is not 4 components", len(rec))
+	}
+	d := len(rec) / 4
+	return Ciphertext{
+		P1: rec[0*d : 1*d : 1*d],
+		P2: rec[1*d : 2*d : 2*d],
+		P3: rec[2*d : 3*d : 3*d],
+		P4: rec[3*d : 4*d : 4*d],
+	}, rest, nil
+}

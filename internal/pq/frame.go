@@ -1,0 +1,32 @@
+package pq
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendCodeFrame appends a length-prefixed PQ code row to dst. A nil code
+// encodes as length 0 — the "database carries no PQ tier" marker in WAL
+// insert payloads.
+func AppendCodeFrame(dst []byte, code []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(code)))
+	return append(dst, code...)
+}
+
+// ParseCodeFrame decodes a frame written by AppendCodeFrame, returning the
+// code row (nil for the no-tier marker; otherwise a view into b — copy to
+// retain) and the remaining bytes.
+func ParseCodeFrame(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("pq: code frame truncated at length")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < n {
+		return nil, nil, fmt.Errorf("pq: code frame holds %d bytes, want %d", len(b), n)
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	return b[:n:n], b[n:], nil
+}

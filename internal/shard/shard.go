@@ -118,6 +118,7 @@ func (l Local) Info() (transport.Info, error) {
 		Delta:         cs.Delta,
 		Tombstones:    cs.Tombstones,
 		Memory:        &ms,
+		WAL:           l.Srv.WALStats(),
 	}, nil
 }
 

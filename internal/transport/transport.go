@@ -126,8 +126,8 @@ func (wi *wireInsert) payload() *core.InsertPayload {
 // legacy peer simply never sent. In-process Info builders (shard.Local)
 // stamp it too, since they are by definition current. v3 adds the
 // two-tier write-path accounting (Delta, Tombstones); v4 the per-tier
-// memory breakdown (Memory).
-const ProtoVersion = 4
+// memory breakdown (Memory); v5 the write-ahead-log summary (WAL).
+const ProtoVersion = 5
 
 // Info describes the server a client is connected to: which filter-index
 // backend it runs, what update operations that backend supports (so
@@ -157,6 +157,10 @@ type Info struct {
 	// Memory is the server's per-tier memory breakdown in bytes per point
 	// (Proto ≥ 4; nil from older servers, never zero-valued).
 	Memory *core.MemoryStats
+	// WAL summarizes the server's write-ahead log (Proto ≥ 5; nil from
+	// older servers and from servers running without one — durability of
+	// acknowledged writes is then the operator's problem).
+	WAL *core.WALStats
 }
 
 // request is the wire envelope for client→server calls.
@@ -419,6 +423,7 @@ func handle(srv *core.Server, req *request) *response {
 			Delta:         cs.Delta,
 			Tombstones:    cs.Tombstones,
 			Memory:        &ms,
+			WAL:           srv.WALStats(),
 		}
 	default:
 		resp.Err = fmt.Sprintf("transport: unknown op %q", req.Op)

@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind tags a log record.
+type Kind uint8
+
+const (
+	// KindInsert is an acknowledged insert: the encrypted payload the
+	// server committed to its delta tier (SAP vector, DCE ciphertext
+	// record, and PQ code row when the database carries a compressed
+	// tier). The wal package treats the payload as opaque bytes; core
+	// owns the codec.
+	KindInsert Kind = 1
+	// KindDelete is an acknowledged tombstone.
+	KindDelete Kind = 2
+	// KindBarrier marks a durable checkpoint: every mutation with epoch
+	// ≤ the record's epoch is captured by the named snapshot file, so
+	// recovery replays only records strictly after it.
+	KindBarrier Kind = 3
+)
+
+func (k Kind) valid() bool { return k >= KindInsert && k <= KindBarrier }
+
+// String names the kind for logs and tooling.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	case KindBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record frame, little-endian:
+//
+//	[ payload len u32 | kind u8 | epoch u64 | payload | crc32c u32 ]
+//
+// The CRC (Castagnoli) covers everything before it — length, kind, epoch,
+// and payload — so a record is self-validating: a torn tail, a bit flip,
+// or a bogus length all fail the checksum (or the plausibility checks that
+// guard the length field) and recovery truncates at the record boundary.
+// The epoch lives in the frame rather than the payload so the log can
+// filter replay and garbage-collect segments without parsing payloads.
+const (
+	recHeaderSize  = 4 + 1 + 8
+	recTrailerSize = 4
+	recOverhead    = recHeaderSize + recTrailerSize
+
+	// maxPayload bounds the length field during scanning: anything
+	// larger is treated as corruption rather than attempted as an
+	// allocation. One insert record is ~bytes(8·dim) for the SAP plus
+	// 32·ctDim for the DCE record — far below this at any real
+	// dimensionality.
+	maxPayload = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends the framed record to dst and returns it.
+func appendRecord(dst []byte, kind Kind, epoch uint64, payload []byte) []byte {
+	base := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, byte(kind))
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[base:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// Segment files are named wal-<seq>.seg and start with a 16-byte header:
+// an 8-byte magic and the segment's sequence number, cross-checked against
+// the file name so a misrenamed or half-created file reads as corrupt
+// rather than splicing foreign records into the log.
+const (
+	segMagic      = "PPWALSG1"
+	segHeaderSize = 16
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("wal-%016x.seg", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%016x.seg", &seq); err != nil {
+		return 0, false
+	}
+	return seq, name == segName(seq)
+}
+
+func segHeader(seq uint64) []byte {
+	h := make([]byte, segHeaderSize)
+	copy(h, segMagic)
+	binary.LittleEndian.PutUint64(h[8:], seq)
+	return h
+}
+
+// Barrier describes a checkpoint: the epoch and generation of the snapshot
+// and the snapshot's file name inside the log directory. Recovery loads
+// the newest barrier whose snapshot file exists and replays records with
+// epoch > Barrier.Epoch on top of it.
+type Barrier struct {
+	// Epoch is the server mutation counter captured by the snapshot.
+	Epoch uint64
+	// Gen is the compaction generation of the snapshot.
+	Gen uint64
+	// Records is the id-space size (Len) of the snapshot, recorded for
+	// tooling and cross-checks.
+	Records uint64
+	// Name is the snapshot file's name within the log directory.
+	Name string
+}
+
+// CheckpointName is the canonical snapshot file name for a checkpoint at
+// the given epoch and generation.
+func CheckpointName(epoch, gen uint64) string {
+	return fmt.Sprintf("checkpoint-%020d.%d.ppanns", epoch, gen)
+}
+
+func isCheckpointName(name string) bool {
+	var e, g uint64
+	if _, err := fmt.Sscanf(name, "checkpoint-%020d.%d.ppanns", &e, &g); err != nil {
+		return false
+	}
+	return name == CheckpointName(e, g)
+}
+
+// encode serializes the barrier payload (the epoch rides in the frame).
+func (b *Barrier) encode() []byte {
+	p := make([]byte, 0, 8+8+2+len(b.Name))
+	p = binary.LittleEndian.AppendUint64(p, b.Gen)
+	p = binary.LittleEndian.AppendUint64(p, b.Records)
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(b.Name)))
+	return append(p, b.Name...)
+}
+
+func decodeBarrier(epoch uint64, p []byte) (Barrier, error) {
+	if len(p) < 18 {
+		return Barrier{}, fmt.Errorf("wal: barrier payload of %d bytes", len(p))
+	}
+	b := Barrier{
+		Epoch:   epoch,
+		Gen:     binary.LittleEndian.Uint64(p),
+		Records: binary.LittleEndian.Uint64(p[8:]),
+	}
+	n := int(binary.LittleEndian.Uint16(p[16:]))
+	if len(p) != 18+n {
+		return Barrier{}, fmt.Errorf("wal: barrier payload length %d, want %d", len(p), 18+n)
+	}
+	b.Name = string(p[18 : 18+n])
+	return b, nil
+}

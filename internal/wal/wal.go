@@ -1,0 +1,766 @@
+// Package wal implements the per-server write-ahead log behind the serving
+// tier's durable write path: CRC32C self-framed records in rotating segment
+// files, a configurable sync policy with group commit, and checkpoint
+// barriers that bound recovery work and let sealed segments be garbage-
+// collected.
+//
+// The contract with core.Server: every acknowledged Insert/Delete is
+// appended (and, per the sync policy, fsynced) before the acknowledgment,
+// and recovery = load the newest checkpoint snapshot + replay every record
+// with a later epoch. A torn or corrupt tail — the expected residue of a
+// crash mid-write — is truncated at the last whole record, never treated as
+// fatal.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// SyncPolicy selects when appended records become durable relative to the
+// acknowledgment. The zero value is OS-buffered: appends go to the page
+// cache and reach disk on rotation, checkpoint, interval ticks of the OS,
+// or Close — fastest, but a crash can lose any acknowledged write since
+// the last of those points.
+type SyncPolicy struct {
+	// Every fsyncs once per Every acknowledged writes. 1 makes every
+	// acknowledgment durable (group commit batches concurrent writers
+	// into one fsync, so the cost amortizes under load); N > 1 bounds
+	// loss to at most N−1 acknowledged writes.
+	Every int
+	// Interval, when positive, fsyncs from a background ticker instead,
+	// bounding loss to one interval of acknowledged writes. Ignored when
+	// Every is set.
+	Interval time.Duration
+}
+
+func (p SyncPolicy) String() string {
+	switch {
+	case p.Every == 1:
+		return "every=1"
+	case p.Every > 1:
+		return fmt.Sprintf("every=%d", p.Every)
+	case p.Interval > 0:
+		return fmt.Sprintf("interval=%s", p.Interval)
+	default:
+		return "os-buffered"
+	}
+}
+
+// Options configures a log.
+type Options struct {
+	// Sync is the durability policy (see SyncPolicy).
+	Sync SyncPolicy
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// Default 16 MiB.
+	SegmentBytes int64
+	// FS overrides the filesystem, for fault injection. Default OSFS.
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	if o.FS == nil {
+		o.FS = OSFS
+	}
+	return o
+}
+
+// segMeta describes one sealed (or scanned) segment.
+type segMeta struct {
+	seq      uint64
+	name     string
+	bytes    int64 // valid bytes, header included
+	records  int
+	maxEpoch uint64
+}
+
+// Recovery reports what Open found and repaired.
+type Recovery struct {
+	// Segments is the number of surviving segment files.
+	Segments int
+	// Records is the number of valid records across them.
+	Records int
+	// Bytes is the total valid segment bytes, headers included.
+	Bytes int64
+	// Barriers lists every checkpoint barrier found, in log order. The
+	// caller picks the newest one whose snapshot file still exists.
+	Barriers []Barrier
+	// Truncated describes the tail repair performed, empty when the log
+	// was clean.
+	Truncated string
+	// TruncatedBytes is how many trailing bytes were discarded.
+	TruncatedBytes int64
+	// DroppedSegments counts segment files discarded because they sat
+	// after the torn point or had corrupt headers.
+	DroppedSegments int
+}
+
+// Log is an append-only record log over rotating segment files. Appends
+// are serialized internally; Commit implements group commit, so any number
+// of goroutines can Append+Commit concurrently and share fsyncs.
+type Log struct {
+	dir  string
+	fs   FS
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    File // active segment
+	seq  uint64
+	// activeBytes / activeMaxEpoch track the active segment.
+	activeBytes    int64
+	activeMaxEpoch uint64
+	sealed         []segMeta
+	// written / synced are monotone per-process LSN watermarks: written
+	// counts appended records, synced the highest LSN known durable.
+	written uint64
+	synced  uint64
+	syncing bool // one goroutine is in f.Sync with mu released
+	err     error
+	closed  bool
+
+	// barrierSeq is the segment holding the newest barrier; GC never
+	// removes it or anything after it.
+	barrier    *Barrier
+	barrierSeq uint64
+
+	// replaySegs freezes the segment set and valid byte ranges found at
+	// Open, so Replay reads exactly the recovered prefix even if appends
+	// have started.
+	replaySegs []segMeta
+
+	stopTicker chan struct{}
+	tickerWG   sync.WaitGroup
+}
+
+// Open opens (creating if needed) the log in dir, scanning every segment,
+// truncating the first torn or CRC-failing tail record, and dropping
+// segments stranded after the torn point. It returns the log positioned
+// for appending plus a Recovery describing what was found.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	segs, rec, barrierSeq, err := scanDir(fs, dir, true)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{
+		dir:        dir,
+		fs:         fs,
+		opts:       opts,
+		stopTicker: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.replaySegs = segs
+	if n := len(rec.Barriers); n > 0 {
+		b := rec.Barriers[n-1]
+		l.barrier = &b
+		l.barrierSeq = barrierSeq
+	}
+
+	// Reopen the last segment for appending, or start segment 1.
+	if n := len(segs); n > 0 {
+		last := segs[n-1]
+		f, err := fs.Append(filepath.Join(dir, last.name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reopen active segment: %w", err)
+		}
+		l.f = f
+		l.seq = last.seq
+		l.activeBytes = last.bytes
+		l.activeMaxEpoch = last.maxEpoch
+		l.sealed = append(l.sealed, segs[:n-1]...)
+	} else {
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if opts.Sync.Every <= 0 && opts.Sync.Interval > 0 {
+		l.tickerWG.Add(1)
+		go l.intervalSyncer(opts.Sync.Interval)
+	}
+	return l, rec, nil
+}
+
+// Inspect scans the log directory read-only — no repair, no truncation, no
+// lock — and reports what a recovery would find. Tooling (ppanns-dbtool
+// info) uses it to describe a WAL without mutating it.
+func Inspect(dir string) (*Recovery, error) {
+	_, rec, _, err := scanDir(OSFS, dir, false)
+	return rec, err
+}
+
+// scanDir scans segments in seq order. With repair=true it truncates the
+// segment containing the first invalid record and removes later segments
+// and leftover temp files; with repair=false it only reports. barrierSeq
+// is the seq of the segment holding the newest barrier (0 when none).
+func scanDir(fs FS, dir string, repair bool) (segs []segMeta, rec *Recovery, barrierSeq uint64, err error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: list dir: %w", err)
+	}
+	var segNames []string
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			segNames = append(segNames, n)
+		} else if repair && strings.HasSuffix(n, ".tmp") {
+			fs.Remove(filepath.Join(dir, n))
+		}
+	}
+	// ReadDir sorts lexically; the fixed-width hex seq makes that seq order.
+
+	rec = &Recovery{}
+	torn := false
+	for _, name := range segNames {
+		if torn {
+			// Everything after the torn point is unreachable by
+			// recovery: records there may depend on lost ones.
+			if repair {
+				fs.Remove(filepath.Join(dir, name))
+			}
+			rec.DroppedSegments++
+			continue
+		}
+		seq, _ := parseSegName(name)
+		path := filepath.Join(dir, name)
+		sm, barriers, serr := scanSegment(fs, path, seq)
+		if serr != nil {
+			return nil, nil, 0, serr
+		}
+		size, serr := fs.Size(path)
+		if serr != nil {
+			return nil, nil, 0, fmt.Errorf("wal: stat %s: %w", name, serr)
+		}
+		if sm.bytes < segHeaderSize {
+			// Header never made it to disk: the file holds no
+			// records, drop it entirely.
+			torn = true
+			rec.Truncated = fmt.Sprintf("segment %s: corrupt header, file dropped", name)
+			rec.TruncatedBytes += size
+			if repair {
+				fs.Remove(path)
+			}
+			rec.DroppedSegments++
+			continue
+		}
+		if sm.bytes < size {
+			torn = true
+			rec.Truncated = fmt.Sprintf("segment %s: torn or corrupt record at offset %d, %d trailing bytes truncated",
+				name, sm.bytes, size-sm.bytes)
+			rec.TruncatedBytes += size - sm.bytes
+			if repair {
+				if terr := fs.Truncate(path, sm.bytes); terr != nil {
+					return nil, nil, 0, fmt.Errorf("wal: truncate torn tail of %s: %w", name, terr)
+				}
+			}
+		}
+		segs = append(segs, sm)
+		rec.Segments++
+		rec.Records += sm.records
+		rec.Bytes += sm.bytes
+		if len(barriers) > 0 {
+			barrierSeq = sm.seq
+		}
+		rec.Barriers = append(rec.Barriers, barriers...)
+	}
+	return segs, rec, barrierSeq, nil
+}
+
+// scanSegment validates one segment file, returning its metadata (bytes =
+// length of the valid prefix) and the barriers it contains. Corruption is
+// not an error: it just bounds sm.bytes.
+func scanSegment(fs FS, path string, wantSeq uint64) (segMeta, []Barrier, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return segMeta{}, nil, fmt.Errorf("wal: open segment %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	sm := segMeta{seq: wantSeq, name: filepath.Base(path)}
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil ||
+		string(hdr[:8]) != segMagic ||
+		binary.LittleEndian.Uint64(hdr[8:]) != wantSeq {
+		return sm, nil, nil // sm.bytes = 0 → corrupt header
+	}
+	sm.bytes = segHeaderSize
+
+	var barriers []Barrier
+	var buf []byte
+	for {
+		head := make([]byte, recHeaderSize)
+		if _, err := io.ReadFull(r, head); err != nil {
+			return sm, barriers, nil // clean EOF or torn header
+		}
+		plen := binary.LittleEndian.Uint32(head)
+		kind := Kind(head[4])
+		epoch := binary.LittleEndian.Uint64(head[5:])
+		if plen > maxPayload || !kind.valid() {
+			return sm, barriers, nil
+		}
+		need := int(plen) + recTrailerSize
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		body := buf[:need]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return sm, barriers, nil // torn payload
+		}
+		crc := crc32.Checksum(head, castagnoli)
+		crc = crc32.Update(crc, castagnoli, body[:plen])
+		if crc != binary.LittleEndian.Uint32(body[plen:]) {
+			return sm, barriers, nil // corrupt record
+		}
+		if kind == KindBarrier {
+			b, berr := decodeBarrier(epoch, body[:plen])
+			if berr != nil {
+				return sm, barriers, nil
+			}
+			barriers = append(barriers, b)
+		}
+		sm.bytes += int64(recHeaderSize + need)
+		sm.records++
+		if epoch > sm.maxEpoch {
+			sm.maxEpoch = epoch
+		}
+	}
+}
+
+// createSegmentLocked creates and activates segment seq. Callers hold no
+// lock during Open; rotateLocked calls it with mu held — the field writes
+// are safe either way because the log is not yet shared (Open) or mu is
+// held (rotate).
+func (l *Log) createSegmentLocked(seq uint64) error {
+	name := segName(seq)
+	f, err := l.fs.Create(filepath.Join(l.dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", name, err)
+	}
+	if _, err := f.Write(segHeader(seq)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header %s: %w", name, err)
+	}
+	// Make the file name itself durable; the header bytes become durable
+	// with the first record fsync.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	l.f = f
+	l.seq = seq
+	l.activeBytes = segHeaderSize
+	l.activeMaxEpoch = 0
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next. Called with mu held; waits out any in-flight group-commit fsync so
+// the file is not closed under it.
+func (l *Log) rotateLocked() error {
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.poisonLocked(fmt.Errorf("wal: sync segment on rotate: %w", err))
+		return l.err
+	}
+	if err := l.f.Close(); err != nil {
+		l.poisonLocked(fmt.Errorf("wal: close sealed segment: %w", err))
+		return l.err
+	}
+	if l.written > l.synced {
+		l.synced = l.written
+	}
+	l.sealed = append(l.sealed, segMeta{
+		seq:      l.seq,
+		name:     segName(l.seq),
+		bytes:    l.activeBytes,
+		maxEpoch: l.activeMaxEpoch,
+	})
+	if err := l.createSegmentLocked(l.seq + 1); err != nil {
+		l.poisonLocked(err)
+		return l.err
+	}
+	return nil
+}
+
+// poisonLocked records a sticky error: a log that failed a write or fsync
+// can no longer promise durability, so every later operation fails fast
+// instead of silently acknowledging writes it cannot recover.
+func (l *Log) poisonLocked(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	l.cond.Broadcast()
+}
+
+// Append frames and writes one record to the active segment, returning its
+// LSN for Commit. The write lands in the OS buffer; durability is
+// Commit's job. Safe for concurrent use.
+func (l *Log) Append(kind Kind, epoch uint64, payload []byte) (uint64, error) {
+	frame := appendRecord(make([]byte, 0, recOverhead+len(payload)), kind, epoch, payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.activeBytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.poisonLocked(fmt.Errorf("wal: append: %w", err))
+		return 0, l.err
+	}
+	l.activeBytes += int64(len(frame))
+	if epoch > l.activeMaxEpoch {
+		l.activeMaxEpoch = epoch
+	}
+	l.written++
+	return l.written, nil
+}
+
+// Commit makes the record at lsn durable per the sync policy: it blocks
+// until an fsync covers lsn (SyncEvery), or returns immediately (interval
+// and OS-buffered policies), in both cases surfacing any sticky log error.
+// Concurrent committers group-commit: one becomes the fsync leader, the
+// rest ride the same fsync.
+func (l *Log) Commit(lsn uint64) error {
+	p := l.opts.Sync
+	switch {
+	case p.Every == 1:
+		return l.syncTo(lsn)
+	case p.Every > 1:
+		if lsn%uint64(p.Every) == 0 {
+			return l.syncTo(lsn)
+		}
+	}
+	l.mu.Lock()
+	err := l.err
+	l.mu.Unlock()
+	return err
+}
+
+// Sync forces everything appended so far to disk, regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	lsn := l.written
+	l.mu.Unlock()
+	return l.syncTo(lsn)
+}
+
+// syncTo blocks until records up to lsn are durable. Group commit: the
+// first waiter becomes leader, captures the current write watermark,
+// fsyncs outside the lock, then publishes the new synced watermark —
+// covering every record appended before the fsync began, so followers that
+// arrived meanwhile usually find their LSN already covered.
+func (l *Log) syncTo(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.synced < lsn {
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		f := l.f
+		w := l.written
+		l.mu.Unlock()
+		serr := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if serr != nil {
+			l.poisonLocked(fmt.Errorf("wal: fsync: %w", serr))
+			return l.err
+		}
+		if w > l.synced {
+			l.synced = w
+		}
+		l.cond.Broadcast()
+	}
+	return nil
+}
+
+func (l *Log) intervalSyncer(every time.Duration) {
+	defer l.tickerWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTicker:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			lsn, bad := l.written, l.err != nil || l.closed
+			l.mu.Unlock()
+			if bad {
+				return
+			}
+			l.syncTo(lsn) // errors stick; next Append/Commit surfaces them
+		}
+	}
+}
+
+// Checkpoint durably installs a new recovery base: it writes the snapshot
+// via the atomic-persist path (temp + fsync + rename + dir fsync), rotates
+// so the barrier starts a fresh segment, appends and fsyncs the barrier
+// record, then garbage-collects sealed segments whose records the snapshot
+// covers and sweeps superseded snapshot files. If b.Name is empty the
+// canonical CheckpointName(epoch, gen) is used. Concurrent Appends are
+// safe throughout; Checkpoint calls themselves must be serialized by the
+// caller (core's compactor lock does).
+func (l *Log) Checkpoint(b Barrier, write func(io.Writer) error) error {
+	if b.Name == "" {
+		b.Name = CheckpointName(b.Epoch, b.Gen)
+	}
+	if err := writeFileAtomicFS(l.fs, filepath.Join(l.dir, b.Name), write); err != nil {
+		return fmt.Errorf("wal: write checkpoint %s: %w", b.Name, err)
+	}
+
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	// Rotate so every pre-barrier record sits in a sealed segment and the
+	// barrier opens a fresh one: GC can then reason per whole segment.
+	if l.activeBytes > segHeaderSize {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	l.mu.Unlock()
+
+	lsn, err := l.Append(KindBarrier, b.Epoch, b.encode())
+	if err != nil {
+		return err
+	}
+	if err := l.syncTo(lsn); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	bc := b
+	l.barrier = &bc
+	l.barrierSeq = l.seq
+	// Collect sealed segments fully covered by the snapshot: everything
+	// before the barrier's segment whose newest record is ≤ the
+	// checkpoint epoch. Segments holding post-checkpoint records (written
+	// while the snapshot was being persisted) survive and replay's epoch
+	// filter handles their older records.
+	var keep, drop []segMeta
+	for _, s := range l.sealed {
+		if s.seq < l.barrierSeq && s.maxEpoch <= b.Epoch {
+			drop = append(drop, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.sealed = keep
+	l.mu.Unlock()
+
+	for _, s := range drop {
+		l.fs.Remove(filepath.Join(l.dir, s.name)) // best effort
+	}
+	l.sweepCheckpoints(b.Name)
+	return nil
+}
+
+// sweepCheckpoints removes superseded snapshot files, keeping keep.
+func (l *Log) sweepCheckpoints(keep string) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		if n != keep && isCheckpointName(n) {
+			l.fs.Remove(filepath.Join(l.dir, n))
+		}
+	}
+}
+
+// OpenCheckpoint opens a snapshot file recorded in a barrier for reading.
+func (l *Log) OpenCheckpoint(name string) (io.ReadCloser, error) {
+	return l.fs.Open(filepath.Join(l.dir, filepath.Base(name)))
+}
+
+// Replay streams every valid mutation record with epoch > afterEpoch, in
+// log order, to fn. Barrier records are skipped. The payload slice is
+// reused between calls; fn must not retain it. Replay reads exactly the
+// byte ranges validated at Open, so it is deterministic even if appends
+// have since started — but the intended sequence is Open → Replay → serve.
+func (l *Log) Replay(afterEpoch uint64, fn func(kind Kind, epoch uint64, payload []byte) error) error {
+	for _, sm := range l.replaySegs {
+		if sm.maxEpoch <= afterEpoch {
+			continue
+		}
+		if err := l.replaySegment(sm, afterEpoch, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) replaySegment(sm segMeta, afterEpoch uint64, fn func(Kind, uint64, []byte) error) error {
+	f, err := l.fs.Open(filepath.Join(l.dir, sm.name))
+	if err != nil {
+		return fmt.Errorf("wal: replay open %s: %w", sm.name, err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(io.LimitReader(f, sm.bytes), 1<<16)
+	if _, err := io.CopyN(io.Discard, r, segHeaderSize); err != nil {
+		return fmt.Errorf("wal: replay %s: %w", sm.name, err)
+	}
+	var buf []byte
+	head := make([]byte, recHeaderSize)
+	for {
+		if _, err := io.ReadFull(r, head); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("wal: replay %s: %w", sm.name, err)
+		}
+		plen := int(binary.LittleEndian.Uint32(head))
+		kind := Kind(head[4])
+		epoch := binary.LittleEndian.Uint64(head[5:])
+		if cap(buf) < plen+recTrailerSize {
+			buf = make([]byte, plen+recTrailerSize)
+		}
+		body := buf[:plen+recTrailerSize]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return fmt.Errorf("wal: replay %s: %w", sm.name, err)
+		}
+		// The prefix was CRC-validated at Open; no need to re-verify.
+		if kind == KindBarrier || epoch <= afterEpoch {
+			continue
+		}
+		if err := fn(kind, epoch, body[:plen]); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats is a point-in-time summary of the log, for Server.WALStats and the
+// transport Info surface.
+type Stats struct {
+	// Dir is the log directory.
+	Dir string
+	// Segments is the number of live segment files, active included.
+	Segments int
+	// Bytes is their total size.
+	Bytes int64
+	// Appended and Synced are the per-process LSN watermarks.
+	Appended uint64
+	Synced   uint64
+	// Barrier is the newest checkpoint barrier, nil before the first.
+	Barrier *Barrier
+}
+
+// Stats reports the log's current shape.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Dir:      l.dir,
+		Segments: len(l.sealed) + 1,
+		Bytes:    l.activeBytes,
+		Appended: l.written,
+		Synced:   l.synced,
+	}
+	for _, s := range l.sealed {
+		st.Bytes += s.bytes
+	}
+	if l.barrier != nil {
+		b := *l.barrier
+		st.Barrier = &b
+	}
+	return st
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Err returns the sticky error, if the log has been poisoned by a failed
+// write or fsync.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close syncs and closes the active segment and stops the interval syncer.
+// Appends after Close fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.closed = true
+	close(l.stopTicker)
+	for l.syncing {
+		l.cond.Wait()
+	}
+	var ferr error
+	if l.err == nil && l.f != nil {
+		if serr := l.f.Sync(); serr != nil {
+			ferr = fmt.Errorf("wal: sync on close: %w", serr)
+		} else if l.written > l.synced {
+			l.synced = l.written
+		}
+		if cerr := l.f.Close(); cerr != nil && ferr == nil {
+			ferr = fmt.Errorf("wal: close: %w", cerr)
+		}
+	} else if l.f != nil {
+		l.f.Close()
+	}
+	if ferr != nil && l.err == nil {
+		l.err = ferr
+	}
+	err := l.err
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.tickerWG.Wait()
+	return err
+}

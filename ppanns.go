@@ -41,6 +41,7 @@ import (
 	"ppanns/internal/core"
 	"ppanns/internal/index"
 	"ppanns/internal/pq"
+	"ppanns/internal/wal"
 )
 
 // Params configures a deployment. See core.Params for field documentation;
@@ -151,3 +152,29 @@ func NewServerWith(edb *EncryptedDatabase, o ServerOptions) (*Server, error) {
 // (delta size, pending tombstones, compaction history), as returned by
 // Server.CompactionStats.
 type CompactionStats = core.CompactionStats
+
+// SyncPolicy selects when a WAL-attached server fsyncs acknowledged
+// writes (ServerOptions.WALSync): Every: 1 syncs each write before its
+// ack (group-committed across concurrent writers), Every: N syncs every
+// N-th record, Interval syncs on a timer, and the zero value leaves
+// durability to the OS page cache. See the README's Durability section
+// for the guarantees and measured cost of each.
+type SyncPolicy = wal.SyncPolicy
+
+// RecoveryStats describes what OpenServer found in a WAL directory: the
+// checkpoint it anchored on, how many records it replayed, and any
+// torn-tail repair it performed.
+type RecoveryStats = core.RecoveryStats
+
+// WALStats summarizes a server's attached write-ahead log, as returned by
+// Server.WALStats (nil when the server runs without one).
+type WALStats = core.WALStats
+
+// OpenServer recovers a server from a WAL directory previously populated
+// via ServerOptions.WALDir: it repairs the log's torn tail, loads the
+// newest checkpoint snapshot, replays every acknowledged mutation after
+// it, and resumes logging. Use NewServerWith to create the directory;
+// OpenServer to reopen it after a restart or crash.
+func OpenServer(walDir string, o ServerOptions) (*Server, RecoveryStats, error) {
+	return core.OpenServer(walDir, o)
+}
